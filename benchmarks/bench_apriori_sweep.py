@@ -1,0 +1,21 @@
+"""Apriori-threshold sweep benchmark (Sec. 7.3)."""
+
+from repro.experiments import format_apriori_sweep, run_apriori_sweep
+
+TAUS = (0.05, 0.1, 0.2, 0.3)
+
+
+def test_apriori_threshold_sweep(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_apriori_sweep,
+        kwargs={"dataset": "stackoverflow", "taus": TAUS, "settings": settings},
+        rounds=1, iterations=1,
+    )
+    record_output("apriori_sweep", format_apriori_sweep(result))
+
+    rows = list(result.rows)
+    # Paper shape 1: higher tau -> fewer grouping patterns.
+    groups = [row.n_grouping_patterns for row in rows]
+    assert groups == sorted(groups, reverse=True)
+    # Paper shape 2: higher tau -> lower (or equal) utility.
+    assert rows[-1].expected_utility <= rows[0].expected_utility + 1e-6

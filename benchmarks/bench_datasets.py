@@ -1,0 +1,23 @@
+"""Table 3 benchmark: dataset statistics + generation throughput."""
+
+from repro.datasets import load_german, load_stackoverflow
+from repro.experiments import format_table3, run_table3
+
+
+def test_table3_statistics(benchmark, record_output):
+    rows = benchmark.pedantic(run_table3, kwargs={"rng": 7}, rounds=1,
+                              iterations=1)
+    record_output("table3", format_table3(rows))
+    so, german = rows
+    assert so["tuples"] == 38_000
+    assert german["tuples"] == 1_000
+
+
+def test_stackoverflow_generation_speed(benchmark):
+    bundle = benchmark(load_stackoverflow, n=10_000, rng=0)
+    assert bundle.table.n_rows == 10_000
+
+
+def test_german_generation_speed(benchmark):
+    bundle = benchmark(load_german, n=1_000, rng=0)
+    assert bundle.table.n_rows == 1_000

@@ -1,0 +1,23 @@
+"""Figure 3 benchmark: FairCap runtime broken down by step."""
+
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_figure3_step_breakdown(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs={"dataset": "stackoverflow", "settings": settings},
+        rounds=1, iterations=1,
+    )
+    record_output("figure3", format_figure3(result))
+
+    rows = {row.setting: row for row in result.rows}
+    # Paper shape 1: group mining is negligible in every setting.
+    for row in result.rows:
+        assert row.group_mining <= 0.25 * row.total + 0.5
+    # Paper shape 2: treatment mining dominates.
+    for row in result.rows:
+        assert row.treatment_mining >= row.greedy_selection * 0.5
+    # Paper shape 3: rule-coverage settings are the fastest (pruning).
+    fastest_half = sorted(result.rows, key=lambda r: r.total)[: len(result.rows) // 2]
+    assert any("Rule coverage" in row.setting for row in fastest_half)

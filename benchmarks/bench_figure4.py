@@ -1,0 +1,35 @@
+"""Figure 4 benchmark: runtime as a function of dataset size.
+
+The bench runs a representative 3-variant subset of FairCap (the full
+9-variant sweep is available by passing ``variant_names=None`` to
+:func:`repro.experiments.run_figure4`) plus IDS and FRL.
+"""
+
+from repro.experiments import format_figure4, run_figure4
+
+VARIANTS = ("No constraints", "Group fairness", "Individual fairness")
+
+
+def test_figure4_runtime_vs_size(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs={
+            "dataset": "stackoverflow",
+            "settings": settings,
+            "variant_names": VARIANTS,
+        },
+        rounds=1, iterations=1,
+    )
+    record_output("figure4", format_figure4(result))
+
+    by_method = {s.method: s.seconds for s in result.series}
+    # Paper shape 1: runtime grows with dataset size for FairCap.  The
+    # check tolerates scheduler noise: the slower half of the sweep (75% and
+    # 100% fractions) must not be faster than 80% of the faster half.
+    for name in VARIANTS:
+        seconds = by_method[name]
+        small = max(seconds[0], seconds[1])
+        large = max(seconds[-2], seconds[-1])
+        assert large >= 0.8 * small, (name, seconds)
+    # Paper shape 2: FRL is slower than IDS (ordering search).
+    assert sum(by_method["FRL"]) > sum(by_method["IDS"])

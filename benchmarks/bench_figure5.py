@@ -1,0 +1,41 @@
+"""Figure 5 benchmark: runtime vs number of mutable / immutable attributes."""
+
+from repro.experiments import format_figure5, run_figure5
+
+MUTABLE_COUNTS = (2, 4, 6)
+IMMUTABLE_COUNTS = (5, 8, 10)
+
+
+def test_figure5_attribute_sweeps(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs={
+            "dataset": "stackoverflow",
+            "settings": settings,
+            "mutable_counts": MUTABLE_COUNTS,
+            "immutable_counts": IMMUTABLE_COUNTS,
+        },
+        rounds=1, iterations=1,
+    )
+    record_output("figure5", format_figure5(result))
+
+    def total_seconds(method, n_immutable=None, n_mutable=None):
+        return sum(
+            p.seconds
+            for p in result.points
+            if p.method == method
+            and (n_immutable is None or p.n_immutable == n_immutable)
+            and (n_mutable is None or p.n_mutable == n_mutable)
+        )
+
+    # Paper shape 1: FairCap runtime grows with the mutable-attribute count
+    # (the intervention lattice grows).
+    n_imm = max(IMMUTABLE_COUNTS)
+    assert total_seconds("No constraint", n_imm, MUTABLE_COUNTS[-1]) >= (
+        total_seconds("No constraint", n_imm, MUTABLE_COUNTS[0])
+    )
+    # Paper shape 2: ...and with the immutable-attribute count (more groups).
+    n_mut = max(MUTABLE_COUNTS)
+    assert total_seconds("No constraint", IMMUTABLE_COUNTS[-1], n_mut) >= (
+        total_seconds("No constraint", IMMUTABLE_COUNTS[0], n_mut)
+    )

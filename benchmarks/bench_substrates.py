@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the substrate layers (classic pytest-benchmark).
+
+These track the per-operation costs that dominate FairCap's runtime: pattern
+masks, Apriori, a single adjusted CATE, and d-separation queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.causal.backdoor import backdoor_adjustment_set
+from repro.causal.estimators import LinearAdjustmentEstimator
+from repro.datasets import load_stackoverflow
+from repro.mining.apriori import apriori
+from repro.mining.patterns import Pattern
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_stackoverflow(n=10_000, rng=1)
+
+
+def test_pattern_mask(benchmark, bundle):
+    pattern = Pattern.of(Country="US", Age="25-34")
+    mask = benchmark(pattern.mask, bundle.table)
+    assert mask.dtype == bool
+
+
+def test_apriori_grouping(benchmark, bundle):
+    result = benchmark(
+        apriori,
+        bundle.table,
+        attributes=bundle.schema.immutable_names,
+        min_support=0.1,
+        max_length=2,
+        max_values_per_attribute=5,
+    )
+    assert len(result) > 0
+
+
+def test_single_cate(benchmark, bundle):
+    adjustment = backdoor_adjustment_set(bundle.dag, ["Role"], "Salary")
+    treated = bundle.table.values("Role") == "Back-end developer"
+    estimator = LinearAdjustmentEstimator()
+    result = benchmark(
+        estimator.estimate, bundle.table, treated, "Salary", adjustment
+    )
+    assert result.valid
+
+
+def test_d_separation_query(benchmark, bundle):
+    ok = benchmark(
+        bundle.dag.d_separated, ["SexualOrientation"], ["Salary"], ["Country"]
+    )
+    assert ok  # orientation is causally inert given country
+
+
+def test_table_filter(benchmark, bundle):
+    mask = bundle.table.values("Country") == "US"
+
+    def run():
+        return bundle.table.filter(mask)
+
+    sub = benchmark(run)
+    assert sub.n_rows == int(mask.sum())

@@ -1,0 +1,51 @@
+"""Table 4 benchmark: constraint variants + baselines on both datasets.
+
+Regenerates the paper's central table.  Shape assertions (who wins / by what
+factor) are checked; absolute utilities differ from the paper because the
+substrate is a synthetic SCM rather than the authors' survey data.
+"""
+
+from repro.experiments import format_table4, run_table4
+
+
+def _row(result, label):
+    return next(row for row in result.rows if row.label == label)
+
+
+def test_table4_stackoverflow(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={"dataset": "stackoverflow", "settings": settings},
+        rounds=1, iterations=1,
+    )
+    record_output("table4_stackoverflow", format_table4(result))
+
+    free = _row(result, "No constraints")
+    group_fair = _row(result, "Group fairness")
+    rule_cov = _row(result, "Rule coverage")
+
+    # Paper shape 1: unconstrained maximises expected utility...
+    assert free.exp_utility >= group_fair.exp_utility - 1e-9
+    # ...at the price of the largest disparity.
+    assert abs(free.unfairness) >= abs(group_fair.unfairness)
+    # Paper shape 2: group SP keeps the gap under epsilon = 10k.
+    assert abs(group_fair.unfairness) <= 10_000.0 + 1e-6
+    # Paper shape 3: rule coverage selects the fewest rules.
+    assert rule_cov.n_rules <= free.n_rules
+
+
+def test_table4_german(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={"dataset": "german", "settings": settings},
+        rounds=1, iterations=1,
+    )
+    record_output("table4_german", format_table4(result))
+
+    free = _row(result, "No constraints")
+    group_fair = _row(result, "Group fairness")
+    # BGL group fairness lifts the protected floor relative to no-constraints.
+    assert group_fair.exp_utility_protected >= free.exp_utility_protected
+    # Binary outcome: all utilities are probability differences.
+    for row in result.rows:
+        assert -1.0 <= row.exp_utility <= 1.0

@@ -1,0 +1,36 @@
+"""Table 6 benchmark: robustness of the results to the causal DAG."""
+
+from repro.experiments import format_table6, run_table6
+
+
+def test_table6_stackoverflow(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_table6,
+        kwargs={"dataset": "stackoverflow", "settings": settings},
+        rounds=1, iterations=1,
+    )
+    record_output("table6_stackoverflow", format_table6(result))
+
+    utilities = {row.label: row.exp_utility for row in result.rows}
+    original = utilities["Original causal DAG"]
+    # Paper shape: expected utility is broadly stable across DAGs on SO
+    # ("the expected utility remains similar for the Stack Overflow
+    # dataset"); allow a 2x band.
+    for label, utility in utilities.items():
+        assert utility >= 0.3 * original, (label, utility, original)
+        assert utility <= 3.0 * original, (label, utility, original)
+
+
+def test_table6_german(benchmark, settings, record_output):
+    result = benchmark.pedantic(
+        run_table6,
+        kwargs={"dataset": "german", "settings": settings},
+        rounds=1, iterations=1,
+    )
+    record_output("table6_german", format_table6(result))
+    assert len(result.rows) == 5
+    # German shows more variability (paper); just require positive utilities
+    # under the informative DAGs.
+    utilities = {row.label: row.exp_utility for row in result.rows}
+    assert utilities["Original causal DAG"] > 0
+    assert utilities["PC DAG"] > 0

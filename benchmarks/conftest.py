@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark prints the regenerated rows (visible with
+``pytest -s``) and also writes them to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can cite a stable artifact.
+
+Scale: benchmarks default to the laptop-scale settings of
+:mod:`repro.experiments.settings` (SO 6,000 rows, German 4,000).  Set
+``REPRO_FULL=1`` for the paper's sizes, or ``REPRO_SO_N``/``REPRO_GERMAN_N``
+for custom scales.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings.from_environment()
+
+
+@pytest.fixture(scope="session")
+def record_output():
+    """Return a writer that prints and persists a named text artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,50 @@
+"""Case study (paper Sec. 6): improving credit scores with BGL fairness.
+
+Reproduces the paper's German Credit walk-through: the outcome is a binary
+credit-risk score, the protected group is single females (~9%), and the
+fairness family is bounded group loss (BGL) — every protected individual's
+expected gain should clear a floor tau.  Run with::
+
+    python examples/german_credit.py [n_rows]
+"""
+
+import sys
+
+from repro import FairCap, FairCapConfig, canonical_variants, load_german
+from repro.rules.templates import describe_rule
+
+
+def main(n_rows: int = 4_000) -> None:
+    bundle = load_german(n=n_rows, rng=7)
+    table = bundle.table
+    rate = table.values("CreditRisk").mean()
+    print(f"Dataset: {table.n_rows} applicants, good-credit rate {rate:.1%}, "
+          f"protected = {bundle.protected.name} "
+          f"({bundle.protected.fraction(table):.1%})")
+
+    variants = canonical_variants("BGL", 0.1, theta=0.3, theta_protected=0.3)
+    for name in ["No constraints", "Group fairness",
+                 "Rule coverage, Group fairness"]:
+        config = FairCapConfig(
+            variant=variants[name],
+            max_values_per_attribute=5,
+            max_grouping_size=2,
+        )
+        result = FairCap(config).run(table, bundle.schema, bundle.dag,
+                                     bundle.protected)
+        m = result.metrics
+        print(f"\n=== {name} ===")
+        print(f"rules={m.n_rules}  coverage={m.coverage:.1%}  "
+              f"protected coverage={m.protected_coverage:.1%}")
+        print(f"expected utility={m.expected_utility:.3f}  "
+              f"non-protected={m.expected_utility_non_protected:.3f}  "
+              f"protected={m.expected_utility_protected:.3f}  "
+              f"unfairness={m.unfairness:.3f}")
+        print("example rules:")
+        for rule in result.ruleset.rules[:3]:
+            print("  >", describe_rule(rule, bundle.templates,
+                                       utility_format="{:.2f}"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4_000)

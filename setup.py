@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `python setup.py develop` work in offline
+environments that lack the `wheel` package required by PEP 660 editable
+installs. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

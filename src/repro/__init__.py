@@ -1,0 +1,108 @@
+"""FairCap: fair and actionable causal prescription rulesets.
+
+A from-scratch reproduction of *"Fair and Actionable Causal Prescription
+Ruleset"* (Li, Levy, Youngmann, Galhotra, Roy; SIGMOD 2025), including every
+substrate the paper depends on: a columnar table layer, Pearl-model causal
+inference (backdoor adjustment, CATE estimation, PC discovery), Apriori and
+lattice pattern mining, the FairCap three-step algorithm with all 18 problem
+variants, the CauSumX / IDS / FRL baselines, SCM-backed synthetic datasets,
+and an experiment harness regenerating every table and figure of the
+evaluation.
+
+Quickstart::
+
+    from repro import (
+        FairCap, FairCapConfig, canonical_variants, load_stackoverflow,
+    )
+
+    bundle = load_stackoverflow(n=5000, rng=0)
+    variants = canonical_variants("SP", 10_000, theta=0.5, theta_protected=0.5)
+    config = FairCapConfig(variant=variants["Group fairness"])
+    result = FairCap(config).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+    for rule in result.ruleset:
+        print(rule)
+"""
+
+from repro.tabular import (
+    AttributeKind,
+    AttributeRole,
+    AttributeSpec,
+    Schema,
+    Table,
+    read_csv,
+    write_csv,
+)
+from repro.mining import Operator, Pattern, Predicate, apriori
+from repro.causal import (
+    CateResult,
+    CausalDAG,
+    LinearAdjustmentEstimator,
+    SCMNode,
+    StratifiedEstimator,
+    StructuralCausalModel,
+    backdoor_adjustment_set,
+    estimate_cate,
+    pc_dag,
+)
+from repro.rules import (
+    PrescriptionRule,
+    ProtectedGroup,
+    RuleSet,
+    RulesetEvaluator,
+    RulesetMetrics,
+    RuleTemplates,
+    describe_rule,
+)
+from repro.fairness import (
+    CoverageConstraint,
+    FairnessConstraint,
+    bounded_group_loss,
+    group_coverage,
+    rule_coverage,
+    select_variant,
+    statistical_parity,
+)
+from repro.core import (
+    FairCap,
+    FairCapConfig,
+    FairCapResult,
+    ProblemVariant,
+    all_variants,
+    brute_force_select,
+    canonical_variants,
+    run_faircap,
+    unconstrained,
+)
+from repro.baselines import run_causumx, run_frl, run_ids
+from repro.datasets import load_dataset, load_german, load_stackoverflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # tabular
+    "Table", "Schema", "AttributeSpec", "AttributeKind", "AttributeRole",
+    "read_csv", "write_csv",
+    # patterns & mining
+    "Pattern", "Predicate", "Operator", "apriori",
+    # causal
+    "CausalDAG", "CateResult", "LinearAdjustmentEstimator",
+    "StratifiedEstimator", "estimate_cate", "backdoor_adjustment_set",
+    "pc_dag", "StructuralCausalModel", "SCMNode",
+    # rules
+    "PrescriptionRule", "RuleSet", "RulesetEvaluator", "RulesetMetrics",
+    "ProtectedGroup", "RuleTemplates", "describe_rule",
+    # fairness
+    "FairnessConstraint", "CoverageConstraint", "statistical_parity",
+    "bounded_group_loss", "group_coverage", "rule_coverage", "select_variant",
+    # core
+    "FairCap", "FairCapConfig", "FairCapResult", "ProblemVariant",
+    "canonical_variants", "all_variants", "unconstrained", "run_faircap",
+    "brute_force_select",
+    # baselines
+    "run_causumx", "run_ids", "run_frl",
+    # datasets
+    "load_stackoverflow", "load_german", "load_dataset",
+    "__version__",
+]

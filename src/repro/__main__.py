@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the experiment harness::
+
+    python -m repro table3
+    python -m repro table4 --dataset german --n 1500
+    python -m repro table5 --n 3000
+    python -m repro table6 --dataset stackoverflow
+    python -m repro figure3 | figure4 | figure5 | apriori-sweep
+    python -m repro run --dataset stackoverflow --variant "Group fairness"
+
+Dataset sizes default to the laptop-scale experiment settings; ``--n``
+overrides both datasets, ``--seed`` the generator seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ExperimentSettings,
+    format_apriori_sweep,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    run_apriori_sweep,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from repro.experiments.casestudy import render_case_study
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    base = ExperimentSettings.from_environment()
+    so_n = args.n if args.n is not None else base.so_n
+    german_n = args.n if args.n is not None else base.german_n
+    seed = args.seed if args.seed is not None else base.seed
+    return ExperimentSettings(so_n=so_n, german_n=german_n, seed=seed)
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    return format_table3(run_table3(rng=args.seed if args.seed else 7))
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    return format_table4(run_table4(args.dataset, settings=_settings(args)))
+
+
+def _cmd_table5(args: argparse.Namespace) -> str:
+    return format_table5(run_table5(args.dataset, settings=_settings(args)))
+
+
+def _cmd_table6(args: argparse.Namespace) -> str:
+    return format_table6(run_table6(args.dataset, settings=_settings(args)))
+
+
+def _cmd_figure3(args: argparse.Namespace) -> str:
+    return format_figure3(run_figure3(args.dataset, settings=_settings(args)))
+
+
+def _cmd_figure4(args: argparse.Namespace) -> str:
+    return format_figure4(run_figure4(args.dataset, settings=_settings(args)))
+
+
+def _cmd_figure5(args: argparse.Namespace) -> str:
+    return format_figure5(run_figure5(args.dataset, settings=_settings(args)))
+
+
+def _cmd_apriori_sweep(args: argparse.Namespace) -> str:
+    return format_apriori_sweep(
+        run_apriori_sweep(args.dataset, settings=_settings(args))
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    from repro.core.faircap import FairCap
+
+    settings = _settings(args)
+    bundle = settings.load(args.dataset)
+    variants = settings.variants_for(bundle)
+    if args.variant not in variants:
+        raise SystemExit(
+            f"unknown variant {args.variant!r}; choose from: "
+            + ", ".join(sorted(variants))
+        )
+    config = settings.config_for(bundle, variants[args.variant])
+    result = FairCap(config).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+    lines = [
+        f"dataset={args.dataset} variant={args.variant!r} "
+        f"rows={bundle.table.n_rows}",
+        f"rules={result.metrics.n_rules} "
+        f"coverage={result.metrics.coverage:.1%} "
+        f"protected coverage={result.metrics.protected_coverage:.1%}",
+        f"expected utility={result.metrics.expected_utility:,.2f} "
+        f"(protected {result.metrics.expected_utility_protected:,.2f}, "
+        f"non-protected {result.metrics.expected_utility_non_protected:,.2f}, "
+        f"unfairness {result.metrics.unfairness:,.2f})",
+        "",
+        render_case_study(
+            f"{args.dataset} ({args.variant})", result.ruleset,
+            bundle.templates, rng=settings.seed,
+        ),
+    ]
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "table6": _cmd_table6,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "apriori-sweep": _cmd_apriori_sweep,
+    "run": _cmd_run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FairCap reproduction: regenerate paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--dataset", default="stackoverflow",
+                         choices=["stackoverflow", "german"])
+        cmd.add_argument("--n", type=int, default=None,
+                         help="row-count override for both datasets")
+        cmd.add_argument("--seed", type=int, default=None)
+        if name == "run":
+            cmd.add_argument("--variant", default="Group fairness",
+                             help='e.g. "No constraints", "Group fairness"')
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

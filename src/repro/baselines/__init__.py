@@ -1,0 +1,31 @@
+"""Baselines: CauSumX, IDS and FRL (S15-S18; Sec. 7.1 of the paper)."""
+
+from repro.baselines.association import (
+    AssociationRule,
+    binarize_outcome,
+    mine_association_rules,
+)
+from repro.baselines.causumx import run_causumx
+from repro.baselines.ids import IDSConfig, IDSResult, run_ids
+from repro.baselines.frl import FRLConfig, FRLResult, run_frl
+from repro.baselines.adapt import (
+    AdaptedBaselineResult,
+    adapt_if_as_grouping,
+    adapt_if_as_intervention,
+)
+
+__all__ = [
+    "AssociationRule",
+    "binarize_outcome",
+    "mine_association_rules",
+    "run_causumx",
+    "IDSConfig",
+    "IDSResult",
+    "run_ids",
+    "FRLConfig",
+    "FRLResult",
+    "run_frl",
+    "AdaptedBaselineResult",
+    "adapt_if_as_grouping",
+    "adapt_if_as_intervention",
+]

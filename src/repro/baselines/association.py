@@ -1,0 +1,111 @@
+"""Association-rule substrate shared by the IDS and FRL baselines.
+
+IDS and FRL are *prediction* frameworks over a binary outcome.  Following
+Sec. 7.1 of the paper, a continuous outcome (SO salary) is binned at its
+mean; rules are ``IF pattern THEN class`` pairs mined from frequent patterns
+with their support and confidence.  These rules are deliberately
+association-based — no causal adjustment — which is exactly the failure mode
+the paper's comparison demonstrates (e.g. the "US + straight → high salary"
+rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mining.apriori import apriori
+from repro.mining.patterns import Pattern
+from repro.tabular.table import Table
+from repro.utils.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An ``IF pattern THEN outcome_class`` prediction rule.
+
+    Attributes
+    ----------
+    pattern:
+        The IF clause (a conjunction of predicates).
+    outcome_class:
+        Predicted class (1 = high/positive outcome).
+    support:
+        Fraction of rows covered by the pattern.
+    confidence:
+        Empirical ``P(class | pattern)``.
+    """
+
+    pattern: Pattern
+    outcome_class: int
+    support: float
+    confidence: float
+
+    @property
+    def length(self) -> int:
+        """Number of predicates in the IF clause."""
+        return len(self.pattern)
+
+
+def binarize_outcome(table: Table, outcome: str) -> np.ndarray:
+    """Binary labels: 1 where the outcome is >= its mean (Sec. 7.1).
+
+    Outcomes that are already 0/1 are passed through unchanged.
+    """
+    values = table.values(outcome)
+    if values.dtype.kind not in "if":
+        raise EstimationError(f"outcome {outcome!r} must be numeric")
+    unique = np.unique(values)
+    if unique.size <= 2 and set(unique.tolist()) <= {0.0, 1.0}:
+        return values.astype(np.int8)
+    return (values >= values.mean()).astype(np.int8)
+
+
+def mine_association_rules(
+    table: Table,
+    outcome: str,
+    attributes: Sequence[str],
+    min_support: float = 0.05,
+    min_confidence: float = 0.5,
+    max_length: int = 2,
+    max_values_per_attribute: int | None = 8,
+) -> list[AssociationRule]:
+    """Mine candidate IF/THEN rules for IDS and FRL.
+
+    Every frequent pattern produces one rule predicting its majority class,
+    kept when its confidence clears ``min_confidence``.
+
+    Returns rules sorted by (confidence desc, support desc) for deterministic
+    downstream behaviour.
+    """
+    labels = binarize_outcome(table, outcome)
+    frequent = apriori(
+        table,
+        attributes=attributes,
+        min_support=min_support,
+        max_length=max_length,
+        max_values_per_attribute=max_values_per_attribute,
+    )
+    rules: list[AssociationRule] = []
+    for fp in frequent:
+        mask = fp.pattern.mask(table)
+        covered = int(mask.sum())
+        if covered == 0:
+            continue
+        positive_rate = float(labels[mask].mean())
+        outcome_class = 1 if positive_rate >= 0.5 else 0
+        confidence = positive_rate if outcome_class == 1 else 1.0 - positive_rate
+        if confidence < min_confidence:
+            continue
+        rules.append(
+            AssociationRule(
+                pattern=fp.pattern,
+                outcome_class=outcome_class,
+                support=covered / table.n_rows,
+                confidence=confidence,
+            )
+        )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, str(r.pattern)))
+    return rules

@@ -1,0 +1,64 @@
+"""CauSumX adaptation (Youngmann et al., SIGMOD 2024) — the paper's first
+baseline.
+
+CauSumX generates summarized causal explanations for aggregate views.
+Applied to the whole table, Sec. 7.1 notes it "can be viewed as a solution
+to our problem with only an overall coverage constraint": Step 2 searches
+for the treatment with the highest CATE per grouping pattern (no fairness
+penalty), and selection enforces coverage of the overall population only.
+
+This module therefore runs FairCap with the corresponding variant — no
+fairness constraint, group coverage over the whole population with no
+protected floor — which is exactly the algorithmic content of the
+adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.causal.dag import CausalDAG
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap, FairCapResult
+from repro.core.variants import ProblemVariant
+from repro.fairness.coverage import CoverageConstraint, CoverageKind
+from repro.rules.protected import ProtectedGroup
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+
+
+def causumx_variant(theta: float = 0.5) -> ProblemVariant:
+    """The problem variant CauSumX effectively solves.
+
+    Overall coverage ``theta`` with **no** protected-coverage floor and
+    **no** fairness constraint.
+    """
+    return ProblemVariant(
+        fairness=None,
+        coverage=CoverageConstraint(CoverageKind.GROUP, theta, 0.0),
+    )
+
+
+def run_causumx(
+    table: Table,
+    schema: Schema | None,
+    dag: CausalDAG,
+    protected: ProtectedGroup,
+    config: FairCapConfig | None = None,
+    theta: float = 0.5,
+) -> FairCapResult:
+    """Run the CauSumX adaptation.
+
+    Parameters
+    ----------
+    table, schema, dag, protected:
+        As in :meth:`repro.core.FairCap.run`; the protected group is used
+        only for *reporting* (CauSumX itself ignores it).
+    config:
+        Base configuration; its variant is overridden.
+    theta:
+        Overall coverage threshold.
+    """
+    base = config if config is not None else FairCapConfig()
+    adapted = replace(base, variant=causumx_variant(theta))
+    return FairCap(adapted).run(table, schema, dag, protected)

@@ -1,0 +1,148 @@
+"""Backdoor adjustment-set selection (Sec. 3: unconfoundedness via Z).
+
+The paper estimates ``CATE(T, O | B=b)`` under the unconfoundedness
+assumption ``O ⊥⊥ T | Z`` where ``Z`` is a set of covariates satisfying
+Pearl's backdoor criterion relative to ``(T, O)``:
+
+1. no node of ``Z`` is a descendant of any treatment node, and
+2. ``Z`` blocks every path between ``T`` and ``O`` that starts with an edge
+   *into* ``T`` (equivalently: ``T`` and ``O`` are d-separated by ``Z`` in
+   the graph with all edges out of ``T`` removed).
+
+``parents(T)`` always satisfies the criterion, and is what this module
+returns by default; :func:`minimal_backdoor_set` then greedily prunes it,
+which both shrinks the adjustment design matrix and improves the positivity
+profile of the stratified estimator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.utils.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.causal.dag import CausalDAG
+
+
+def _as_tuple(nodes: Iterable[str]) -> tuple[str, ...]:
+    result = tuple(nodes)
+    if not result:
+        raise EstimationError("treatment set must be non-empty")
+    return result
+
+
+def is_valid_backdoor_set(
+    dag: "CausalDAG",
+    treatments: Iterable[str],
+    outcome: str,
+    adjustment: Iterable[str],
+) -> bool:
+    """Check Pearl's backdoor criterion for ``adjustment`` w.r.t. (T, O)."""
+    treatments = _as_tuple(treatments)
+    adjustment = tuple(adjustment)
+    treat_set = set(treatments)
+    if outcome in treat_set:
+        raise EstimationError("outcome cannot be a treatment attribute")
+    if set(adjustment) & treat_set or outcome in adjustment:
+        return False
+
+    # Condition 1: no adjustment node descends from a treatment.
+    for t in treatments:
+        if set(adjustment) & dag.descendants(t):
+            return False
+
+    # Condition 2: Z d-separates T and O in the backdoor graph.
+    backdoor_graph = dag.without_outgoing_edges(treatments)
+    return backdoor_graph.d_separated(treatments, [outcome], adjustment)
+
+
+def parents_adjustment_set(
+    dag: "CausalDAG",
+    treatments: Iterable[str],
+    outcome: str,
+) -> tuple[str, ...]:
+    """The parents-of-treatments set (minus treatments and the outcome).
+
+    For a *single* treatment this is always a valid backdoor set.  For
+    compound treatments whose constituents causally influence each other's
+    parents (e.g. ``Education -> Role -> HoursComputer`` when intervening on
+    ``{Education, HoursComputer}``), no strict backdoor set may exist; this
+    union-of-parents set is then the practical adjustment CauSumX/DoWhy use
+    when the conjunction is modelled as one binary treatment.  FairCap falls
+    back to it in exactly that case (see
+    :meth:`repro.rules.utility.RuleEvaluator.adjustment_for`).
+    """
+    treatments = _as_tuple(treatments)
+    treat_set = set(treatments)
+    parents: set[str] = set()
+    for t in treatments:
+        if t not in dag:
+            raise EstimationError(f"treatment {t!r} not in causal DAG")
+        parents |= set(dag.parents(t))
+    return tuple(sorted(parents - treat_set - {outcome}))
+
+
+def backdoor_adjustment_set(
+    dag: "CausalDAG",
+    treatments: Iterable[str],
+    outcome: str,
+) -> tuple[str, ...]:
+    """Return a valid backdoor adjustment set for ``treatments`` -> ``outcome``.
+
+    Uses the parents-of-treatments set (minus treatments and the outcome),
+    which is always sufficient, then prunes it to a minimal subset.
+
+    Raises
+    ------
+    EstimationError
+        If a treatment or the outcome is missing from the DAG.
+    """
+    treatments = _as_tuple(treatments)
+    if outcome not in dag:
+        raise EstimationError(f"outcome {outcome!r} not in causal DAG")
+    for t in treatments:
+        if t not in dag:
+            raise EstimationError(f"treatment {t!r} not in causal DAG")
+
+    candidate = parents_adjustment_set(dag, treatments, outcome)
+    if not is_valid_backdoor_set(dag, treatments, outcome, candidate):
+        # Happens only for compound treatments whose constituents influence
+        # each other's parents; callers that accept the practical
+        # approximation should catch this and use parents_adjustment_set.
+        raise EstimationError(
+            f"no valid backdoor set found for T={treatments}, O={outcome!r}"
+        )
+    return minimal_backdoor_set(dag, treatments, outcome, candidate)
+
+
+def minimal_backdoor_set(
+    dag: "CausalDAG",
+    treatments: Iterable[str],
+    outcome: str,
+    adjustment: Iterable[str],
+) -> tuple[str, ...]:
+    """Greedily shrink a valid ``adjustment`` set while it stays valid.
+
+    Variables are dropped one at a time (deterministic order) whenever the
+    remainder still satisfies the backdoor criterion.  The result is minimal
+    in the sense that no single further removal is possible; it is not
+    guaranteed to be of minimum cardinality (that problem is harder and
+    unnecessary here).
+    """
+    treatments = _as_tuple(treatments)
+    current = list(adjustment)
+    if not is_valid_backdoor_set(dag, treatments, outcome, current):
+        raise EstimationError(
+            f"adjustment set {sorted(current)} is not a valid backdoor set"
+        )
+    changed = True
+    while changed:
+        changed = False
+        for node in sorted(current):
+            reduced = [z for z in current if z != node]
+            if is_valid_backdoor_set(dag, treatments, outcome, reduced):
+                current = reduced
+                changed = True
+                break
+    return tuple(sorted(current))

@@ -1,0 +1,174 @@
+"""Causal DAGs over attribute names (Sec. 3 of the paper).
+
+:class:`CausalDAG` is a thin, validated wrapper around
+:class:`networkx.DiGraph` whose nodes are attribute names.  It exposes the
+graph-theoretic queries the rest of the library needs — parents, ancestors,
+descendants, topological order, d-separation — and keeps the invariant that
+the graph is acyclic at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.utils.errors import SchemaError
+
+
+class CausalDAG:
+    """A directed acyclic graph over attribute names.
+
+    Parameters
+    ----------
+    edges:
+        ``(cause, effect)`` pairs.
+    nodes:
+        Optional additional isolated nodes (attributes that participate in no
+        edge, e.g. an attribute known to be causally irrelevant).
+
+    Raises
+    ------
+    SchemaError
+        If the edge set contains a directed cycle or a self-loop.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[str, str]] = (),
+        nodes: Iterable[str] = (),
+    ) -> None:
+        graph = nx.DiGraph()
+        graph.add_nodes_from(nodes)
+        for cause, effect in edges:
+            if cause == effect:
+                raise SchemaError(f"self-loop on {cause!r} is not allowed")
+            graph.add_edge(cause, effect)
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise SchemaError(f"causal graph contains a cycle: {cycle}")
+        self._graph = graph
+
+    # -- construction helpers -----------------------------------------------
+
+    @classmethod
+    def from_networkx(cls, graph: nx.DiGraph) -> "CausalDAG":
+        """Wrap an existing networkx DiGraph (validating acyclicity)."""
+        return cls(edges=graph.edges(), nodes=graph.nodes())
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying DiGraph."""
+        return self._graph.copy()
+
+    # -- basic queries ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """All node names (insertion order)."""
+        return tuple(self._graph.nodes())
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        """All directed edges."""
+        return tuple(self._graph.edges())
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def _require(self, node: str) -> None:
+        if node not in self._graph:
+            raise SchemaError(f"node {node!r} not in causal DAG")
+
+    def parents(self, node: str) -> tuple[str, ...]:
+        """Direct causes of ``node`` (``Pa(node)`` in the paper)."""
+        self._require(node)
+        return tuple(sorted(self._graph.predecessors(node)))
+
+    def children(self, node: str) -> tuple[str, ...]:
+        """Direct effects of ``node``."""
+        self._require(node)
+        return tuple(sorted(self._graph.successors(node)))
+
+    def ancestors(self, node: str) -> frozenset[str]:
+        """All strict ancestors of ``node``."""
+        self._require(node)
+        return frozenset(nx.ancestors(self._graph, node))
+
+    def descendants(self, node: str) -> frozenset[str]:
+        """All strict descendants of ``node``."""
+        self._require(node)
+        return frozenset(nx.descendants(self._graph, node))
+
+    def topological_order(self) -> tuple[str, ...]:
+        """A topological ordering of the nodes (deterministic for ties)."""
+        return tuple(nx.lexicographical_topological_sort(self._graph))
+
+    def has_directed_path(self, source: str, target: str) -> bool:
+        """Whether a directed path ``source -> ... -> target`` exists."""
+        self._require(source)
+        self._require(target)
+        return nx.has_path(self._graph, source, target)
+
+    # -- causal-specific queries --------------------------------------------------
+
+    def d_separated(
+        self,
+        xs: Iterable[str],
+        ys: Iterable[str],
+        zs: Iterable[str] = (),
+    ) -> bool:
+        """Whether node sets ``xs`` and ``ys`` are d-separated given ``zs``.
+
+        Delegates to :func:`repro.causal.dseparation.d_separated`.
+        """
+        from repro.causal.dseparation import d_separated
+
+        return d_separated(self, xs, ys, zs)
+
+    def causally_relevant(self, outcome: str) -> frozenset[str]:
+        """Nodes with a directed path into ``outcome``.
+
+        This implements the paper's Step-2 optimisation (i): "discard
+        attributes that do not have a causal relationship with the outcome,
+        since such attributes have no impact on CATE values".
+        """
+        self._require(outcome)
+        return frozenset(nx.ancestors(self._graph, outcome))
+
+    def without_outgoing_edges(self, nodes: Iterable[str]) -> "CausalDAG":
+        """Return a copy with all edges *out of* ``nodes`` removed.
+
+        This is the "backdoor graph" used when checking the backdoor
+        criterion via d-separation.
+        """
+        cut = set(nodes)
+        kept = [(u, v) for u, v in self._graph.edges() if u not in cut]
+        return CausalDAG(edges=kept, nodes=self._graph.nodes())
+
+    def restricted_to(self, nodes: Iterable[str]) -> "CausalDAG":
+        """Induced subgraph over ``nodes``."""
+        keep = set(nodes)
+        missing = keep - set(self._graph.nodes())
+        if missing:
+            raise SchemaError(f"nodes not in DAG: {sorted(missing)}")
+        sub = self._graph.subgraph(keep)
+        return CausalDAG(edges=sub.edges(), nodes=sub.nodes())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.nodes())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CausalDAG):
+            return NotImplemented
+        return set(self.nodes) == set(other.nodes) and set(self.edges) == set(
+            other.edges
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CausalDAG({self._graph.number_of_nodes()} nodes, "
+            f"{self._graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,80 @@
+"""Synthetic causal-DAG builders for the Table 6 robustness study.
+
+The paper compares FairCap's output under five DAGs; three are synthetic
+simplifications constructed directly from the schema:
+
+- ``1-layer Indep DAG`` — every attribute is a direct cause of the outcome
+  and nothing else ("the causal graph is ignored": no confounding, so no
+  adjustment happens);
+- ``2-layer Mutable DAG`` — immutable attributes cause the mutable
+  attributes, and only mutable attributes cause the outcome (immutables act
+  purely as confounders);
+- ``2-layer DAG`` — like the mutable DAG, but immutable attributes also
+  cause the outcome directly.
+
+The remaining two rows (original DAG, PC DAG) come from the dataset module
+and :func:`repro.causal.discovery.pc_dag` respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.causal.dag import CausalDAG
+from repro.tabular.schema import Schema
+from repro.utils.errors import SchemaError
+
+
+def _split(schema: Schema) -> tuple[tuple[str, ...], tuple[str, ...], str]:
+    schema.validate_for_prescription()
+    return schema.immutable_names, schema.mutable_names, schema.outcome_name
+
+
+def one_layer_independent_dag(schema: Schema) -> CausalDAG:
+    """All attributes point directly (and only) at the outcome."""
+    immutables, mutables, outcome = _split(schema)
+    edges = [(attr, outcome) for attr in (*immutables, *mutables)]
+    return CausalDAG(edges=edges, nodes=schema.names)
+
+
+def two_layer_mutable_dag(schema: Schema) -> CausalDAG:
+    """Immutables -> mutables -> outcome; immutables do not hit the outcome."""
+    immutables, mutables, outcome = _split(schema)
+    edges: list[tuple[str, str]] = []
+    for imm in immutables:
+        edges.extend((imm, mut) for mut in mutables)
+    edges.extend((mut, outcome) for mut in mutables)
+    return CausalDAG(edges=edges, nodes=schema.names)
+
+
+def two_layer_dag(schema: Schema) -> CausalDAG:
+    """Immutables -> mutables and immutables + mutables -> outcome."""
+    immutables, mutables, outcome = _split(schema)
+    edges: list[tuple[str, str]] = []
+    for imm in immutables:
+        edges.extend((imm, mut) for mut in mutables)
+        edges.append((imm, outcome))
+    edges.extend((mut, outcome) for mut in mutables)
+    return CausalDAG(edges=edges, nodes=schema.names)
+
+
+def validate_dag_covers_schema(dag: CausalDAG, schema: Schema) -> None:
+    """Check every schema attribute appears in the DAG (outcome included)."""
+    missing = [name for name in schema.names if name not in dag]
+    if missing:
+        raise SchemaError(f"causal DAG is missing schema attributes: {missing}")
+
+
+def named_dag_variants(
+    schema: Schema, original: CausalDAG, pc: CausalDAG | None = None
+) -> dict[str, CausalDAG]:
+    """The Table 6 DAG suite keyed by the paper's row labels."""
+    variants = {
+        "Original causal DAG": original,
+        "1-Layer Indep DAG": one_layer_independent_dag(schema),
+        "2-Layer Mutable DAG": two_layer_mutable_dag(schema),
+        "2-Layer DAG": two_layer_dag(schema),
+    }
+    if pc is not None:
+        variants["PC DAG"] = pc
+    return variants

@@ -1,0 +1,214 @@
+"""The PC causal-discovery algorithm (Spirtes, Glymour & Scheines 2001).
+
+Used for the "PC DAG" row of Table 6 in the paper, which studies robustness
+of FairCap's output to the choice of causal DAG.  The implementation follows
+the classic recipe:
+
+1. **Skeleton**: start from the complete undirected graph and remove edges
+   whose endpoints test conditionally independent given some subset of their
+   neighbourhood (subset size grows level by level up to ``max_cond_size``);
+   the separating set is recorded.
+2. **V-structures**: for every unshielded triple ``x - z - y`` with
+   ``z`` outside ``sepset(x, y)``, orient ``x -> z <- y``.
+3. **Meek rules** 1-3 propagate orientations.
+4. **DAG extension**: any edge still undirected is oriented by a
+   deterministic heuristic — toward the outcome if one endpoint is the
+   outcome, otherwise from the alphabetically smaller node — skipping any
+   orientation that would create a cycle.  (A CPDAG represents an
+   equivalence class; FairCap needs one member, and the evaluation of
+   Table 6 shows results are robust to this choice.)
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from repro.causal.dag import CausalDAG
+from repro.causal.independence import CITester
+from repro.tabular.table import Table
+
+
+def pc_skeleton(
+    table: Table,
+    alpha: float = 0.05,
+    max_cond_size: int = 2,
+    tester: CITester | None = None,
+) -> tuple[nx.Graph, dict[frozenset[str], tuple[str, ...]]]:
+    """Estimate the undirected skeleton and separating sets.
+
+    Returns
+    -------
+    (skeleton, sepsets):
+        ``skeleton`` is an undirected :class:`networkx.Graph`; ``sepsets``
+        maps each removed pair (as a frozenset) to the conditioning set that
+        separated it.
+    """
+    tester = tester if tester is not None else CITester(table)
+    nodes = list(table.column_names)
+    graph = nx.complete_graph(nodes)
+    sepsets: dict[frozenset[str], tuple[str, ...]] = {}
+
+    for level in range(max_cond_size + 1):
+        removed_any = False
+        # Snapshot edges: removal during iteration must not affect the loop.
+        for x, y in sorted(graph.edges()):
+            neighbours = set(graph.neighbors(x)) - {y}
+            if len(neighbours) < level:
+                continue
+            separated = False
+            for subset in combinations(sorted(neighbours), level):
+                if tester.p_value(x, y, subset) > alpha:
+                    sepsets[frozenset((x, y))] = subset
+                    separated = True
+                    break
+            if separated:
+                graph.remove_edge(x, y)
+                removed_any = True
+        if not removed_any and level > 0:
+            break
+    return graph, sepsets
+
+
+def _orient_v_structures(
+    skeleton: nx.Graph, sepsets: dict[frozenset[str], tuple[str, ...]]
+) -> nx.DiGraph:
+    """Return a mixed graph holding the v-structure orientations.
+
+    The result is encoded as a DiGraph in which an undirected edge appears as
+    a pair of anti-parallel arcs and an oriented edge as a single arc.
+    """
+    mixed = nx.DiGraph()
+    mixed.add_nodes_from(skeleton.nodes())
+    for x, y in skeleton.edges():
+        mixed.add_edge(x, y)
+        mixed.add_edge(y, x)
+    for z in sorted(skeleton.nodes()):
+        for x, y in combinations(sorted(skeleton.neighbors(z)), 2):
+            if skeleton.has_edge(x, y):
+                continue  # shielded triple
+            sepset = sepsets.get(frozenset((x, y)), ())
+            if z not in sepset:
+                # x -> z <- y : drop the arcs pointing away from z.
+                if mixed.has_edge(z, x) and mixed.has_edge(x, z):
+                    mixed.remove_edge(z, x)
+                if mixed.has_edge(z, y) and mixed.has_edge(y, z):
+                    mixed.remove_edge(z, y)
+    return mixed
+
+
+def _is_undirected(mixed: nx.DiGraph, a: str, b: str) -> bool:
+    return mixed.has_edge(a, b) and mixed.has_edge(b, a)
+
+
+def _is_directed(mixed: nx.DiGraph, a: str, b: str) -> bool:
+    return mixed.has_edge(a, b) and not mixed.has_edge(b, a)
+
+
+def _apply_meek_rules(mixed: nx.DiGraph) -> None:
+    """Apply Meek orientation rules 1-3 until fixpoint (in place)."""
+    changed = True
+    while changed:
+        changed = False
+        undirected = [
+            (a, b)
+            for a, b in mixed.edges()
+            if a < b and _is_undirected(mixed, a, b)
+        ]
+        for a, b in undirected:
+            for first, second in ((a, b), (b, a)):
+                # Rule 1: c -> first, c and second non-adjacent => first -> second.
+                rule1 = any(
+                    _is_directed(mixed, c, first)
+                    and not mixed.has_edge(c, second)
+                    and not mixed.has_edge(second, c)
+                    for c in mixed.predecessors(first)
+                )
+                # Rule 2: first -> c -> second => first -> second.
+                rule2 = any(
+                    _is_directed(mixed, first, c) and _is_directed(mixed, c, second)
+                    for c in mixed.successors(first)
+                )
+                # Rule 3: first - c -> second and first - d -> second with
+                # c, d non-adjacent => first -> second.
+                parents_of_second = [
+                    c
+                    for c in mixed.predecessors(second)
+                    if _is_directed(mixed, c, second) and _is_undirected(mixed, first, c)
+                ]
+                rule3 = any(
+                    not mixed.has_edge(c, d) and not mixed.has_edge(d, c)
+                    for c, d in combinations(sorted(parents_of_second), 2)
+                )
+                if rule1 or rule2 or rule3:
+                    if mixed.has_edge(second, first):
+                        mixed.remove_edge(second, first)
+                        changed = True
+                    break
+
+
+def _extend_to_dag(mixed: nx.DiGraph, outcome: str | None) -> nx.DiGraph:
+    """Orient remaining undirected edges into a DAG (deterministic heuristic).
+
+    With imperfect CI tests the v-structure phase can produce *conflicting*
+    orientations that form directed cycles; the standard conservative remedy
+    is applied here: pre-oriented edges are admitted one at a time (sorted,
+    so deterministically) and any edge that would close a cycle is dropped.
+    """
+    result = nx.DiGraph()
+    result.add_nodes_from(mixed.nodes())
+    for a, b in sorted(
+        (a, b) for a, b in mixed.edges() if _is_directed(mixed, a, b)
+    ):
+        result.add_edge(a, b)
+        if not nx.is_directed_acyclic_graph(result):
+            result.remove_edge(a, b)
+    pending = sorted(
+        {tuple(sorted((a, b))) for a, b in mixed.edges() if _is_undirected(mixed, a, b)}
+    )
+    for a, b in pending:
+        if outcome is not None and b == outcome:
+            first_choice, second_choice = (a, b), (b, a)
+        elif outcome is not None and a == outcome:
+            first_choice, second_choice = (b, a), (a, b)
+        else:
+            first_choice, second_choice = (a, b), (b, a)
+        for u, v in (first_choice, second_choice):
+            result.add_edge(u, v)
+            if nx.is_directed_acyclic_graph(result):
+                break
+            result.remove_edge(u, v)
+        else:  # pragma: no cover - both directions cycle; drop the edge
+            continue
+    return result
+
+
+def pc_dag(
+    table: Table,
+    outcome: str | None = None,
+    alpha: float = 0.05,
+    max_cond_size: int = 2,
+    tester: CITester | None = None,
+) -> CausalDAG:
+    """Run the full PC pipeline on ``table`` and return a CausalDAG.
+
+    Parameters
+    ----------
+    table:
+        The data to discover over (all columns participate).
+    outcome:
+        Optional outcome attribute; used only to bias the orientation of
+        edges that the CPDAG leaves undirected (pointing into the outcome).
+    alpha:
+        Significance level of the CI tests.
+    max_cond_size:
+        Largest conditioning-set size to try in the skeleton phase.
+    """
+    skeleton, sepsets = pc_skeleton(
+        table, alpha=alpha, max_cond_size=max_cond_size, tester=tester
+    )
+    mixed = _orient_v_structures(skeleton, sepsets)
+    _apply_meek_rules(mixed)
+    dag = _extend_to_dag(mixed, outcome)
+    return CausalDAG(edges=dag.edges(), nodes=dag.nodes())

@@ -1,0 +1,89 @@
+"""d-separation via the moralized ancestral graph (Lauritzen et al. 1990).
+
+Given disjoint node sets ``X``, ``Y``, ``Z``:
+
+1. restrict the DAG to the ancestral closure of ``X ∪ Y ∪ Z``;
+2. *moralize*: connect every pair of parents that share a child, then drop
+   edge directions;
+3. delete ``Z``; ``X`` and ``Y`` are d-separated given ``Z`` iff no undirected
+   path connects a node of ``X`` to a node of ``Y``.
+
+This classical reduction is easy to verify and has no dependency on the
+networkx version in use.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import TYPE_CHECKING, Iterable
+
+import networkx as nx
+
+from repro.utils.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.causal.dag import CausalDAG
+
+
+def d_separated(
+    dag: "CausalDAG",
+    xs: Iterable[str],
+    ys: Iterable[str],
+    zs: Iterable[str] = (),
+) -> bool:
+    """Whether ``xs`` and ``ys`` are d-separated by ``zs`` in ``dag``.
+
+    Parameters
+    ----------
+    dag:
+        The causal DAG.
+    xs, ys:
+        Non-empty, disjoint node sets.
+    zs:
+        Conditioning set (may overlap neither ``xs`` nor ``ys``).
+
+    Returns
+    -------
+    bool
+        ``True`` iff every path between ``xs`` and ``ys`` is blocked by
+        ``zs``.
+    """
+    x_set, y_set, z_set = set(xs), set(ys), set(zs)
+    if not x_set or not y_set:
+        raise SchemaError("d-separation requires non-empty X and Y sets")
+    if x_set & y_set:
+        raise SchemaError(f"X and Y overlap: {sorted(x_set & y_set)}")
+    if (x_set | y_set) & z_set:
+        raise SchemaError("conditioning set Z must be disjoint from X and Y")
+    graph = dag.to_networkx()
+    for node in x_set | y_set | z_set:
+        if node not in graph:
+            raise SchemaError(f"node {node!r} not in causal DAG")
+
+    # Step 1: ancestral closure of X ∪ Y ∪ Z.
+    relevant = set(x_set | y_set | z_set)
+    for node in list(relevant):
+        relevant |= nx.ancestors(graph, node)
+    sub = graph.subgraph(relevant)
+
+    # Step 2: moralize.
+    moral = nx.Graph()
+    moral.add_nodes_from(sub.nodes())
+    moral.add_edges_from(sub.edges())
+    for child in sub.nodes():
+        for p1, p2 in combinations(sorted(sub.predecessors(child)), 2):
+            moral.add_edge(p1, p2)
+
+    # Step 3: remove Z and look for connectivity.
+    moral.remove_nodes_from(z_set)
+    seen = set()
+    frontier = [n for n in x_set if n in moral]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node in y_set:
+            return False
+        frontier.extend(nbr for nbr in moral.neighbors(node) if nbr not in seen)
+    return True

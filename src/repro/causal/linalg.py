@@ -1,0 +1,109 @@
+"""Ordinary least squares with coefficient standard errors.
+
+A tiny OLS used by the linear-adjustment CATE estimator.  Implemented on
+numpy's ``lstsq``/``pinv`` so rank-deficient design matrices (e.g. a one-hot
+block whose category never appears among the treated) degrade gracefully
+instead of crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class OLSResult:
+    """Fit results of ``y ~ X``.
+
+    Attributes
+    ----------
+    coefficients:
+        Estimated coefficient vector (length = columns of X).
+    stderr:
+        Standard error per coefficient (NaN where the design is deficient).
+    residual_variance:
+        Unbiased residual variance estimate ``s²`` (NaN when dof <= 0).
+    dof:
+        Residual degrees of freedom ``n - rank(X)``.
+    rank:
+        Numerical rank of the design matrix.
+    """
+
+    coefficients: np.ndarray
+    stderr: np.ndarray
+    residual_variance: float
+    dof: int
+    rank: int
+
+
+def ols(design: np.ndarray, response: np.ndarray) -> OLSResult:
+    """Fit ``response ~ design`` by least squares.
+
+    Parameters
+    ----------
+    design:
+        ``(n, p)`` design matrix (caller adds the intercept column).
+    response:
+        ``(n,)`` response vector.
+
+    Raises
+    ------
+    EstimationError
+        On shape mismatch or an empty design.
+    """
+    design = np.asarray(design, dtype=np.float64)
+    response = np.asarray(response, dtype=np.float64)
+    if design.ndim != 2:
+        raise EstimationError(f"design must be 2-D, got shape {design.shape}")
+    n, p = design.shape
+    if response.shape != (n,):
+        raise EstimationError(
+            f"response shape {response.shape} incompatible with design ({n}, {p})"
+        )
+    if n == 0 or p == 0:
+        raise EstimationError("cannot fit OLS on an empty design")
+
+    coefficients, _, rank, _ = np.linalg.lstsq(design, response, rcond=None)
+    residuals = response - design @ coefficients
+    dof = n - rank
+    if dof > 0:
+        residual_variance = float(residuals @ residuals) / dof
+    else:
+        residual_variance = float("nan")
+
+    # Covariance of beta-hat: s^2 (X'X)^+ ; pinv handles rank deficiency.
+    xtx_pinv = np.linalg.pinv(design.T @ design)
+    if np.isnan(residual_variance):
+        stderr = np.full(p, np.nan)
+    else:
+        variances = residual_variance * np.diag(xtx_pinv)
+        stderr = np.sqrt(np.clip(variances, 0.0, None))
+    return OLSResult(
+        coefficients=coefficients,
+        stderr=stderr,
+        residual_variance=residual_variance,
+        dof=int(dof),
+        rank=int(rank),
+    )
+
+
+def one_hot(codes: np.ndarray, n_categories: int, drop_first: bool = True) -> np.ndarray:
+    """One-hot encode integer ``codes`` into an ``(n, k)`` float matrix.
+
+    With ``drop_first`` the first category becomes the reference level, which
+    keeps the encoded block full-rank next to an intercept column.
+    """
+    codes = np.asarray(codes)
+    n = codes.shape[0]
+    if n_categories <= 0:
+        raise EstimationError("n_categories must be positive")
+    matrix = np.zeros((n, n_categories), dtype=np.float64)
+    if n:
+        matrix[np.arange(n), codes] = 1.0
+    if drop_first:
+        return matrix[:, 1:]
+    return matrix

@@ -1,0 +1,114 @@
+"""Brute-force reference solver for Prescription Ruleset Selection.
+
+Enumerates every subset of the candidate rules (optionally capped in size),
+keeps the subsets satisfying the variant's constraints, and maximises the
+Def. 4.6 objective
+
+``lambda_1 * (l - size(R)) + lambda_2 * ExpUtility(R)``.
+
+Exponential in the candidate count — usable only for small pools — but exact,
+which makes it the ground truth for the greedy-quality tests and the
+Sec. 7.3 "Brute Force" comparison on toy instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.config import FairCapConfig
+from repro.rules.ruleset import RuleSet, RulesetEvaluator, RulesetMetrics
+from repro.utils.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """The exact optimum over the candidate pool."""
+
+    indices: tuple[int, ...]
+    ruleset: RuleSet
+    metrics: RulesetMetrics
+    objective: float
+    subsets_examined: int
+
+
+def _satisfies(
+    evaluator: RulesetEvaluator,
+    indices: Sequence[int],
+    metrics: RulesetMetrics,
+    config: FairCapConfig,
+) -> bool:
+    variant = config.variant
+    rules = [evaluator.rules[i] for i in indices]
+    if variant.fairness is not None:
+        if not variant.fairness.satisfied(metrics, rules):
+            return False
+    if variant.coverage is not None:
+        if not variant.coverage.satisfied(
+            metrics, rules, evaluator.n, evaluator.n_protected
+        ):
+            return False
+    return True
+
+
+def brute_force_select(
+    evaluator: RulesetEvaluator,
+    config: FairCapConfig,
+    max_size: int | None = None,
+    max_candidates: int = 20,
+) -> BruteForceResult:
+    """Exhaustively solve the selection problem over ``evaluator``'s pool.
+
+    Parameters
+    ----------
+    evaluator:
+        Candidate pool with fast subset metrics.
+    config:
+        Supplies the variant (constraints) and the objective weights.
+    max_size:
+        Optional cap on subset size (default: the pool size, capped by
+        ``config.max_rules``).
+    max_candidates:
+        Safety valve — refuse pools larger than this (2^n blow-up).
+
+    Returns
+    -------
+    BruteForceResult
+        The best *feasible* subset; if no non-empty subset is feasible the
+        empty set is returned with objective ``lambda_1 * l``.
+    """
+    n = len(evaluator)
+    if n > max_candidates:
+        raise ConfigError(
+            f"brute force refuses {n} candidates (cap {max_candidates}); "
+            "use the greedy selector instead"
+        )
+    limit = min(n, config.max_rules if max_size is None else max_size)
+
+    best_indices: tuple[int, ...] = ()
+    best_metrics = evaluator.metrics([])
+    best_objective = config.lambda_size * n
+    examined = 1  # the empty set
+
+    for size in range(1, limit + 1):
+        for subset in combinations(range(n), size):
+            examined += 1
+            metrics = evaluator.metrics(list(subset))
+            if not _satisfies(evaluator, subset, metrics, config):
+                continue
+            objective = config.lambda_size * (n - size) + (
+                config.lambda_utility * metrics.expected_utility
+            )
+            if objective > best_objective:
+                best_objective = objective
+                best_indices = subset
+                best_metrics = metrics
+
+    return BruteForceResult(
+        indices=best_indices,
+        ruleset=evaluator.subset(list(best_indices)),
+        metrics=best_metrics,
+        objective=float(best_objective),
+        subsets_examined=examined,
+    )

@@ -1,0 +1,123 @@
+"""Configuration of the FairCap algorithm.
+
+:class:`FairCapConfig` gathers every tunable of Algorithm 1 with the paper's
+defaults (Sec. 6, "Default parameters"): Apriori threshold 0.1, at most ~20
+rules, linear-adjustment CATE estimation with a 0.05 significance filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.causal.estimators import LinearAdjustmentEstimator, StratifiedEstimator
+from repro.core.variants import ProblemVariant
+from repro.utils.errors import ConfigError
+
+ESTIMATORS = {
+    "linear": LinearAdjustmentEstimator,
+    "stratified": StratifiedEstimator,
+}
+
+
+@dataclass(frozen=True)
+class FairCapConfig:
+    """All tunables of the FairCap pipeline.
+
+    Attributes
+    ----------
+    variant:
+        The problem variant (fairness + coverage constraints) to solve.
+    apriori_min_support:
+        The Apriori threshold ``tau`` of Step 1 (paper default 0.1).  Under a
+        rule-coverage constraint the effective threshold is raised to the
+        coverage ``theta`` (Sec. 5.4).
+    max_grouping_size:
+        Maximum number of attributes in a grouping pattern.
+    max_intervention_size:
+        Maximum number of attributes in an intervention pattern (lattice
+        depth of Step 2).
+    max_values_per_attribute:
+        Per-attribute cap on candidate values when building grouping items
+        and treatment items (None = no cap).
+    continuous_bins:
+        Quantile bins used for continuous attributes in patterns.
+    significance_alpha:
+        Keep only treatments whose CATE is significant at this level
+        (None disables the filter).
+    min_subgroup_size:
+        Minimum subgroup size for a CATE to count (smaller -> utility 0).
+    estimator:
+        ``"linear"`` (OLS adjustment; DoWhy's default) or ``"stratified"``.
+    lambda_size, lambda_utility:
+        Objective weights ``lambda_1`` and ``lambda_2`` of Def. 4.6.
+    max_rules:
+        Hard cap on the ruleset size (the paper's tables top out at 20).
+    stop_threshold:
+        Greedy stops when the best normalised marginal score drops below
+        this (after coverage constraints are met).
+    prune_non_causal:
+        Step-2 optimisation (i): drop mutable attributes with no directed
+        path to the outcome in the DAG.
+    grouping_attributes, intervention_attributes:
+        Optional explicit attribute subsets (default: the schema's immutable
+        and mutable attributes respectively); used by the Figure 5
+        attribute-count sweep.
+    """
+
+    variant: ProblemVariant = field(default_factory=ProblemVariant)
+    apriori_min_support: float = 0.1
+    max_grouping_size: int = 3
+    max_intervention_size: int = 2
+    max_values_per_attribute: int | None = 8
+    continuous_bins: int = 4
+    significance_alpha: float | None = 0.05
+    min_subgroup_size: int = 10
+    estimator: str = "linear"
+    lambda_size: float = 1.0
+    lambda_utility: float = 1.0
+    max_rules: int = 20
+    stop_threshold: float = 0.01
+    prune_non_causal: bool = True
+    grouping_attributes: tuple[str, ...] | None = None
+    intervention_attributes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.apriori_min_support <= 1.0:
+            raise ConfigError("apriori_min_support must be in (0, 1]")
+        if self.max_grouping_size < 1:
+            raise ConfigError("max_grouping_size must be >= 1")
+        if self.max_intervention_size < 1:
+            raise ConfigError("max_intervention_size must be >= 1")
+        if self.estimator not in ESTIMATORS:
+            raise ConfigError(
+                f"unknown estimator {self.estimator!r}; "
+                f"choose from {sorted(ESTIMATORS)}"
+            )
+        if self.significance_alpha is not None and not (
+            0.0 < self.significance_alpha < 1.0
+        ):
+            raise ConfigError("significance_alpha must be in (0, 1) or None")
+        if self.lambda_size < 0 or self.lambda_utility < 0:
+            raise ConfigError("objective weights must be non-negative")
+        if self.max_rules < 1:
+            raise ConfigError("max_rules must be >= 1")
+
+    def make_estimator(self):
+        """Instantiate the configured CATE estimator."""
+        return ESTIMATORS[self.estimator]()
+
+    def with_variant(self, variant: ProblemVariant) -> "FairCapConfig":
+        """Copy of this config solving a different problem variant."""
+        return replace(self, variant=variant)
+
+    def effective_apriori_support(self) -> float:
+        """Step-1 support threshold, raised under a rule-coverage constraint.
+
+        Sec. 5.4: "We set the Apriori's threshold to ensure that each mined
+        grouping pattern covers a sufficient number of individuals when a
+        rule coverage constraint is imposed."
+        """
+        if self.variant.has_rule_coverage:
+            assert self.variant.coverage is not None
+            return max(self.apriori_min_support, self.variant.coverage.theta)
+        return self.apriori_min_support

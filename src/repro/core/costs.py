@@ -1,0 +1,163 @@
+"""Cost-aware prescription selection (the paper's Sec. 8 extension).
+
+The published system treats every intervention as free; Sec. 8 calls out
+budget-constrained rule generation as future work ("some interventions may
+be impractical or vary significantly in cost ... future research will
+incorporate intervention costs to generate budget-constrained rules").
+This module implements that extension:
+
+- :class:`InterventionCostModel` prices a treatment pattern as the sum of
+  its predicate costs (per attribute-value, per attribute, or a default);
+- :func:`cost_effectiveness` ranks rules by utility per unit cost;
+- :func:`select_within_budget` greedily selects rules maximising expected
+  utility subject to a total per-individual budget — the classic
+  cost-benefit greedy for budgeted maximum coverage (Khuller et al. 1999),
+  which matches the submodular structure of the Def. 4.6 objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.mining.patterns import Pattern
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet, RulesetEvaluator, RulesetMetrics
+from repro.utils.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class InterventionCostModel:
+    """Prices intervention patterns.
+
+    Resolution order per predicate: exact ``(attribute, value)`` entry, then
+    ``attribute`` entry, then ``default_cost``.
+
+    Attributes
+    ----------
+    value_costs:
+        ``(attribute, value) -> cost`` for specific prescriptions (e.g.
+        pursuing a PhD costs more than learning Python).
+    attribute_costs:
+        ``attribute -> cost`` fallback per attribute.
+    default_cost:
+        Cost of any unpriced predicate (must be >= 0).
+    """
+
+    value_costs: Mapping[tuple[str, object], float] = field(default_factory=dict)
+    attribute_costs: Mapping[str, float] = field(default_factory=dict)
+    default_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.default_cost < 0:
+            raise ConfigError("default_cost must be non-negative")
+        for key, cost in {**dict(self.attribute_costs)}.items():
+            if cost < 0:
+                raise ConfigError(f"negative cost for attribute {key!r}")
+        for key, cost in dict(self.value_costs).items():
+            if cost < 0:
+                raise ConfigError(f"negative cost for {key!r}")
+
+    def predicate_cost(self, attribute: str, value: object) -> float:
+        """Cost of prescribing ``attribute = value``."""
+        if (attribute, value) in self.value_costs:
+            return float(self.value_costs[(attribute, value)])
+        if attribute in self.attribute_costs:
+            return float(self.attribute_costs[attribute])
+        return self.default_cost
+
+    def cost_of(self, intervention: Pattern) -> float:
+        """Total cost of an intervention pattern (sum over predicates)."""
+        return sum(
+            self.predicate_cost(pred.attribute, pred.value)
+            for pred in intervention
+        )
+
+    def rule_cost(self, rule: PrescriptionRule) -> float:
+        """Cost of a rule = cost of its intervention pattern."""
+        return self.cost_of(rule.intervention)
+
+
+def cost_effectiveness(
+    rule: PrescriptionRule, cost_model: InterventionCostModel
+) -> float:
+    """Utility per unit cost (infinite for free beneficial rules)."""
+    cost = cost_model.rule_cost(rule)
+    if cost == 0.0:
+        return float("inf") if rule.utility > 0 else 0.0
+    return rule.utility / cost
+
+
+@dataclass(frozen=True)
+class BudgetedSelection:
+    """Result of the budget-constrained greedy."""
+
+    indices: tuple[int, ...]
+    ruleset: RuleSet
+    metrics: RulesetMetrics
+    total_cost: float
+    budget: float
+
+
+def select_within_budget(
+    evaluator: RulesetEvaluator,
+    cost_model: InterventionCostModel,
+    budget: float,
+    max_rules: int | None = None,
+) -> BudgetedSelection:
+    """Greedy budgeted selection: max expected utility s.t. total cost <= budget.
+
+    At each step the rule with the best marginal expected utility per unit
+    cost that still fits the remaining budget is added (the standard
+    cost-benefit greedy for budgeted submodular maximisation).
+
+    Parameters
+    ----------
+    evaluator:
+        The candidate pool.
+    cost_model:
+        Prices for intervention patterns.
+    budget:
+        Total cost allowance (>= 0).
+    max_rules:
+        Optional cap on the number of selected rules.
+    """
+    if budget < 0:
+        raise ConfigError("budget must be non-negative")
+    limit = len(evaluator) if max_rules is None else max_rules
+
+    selected: list[int] = []
+    remaining = set(range(len(evaluator)))
+    spent = 0.0
+    current = evaluator.metrics([])
+    while remaining and len(selected) < limit:
+        best_index = -1
+        best_ratio = 0.0
+        best_preview: RulesetMetrics | None = None
+        for index in remaining:
+            cost = cost_model.rule_cost(evaluator.rules[index])
+            if spent + cost > budget:
+                continue
+            preview = evaluator.metrics(selected + [index])
+            gain = preview.expected_utility - current.expected_utility
+            ratio = gain / cost if cost > 0 else (
+                float("inf") if gain > 0 else 0.0
+            )
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_index = index
+                best_preview = preview
+        if best_index < 0 or best_preview is None:
+            break
+        selected.append(best_index)
+        remaining.discard(best_index)
+        spent += cost_model.rule_cost(evaluator.rules[best_index])
+        current = best_preview
+
+    return BudgetedSelection(
+        indices=tuple(selected),
+        ruleset=evaluator.subset(selected),
+        metrics=current,
+        total_cost=spent,
+        budget=budget,
+    )

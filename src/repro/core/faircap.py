@@ -1,0 +1,172 @@
+"""The FairCap driver (Algorithm 1): grouping -> interventions -> greedy.
+
+:class:`FairCap` wires the three steps together and instruments each with a
+wall-clock timer, matching the phase breakdown of the paper's Figure 3
+(``group_mining`` / ``treatment_mining`` / ``greedy_selection``).
+
+Typical use::
+
+    from repro.core import FairCap, FairCapConfig
+    from repro.core.variants import canonical_variants
+
+    variants = canonical_variants("SP", 10_000, theta=0.5, theta_protected=0.5)
+    config = FairCapConfig(variant=variants["Group fairness"])
+    result = FairCap(config).run(table, schema, dag, protected)
+    for rule in result.ruleset:
+        print(rule)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.causal.dag import CausalDAG
+from repro.core.config import FairCapConfig
+from repro.core.greedy import GreedyResult, greedy_select
+from repro.core.grouping import mine_grouping_patterns
+from repro.core.intervention import (
+    intervention_items,
+    mine_interventions_for_groups,
+)
+from repro.mining.apriori import FrequentPattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet, RulesetEvaluator, RulesetMetrics
+from repro.rules.utility import RuleEvaluator
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+from repro.utils.errors import SchemaError
+from repro.utils.timer import StepTimer
+
+STEP_GROUP_MINING = "group_mining"
+STEP_TREATMENT_MINING = "treatment_mining"
+STEP_GREEDY = "greedy_selection"
+
+
+@dataclass(frozen=True)
+class FairCapResult:
+    """Everything a FairCap run produces.
+
+    Attributes
+    ----------
+    ruleset:
+        The selected prescription rules.
+    metrics:
+        The Table 4 quantities of the selected ruleset.
+    grouping_patterns:
+        Step-1 output (frequent grouping patterns).
+    candidate_rules:
+        Step-2 output (one best rule per grouping pattern, pre-selection).
+    timings:
+        Per-step wall-clock seconds (Figure 3 phases).
+    nodes_evaluated:
+        Total lattice nodes whose CATE was estimated in Step 2.
+    config:
+        The configuration used.
+    """
+
+    ruleset: RuleSet
+    metrics: RulesetMetrics
+    grouping_patterns: tuple[FrequentPattern, ...]
+    candidate_rules: tuple[PrescriptionRule, ...]
+    timings: dict[str, float]
+    nodes_evaluated: int
+    config: FairCapConfig
+    n_rows: int
+    n_protected: int
+    greedy: GreedyResult
+
+    def satisfied(self) -> bool:
+        """Whether the selected ruleset meets the variant's constraints."""
+        variant = self.config.variant
+        ok = True
+        if variant.fairness is not None:
+            ok &= variant.fairness.satisfied(self.metrics, self.ruleset.rules)
+        if variant.coverage is not None:
+            ok &= variant.coverage.satisfied(
+                self.metrics, self.ruleset.rules, self.n_rows, self.n_protected
+            )
+        return bool(ok)
+
+
+class FairCap:
+    """The FairCap algorithm (paper's Algorithm 1)."""
+
+    def __init__(self, config: FairCapConfig | None = None) -> None:
+        self.config = config if config is not None else FairCapConfig()
+
+    def run(
+        self,
+        table: Table,
+        schema: Schema | None,
+        dag: CausalDAG,
+        protected: ProtectedGroup,
+    ) -> FairCapResult:
+        """Run the full pipeline on ``table`` and return the selected ruleset.
+
+        Parameters
+        ----------
+        table:
+            The database instance ``D``.
+        schema:
+            Attribute roles; ``None`` uses the table's own schema.
+        dag:
+            The causal DAG ``G_D``.
+        protected:
+            The protected group ``P_p``.
+        """
+        schema = schema if schema is not None else table.schema
+        schema.validate_for_prescription()
+        missing = [n for n in schema.names if n not in dag]
+        if missing:
+            raise SchemaError(f"causal DAG is missing schema attributes: {missing}")
+
+        config = self.config
+        timer = StepTimer()
+
+        with timer.step(STEP_GROUP_MINING):
+            grouping_patterns = mine_grouping_patterns(
+                table, schema, config, protected
+            )
+
+        with timer.step(STEP_TREATMENT_MINING):
+            evaluator = RuleEvaluator(
+                table,
+                schema.outcome_name,
+                dag,
+                protected,
+                estimator=config.make_estimator(),
+                min_subgroup_size=config.min_subgroup_size,
+            )
+            items = intervention_items(table, schema, dag, config)
+            candidate_rules, nodes_evaluated = mine_interventions_for_groups(
+                evaluator, grouping_patterns, items, config
+            )
+
+        with timer.step(STEP_GREEDY):
+            ruleset_evaluator = RulesetEvaluator(table, candidate_rules, protected)
+            greedy = greedy_select(ruleset_evaluator, config)
+
+        return FairCapResult(
+            ruleset=greedy.ruleset,
+            metrics=greedy.metrics,
+            grouping_patterns=tuple(grouping_patterns),
+            candidate_rules=tuple(candidate_rules),
+            timings=timer.as_dict(),
+            nodes_evaluated=nodes_evaluated,
+            config=config,
+            n_rows=table.n_rows,
+            n_protected=int(protected.mask(table).sum()),
+            greedy=greedy,
+        )
+
+
+def run_faircap(
+    table: Table,
+    dag: CausalDAG,
+    protected: ProtectedGroup,
+    config: FairCapConfig | None = None,
+    schema: Schema | None = None,
+) -> FairCapResult:
+    """Convenience facade: ``FairCap(config).run(table, schema, dag, protected)``."""
+    return FairCap(config).run(table, schema, dag, protected)

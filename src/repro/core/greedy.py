@@ -1,0 +1,265 @@
+"""Step 3 of FairCap: greedy ruleset selection (Sec. 5.3).
+
+At each iteration the selector adds the candidate rule maximising
+
+``score(r | R_i) = coverage-gain + benefit + expected-utility-gain``
+
+where the coverage term participates only while the coverage constraint is
+unmet (Sec. 5.3: "Once the coverage constraints are met, the focus shifts to
+maximizing benefit and utility").  Because the three terms live on different
+scales (fractions vs outcome units), the utility-denominated terms are
+normalised by the largest absolute candidate utility; this keeps the paper's
+score *ordering* while making the stopping threshold scale-free.
+
+Constraint handling:
+
+- **matroid constraints** (rule coverage, individual fairness; Prop. 9.2)
+  filter the candidate pool up front — any subset of admissible rules is
+  admissible;
+- **group fairness** is enforced during selection: a candidate is admissible
+  only if the grown ruleset still satisfies the constraint.  If no candidate
+  is admissible for the very first pick, the least-violating one is taken so
+  the result is never empty (matching the paper's observation that the
+  greedy "satisfies the group fairness constraint in all scenarios" —
+  thresholds are chosen so admissible rules exist);
+- **group coverage** drives the score's coverage term and blocks the
+  early-stop until satisfied (or no candidate can improve coverage).
+
+The state needed to score a candidate against the running ruleset —
+per-tuple best/worst utilities and the covered mask — is maintained
+incrementally, so each scoring pass is one vectorised sweep per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FairCapConfig
+from repro.fairness.benefit import benefit
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet, RulesetEvaluator, RulesetMetrics
+
+
+@dataclass(frozen=True)
+class GreedyStep:
+    """Trace record of one greedy iteration."""
+
+    candidate_index: int
+    score: float
+    metrics: RulesetMetrics
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Final selection plus the per-iteration trace."""
+
+    indices: tuple[int, ...]
+    ruleset: RuleSet
+    metrics: RulesetMetrics
+    trace: tuple[GreedyStep, ...]
+
+
+class _IncrementalState:
+    """Running per-tuple aggregates for the selected ruleset."""
+
+    def __init__(self, evaluator: RulesetEvaluator) -> None:
+        self.evaluator = evaluator
+        n = evaluator.n
+        self.covered = np.zeros(n, dtype=bool)
+        self.best_overall = np.full(n, -np.inf)
+        self.best_np = np.full(n, -np.inf)
+        self.worst_p = np.full(n, np.inf)
+        self.size = 0
+
+    def preview(self, index: int) -> RulesetMetrics:
+        """Metrics of the current selection plus candidate ``index``."""
+        ev = self.evaluator
+        mask = ev.mask_of(index)
+        covered = self.covered | mask
+        best_overall = self.best_overall.copy()
+        best_np = self.best_np.copy()
+        worst_p = self.worst_p.copy()
+        best_overall[mask] = np.maximum(best_overall[mask], ev._utilities[index])
+        best_np[mask] = np.maximum(best_np[mask], ev._utilities_np[index])
+        worst_p[mask] = np.minimum(worst_p[mask], ev._utilities_p[index])
+        return self._metrics_from(covered, best_overall, best_np, worst_p, self.size + 1)
+
+    def commit(self, index: int) -> None:
+        """Add candidate ``index`` to the selection."""
+        ev = self.evaluator
+        mask = ev.mask_of(index)
+        self.covered |= mask
+        self.best_overall[mask] = np.maximum(
+            self.best_overall[mask], ev._utilities[index]
+        )
+        self.best_np[mask] = np.maximum(self.best_np[mask], ev._utilities_np[index])
+        self.worst_p[mask] = np.minimum(self.worst_p[mask], ev._utilities_p[index])
+        self.size += 1
+
+    def metrics(self) -> RulesetMetrics:
+        """Metrics of the current selection."""
+        return self._metrics_from(
+            self.covered, self.best_overall, self.best_np, self.worst_p, self.size
+        )
+
+    def _metrics_from(
+        self,
+        covered: np.ndarray,
+        best_overall: np.ndarray,
+        best_np: np.ndarray,
+        worst_p: np.ndarray,
+        size: int,
+    ) -> RulesetMetrics:
+        ev = self.evaluator
+        if size == 0:
+            return RulesetMetrics(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        covered_p = covered & ev.protected_mask
+        covered_np = covered & ~ev.protected_mask
+        n_cov_p = int(covered_p.sum())
+        n_cov_np = int(covered_np.sum())
+        expected = float(best_overall[covered].sum()) / ev.n if ev.n else 0.0
+        expected_p = float(worst_p[covered_p].sum()) / n_cov_p if n_cov_p else 0.0
+        expected_np = float(best_np[covered_np].sum()) / n_cov_np if n_cov_np else 0.0
+        return RulesetMetrics(
+            n_rules=size,
+            coverage=float(covered.sum()) / ev.n if ev.n else 0.0,
+            protected_coverage=(
+                n_cov_p / ev.n_protected if ev.n_protected else 0.0
+            ),
+            expected_utility=expected,
+            expected_utility_protected=expected_p,
+            expected_utility_non_protected=expected_np,
+        )
+
+
+def _matroid_admissible(
+    rule: PrescriptionRule, config: FairCapConfig, n_rows: int, n_protected: int
+) -> bool:
+    """Per-rule admissibility under the variant's matroid constraints."""
+    variant = config.variant
+    if variant.has_rule_coverage and variant.coverage is not None:
+        if not variant.coverage.satisfied_by_rule(rule, n_rows, n_protected):
+            return False
+    if variant.has_individual_fairness and variant.fairness is not None:
+        if not variant.fairness.satisfied_by_rule(rule):
+            return False
+    return True
+
+
+def greedy_select(
+    evaluator: RulesetEvaluator,
+    config: FairCapConfig,
+) -> GreedyResult:
+    """Select a ruleset from ``evaluator``'s candidate pool (Sec. 5.3)."""
+    variant = config.variant
+    n_candidates = len(evaluator)
+    candidate_pool = [
+        i
+        for i in range(n_candidates)
+        if _matroid_admissible(
+            evaluator.rules[i], config, evaluator.n, evaluator.n_protected
+        )
+    ]
+
+    scale = max(
+        (abs(evaluator.rules[i].utility) for i in candidate_pool), default=1.0
+    )
+    scale = max(scale, 1e-12)
+
+    state = _IncrementalState(evaluator)
+    selected: list[int] = []
+    trace: list[GreedyStep] = []
+    remaining = set(candidate_pool)
+
+    group_fairness = variant.fairness if variant.has_group_fairness else None
+    group_coverage = variant.coverage if variant.has_group_coverage else None
+
+    while remaining and len(selected) < config.max_rules:
+        current = state.metrics()
+        coverage_unmet = group_coverage is not None and not (
+            group_coverage.satisfied_by_metrics(current)
+        )
+
+        current_violation = (
+            group_fairness.metrics_violation(current)
+            if group_fairness is not None and selected
+            else np.inf
+        )
+
+        best_index = -1
+        best_score = -np.inf
+        best_preview: RulesetMetrics | None = None
+        fallback_index = -1
+        fallback_violation = np.inf
+        fallback_score = -np.inf
+
+        for index in remaining:
+            preview = state.preview(index)
+            rule = evaluator.rules[index]
+            score = benefit(rule, variant.fairness) / scale
+            score += (preview.expected_utility - current.expected_utility) / scale
+            if coverage_unmet:
+                score += (preview.coverage - current.coverage) + (
+                    preview.protected_coverage - current.protected_coverage
+                )
+
+            if group_fairness is not None:
+                violation = group_fairness.metrics_violation(preview)
+                if violation > 0.0:
+                    # Track the least-violating candidate as a fallback:
+                    # used for the first pick (the result must be non-empty)
+                    # and to walk a violating partial ruleset back toward
+                    # the feasible region.
+                    gains_coverage = coverage_unmet and (
+                        preview.coverage > current.coverage
+                        or preview.protected_coverage > current.protected_coverage
+                    )
+                    reduces_violation = violation < current_violation - 1e-12
+                    eligible_fallback = (
+                        not selected or reduces_violation or gains_coverage
+                    )
+                    if eligible_fallback and (
+                        violation < fallback_violation
+                        or (violation == fallback_violation and score > fallback_score)
+                    ):
+                        fallback_index = index
+                        fallback_violation = violation
+                        fallback_score = score
+                    continue
+            if score > best_score:
+                best_score = score
+                best_index = index
+                best_preview = preview
+
+        if best_index < 0:
+            if fallback_index >= 0:
+                best_index = fallback_index
+                best_score = fallback_score
+                best_preview = state.preview(fallback_index)
+            else:
+                break  # no admissible candidate remains
+
+        # Early stop on negligible marginal gain — but never before the
+        # group-coverage constraint is met, and never on the first rule.
+        if (
+            selected
+            and not coverage_unmet
+            and best_score < config.stop_threshold
+        ):
+            break
+
+        assert best_preview is not None
+        state.commit(best_index)
+        selected.append(best_index)
+        remaining.discard(best_index)
+        trace.append(GreedyStep(best_index, float(best_score), best_preview))
+
+    metrics = state.metrics()
+    return GreedyResult(
+        indices=tuple(selected),
+        ruleset=evaluator.subset(selected),
+        metrics=metrics,
+        trace=tuple(trace),
+    )

@@ -1,0 +1,78 @@
+"""Step 1 of FairCap: mining grouping patterns with Apriori (Sec. 5.1).
+
+Grouping patterns are frequent conjunctions over the *immutable* attributes.
+The Apriori threshold guarantees each mined pattern covers enough tuples to
+be a promising rule body; under a rule-coverage constraint the threshold is
+raised to the coverage ``theta`` and patterns failing the protected-coverage
+bound ``theta_p`` are filtered here as well, so Steps 2-3 never waste effort
+on rules that could not be selected.
+"""
+
+from __future__ import annotations
+
+from repro.mining.apriori import AprioriResult, FrequentPattern, apriori
+from repro.rules.protected import ProtectedGroup
+from repro.core.config import FairCapConfig
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+from repro.utils.errors import ConfigError
+
+
+def mine_grouping_patterns(
+    table: Table,
+    schema: Schema,
+    config: FairCapConfig,
+    protected: ProtectedGroup,
+) -> tuple[FrequentPattern, ...]:
+    """Mine the candidate grouping patterns for FairCap's Step 1.
+
+    Parameters
+    ----------
+    table:
+        The database instance ``D``.
+    schema:
+        Attribute roles; grouping patterns use the immutable attributes
+        (or ``config.grouping_attributes`` when set).
+    config:
+        Algorithm configuration (Apriori threshold, pattern size caps).
+    protected:
+        Protected group; used to filter patterns under a rule-coverage
+        constraint.
+
+    Returns
+    -------
+    tuple[FrequentPattern, ...]
+        Frequent grouping patterns, largest support first within each size.
+    """
+    attributes = config.grouping_attributes
+    if attributes is None:
+        attributes = schema.immutable_names
+    else:
+        unknown = [a for a in attributes if a not in schema.names]
+        if unknown:
+            raise ConfigError(f"unknown grouping attributes: {unknown}")
+    if not attributes:
+        raise ConfigError("no immutable attributes available for grouping patterns")
+
+    result: AprioriResult = apriori(
+        table,
+        attributes=attributes,
+        min_support=config.effective_apriori_support(),
+        max_length=config.max_grouping_size,
+        continuous_bins=config.continuous_bins,
+        max_values_per_attribute=config.max_values_per_attribute,
+    )
+    patterns = result.patterns
+
+    coverage = config.variant.coverage
+    if config.variant.has_rule_coverage and coverage is not None:
+        protected_mask = protected.mask(table)
+        n_protected = int(protected_mask.sum())
+        required_protected = coverage.theta_protected * n_protected
+        kept = []
+        for fp in patterns:
+            covered_protected = int((fp.pattern.mask(table) & protected_mask).sum())
+            if covered_protected >= required_protected:
+                kept.append(fp)
+        patterns = tuple(kept)
+    return patterns

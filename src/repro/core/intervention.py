@@ -1,0 +1,166 @@
+"""Step 2 of FairCap: mining fair, high-utility intervention patterns
+(Sec. 5.2 and the variant adjustments of Sec. 5.4).
+
+For each grouping pattern mined in Step 1, the space of candidate treatments
+is the lattice of conjunctions over the *mutable* attributes.  The lattice
+is traversed top-down (:func:`repro.mining.lattice.traverse_lattice`); a
+node is *kept* — i.e. its supersets are explored — when its CATE is positive,
+estimable, and statistically significant.
+
+The best treatment for the grouping pattern is then chosen by *benefit*:
+
+- no fairness constraint: benefit = utility (CauSumX's highest-CATE search);
+- group SP: the utility/(1+gap) penalty of Sec. 5.2;
+- group BGL: the utility/(1+shortfall) penalty of Sec. 5.4;
+- individual fairness (SP or BGL): only treatments that themselves satisfy
+  the per-rule constraint are eligible; among them, highest CATE wins.
+
+Implementation notes: the paper's optimisation (i) — discarding mutable
+attributes with no causal path to the outcome — is applied when building the
+item list; optimisation (ii) (parallelism across grouping patterns) is
+intentionally not used here so that the Figure 3/4 runtime shapes reflect
+algorithmic work rather than process-pool noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.causal.dag import CausalDAG
+from repro.core.config import FairCapConfig
+from repro.fairness.benefit import benefit
+from repro.mining.apriori import build_items
+from repro.mining.lattice import LatticeNode, traverse_lattice
+from repro.mining.patterns import Pattern
+from repro.rules.rule import PrescriptionRule
+from repro.rules.utility import GroupEvaluationContext, RuleEvaluator
+from repro.tabular.schema import Schema
+from repro.utils.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class InterventionMiningResult:
+    """Outcome of Step 2 for one grouping pattern.
+
+    Attributes
+    ----------
+    best:
+        The selected rule (None when no eligible treatment exists).
+    candidates:
+        Every positive-utility rule materialised in the lattice (used by
+        diagnostics and by the brute-force reference solver).
+    nodes_evaluated:
+        Number of lattice nodes whose CATE was estimated.
+    """
+
+    best: PrescriptionRule | None
+    candidates: tuple[PrescriptionRule, ...]
+    nodes_evaluated: int
+
+
+def intervention_items(
+    table, schema: Schema, dag: CausalDAG, config: FairCapConfig
+) -> list[Pattern]:
+    """Build the level-1 treatment items (one per mutable attribute value).
+
+    Applies the paper's optimisation (i): attributes without a directed path
+    to the outcome are discarded when ``config.prune_non_causal`` is set.
+    """
+    attributes = config.intervention_attributes
+    if attributes is None:
+        attributes = schema.mutable_names
+    else:
+        unknown = [a for a in attributes if a not in schema.names]
+        if unknown:
+            raise ConfigError(f"unknown intervention attributes: {unknown}")
+    if not attributes:
+        raise ConfigError("no mutable attributes available for interventions")
+
+    if config.prune_non_causal:
+        relevant = dag.causally_relevant(schema.outcome_name)
+        attributes = tuple(a for a in attributes if a in relevant)
+
+    return build_items(
+        table,
+        attributes,
+        continuous_bins=config.continuous_bins,
+        max_values_per_attribute=config.max_values_per_attribute,
+    )
+
+
+def mine_intervention(
+    context: GroupEvaluationContext,
+    items: list[Pattern],
+    config: FairCapConfig,
+) -> InterventionMiningResult:
+    """Run the Step-2 lattice search for one grouping pattern.
+
+    Parameters
+    ----------
+    context:
+        Pre-built evaluation context for the grouping pattern (holds the
+        filtered sub-table and protected split).
+    items:
+        Candidate level-1 treatment items (from :func:`intervention_items`).
+    config:
+        Algorithm configuration; ``config.variant.fairness`` selects the
+        benefit function.
+    """
+    alpha = config.significance_alpha
+    fairness = config.variant.fairness
+
+    def evaluate(pattern: Pattern) -> tuple[bool, PrescriptionRule]:
+        rule = context.evaluate(pattern)
+        keep = rule.utility > 0.0
+        if keep and alpha is not None:
+            keep = rule.estimate is not None and rule.estimate.is_significant(alpha)
+        return keep, rule
+
+    nodes: list[LatticeNode] = traverse_lattice(
+        items, evaluate, max_level=config.max_intervention_size
+    )
+    kept = [node.payload for node in nodes if node.keep]
+    candidates: list[PrescriptionRule] = [
+        rule for rule in kept if isinstance(rule, PrescriptionRule)
+    ]
+
+    eligible = candidates
+    if fairness is not None and fairness.is_matroid:
+        # Individual fairness: Step 2 only selects treatments that are
+        # guaranteed to meet the per-rule constraint (Sec. 5.4).
+        eligible = [r for r in candidates if fairness.satisfied_by_rule(r)]
+
+    if not eligible:
+        return InterventionMiningResult(
+            best=None, candidates=tuple(candidates), nodes_evaluated=len(nodes)
+        )
+
+    if fairness is not None and fairness.is_matroid:
+        best = max(eligible, key=lambda r: r.utility)
+    else:
+        best = max(eligible, key=lambda r: benefit(r, fairness))
+    return InterventionMiningResult(
+        best=best, candidates=tuple(candidates), nodes_evaluated=len(nodes)
+    )
+
+
+def mine_interventions_for_groups(
+    evaluator: RuleEvaluator,
+    grouping_patterns,
+    items: list[Pattern],
+    config: FairCapConfig,
+) -> tuple[list[PrescriptionRule], int]:
+    """Run Step 2 for every grouping pattern; return rules + node count.
+
+    Each grouping pattern contributes at most one rule (its best treatment),
+    mirroring Algorithm 1's loop.
+    """
+    rules: list[PrescriptionRule] = []
+    nodes_total = 0
+    for frequent in grouping_patterns:
+        context = evaluator.context(frequent.pattern)
+        result = mine_intervention(context, items, config)
+        nodes_total += result.nodes_evaluated
+        if result.best is not None:
+            rules.append(result.best)
+    return rules, nodes_total

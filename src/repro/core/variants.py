@@ -1,0 +1,161 @@
+"""The problem-variant space of Prescription Ruleset Selection (Sec. 4.7).
+
+A :class:`ProblemVariant` is a (fairness constraint, coverage constraint)
+pair, either of which may be absent.  The paper's Figure 2 decision tree
+yields nine structural combinations; since a fairness constraint can be
+instantiated as SP or BGL (the choice is left to the user), the paper counts
+"18 distinct problem variants" — :func:`canonical_variants` enumerates the
+nine structural ones for a chosen fairness kind, and
+:func:`all_variants` both kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fairness.constraints import (
+    FairnessConstraint,
+    FairnessKind,
+    FairnessScope,
+)
+from repro.fairness.coverage import CoverageConstraint, CoverageKind
+
+
+@dataclass(frozen=True)
+class ProblemVariant:
+    """One variant: optional fairness constraint + optional coverage constraint."""
+
+    fairness: FairnessConstraint | None = None
+    coverage: CoverageConstraint | None = None
+
+    @property
+    def name(self) -> str:
+        """The Table 4 row label for this variant."""
+        parts: list[str] = []
+        if self.coverage is not None:
+            parts.append(
+                "Group coverage"
+                if self.coverage.kind is CoverageKind.GROUP
+                else "Rule coverage"
+            )
+        if self.fairness is not None:
+            parts.append(
+                "Group fairness"
+                if self.fairness.scope is FairnessScope.GROUP
+                else "Individual fairness"
+            )
+        if not parts:
+            return "No constraints"
+        return ", ".join(parts)
+
+    @property
+    def has_group_fairness(self) -> bool:
+        """Whether a ruleset-level fairness constraint is active."""
+        return (
+            self.fairness is not None
+            and self.fairness.scope is FairnessScope.GROUP
+        )
+
+    @property
+    def has_individual_fairness(self) -> bool:
+        """Whether a per-rule fairness constraint is active."""
+        return (
+            self.fairness is not None
+            and self.fairness.scope is FairnessScope.INDIVIDUAL
+        )
+
+    @property
+    def has_group_coverage(self) -> bool:
+        """Whether a ruleset-level coverage constraint is active."""
+        return (
+            self.coverage is not None and self.coverage.kind is CoverageKind.GROUP
+        )
+
+    @property
+    def has_rule_coverage(self) -> bool:
+        """Whether a per-rule coverage constraint is active."""
+        return self.coverage is not None and self.coverage.kind is CoverageKind.RULE
+
+    def describe(self) -> str:
+        """Long-form description with thresholds."""
+        parts = []
+        if self.fairness is not None:
+            parts.append(self.fairness.describe())
+        if self.coverage is not None:
+            parts.append(self.coverage.describe())
+        return "; ".join(parts) if parts else "no constraints"
+
+
+def unconstrained() -> ProblemVariant:
+    """The no-constraints variant (Step 2 then matches CauSumX)."""
+    return ProblemVariant()
+
+
+def canonical_variants(
+    fairness_kind: str | FairnessKind,
+    fairness_threshold: float,
+    theta: float,
+    theta_protected: float,
+) -> dict[str, ProblemVariant]:
+    """The nine structural variants of Table 4, in the paper's row order.
+
+    Parameters
+    ----------
+    fairness_kind:
+        SP (Stack Overflow evaluation) or BGL (German Credit evaluation).
+    fairness_threshold:
+        ``epsilon`` for SP or ``tau`` for BGL.
+    theta, theta_protected:
+        Coverage thresholds shared by the coverage-constrained variants.
+    """
+    kind = FairnessKind(fairness_kind)
+
+    def fair(scope: FairnessScope) -> FairnessConstraint:
+        return FairnessConstraint(kind, scope, fairness_threshold)
+
+    def cover(cov_kind: CoverageKind) -> CoverageConstraint:
+        return CoverageConstraint(cov_kind, theta, theta_protected)
+
+    group_f = fair(FairnessScope.GROUP)
+    indiv_f = fair(FairnessScope.INDIVIDUAL)
+    group_c = cover(CoverageKind.GROUP)
+    rule_c = cover(CoverageKind.RULE)
+
+    variants = [
+        ProblemVariant(),
+        ProblemVariant(coverage=group_c),
+        ProblemVariant(coverage=rule_c),
+        ProblemVariant(fairness=group_f),
+        ProblemVariant(fairness=indiv_f),
+        ProblemVariant(fairness=group_f, coverage=group_c),
+        ProblemVariant(fairness=group_f, coverage=rule_c),
+        ProblemVariant(fairness=indiv_f, coverage=group_c),
+        ProblemVariant(fairness=indiv_f, coverage=rule_c),
+    ]
+    return {variant.name: variant for variant in variants}
+
+
+def all_variants(
+    sp_epsilon: float,
+    bgl_tau: float,
+    theta: float,
+    theta_protected: float,
+) -> dict[str, ProblemVariant]:
+    """All 18 variants (9 structural x {SP, BGL}), keyed by qualified name.
+
+    Names are prefixed ``SP:`` / ``BGL:`` except the three fairness-free
+    variants, which are shared and appear once without a prefix.
+    """
+    result: dict[str, ProblemVariant] = {}
+    for kind, threshold in (
+        (FairnessKind.STATISTICAL_PARITY, sp_epsilon),
+        (FairnessKind.BOUNDED_GROUP_LOSS, bgl_tau),
+    ):
+        for name, variant in canonical_variants(
+            kind, threshold, theta, theta_protected
+        ).items():
+            if variant.fairness is None:
+                result[name] = variant
+            else:
+                result[f"{kind.value}: {name}"] = variant
+    return result

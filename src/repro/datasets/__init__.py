@@ -1,0 +1,24 @@
+"""Synthetic datasets with known ground truth (S19, S20).
+
+The paper evaluates on the 2021 Stack Overflow developer survey and the UCI
+German Credit data, neither of which ships with this offline reproduction.
+Both are therefore *generated* from structural causal models whose DAGs and
+effect profiles mirror the paper's description (see DESIGN.md, Substitutions
+1-2): treatment effects are planted, moderated by the protected attribute,
+and a deliberately non-causal correlated attribute is included so that
+association-based baselines pick up the paper's "sexual orientation"-style
+trap.
+"""
+
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.stackoverflow import load_stackoverflow
+from repro.datasets.german import load_german
+from repro.datasets.registry import DATASET_LOADERS, load_dataset
+
+__all__ = [
+    "DatasetBundle",
+    "load_stackoverflow",
+    "load_german",
+    "DATASET_LOADERS",
+    "load_dataset",
+]

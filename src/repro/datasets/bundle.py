@@ -1,0 +1,70 @@
+"""The :class:`DatasetBundle`: everything an experiment needs in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.causal.dag import CausalDAG
+from repro.causal.scm import StructuralCausalModel
+from repro.rules.protected import ProtectedGroup
+from repro.rules.templates import RuleTemplates
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A dataset plus its causal model and experiment defaults.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"stackoverflow"`` / ``"german"``).
+    table:
+        The generated data.
+    schema:
+        Attribute roles (immutable / mutable / outcome).
+    dag:
+        The "original causal DAG" of the dataset (the SCM's own graph).
+    protected:
+        The protected group of Table 3.
+    scm:
+        The generating SCM — exposes ground-truth effects for tests.
+    templates:
+        Natural-language templates for the case-study rendering.
+    default_fairness_threshold:
+        The paper's default SP/BGL threshold for this dataset
+        (SO: $10k, German: 0.1).
+    default_coverage_theta:
+        The paper's default coverage thresholds (SO: 0.5, German: 0.3).
+    fairness_kind:
+        Which fairness family the paper evaluates on this dataset
+        (SO: ``"SP"``, German: ``"BGL"``).
+    """
+
+    name: str
+    table: Table
+    schema: Schema
+    dag: CausalDAG
+    protected: ProtectedGroup
+    scm: StructuralCausalModel
+    templates: RuleTemplates = field(default_factory=RuleTemplates)
+    default_fairness_threshold: float = 0.0
+    default_coverage_theta: float = 0.5
+    fairness_kind: str = "SP"
+
+    @property
+    def outcome(self) -> str:
+        """The outcome attribute name."""
+        return self.schema.outcome_name
+
+    def stats(self) -> dict[str, object]:
+        """The Table 3 row for this dataset."""
+        return {
+            "dataset": self.name,
+            "tuples": self.table.n_rows,
+            "attributes": len(self.schema) - 1,  # excluding the outcome
+            "mutable_attributes": len(self.schema.mutable_names),
+            "protected_group": self.protected.name,
+            "protected_fraction": self.protected.fraction(self.table),
+        }

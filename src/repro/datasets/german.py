@@ -1,0 +1,385 @@
+"""Synthetic German Credit dataset (S20).
+
+Mirrors the paper's German setup (Table 3): 1,000 rows, 20 attributes of
+which 15 are mutable, binary outcome (credit risk: 1 = good), protected
+group = single females (~9.2% of rows).
+
+The SCM plants the levers the paper's case study surfaces (Sec. 6):
+keeping at least 200 DM in the checking account, pursuing skilled
+employment, and owning a house raise the probability of a good credit score,
+with effects moderated for the protected group (single females receive
+roughly 60% of the effect).  The ``YearsInHousing`` attribute is correlated
+with good credit through age but has no causal effect, mirroring the
+non-causal FRL rule the paper criticises ("lived in a house for 4-7 years →
+high score").
+
+All distributions are invented; DESIGN.md documents the substitution of the
+UCI original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.scm import SCMNode, StructuralCausalModel
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.synth import indicator, lookup, pick, pick_rows, uniform_noise
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.templates import RuleTemplates
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.utils.rng import ensure_rng
+
+# -- domains ---------------------------------------------------------------------
+
+PERSONAL_STATUS = (
+    "male single", "male married", "male divorced",
+    "female single", "female married", "female divorced",
+)
+PERSONAL_STATUS_PROBS = (0.38, 0.25, 0.05, 0.092, 0.18, 0.048)
+AGES = ("18-23", "24-30", "31-40", "41-55", "56+")
+DEPENDENTS = ("0-2", "3+")
+YES_NO = ("No", "Yes")
+
+CHECKING = ("none", "<0 DM", "0-200 DM", ">=200 DM")
+SAVINGS = ("none", "<100 DM", "100-500 DM", ">=500 DM")
+CREDIT_HISTORY = ("delayed", "existing paid", "all paid", "critical")
+PURPOSES = ("new car", "used car", "furniture/equipment", "education",
+            "business", "unspecified")
+AMOUNTS = ("<1000 DM", "1000-5000 DM", ">5000 DM")
+DURATIONS = ("<12 months", "12-24 months", ">24 months")
+EMPLOYMENT = ("unemployed", "<1 year", "1-4 years", "4-7 years", ">=7 years")
+INSTALLMENT = ("<=2%", "2-3%", ">3%")
+HOUSING = ("rent", "own", "free")
+PROPERTY = ("none", "car", "savings", "real estate")
+OTHER_DEBTORS = ("none", "co-applicant", "guarantor")
+JOBS = ("unskilled", "skilled", "management")
+EXISTING_CREDITS = ("1", "2", "3+")
+TELEPHONE = ("No", "Yes")
+OTHER_PLANS = ("none", "bank", "stores")
+YEARS_IN_HOUSING = ("<1 year", "1-4 years", "4-7 years", ">7 years")
+
+PROTECTED_EFFECT_FACTOR = 0.55
+"""Single females receive this fraction of each treatment effect."""
+
+# Probability-scale effects on P(good credit) — a linear probability model
+# (clipped), so planted CATEs and the protected-group moderation are exact.
+CHECKING_EFFECT = {"none": 0.0, "<0 DM": -0.10, "0-200 DM": 0.12, ">=200 DM": 0.30}
+SAVINGS_EFFECT = {"none": 0.0, "<100 DM": 0.05, "100-500 DM": 0.12, ">=500 DM": 0.20}
+HISTORY_EFFECT = {"delayed": -0.12, "existing paid": 0.08, "all paid": 0.20,
+                  "critical": -0.20}
+JOB_EFFECT = {"unskilled": 0.0, "skilled": 0.18, "management": 0.25}
+HOUSING_EFFECT = {"rent": 0.0, "own": 0.20, "free": 0.06}
+EMPLOYMENT_EFFECT = {"unemployed": -0.10, "<1 year": 0.0, "1-4 years": 0.08,
+                     "4-7 years": 0.13, ">=7 years": 0.16}
+PROPERTY_EFFECT = {"none": 0.0, "car": 0.05, "savings": 0.10, "real estate": 0.15}
+AMOUNT_EFFECT = {"<1000 DM": 0.08, "1000-5000 DM": 0.0, ">5000 DM": -0.12}
+DURATION_EFFECT = {"<12 months": 0.10, "12-24 months": 0.0, ">24 months": -0.12}
+INSTALLMENT_EFFECT = {"<=2%": 0.07, "2-3%": 0.02, ">3%": -0.05}
+DEBTORS_EFFECT = {"none": 0.0, "co-applicant": -0.05, "guarantor": 0.08}
+CREDITS_EFFECT = {"1": 0.0, "2": -0.03, "3+": -0.08}
+PLANS_EFFECT = {"none": 0.05, "bank": -0.05, "stores": -0.08}
+TELEPHONE_EFFECT = {"No": 0.0, "Yes": 0.02}
+PURPOSE_EFFECT = {"new car": 0.0, "used car": 0.04, "furniture/equipment": 0.03,
+                  "education": -0.03, "business": 0.01, "unspecified": -0.04}
+AGE_EFFECT = {"18-23": -0.12, "24-30": -0.04, "31-40": 0.05, "41-55": 0.09,
+              "56+": 0.06}
+BASE_PROB = 0.15
+EFFECT_SCALE = 0.55
+"""Global damping that keeps typical probabilities inside the linear region
+of the clipped linear-probability model (clipping would otherwise erase
+effects for well-off applicants and invert the planted disparity)."""
+
+
+def _protected_factor(status: np.ndarray) -> np.ndarray:
+    """Effect moderation: single females get ~55% of each treatment effect."""
+    return np.where(status == "female single", PROTECTED_EFFECT_FACTOR, 1.0)
+
+
+# -- mechanisms ------------------------------------------------------------------
+
+
+def _mk_status(parents, noise):
+    return pick(PERSONAL_STATUS, PERSONAL_STATUS_PROBS, noise)
+
+
+def _mk_age(parents, noise):
+    return pick(AGES, (0.15, 0.28, 0.28, 0.20, 0.09), noise)
+
+
+def _mk_dependents(parents, noise):
+    status = parents["PersonalStatus"]
+    p_many = lookup(
+        {"male married": 0.30, "female married": 0.30, "male single": 0.08,
+         "female single": 0.08, "male divorced": 0.15, "female divorced": 0.15},
+        status,
+    )
+    return np.where(noise < p_many, "3+", "0-2").astype(object)
+
+
+def _mk_foreign(parents, noise):
+    return np.where(noise < 0.05, "Yes", "No").astype(object)
+
+
+def _mk_employment(parents, noise):
+    age = parents["Age"]
+    n = age.shape[0]
+    probs = np.tile(np.array([0.08, 0.17, 0.35, 0.20, 0.20]), (n, 1))
+    probs[age == "18-23"] = (0.20, 0.40, 0.32, 0.06, 0.02)
+    probs[np.isin(age, ("41-55", "56+"))] = (0.04, 0.06, 0.22, 0.25, 0.43)
+    return pick_rows(EMPLOYMENT, probs, noise)
+
+
+def _mk_job(parents, noise):
+    employment = parents["Employment"]
+    status = parents["PersonalStatus"]
+    n = employment.shape[0]
+    probs = np.tile(np.array([0.28, 0.58, 0.14]), (n, 1))
+    veteran = np.isin(employment, ("4-7 years", ">=7 years"))
+    probs[veteran] = (0.15, 0.58, 0.27)
+    probs[status == "female single"] *= (1.3, 0.95, 0.6)
+    return pick_rows(JOBS, probs, noise)
+
+
+def _mk_checking(parents, noise):
+    job = parents["Job"]
+    n = job.shape[0]
+    probs = np.tile(np.array([0.28, 0.18, 0.30, 0.24]), (n, 1))
+    probs[job == "management"] = (0.15, 0.10, 0.30, 0.45)
+    probs[job == "unskilled"] = (0.40, 0.25, 0.25, 0.10)
+    return pick_rows(CHECKING, probs, noise)
+
+
+def _mk_savings(parents, noise):
+    job = parents["Job"]
+    n = job.shape[0]
+    probs = np.tile(np.array([0.35, 0.25, 0.22, 0.18]), (n, 1))
+    probs[job == "management"] = (0.20, 0.20, 0.25, 0.35)
+    return pick_rows(SAVINGS, probs, noise)
+
+
+def _mk_history(parents, noise):
+    age = parents["Age"]
+    n = age.shape[0]
+    probs = np.tile(np.array([0.12, 0.50, 0.25, 0.13]), (n, 1))
+    probs[age == "18-23"] = (0.18, 0.55, 0.12, 0.15)
+    return pick_rows(CREDIT_HISTORY, probs, noise)
+
+
+def _mk_purpose(parents, noise):
+    return pick(PURPOSES, (0.24, 0.12, 0.22, 0.10, 0.14, 0.18), noise)
+
+
+def _mk_amount(parents, noise):
+    purpose = parents["Purpose"]
+    n = purpose.shape[0]
+    probs = np.tile(np.array([0.25, 0.50, 0.25]), (n, 1))
+    probs[np.isin(purpose, ("new car", "business"))] = (0.10, 0.45, 0.45)
+    probs[purpose == "furniture/equipment"] = (0.35, 0.50, 0.15)
+    return pick_rows(AMOUNTS, probs, noise)
+
+
+def _mk_duration(parents, noise):
+    amount = parents["CreditAmount"]
+    n = amount.shape[0]
+    probs = np.tile(np.array([0.30, 0.45, 0.25]), (n, 1))
+    probs[amount == ">5000 DM"] = (0.05, 0.35, 0.60)
+    probs[amount == "<1000 DM"] = (0.55, 0.35, 0.10)
+    return pick_rows(DURATIONS, probs, noise)
+
+
+def _mk_installment(parents, noise):
+    return pick(INSTALLMENT, (0.30, 0.40, 0.30), noise)
+
+
+def _mk_housing(parents, noise):
+    age, job = parents["Age"], parents["Job"]
+    n = age.shape[0]
+    probs = np.tile(np.array([0.45, 0.42, 0.13]), (n, 1))
+    older = np.isin(age, ("31-40", "41-55", "56+"))
+    probs[older] = (0.30, 0.58, 0.12)
+    probs[job == "management"] *= (0.7, 1.3, 1.0)
+    return pick_rows(HOUSING, probs, noise)
+
+
+def _mk_property(parents, noise):
+    housing = parents["Housing"]
+    n = housing.shape[0]
+    probs = np.tile(np.array([0.30, 0.28, 0.22, 0.20]), (n, 1))
+    probs[housing == "own"] = (0.12, 0.25, 0.23, 0.40)
+    return pick_rows(PROPERTY, probs, noise)
+
+
+def _mk_debtors(parents, noise):
+    return pick(OTHER_DEBTORS, (0.88, 0.05, 0.07), noise)
+
+
+def _mk_existing_credits(parents, noise):
+    return pick(EXISTING_CREDITS, (0.62, 0.30, 0.08), noise)
+
+
+def _mk_telephone(parents, noise):
+    job = parents["Job"]
+    p_yes = lookup({"unskilled": 0.25, "skilled": 0.42, "management": 0.70}, job)
+    return np.where(noise < p_yes, "Yes", "No").astype(object)
+
+
+def _mk_other_plans(parents, noise):
+    return pick(OTHER_PLANS, (0.80, 0.13, 0.07), noise)
+
+
+def _mk_years_in_housing(parents, noise):
+    """Correlated with age (hence credit), but causally inert — the FRL trap."""
+    age = parents["Age"]
+    n = age.shape[0]
+    probs = np.tile(np.array([0.20, 0.35, 0.25, 0.20]), (n, 1))
+    probs[age == "18-23"] = (0.45, 0.40, 0.10, 0.05)
+    probs[np.isin(age, ("41-55", "56+"))] = (0.05, 0.20, 0.30, 0.45)
+    return pick_rows(YEARS_IN_HOUSING, probs, noise)
+
+
+def _mk_credit_risk(parents, noise):
+    status = parents["PersonalStatus"]
+    factor = EFFECT_SCALE * _protected_factor(status)
+    probability = np.full(status.shape[0], BASE_PROB)
+    probability += factor * lookup(CHECKING_EFFECT, parents["CheckingAccount"])
+    probability += factor * lookup(SAVINGS_EFFECT, parents["SavingsAccount"])
+    probability += factor * lookup(HISTORY_EFFECT, parents["CreditHistory"])
+    probability += factor * lookup(JOB_EFFECT, parents["Job"])
+    probability += factor * lookup(HOUSING_EFFECT, parents["Housing"])
+    probability += factor * lookup(EMPLOYMENT_EFFECT, parents["Employment"])
+    probability += factor * lookup(PROPERTY_EFFECT, parents["Property"])
+    probability += EFFECT_SCALE * lookup(AMOUNT_EFFECT, parents["CreditAmount"])
+    probability += EFFECT_SCALE * lookup(DURATION_EFFECT, parents["Duration"])
+    probability += EFFECT_SCALE * lookup(INSTALLMENT_EFFECT, parents["InstallmentRate"])
+    probability += EFFECT_SCALE * lookup(DEBTORS_EFFECT, parents["OtherDebtors"])
+    probability += EFFECT_SCALE * lookup(CREDITS_EFFECT, parents["ExistingCredits"])
+    probability += EFFECT_SCALE * lookup(PLANS_EFFECT, parents["OtherInstallmentPlans"])
+    probability += EFFECT_SCALE * lookup(TELEPHONE_EFFECT, parents["Telephone"])
+    probability += EFFECT_SCALE * lookup(PURPOSE_EFFECT, parents["Purpose"])
+    probability += EFFECT_SCALE * lookup(AGE_EFFECT, parents["Age"])
+    probability = np.clip(probability, 0.02, 0.98)
+    return (noise < probability).astype(np.float64)
+
+
+def build_german_scm() -> StructuralCausalModel:
+    """Construct the German Credit SCM (the dataset's "original" DAG)."""
+    nodes = [
+        SCMNode("PersonalStatus", (), _mk_status, uniform_noise),
+        SCMNode("Age", (), _mk_age, uniform_noise),
+        SCMNode("Dependents", ("PersonalStatus",), _mk_dependents, uniform_noise),
+        SCMNode("ForeignWorker", (), _mk_foreign, uniform_noise),
+        SCMNode("Employment", ("Age",), _mk_employment, uniform_noise),
+        SCMNode("Job", ("Employment", "PersonalStatus"), _mk_job, uniform_noise),
+        SCMNode("CheckingAccount", ("Job",), _mk_checking, uniform_noise),
+        SCMNode("SavingsAccount", ("Job",), _mk_savings, uniform_noise),
+        SCMNode("CreditHistory", ("Age",), _mk_history, uniform_noise),
+        SCMNode("Purpose", (), _mk_purpose, uniform_noise),
+        SCMNode("CreditAmount", ("Purpose",), _mk_amount, uniform_noise),
+        SCMNode("Duration", ("CreditAmount",), _mk_duration, uniform_noise),
+        SCMNode("InstallmentRate", (), _mk_installment, uniform_noise),
+        SCMNode("Housing", ("Age", "Job"), _mk_housing, uniform_noise),
+        SCMNode("Property", ("Housing",), _mk_property, uniform_noise),
+        SCMNode("OtherDebtors", (), _mk_debtors, uniform_noise),
+        SCMNode("ExistingCredits", (), _mk_existing_credits, uniform_noise),
+        SCMNode("Telephone", ("Job",), _mk_telephone, uniform_noise),
+        SCMNode("OtherInstallmentPlans", (), _mk_other_plans, uniform_noise),
+        SCMNode("YearsInHousing", ("Age",), _mk_years_in_housing, uniform_noise),
+        SCMNode(
+            "CreditRisk",
+            (
+                "PersonalStatus", "CheckingAccount", "SavingsAccount",
+                "CreditHistory", "Job", "Housing", "Employment", "Property",
+                "CreditAmount", "Duration", "InstallmentRate", "OtherDebtors",
+                "ExistingCredits", "OtherInstallmentPlans", "Telephone",
+                "Purpose", "Age",
+            ),
+            _mk_credit_risk,
+            uniform_noise,
+        ),
+    ]
+    return StructuralCausalModel(nodes)
+
+
+IMMUTABLE_ATTRIBUTES = (
+    "PersonalStatus", "Age", "Dependents", "ForeignWorker", "YearsInHousing",
+)
+MUTABLE_ATTRIBUTES = (
+    "CheckingAccount", "SavingsAccount", "CreditHistory", "Purpose",
+    "CreditAmount", "Duration", "Employment", "InstallmentRate", "Housing",
+    "Property", "OtherDebtors", "Job", "ExistingCredits", "Telephone",
+    "OtherInstallmentPlans",
+)
+OUTCOME = "CreditRisk"
+
+
+def german_schema() -> Schema:
+    """Schema with the Table 3 role split (5 immutable, 15 mutable + outcome)."""
+    specs = [
+        AttributeSpec(name, AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE)
+        for name in IMMUTABLE_ATTRIBUTES
+    ]
+    specs += [
+        AttributeSpec(name, AttributeKind.CATEGORICAL, AttributeRole.MUTABLE)
+        for name in MUTABLE_ATTRIBUTES
+    ]
+    specs.append(
+        AttributeSpec(OUTCOME, AttributeKind.CONTINUOUS, AttributeRole.OUTCOME)
+    )
+    return Schema(specs)
+
+
+def german_templates() -> RuleTemplates:
+    """Case-study phrasing templates (Sec. 6)."""
+    return RuleTemplates(
+        grouping={
+            "Age": "people aged {value}",
+            "PersonalStatus": "{value} applicants",
+            "Dependents": "people with {value} dependents",
+            "Purpose": "people seeking a loan for {value}",
+        },
+        intervention={
+            "CheckingAccount": "maintain a checking account balance of {value}",
+            "SavingsAccount": "maintain savings of {value}",
+            "Job": "pursue {value} employment",
+            "Housing": "live in {value} housing",
+            "CreditHistory": "maintain a credit history of {value}",
+            "Employment": "hold employment for {value}",
+            "Property": "hold property: {value}",
+            "Duration": "take loans of duration {value}",
+            "CreditAmount": "take loans of {value}",
+        },
+    )
+
+
+def load_german(
+    n: int = 1_000, rng: int | np.random.Generator | None = None
+) -> DatasetBundle:
+    """Generate the German Credit bundle.
+
+    Parameters
+    ----------
+    n:
+        Number of rows (paper: 1,000).
+    rng:
+        Seed or generator (default: the library seed, fully reproducible).
+    """
+    generator = ensure_rng(rng)
+    scm = build_german_scm()
+    schema = german_schema()
+    table = scm.sample_table(n, generator, schema=schema)
+    protected = ProtectedGroup(
+        Pattern.of(PersonalStatus="female single"), name="single females"
+    )
+    return DatasetBundle(
+        name="german",
+        table=table,
+        schema=schema,
+        dag=scm.dag(),
+        protected=protected,
+        scm=scm,
+        templates=german_templates(),
+        default_fairness_threshold=0.1,
+        default_coverage_theta=0.3,
+        fairness_kind="BGL",
+    )

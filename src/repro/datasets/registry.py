@@ -1,0 +1,49 @@
+"""Dataset registry: look up loaders by name.
+
+Keeps the experiment harness free of dataset-specific imports — a benchmark
+asks for ``load_dataset("stackoverflow", n=6000)`` and receives a
+:class:`~repro.datasets.bundle.DatasetBundle`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.german import load_german
+from repro.datasets.stackoverflow import load_stackoverflow
+from repro.utils.errors import ConfigError
+
+DATASET_LOADERS: dict[str, Callable[..., DatasetBundle]] = {
+    "stackoverflow": load_stackoverflow,
+    "german": load_german,
+}
+
+
+def load_dataset(
+    name: str,
+    n: int | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> DatasetBundle:
+    """Load a registered dataset by name.
+
+    Parameters
+    ----------
+    name:
+        ``"stackoverflow"`` or ``"german"``.
+    n:
+        Row count override (``None`` = the paper's size: 38K / 1K).
+    rng:
+        Seed or generator.
+    """
+    try:
+        loader = DATASET_LOADERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_LOADERS)}"
+        ) from None
+    if n is None:
+        return loader(rng=rng)
+    return loader(n=n, rng=rng)

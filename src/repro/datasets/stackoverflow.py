@@ -1,0 +1,448 @@
+"""Synthetic Stack Overflow developer-survey dataset (S19).
+
+Mirrors the paper's SO setup (Table 3): ~38K rows, 20 attributes of which 10
+are mutable, outcome = annual salary in USD, protected group = respondents
+from low-GDP countries (~21.5% of rows).
+
+The generating SCM plants the causal structure the paper's case study
+reports, so the reproduction exhibits the same qualitative findings:
+
+- salary is dominated by the country's economy (high base in high-GDP
+  countries) — a *confounder*, not an actionable lever;
+- education, undergraduate major (CS), role (developer roles), daily
+  computer hours and company size have genuine positive causal effects on
+  salary, **moderated by GDP**: the protected group receives roughly half
+  the effect (``LOW_GDP_EFFECT_FACTOR``), which is exactly the disparity
+  FairCap's fairness constraints must manage;
+- sexual orientation has **zero** causal effect but is correlated with
+  country, so association-based baselines (IDS / FRL) surface it while
+  causal methods must not — the paper's motivating trap (Sec. 7.2).
+
+All distributions are invented (the real survey is not redistributable);
+DESIGN.md documents the substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.scm import SCMNode, StructuralCausalModel
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.synth import indicator, lookup, pick, pick_rows, uniform_noise
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.templates import RuleTemplates
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.utils.rng import ensure_rng
+
+# -- domains ---------------------------------------------------------------------
+
+COUNTRIES = (
+    "US", "Germany", "UK", "Canada", "France", "Australia", "China",
+    "India", "Brazil", "Nigeria", "Philippines",
+)
+COUNTRY_PROBS = (0.28, 0.10, 0.09, 0.08, 0.07, 0.06, 0.095, 0.08, 0.07, 0.04, 0.035)
+LOW_GDP_COUNTRIES = frozenset({"India", "Brazil", "Nigeria", "Philippines"})
+
+GENDERS = ("Male", "Female", "Non-binary")
+ETHNICITIES = ("White", "South Asian", "East Asian", "Black", "Hispanic")
+AGES = ("18-24", "25-34", "35-44", "45-54", "55+")
+YEARS_CODING = ("0-2", "3-5", "6-8", "9-11", "12+")
+PARENT_EDUCATION = ("Primary", "Secondary", "Bachelor", "Graduate")
+ORIENTATIONS = ("Straight", "Gay or Lesbian", "Bisexual", "Prefer not to say")
+
+EDUCATIONS = ("HighSchool", "Bachelor", "Master", "PhD")
+MAJORS = ("CS", "Engineering", "Science", "Business", "Arts", "None")
+ROLES = (
+    "Back-end developer", "Front-end developer", "Full-stack developer",
+    "Data scientist", "QA developer", "Designer", "Manager", "C-suite",
+)
+HOURS_COMPUTER = ("<5", "5-8", "9-12", "12+")
+REMOTE = ("Onsite", "Hybrid", "Remote")
+LANGUAGES = ("Python", "JavaScript", "Java", "C++", "Go")
+EXERCISE = ("Never", "1-2 per week", "3-4 per week", "Daily")
+COMPANY_SIZES = ("Small", "Medium", "Large")
+YES_NO = ("No", "Yes")
+
+# -- effect profile (all in USD / year) -----------------------------------------
+
+COUNTRY_BASE = {
+    "US": 95_000.0, "Germany": 74_000.0, "UK": 70_000.0, "Canada": 72_000.0,
+    "France": 62_000.0, "Australia": 68_000.0, "China": 38_000.0,
+    "India": 16_000.0, "Brazil": 20_000.0, "Nigeria": 12_000.0,
+    "Philippines": 14_000.0,
+}
+LOW_GDP_EFFECT_FACTOR = 0.45
+"""Protected-group treatment effects are this fraction of the full effect."""
+
+EDUCATION_EFFECT = {"HighSchool": 0.0, "Bachelor": 24_000.0,
+                    "Master": 31_000.0, "PhD": 36_000.0}
+MAJOR_EFFECT = {"CS": 30_000.0, "Engineering": 17_000.0, "Science": 9_000.0,
+                "Business": 5_000.0, "Arts": 0.0, "None": 0.0}
+ROLE_EFFECT = {
+    "Back-end developer": 42_000.0, "Front-end developer": 40_000.0,
+    "Full-stack developer": 36_000.0, "Data scientist": 48_000.0,
+    "QA developer": 2_000.0, "Designer": 0.0, "Manager": 22_000.0,
+    "C-suite": 52_000.0,
+}
+HOURS_EFFECT = {"<5": 0.0, "5-8": 9_000.0, "9-12": 18_000.0, "12+": 13_000.0}
+COMPANY_EFFECT = {"Small": 0.0, "Medium": 8_000.0, "Large": 18_000.0}
+LANGUAGE_EFFECT = {"Python": 4_000.0, "JavaScript": 2_500.0, "Java": 2_000.0,
+                   "C++": 3_000.0, "Go": 5_000.0}
+REMOTE_EFFECT = {"Onsite": 0.0, "Hybrid": 2_000.0, "Remote": 4_000.0}
+OPEN_SOURCE_EFFECT = {"No": 0.0, "Yes": 3_000.0}
+CERTIFICATION_EFFECT = {"No": 0.0, "Yes": 5_000.0}
+EXERCISE_EFFECT = {"Never": 0.0, "1-2 per week": 500.0,
+                   "3-4 per week": 800.0, "Daily": 1_000.0}
+YEARS_CODING_EFFECT = {"0-2": 0.0, "3-5": 8_000.0, "6-8": 16_000.0,
+                       "9-11": 24_000.0, "12+": 30_000.0}
+AGE_EFFECT = {"18-24": 0.0, "25-34": 6_000.0, "35-44": 10_000.0,
+              "45-54": 12_000.0, "55+": 11_000.0}
+GENDER_EFFECT = {"Male": 2_000.0, "Female": 0.0, "Non-binary": 0.0}
+STUDENT_EFFECT = {"No": 0.0, "Yes": -14_000.0}
+SALARY_NOISE_SD = 9_000.0
+
+
+def _gdp_factor(country: np.ndarray) -> np.ndarray:
+    """Per-row treatment-effect moderation by the country's economy."""
+    low = np.isin(country, tuple(LOW_GDP_COUNTRIES))
+    return np.where(low, LOW_GDP_EFFECT_FACTOR, 1.0)
+
+
+# -- mechanisms ------------------------------------------------------------------
+
+
+def _mk_country(parents, noise):
+    return pick(COUNTRIES, COUNTRY_PROBS, noise)
+
+
+def _mk_gdp(parents, noise):
+    low = np.isin(parents["Country"], tuple(LOW_GDP_COUNTRIES))
+    return np.where(low, "Low", "High").astype(object)
+
+
+def _mk_gender(parents, noise):
+    return pick(GENDERS, (0.72, 0.25, 0.03), noise)
+
+
+def _mk_age(parents, noise):
+    return pick(AGES, (0.22, 0.42, 0.22, 0.10, 0.04), noise)
+
+
+def _mk_ethnicity(parents, noise):
+    country = parents["Country"]
+    n = country.shape[0]
+    probs = np.zeros((n, len(ETHNICITIES)))
+    western = np.isin(country, ("US", "Germany", "UK", "Canada", "France", "Australia"))
+    south_asian = country == "India"
+    east_asian = np.isin(country, ("China", "Philippines"))
+    latin = country == "Brazil"
+    african = country == "Nigeria"
+    probs[western] = (0.70, 0.08, 0.08, 0.07, 0.07)
+    probs[south_asian] = (0.02, 0.92, 0.03, 0.02, 0.01)
+    probs[east_asian] = (0.02, 0.03, 0.92, 0.02, 0.01)
+    probs[latin] = (0.25, 0.02, 0.02, 0.06, 0.65)
+    probs[african] = (0.02, 0.02, 0.02, 0.92, 0.02)
+    return pick_rows(ETHNICITIES, probs, noise)
+
+
+def _mk_years_coding(parents, noise):
+    age = parents["Age"]
+    n = age.shape[0]
+    probs = np.zeros((n, len(YEARS_CODING)))
+    probs[age == "18-24"] = (0.55, 0.35, 0.08, 0.01, 0.01)
+    probs[age == "25-34"] = (0.15, 0.30, 0.30, 0.15, 0.10)
+    probs[age == "35-44"] = (0.05, 0.12, 0.23, 0.25, 0.35)
+    probs[age == "45-54"] = (0.03, 0.07, 0.15, 0.20, 0.55)
+    probs[age == "55+"] = (0.02, 0.05, 0.10, 0.13, 0.70)
+    return pick_rows(YEARS_CODING, probs, noise)
+
+
+def _mk_dependents(parents, noise):
+    age = parents["Age"]
+    p_yes = lookup(
+        {"18-24": 0.08, "25-34": 0.35, "35-44": 0.65, "45-54": 0.70, "55+": 0.60},
+        age,
+    )
+    return np.where(noise < p_yes, "Yes", "No").astype(object)
+
+
+def _mk_parent_education(parents, noise):
+    return pick(PARENT_EDUCATION, (0.15, 0.40, 0.30, 0.15), noise)
+
+
+def _mk_student(parents, noise):
+    age = parents["Age"]
+    p_yes = lookup(
+        {"18-24": 0.45, "25-34": 0.12, "35-44": 0.04, "45-54": 0.02, "55+": 0.01},
+        age,
+    )
+    return np.where(noise < p_yes, "Yes", "No").astype(object)
+
+
+def _mk_orientation(parents, noise):
+    """Correlated with country, causally inert for salary (the IDS/FRL trap)."""
+    country = parents["Country"]
+    n = country.shape[0]
+    probs = np.tile(np.array([0.86, 0.06, 0.05, 0.03]), (n, 1))
+    low = np.isin(country, tuple(LOW_GDP_COUNTRIES))
+    probs[low] = (0.94, 0.015, 0.015, 0.03)
+    return pick_rows(ORIENTATIONS, probs, noise)
+
+
+def _mk_education(parents, noise):
+    age, gender = parents["Age"], parents["Gender"]
+    country, parent_ed = parents["Country"], parents["ParentsEducation"]
+    n = age.shape[0]
+    # Base distribution over (HighSchool, Bachelor, Master, PhD).
+    probs = np.tile(np.array([0.25, 0.45, 0.22, 0.08]), (n, 1))
+    young = age == "18-24"
+    probs[young] = (0.55, 0.38, 0.06, 0.01)
+    graduate_parents = np.isin(parent_ed, ("Bachelor", "Graduate"))
+    probs[graduate_parents] *= (0.6, 1.1, 1.4, 1.6)
+    rich = ~np.isin(country, tuple(LOW_GDP_COUNTRIES))
+    probs[rich] *= (0.85, 1.0, 1.15, 1.2)
+    probs[gender == "Female"] *= (0.95, 1.05, 1.05, 0.95)
+    return pick_rows(EDUCATIONS, probs, noise)
+
+
+def _mk_major(parents, noise):
+    student, education = parents["Student"], parents["Education"]
+    n = student.shape[0]
+    probs = np.tile(np.array([0.30, 0.20, 0.15, 0.12, 0.08, 0.15]), (n, 1))
+    probs[student == "Yes"] = (0.40, 0.22, 0.13, 0.10, 0.10, 0.05)
+    probs[education == "HighSchool"] = (0.05, 0.05, 0.05, 0.05, 0.05, 0.75)
+    return pick_rows(MAJORS, probs, noise)
+
+
+def _mk_role(parents, noise):
+    education, age = parents["Education"], parents["Age"]
+    gender, ethnicity = parents["Gender"], parents["Ethnicity"]
+    years = parents["YearsCoding"]
+    n = education.shape[0]
+    probs = np.tile(
+        np.array([0.22, 0.16, 0.20, 0.08, 0.10, 0.08, 0.10, 0.06]), (n, 1)
+    )
+    advanced = np.isin(education, ("Master", "PhD"))
+    probs[advanced] *= (1.1, 0.9, 1.0, 2.2, 0.6, 0.5, 1.2, 1.3)
+    senior = np.isin(age, ("35-44", "45-54", "55+"))
+    probs[senior] *= (0.9, 0.8, 0.9, 1.0, 0.8, 0.7, 1.8, 2.0)
+    experienced = np.isin(years, ("9-11", "12+"))
+    probs[experienced] *= (1.1, 0.9, 1.0, 1.1, 0.7, 0.6, 1.5, 1.6)
+    probs[gender == "Female"] *= (0.85, 1.25, 0.95, 1.0, 1.2, 1.3, 0.95, 0.7)
+    probs[ethnicity == "White"] *= (1.0, 1.0, 1.0, 1.0, 0.9, 1.0, 1.1, 1.2)
+    return pick_rows(ROLES, probs, noise)
+
+
+def _mk_hours(parents, noise):
+    role = parents["Role"]
+    n = role.shape[0]
+    probs = np.tile(np.array([0.10, 0.45, 0.35, 0.10]), (n, 1))
+    dev = np.isin(
+        role,
+        ("Back-end developer", "Front-end developer", "Full-stack developer",
+         "Data scientist"),
+    )
+    probs[dev] = (0.04, 0.36, 0.45, 0.15)
+    probs[role == "Manager"] = (0.15, 0.55, 0.25, 0.05)
+    return pick_rows(HOURS_COMPUTER, probs, noise)
+
+
+def _mk_remote(parents, noise):
+    role = parents["Role"]
+    n = role.shape[0]
+    probs = np.tile(np.array([0.40, 0.35, 0.25]), (n, 1))
+    probs[role == "Data scientist"] = (0.30, 0.40, 0.30)
+    return pick_rows(REMOTE, probs, noise)
+
+
+def _mk_language(parents, noise):
+    major, role = parents["UndergradMajor"], parents["Role"]
+    n = major.shape[0]
+    probs = np.tile(np.array([0.25, 0.30, 0.20, 0.15, 0.10]), (n, 1))
+    probs[major == "CS"] = (0.30, 0.25, 0.20, 0.15, 0.10)
+    probs[role == "Data scientist"] = (0.70, 0.08, 0.08, 0.09, 0.05)
+    probs[role == "Front-end developer"] = (0.08, 0.72, 0.08, 0.06, 0.06)
+    return pick_rows(LANGUAGES, probs, noise)
+
+
+def _mk_exercise(parents, noise):
+    return pick(EXERCISE, (0.30, 0.35, 0.22, 0.13), noise)
+
+
+def _mk_company_size(parents, noise):
+    country = parents["Country"]
+    n = country.shape[0]
+    probs = np.tile(np.array([0.35, 0.35, 0.30]), (n, 1))
+    low = np.isin(country, tuple(LOW_GDP_COUNTRIES))
+    probs[low] = (0.45, 0.35, 0.20)
+    return pick_rows(COMPANY_SIZES, probs, noise)
+
+
+def _mk_open_source(parents, noise):
+    return np.where(noise < 0.35, "Yes", "No").astype(object)
+
+
+def _mk_certifications(parents, noise):
+    education = parents["Education"]
+    p_yes = lookup(
+        {"HighSchool": 0.30, "Bachelor": 0.25, "Master": 0.20, "PhD": 0.10},
+        education,
+    )
+    return np.where(noise < p_yes, "Yes", "No").astype(object)
+
+
+def _mk_salary(parents, noise):
+    country = parents["Country"]
+    factor = _gdp_factor(country)
+    salary = lookup(COUNTRY_BASE, country)
+    salary += factor * lookup(EDUCATION_EFFECT, parents["Education"])
+    salary += factor * lookup(MAJOR_EFFECT, parents["UndergradMajor"])
+    salary += factor * lookup(ROLE_EFFECT, parents["Role"])
+    salary += factor * lookup(HOURS_EFFECT, parents["HoursComputer"])
+    salary += factor * lookup(COMPANY_EFFECT, parents["CompanySize"])
+    salary += factor * lookup(LANGUAGE_EFFECT, parents["PrimaryLanguage"])
+    salary += factor * lookup(REMOTE_EFFECT, parents["RemoteWork"])
+    salary += factor * lookup(OPEN_SOURCE_EFFECT, parents["OpenSource"])
+    salary += factor * lookup(CERTIFICATION_EFFECT, parents["Certifications"])
+    salary += lookup(EXERCISE_EFFECT, parents["Exercise"])
+    salary += factor * lookup(YEARS_CODING_EFFECT, parents["YearsCoding"])
+    salary += lookup(AGE_EFFECT, parents["Age"])
+    salary += lookup(GENDER_EFFECT, parents["Gender"])
+    salary += lookup(STUDENT_EFFECT, parents["Student"])
+    salary += SALARY_NOISE_SD * noise
+    return np.maximum(salary, 1_000.0)
+
+
+def build_stackoverflow_scm() -> StructuralCausalModel:
+    """Construct the Stack Overflow SCM (the dataset's "original" DAG)."""
+    nodes = [
+        SCMNode("Country", (), _mk_country, uniform_noise),
+        SCMNode("GDP", ("Country",), _mk_gdp, uniform_noise),
+        SCMNode("Gender", (), _mk_gender, uniform_noise),
+        SCMNode("Age", (), _mk_age, uniform_noise),
+        SCMNode("Ethnicity", ("Country",), _mk_ethnicity, uniform_noise),
+        SCMNode("YearsCoding", ("Age",), _mk_years_coding, uniform_noise),
+        SCMNode("Dependents", ("Age",), _mk_dependents, uniform_noise),
+        SCMNode("ParentsEducation", (), _mk_parent_education, uniform_noise),
+        SCMNode("Student", ("Age",), _mk_student, uniform_noise),
+        SCMNode("SexualOrientation", ("Country",), _mk_orientation, uniform_noise),
+        SCMNode(
+            "Education",
+            ("Age", "Gender", "Country", "ParentsEducation"),
+            _mk_education,
+            uniform_noise,
+        ),
+        SCMNode(
+            "UndergradMajor", ("Student", "Education"), _mk_major, uniform_noise
+        ),
+        SCMNode(
+            "Role",
+            ("Education", "Age", "Gender", "Ethnicity", "YearsCoding"),
+            _mk_role,
+            uniform_noise,
+        ),
+        SCMNode("HoursComputer", ("Role",), _mk_hours, uniform_noise),
+        SCMNode("RemoteWork", ("Role",), _mk_remote, uniform_noise),
+        SCMNode(
+            "PrimaryLanguage", ("UndergradMajor", "Role"), _mk_language, uniform_noise
+        ),
+        SCMNode("Exercise", (), _mk_exercise, uniform_noise),
+        SCMNode("CompanySize", ("Country",), _mk_company_size, uniform_noise),
+        SCMNode("OpenSource", (), _mk_open_source, uniform_noise),
+        SCMNode("Certifications", ("Education",), _mk_certifications, uniform_noise),
+        SCMNode(
+            "Salary",
+            (
+                "Country", "Education", "UndergradMajor", "Role", "HoursComputer",
+                "CompanySize", "PrimaryLanguage", "RemoteWork", "OpenSource",
+                "Certifications", "Exercise", "YearsCoding", "Age", "Gender",
+                "Student",
+            ),
+            _mk_salary,
+        ),
+    ]
+    return StructuralCausalModel(nodes)
+
+
+IMMUTABLE_ATTRIBUTES = (
+    "Gender", "Ethnicity", "Age", "Country", "GDP", "YearsCoding",
+    "Dependents", "ParentsEducation", "Student", "SexualOrientation",
+)
+MUTABLE_ATTRIBUTES = (
+    "Education", "UndergradMajor", "Role", "HoursComputer", "RemoteWork",
+    "PrimaryLanguage", "Exercise", "CompanySize", "OpenSource", "Certifications",
+)
+OUTCOME = "Salary"
+
+
+def stackoverflow_schema() -> Schema:
+    """Schema with the Table 3 role split (10 immutable, 10 mutable + outcome)."""
+    specs = [
+        AttributeSpec(name, AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE)
+        for name in IMMUTABLE_ATTRIBUTES
+    ]
+    specs += [
+        AttributeSpec(name, AttributeKind.CATEGORICAL, AttributeRole.MUTABLE)
+        for name in MUTABLE_ATTRIBUTES
+    ]
+    specs.append(AttributeSpec(OUTCOME, AttributeKind.CONTINUOUS, AttributeRole.OUTCOME))
+    return Schema(specs)
+
+
+def stackoverflow_templates() -> RuleTemplates:
+    """Case-study phrasing templates (Sec. 6)."""
+    return RuleTemplates(
+        grouping={
+            "Age": "individuals aged {value}",
+            "Gender": "{value} respondents",
+            "Dependents": "individuals with dependents: {value}",
+            "YearsCoding": "individuals with {value} years of coding experience",
+            "Country": "residents of {value}",
+            "GDP": "individuals from {value}-GDP countries",
+            "Student": "students: {value}",
+            "ParentsEducation": "individuals whose parents have {value} education",
+        },
+        intervention={
+            "Education": "pursue a {value} degree",
+            "UndergradMajor": "pursue an undergraduate major in {value}",
+            "Role": "work as a {value}",
+            "HoursComputer": "work with a computer {value} hours a day",
+            "CompanySize": "join a {value} company",
+            "PrimaryLanguage": "adopt {value} as primary language",
+            "RemoteWork": "switch to {value} work",
+            "OpenSource": "contribute to open source: {value}",
+            "Exercise": "exercise {value}",
+        },
+    )
+
+
+def load_stackoverflow(
+    n: int = 38_000, rng: int | np.random.Generator | None = None
+) -> DatasetBundle:
+    """Generate the Stack Overflow bundle.
+
+    Parameters
+    ----------
+    n:
+        Number of rows (paper: 38K; benchmarks may scale down).
+    rng:
+        Seed or generator (default: the library seed, fully reproducible).
+    """
+    generator = ensure_rng(rng)
+    scm = build_stackoverflow_scm()
+    schema = stackoverflow_schema()
+    table = scm.sample_table(n, generator, schema=schema)
+    protected = ProtectedGroup(Pattern.of(GDP="Low"), name="low-GDP countries")
+    return DatasetBundle(
+        name="stackoverflow",
+        table=table,
+        schema=schema,
+        dag=scm.dag(),
+        protected=protected,
+        scm=scm,
+        templates=stackoverflow_templates(),
+        default_fairness_threshold=10_000.0,
+        default_coverage_theta=0.5,
+        fairness_kind="SP",
+    )

@@ -1,0 +1,86 @@
+"""Vectorised helpers for writing SCM mechanisms.
+
+Categorical mechanisms draw from per-row probability vectors using a single
+uniform noise array (inverse-CDF sampling), which keeps them replayable under
+``do()`` interventions: the same noise yields the same draw whenever the
+parent-conditional distribution is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.errors import SchemaError
+
+
+def pick(
+    values: Sequence[object], probabilities: Sequence[float], uniform: np.ndarray
+) -> np.ndarray:
+    """Sample from a fixed categorical distribution via inverse CDF.
+
+    Parameters
+    ----------
+    values:
+        The categories.
+    probabilities:
+        Their probabilities (must sum to ~1).
+    uniform:
+        Uniform(0,1) noise, one entry per row.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if len(values) != probs.size:
+        raise SchemaError("values and probabilities must have equal length")
+    if not np.isclose(probs.sum(), 1.0, atol=1e-6):
+        raise SchemaError(f"probabilities sum to {probs.sum():.6f}, expected 1")
+    cumulative = np.cumsum(probs)
+    indices = np.searchsorted(cumulative, uniform, side="right")
+    indices = np.clip(indices, 0, len(values) - 1)
+    lookup_arr = np.asarray(values, dtype=object)
+    return lookup_arr[indices]
+
+
+def pick_rows(
+    values: Sequence[object], prob_matrix: np.ndarray, uniform: np.ndarray
+) -> np.ndarray:
+    """Sample from row-specific categorical distributions via inverse CDF.
+
+    ``prob_matrix`` has shape ``(n, k)``; each row is normalised before
+    sampling so mechanisms can pass unnormalised scores.
+    """
+    matrix = np.asarray(prob_matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != len(values):
+        raise SchemaError(
+            f"prob_matrix shape {matrix.shape} incompatible with {len(values)} values"
+        )
+    if (matrix < 0).any():
+        raise SchemaError("probabilities must be non-negative")
+    totals = matrix.sum(axis=1, keepdims=True)
+    if (totals <= 0).any():
+        raise SchemaError("each row must have positive total probability")
+    cumulative = np.cumsum(matrix / totals, axis=1)
+    indices = (uniform[:, None] > cumulative).sum(axis=1)
+    indices = np.clip(indices, 0, len(values) - 1)
+    lookup_arr = np.asarray(values, dtype=object)
+    return lookup_arr[indices]
+
+
+def lookup(
+    mapping: Mapping[object, float], keys: np.ndarray, default: float = 0.0
+) -> np.ndarray:
+    """Vectorised ``mapping[key]`` over an object array, with a default."""
+    out = np.full(keys.shape[0], float(default), dtype=np.float64)
+    for value, effect in mapping.items():
+        out[keys == value] = float(effect)
+    return out
+
+
+def indicator(keys: np.ndarray, value: object) -> np.ndarray:
+    """Float 0/1 indicator of ``keys == value``."""
+    return (keys == value).astype(np.float64)
+
+
+def uniform_noise(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Noise sampler producing Uniform(0,1) draws (for categorical nodes)."""
+    return rng.random(n)

@@ -1,0 +1,45 @@
+"""Experiment harness (S22): one module per paper table / figure.
+
+Each module exposes ``run_*`` returning structured rows and ``format_*``
+rendering them as the paper prints them.  The benchmarks under
+``benchmarks/`` are thin wrappers over these functions.
+
+Scale notes: by default the harness runs on scaled-down synthetic datasets
+(environment variables ``REPRO_SO_N`` / ``REPRO_GERMAN_N`` override the row
+counts; ``REPRO_FULL=1`` selects the paper's full sizes).  EXPERIMENTS.md
+records paper-vs-measured values.
+"""
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.reporting import ResultRow, format_rows, row_from_metrics
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5
+from repro.experiments.table6 import format_table6, run_table6
+from repro.experiments.figure3 import format_figure3, run_figure3
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.apriori_sweep import format_apriori_sweep, run_apriori_sweep
+
+__all__ = [
+    "ExperimentSettings",
+    "ResultRow",
+    "format_rows",
+    "row_from_metrics",
+    "run_table3",
+    "format_table3",
+    "run_table4",
+    "format_table4",
+    "run_table5",
+    "format_table5",
+    "run_table6",
+    "format_table6",
+    "run_figure3",
+    "format_figure3",
+    "run_figure4",
+    "format_figure4",
+    "run_figure5",
+    "format_figure5",
+    "run_apriori_sweep",
+    "format_apriori_sweep",
+]

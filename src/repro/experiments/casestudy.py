@@ -1,0 +1,119 @@
+"""The Sec. 6 case study: categorised example rules in natural language.
+
+The paper presents, per configuration, three example rules "chosen by
+randomly picking one from each category (one that favors the protected
+group, one that favors the non-protected, and another that is more
+balanced)".  :func:`categorize_rules` reproduces that categorisation and
+:func:`render_case_study` the boxed presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet
+from repro.rules.templates import RuleTemplates, describe_rule
+from repro.utils.rng import ensure_rng
+
+FAVORS_PROTECTED = "favors_protected"
+FAVORS_NON_PROTECTED = "favors_non_protected"
+BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class CaseStudySelection:
+    """One example rule per category (None when the category is empty)."""
+
+    favors_protected: PrescriptionRule | None
+    favors_non_protected: PrescriptionRule | None
+    balanced: PrescriptionRule | None
+
+    def rules(self) -> list[PrescriptionRule]:
+        """The selected rules, skipping empty categories."""
+        return [
+            rule
+            for rule in (
+                self.favors_non_protected, self.balanced, self.favors_protected,
+            )
+            if rule is not None
+        ]
+
+
+def categorize_rules(
+    ruleset: RuleSet, balance_tolerance: float = 0.2
+) -> dict[str, list[PrescriptionRule]]:
+    """Split rules by whom they favour.
+
+    A rule is *balanced* when the protected/non-protected utilities differ
+    by at most ``balance_tolerance`` relative to their larger magnitude;
+    otherwise it favours whichever group gains more.
+    """
+    categories: dict[str, list[PrescriptionRule]] = {
+        FAVORS_PROTECTED: [],
+        FAVORS_NON_PROTECTED: [],
+        BALANCED: [],
+    }
+    for rule in ruleset:
+        scale = max(abs(rule.utility_protected), abs(rule.utility_non_protected))
+        if scale == 0:
+            categories[BALANCED].append(rule)
+            continue
+        gap = (rule.utility_non_protected - rule.utility_protected) / scale
+        if abs(gap) <= balance_tolerance:
+            categories[BALANCED].append(rule)
+        elif gap > 0:
+            categories[FAVORS_NON_PROTECTED].append(rule)
+        else:
+            categories[FAVORS_PROTECTED].append(rule)
+    return categories
+
+
+def pick_case_study_rules(
+    ruleset: RuleSet,
+    rng: int | np.random.Generator | None = None,
+    balance_tolerance: float = 0.2,
+) -> CaseStudySelection:
+    """Randomly pick one rule from each category (paper Sec. 6)."""
+    generator = ensure_rng(rng)
+    categories = categorize_rules(ruleset, balance_tolerance)
+
+    def pick(name: str) -> PrescriptionRule | None:
+        pool = categories[name]
+        if not pool:
+            return None
+        return pool[int(generator.integers(0, len(pool)))]
+
+    return CaseStudySelection(
+        favors_protected=pick(FAVORS_PROTECTED),
+        favors_non_protected=pick(FAVORS_NON_PROTECTED),
+        balanced=pick(BALANCED),
+    )
+
+
+def render_case_study(
+    title: str,
+    ruleset: RuleSet,
+    templates: RuleTemplates | None = None,
+    rng: int | np.random.Generator | None = None,
+    utility_format: str = "{:,.0f}",
+) -> str:
+    """Render the paper's boxed case-study presentation.
+
+    Example output::
+
+        3 Selected Rules out of 11 for SO (SP group fairness):
+        > For individuals aged 24-34, pursue an undergraduate major in CS
+          (exp utility protected: 10,292, exp utility non-protected: 22,586).
+        ...
+    """
+    selection = pick_case_study_rules(ruleset, rng=rng)
+    chosen = selection.rules()
+    lines = [f"{len(chosen)} Selected Rules out of {ruleset.size} for {title}:"]
+    for rule in chosen:
+        lines.append(
+            "> " + describe_rule(rule, templates, utility_format=utility_format)
+        )
+    return "\n".join(lines)

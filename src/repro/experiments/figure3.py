@@ -1,0 +1,94 @@
+"""Figure 3: runtime of the FairCap algorithm broken down by step (SO).
+
+Runs every canonical variant and reports the wall-clock seconds of the three
+phases (group mining / treatment mining / greedy selection).
+
+Expected shape (Sec. 7.3): group mining is negligible (<2s in the paper);
+treatment mining dominates everywhere; the unconstrained setting is the
+slowest overall; rule-coverage settings are the fastest because coverage
+pruning shrinks the grouping-pattern pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.faircap import (
+    STEP_GREEDY,
+    STEP_GROUP_MINING,
+    STEP_TREATMENT_MINING,
+    FairCap,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.utils.text import format_float, format_table
+
+
+@dataclass(frozen=True)
+class Figure3Row:
+    """Per-variant step timings (seconds)."""
+
+    setting: str
+    group_mining: float
+    treatment_mining: float
+    greedy_selection: float
+
+    @property
+    def total(self) -> float:
+        return self.group_mining + self.treatment_mining + self.greedy_selection
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """All step-breakdown rows."""
+
+    dataset: str
+    rows: tuple[Figure3Row, ...]
+
+
+def run_figure3(
+    dataset: str = "stackoverflow",
+    settings: ExperimentSettings | None = None,
+) -> Figure3Result:
+    """Measure the per-step runtime of every canonical variant."""
+    settings = settings or ExperimentSettings.from_environment()
+    bundle = settings.load(dataset)
+    variants = settings.variants_for(bundle)
+
+    rows: list[Figure3Row] = []
+    for name, variant in variants.items():
+        config = settings.config_for(bundle, variant)
+        result = FairCap(config).run(
+            bundle.table, bundle.schema, bundle.dag, bundle.protected
+        )
+        timings = result.timings
+        rows.append(
+            Figure3Row(
+                setting=name,
+                group_mining=timings.get(STEP_GROUP_MINING, 0.0),
+                treatment_mining=timings.get(STEP_TREATMENT_MINING, 0.0),
+                greedy_selection=timings.get(STEP_GREEDY, 0.0),
+            )
+        )
+    return Figure3Result(dataset=dataset, rows=tuple(rows))
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render the per-step runtime series of Figure 3."""
+    headers = [
+        "setting", "group mining (s)", "treatment mining (s)",
+        "greedy selection (s)", "total (s)",
+    ]
+    body = [
+        [
+            row.setting,
+            format_float(row.group_mining, 2),
+            format_float(row.treatment_mining, 2),
+            format_float(row.greedy_selection, 2),
+            format_float(row.total, 2),
+        ]
+        for row in result.rows
+    ]
+    return format_table(
+        headers, body,
+        title=f"Figure 3 [{result.dataset}]: runtime by step of FairCap",
+    )

@@ -1,0 +1,97 @@
+"""Figure 4: runtime as a function of dataset size (SO).
+
+Runs FairCap (all canonical variants) plus the IDS and FRL baselines on 25%,
+50%, 75% and 100% samples of the dataset.
+
+Expected shape (Sec. 7.3): runtime grows roughly linearly with the dataset
+size for every method; FairCap is comparable to IDS in some configurations;
+FRL is the slowest (an order of magnitude above IDS in the paper, driven by
+its ordering search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.frl import FRLConfig, run_frl
+from repro.baselines.ids import IDSConfig, run_ids
+from repro.core.faircap import FairCap
+from repro.experiments.settings import ExperimentSettings
+from repro.utils.text import format_float, format_table
+from repro.utils.timer import Timer
+
+DEFAULT_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class Figure4Series:
+    """Runtime (seconds) of one method across dataset fractions."""
+
+    method: str
+    seconds: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """All runtime series, one per method."""
+
+    dataset: str
+    fractions: tuple[float, ...]
+    series: tuple[Figure4Series, ...]
+
+
+def run_figure4(
+    dataset: str = "stackoverflow",
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    settings: ExperimentSettings | None = None,
+    include_baselines: bool = True,
+    variant_names: tuple[str, ...] | None = None,
+) -> Figure4Result:
+    """Measure runtime across dataset fractions for FairCap and baselines."""
+    settings = settings or ExperimentSettings.from_environment()
+    bundle = settings.load(dataset)
+    variants = settings.variants_for(bundle)
+    if variant_names is not None:
+        variants = {name: variants[name] for name in variant_names}
+
+    attributes = tuple(n for n in bundle.schema.names if n != bundle.outcome)
+    timings: dict[str, list[float]] = {name: [] for name in variants}
+    if include_baselines:
+        timings["IDS"] = []
+        timings["FRL"] = []
+
+    for fraction in fractions:
+        table = bundle.table.sample_fraction(fraction, rng=settings.seed)
+        for name, variant in variants.items():
+            config = settings.config_for(bundle, variant)
+            with Timer() as timer:
+                FairCap(config).run(table, bundle.schema, bundle.dag, bundle.protected)
+            timings[name].append(timer.elapsed)
+        if include_baselines:
+            ids_result = run_ids(
+                table, bundle.outcome, attributes, IDSConfig(target_rules=10)
+            )
+            timings["IDS"].append(ids_result.runtime_seconds)
+            frl_result = run_frl(table, bundle.outcome, attributes, FRLConfig())
+            timings["FRL"].append(frl_result.runtime_seconds)
+
+    series = tuple(
+        Figure4Series(method=name, seconds=tuple(values))
+        for name, values in timings.items()
+    )
+    return Figure4Result(dataset=dataset, fractions=tuple(fractions), series=series)
+
+
+def format_figure4(result: Figure4Result) -> str:
+    """Render the runtime-vs-size series of Figure 4."""
+    headers = ["method"] + [f"{f:.0%}" for f in result.fractions]
+    body = [
+        [s.method, *(format_float(v, 2) for v in s.seconds)] for s in result.series
+    ]
+    return format_table(
+        headers, body,
+        title=(
+            f"Figure 4 [{result.dataset}]: runtime (s) as a function of "
+            "dataset size"
+        ),
+    )

@@ -1,0 +1,132 @@
+"""Figure 5: runtime vs number of mutable and immutable attributes (SO).
+
+Two sweeps mirroring the paper's panels:
+
+- fix the immutable attributes (all 10) and grow the mutable set from 2 to
+  6 — the intervention lattice grows exponentially;
+- fix the mutable attributes (6) and grow the immutable set from 5 to 10 —
+  the grouping-pattern pool grows.
+
+Expected shape (Sec. 7.3): both sweeps increase FairCap's runtime with
+similar impact; IDS and FRL runtimes grow only slightly with the attribute
+count (they do not distinguish mutable from immutable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.baselines.frl import FRLConfig, run_frl
+from repro.baselines.ids import IDSConfig, run_ids
+from repro.core.faircap import FairCap
+from repro.experiments.settings import ExperimentSettings
+from repro.utils.text import format_float, format_table
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class Figure5Point:
+    """Runtime of one method at one attribute configuration."""
+
+    n_immutable: int
+    n_mutable: int
+    method: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """All sweep points (mutable sweep then immutable sweep)."""
+
+    dataset: str
+    points: tuple[Figure5Point, ...]
+
+
+def _measure(
+    bundle, settings: ExperimentSettings, immutables: tuple[str, ...],
+    mutables: tuple[str, ...], methods: tuple[str, ...],
+) -> list[Figure5Point]:
+    variants = settings.variants_for(bundle)
+    points: list[Figure5Point] = []
+    faircap_variants = {
+        "No constraint": variants["No constraints"],
+        "Group fairness": variants["Group fairness"],
+        "Indiv fairness": variants["Individual fairness"],
+    }
+    rule_attrs = immutables + mutables
+    for method in methods:
+        if method in faircap_variants:
+            config = replace(
+                settings.config_for(bundle, faircap_variants[method]),
+                grouping_attributes=immutables,
+                intervention_attributes=mutables,
+            )
+            with Timer() as timer:
+                FairCap(config).run(
+                    bundle.table, bundle.schema, bundle.dag, bundle.protected
+                )
+            seconds = timer.elapsed
+        elif method == "IDS":
+            seconds = run_ids(
+                bundle.table, bundle.outcome, rule_attrs, IDSConfig(target_rules=10)
+            ).runtime_seconds
+        else:  # FRL
+            seconds = run_frl(
+                bundle.table, bundle.outcome, rule_attrs, FRLConfig()
+            ).runtime_seconds
+        points.append(
+            Figure5Point(
+                n_immutable=len(immutables),
+                n_mutable=len(mutables),
+                method=method,
+                seconds=seconds,
+            )
+        )
+    return points
+
+
+def run_figure5(
+    dataset: str = "stackoverflow",
+    settings: ExperimentSettings | None = None,
+    mutable_counts: tuple[int, ...] = (2, 3, 4, 5, 6),
+    immutable_counts: tuple[int, ...] = (5, 6, 7, 8, 9, 10),
+    include_baselines: bool = True,
+) -> Figure5Result:
+    """Run both attribute-count sweeps."""
+    settings = settings or ExperimentSettings.from_environment()
+    bundle = settings.load(dataset)
+    all_immutable = bundle.schema.immutable_names
+    all_mutable = bundle.schema.mutable_names
+    methods: tuple[str, ...] = ("No constraint", "Group fairness", "Indiv fairness")
+    if include_baselines:
+        methods = methods + ("IDS", "FRL")
+
+    points: list[Figure5Point] = []
+    # Panel 1: all immutables, growing mutables.
+    for k in mutable_counts:
+        points.extend(
+            _measure(bundle, settings, all_immutable, all_mutable[:k], methods)
+        )
+    # Panel 2: growing immutables, fixed mutables.
+    fixed_mutables = all_mutable[: max(mutable_counts)]
+    for k in immutable_counts:
+        points.extend(
+            _measure(bundle, settings, all_immutable[:k], fixed_mutables, methods)
+        )
+    return Figure5Result(dataset=dataset, points=tuple(points))
+
+
+def format_figure5(result: Figure5Result) -> str:
+    """Render both panels of Figure 5."""
+    headers = ["immutable", "mutable", "method", "time (s)"]
+    body = [
+        [p.n_immutable, p.n_mutable, p.method, format_float(p.seconds, 2)]
+        for p in result.points
+    ]
+    return format_table(
+        headers, body,
+        title=(
+            f"Figure 5 [{result.dataset}]: runtime vs number of mutable and "
+            "immutable attributes"
+        ),
+    )

@@ -1,0 +1,75 @@
+"""Row structures and ASCII rendering shared by the table experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.rules.ruleset import RulesetMetrics
+from repro.utils.text import format_float, format_percent, format_table
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One row of a Table 4/5/6-style comparison."""
+
+    label: str
+    n_rules: int
+    coverage: float
+    coverage_protected: float
+    exp_utility: float
+    exp_utility_non_protected: float
+    exp_utility_protected: float
+    unfairness: float
+    runtime_seconds: float = float("nan")
+
+
+def row_from_metrics(
+    label: str, metrics: RulesetMetrics, runtime_seconds: float = float("nan")
+) -> ResultRow:
+    """Build a :class:`ResultRow` from ruleset metrics."""
+    return ResultRow(
+        label=label,
+        n_rules=metrics.n_rules,
+        coverage=metrics.coverage,
+        coverage_protected=metrics.protected_coverage,
+        exp_utility=metrics.expected_utility,
+        exp_utility_non_protected=metrics.expected_utility_non_protected,
+        exp_utility_protected=metrics.expected_utility_protected,
+        unfairness=metrics.unfairness,
+        runtime_seconds=runtime_seconds,
+    )
+
+
+def format_rows(
+    rows: list[ResultRow],
+    title: str,
+    utility_decimals: int = 2,
+    include_runtime: bool = False,
+) -> str:
+    """Render rows in the paper's Table 4 column layout."""
+    headers = [
+        "setting", "# rules", "coverage", "coverage pro", "exp utility",
+        "exp utility non-pro", "exp utility pro", "unfairness",
+    ]
+    if include_runtime:
+        headers.append("time (s)")
+    body = []
+    for row in rows:
+        cells: list[object] = [
+            row.label,
+            row.n_rules,
+            format_percent(row.coverage),
+            format_percent(row.coverage_protected),
+            format_float(row.exp_utility, utility_decimals),
+            format_float(row.exp_utility_non_protected, utility_decimals),
+            format_float(row.exp_utility_protected, utility_decimals),
+            format_float(row.unfairness, utility_decimals),
+        ]
+        if include_runtime:
+            cells.append(
+                "-" if math.isnan(row.runtime_seconds)
+                else format_float(row.runtime_seconds, 1)
+            )
+        body.append(cells)
+    return format_table(headers, body, title=title)

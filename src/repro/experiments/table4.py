@@ -1,0 +1,134 @@
+"""Table 4: comparison of solutions across constraint variants + baselines.
+
+For one dataset, runs FairCap under the nine canonical constraint variants
+(Sec. 4.7 / Figure 2) and the four IDS/FRL adaptations of Sec. 7.1, and
+reports size, coverage (overall / protected), expected utility (overall /
+non-protected / protected) and the unfairness score.
+
+Expected shape (paper, Sec. 6-7.2):
+
+- "No constraints" maximises expected utility but with the largest
+  unfairness;
+- group fairness caps unfairness at the threshold with a modest utility
+  cost; individual fairness and rule coverage cost more utility;
+- rule-coverage variants select the fewest rules;
+- the IDS/FRL adaptations deliver lower utility for both groups than
+  FairCap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.adapt import (
+    adapt_if_as_grouping,
+    adapt_if_as_intervention,
+    merge_rule_pools,
+)
+from repro.baselines.frl import FRLConfig, run_frl
+from repro.baselines.ids import IDSConfig, run_ids
+from repro.core.faircap import FairCap
+from repro.datasets.bundle import DatasetBundle
+from repro.experiments.reporting import ResultRow, format_rows, row_from_metrics
+from repro.experiments.settings import ExperimentSettings
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """All rows of one dataset's Table 4 block."""
+
+    dataset: str
+    fairness_kind: str
+    rows: tuple[ResultRow, ...]
+
+
+def _baseline_if_clauses(
+    bundle: DatasetBundle, algorithm: str, max_rules: int
+) -> list:
+    """Run IDS or FRL twice (full data + protected-only) and merge IF clauses.
+
+    Sec. 7.1: "we run the baseline algorithms twice: once on the entire
+    dataset ... and again solely on the tuples belonging to the protected
+    population".
+    """
+    attributes = tuple(
+        name for name in bundle.schema.names if name != bundle.outcome
+    )
+    protected_table = bundle.table.filter(bundle.protected.mask(bundle.table))
+    pools = []
+    for table in (bundle.table, protected_table):
+        if algorithm == "IDS":
+            result = run_ids(
+                table,
+                bundle.outcome,
+                attributes,
+                IDSConfig(target_rules=max_rules // 2, max_rules=max_rules),
+            )
+            pools.append([r for r in result.rules])
+        else:
+            result = run_frl(
+                table, bundle.outcome, attributes, FRLConfig(max_rules=max_rules // 2)
+            )
+            pools.append([r.pattern for r in result.rules])
+    merged = merge_rule_pools(pools)
+    return [rule.pattern for rule in merged]
+
+
+def run_table4(
+    dataset: str = "stackoverflow",
+    settings: ExperimentSettings | None = None,
+    include_baselines: bool = True,
+) -> Table4Result:
+    """Run the full Table 4 block for ``dataset``."""
+    settings = settings or ExperimentSettings.from_environment()
+    bundle = settings.load(dataset)
+    variants = settings.variants_for(bundle)
+
+    rows: list[ResultRow] = []
+    for name, variant in variants.items():
+        config = settings.config_for(bundle, variant)
+        with Timer() as timer:
+            result = FairCap(config).run(
+                bundle.table, bundle.schema, bundle.dag, bundle.protected
+            )
+        rows.append(row_from_metrics(name, result.metrics, timer.elapsed))
+
+    if include_baselines:
+        base_config = settings.config_for(bundle, variants["No constraints"])
+        for algorithm in ("IDS", "FRL"):
+            clauses = _baseline_if_clauses(bundle, algorithm, base_config.max_rules)
+            with Timer() as timer:
+                as_grouping = adapt_if_as_grouping(
+                    algorithm, clauses, bundle.table, bundle.schema,
+                    bundle.dag, bundle.protected, base_config,
+                )
+            rows.append(
+                row_from_metrics(as_grouping.name, as_grouping.metrics, timer.elapsed)
+            )
+            with Timer() as timer:
+                as_intervention = adapt_if_as_intervention(
+                    algorithm, clauses, bundle.table, bundle.schema,
+                    bundle.dag, bundle.protected, base_config,
+                )
+            rows.append(
+                row_from_metrics(
+                    as_intervention.name, as_intervention.metrics, timer.elapsed
+                )
+            )
+
+    return Table4Result(
+        dataset=dataset, fairness_kind=bundle.fairness_kind, rows=tuple(rows)
+    )
+
+
+def format_table4(result: Table4Result) -> str:
+    """Render one dataset's Table 4 block."""
+    decimals = 2 if result.dataset == "german" else 1
+    title = (
+        f"Table 4 [{result.dataset}] ({result.fairness_kind} fairness): "
+        "comparison of solutions"
+    )
+    return format_rows(
+        list(result.rows), title, utility_decimals=decimals, include_runtime=True
+    )

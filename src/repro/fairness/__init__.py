@@ -1,0 +1,32 @@
+"""Fairness and coverage constraints (S10-S12; Secs. 4.5-4.6, 5.2, 5.4)."""
+
+from repro.fairness.constraints import (
+    FairnessKind,
+    FairnessScope,
+    FairnessConstraint,
+    statistical_parity,
+    bounded_group_loss,
+)
+from repro.fairness.coverage import (
+    CoverageConstraint,
+    CoverageKind,
+    group_coverage,
+    rule_coverage,
+)
+from repro.fairness.benefit import benefit, total_benefit
+from repro.fairness.decision_tree import select_variant
+
+__all__ = [
+    "FairnessKind",
+    "FairnessScope",
+    "FairnessConstraint",
+    "statistical_parity",
+    "bounded_group_loss",
+    "CoverageConstraint",
+    "CoverageKind",
+    "group_coverage",
+    "rule_coverage",
+    "benefit",
+    "total_benefit",
+    "select_variant",
+]

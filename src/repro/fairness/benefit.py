@@ -1,0 +1,66 @@
+"""The *benefit* of a rule (Secs. 5.2 and 5.4).
+
+Step 2 of FairCap ranks candidate treatments not by raw utility but by a
+fairness-penalised *benefit*:
+
+- **Statistical parity** (Sec. 5.2): penalise the treatment by the gap
+  between non-protected and protected utility::
+
+      benefit(r) = utility(r) / (1 + utility_np(r) - utility_p(r))
+                     if utility_np(r) >= utility_p(r)
+                   utility(r)   otherwise
+
+- **Bounded group loss** (Sec. 5.4): penalise by the shortfall against the
+  BGL floor ``tau``::
+
+      benefit(r) = utility(r) / (1 + tau - utility_p(r))
+                     if tau >= utility_p(r)
+                   utility(r)   otherwise
+
+- **No fairness constraint**: benefit is plain utility (Step 2 then reduces
+  to CauSumX's highest-CATE search).
+
+The denominator is guaranteed positive in the penalised branch, but the
+formulas above can still flip sign for rules with *negative* gaps larger
+than 1; FairCap never sees those because Step 2 prunes non-positive-utility
+treatments first.
+"""
+
+from __future__ import annotations
+
+from repro.fairness.constraints import FairnessConstraint, FairnessKind
+from repro.rules.rule import PrescriptionRule
+
+
+def benefit(rule: PrescriptionRule, constraint: FairnessConstraint | None) -> float:
+    """Fairness-penalised benefit of ``rule`` under ``constraint``.
+
+    Parameters
+    ----------
+    rule:
+        An evaluated prescription rule.
+    constraint:
+        The active fairness constraint, or ``None`` (benefit = utility).
+    """
+    if constraint is None:
+        return rule.utility
+
+    if constraint.kind is FairnessKind.STATISTICAL_PARITY:
+        gap = rule.utility_non_protected - rule.utility_protected
+        if gap >= 0.0:
+            return rule.utility / (1.0 + gap)
+        return rule.utility
+
+    # Bounded group loss.
+    shortfall = constraint.threshold - rule.utility_protected
+    if shortfall >= 0.0:
+        return rule.utility / (1.0 + shortfall)
+    return rule.utility
+
+
+def total_benefit(
+    rules: tuple[PrescriptionRule, ...] | list[PrescriptionRule],
+    constraint: FairnessConstraint | None,
+) -> float:
+    """Sum of rule benefits (the greedy score's ``benefit(R_i ∪ {r})`` term)."""
+    return sum(benefit(rule, constraint) for rule in rules)

@@ -1,0 +1,135 @@
+"""Fairness constraints for prescription rulesets (Sec. 4.6).
+
+Two definitions from the fair-regression literature, each at two scopes:
+
+**Statistical parity (SP)** — protected and non-protected gains should be
+comparable:
+
+- group scope:  ``|ExpUtility_p(R) - ExpUtility_np(R)| <= epsilon``;
+- individual scope: for every rule,
+  ``|utility_p(r) - utility_np(r)| <= epsilon``.
+
+**Bounded group loss (BGL)** — protected gains should clear a floor ``tau``:
+
+- group scope:  ``ExpUtility_p(R) >= tau``;
+- individual scope: for every rule, ``utility_p(r) >= tau``.
+
+Individual-scope constraints are per-rule predicates and therefore matroid
+constraints (Prop. 9.2): any subset of a satisfying ruleset still satisfies
+them.  Group-scope constraints are properties of the whole ruleset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RulesetMetrics
+from repro.utils.errors import ConfigError
+
+
+class FairnessKind(str, Enum):
+    """Which fairness definition is enforced."""
+
+    STATISTICAL_PARITY = "SP"
+    BOUNDED_GROUP_LOSS = "BGL"
+
+
+class FairnessScope(str, Enum):
+    """Whether the constraint binds the whole ruleset or every single rule."""
+
+    GROUP = "group"
+    INDIVIDUAL = "individual"
+
+
+@dataclass(frozen=True)
+class FairnessConstraint:
+    """A fairness constraint with its kind, scope, and threshold.
+
+    Attributes
+    ----------
+    kind:
+        SP or BGL.
+    scope:
+        group (ruleset-level) or individual (per-rule).
+    threshold:
+        ``epsilon`` for SP (maximum allowed gap, must be >= 0) or ``tau``
+        for BGL (minimum protected utility, any sign).
+    """
+
+    kind: FairnessKind
+    scope: FairnessScope
+    threshold: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FairnessKind(self.kind))
+        object.__setattr__(self, "scope", FairnessScope(self.scope))
+        if self.kind is FairnessKind.STATISTICAL_PARITY and self.threshold < 0:
+            raise ConfigError("SP threshold (epsilon) must be non-negative")
+
+    # -- rule-level check (individual scope; also used by Step 2 filtering) ----
+
+    def satisfied_by_rule(self, rule: PrescriptionRule) -> bool:
+        """Whether a single rule meets the per-rule version of the constraint."""
+        if self.kind is FairnessKind.STATISTICAL_PARITY:
+            return abs(rule.utility_protected - rule.utility_non_protected) <= (
+                self.threshold
+            )
+        return rule.utility_protected >= self.threshold
+
+    def rule_violation(self, rule: PrescriptionRule) -> float:
+        """Non-negative violation magnitude of the per-rule constraint."""
+        if self.kind is FairnessKind.STATISTICAL_PARITY:
+            gap = abs(rule.utility_protected - rule.utility_non_protected)
+            return max(0.0, gap - self.threshold)
+        return max(0.0, self.threshold - rule.utility_protected)
+
+    # -- ruleset-level check ----------------------------------------------------
+
+    def satisfied_by_metrics(self, metrics: RulesetMetrics) -> bool:
+        """Whether ruleset-level metrics meet the group version."""
+        if self.kind is FairnessKind.STATISTICAL_PARITY:
+            return abs(metrics.unfairness) <= self.threshold
+        return metrics.expected_utility_protected >= self.threshold
+
+    def metrics_violation(self, metrics: RulesetMetrics) -> float:
+        """Non-negative violation magnitude at the ruleset level."""
+        if self.kind is FairnessKind.STATISTICAL_PARITY:
+            return max(0.0, abs(metrics.unfairness) - self.threshold)
+        return max(0.0, self.threshold - metrics.expected_utility_protected)
+
+    def satisfied(
+        self,
+        metrics: RulesetMetrics,
+        rules: Iterable[PrescriptionRule],
+    ) -> bool:
+        """Dispatch on scope: group -> metrics check, individual -> every rule."""
+        if self.scope is FairnessScope.GROUP:
+            return self.satisfied_by_metrics(metrics)
+        return all(self.satisfied_by_rule(rule) for rule in rules)
+
+    @property
+    def is_matroid(self) -> bool:
+        """Individual-scope constraints are matroid constraints (Prop. 9.2)."""
+        return self.scope is FairnessScope.INDIVIDUAL
+
+    def describe(self) -> str:
+        """Short label used in experiment tables."""
+        scope = "Group" if self.scope is FairnessScope.GROUP else "Individual"
+        return f"{scope} {self.kind.value} (threshold={self.threshold:g})"
+
+
+def statistical_parity(scope: str | FairnessScope, epsilon: float) -> FairnessConstraint:
+    """Convenience constructor for an SP constraint."""
+    return FairnessConstraint(
+        FairnessKind.STATISTICAL_PARITY, FairnessScope(scope), epsilon
+    )
+
+
+def bounded_group_loss(scope: str | FairnessScope, tau: float) -> FairnessConstraint:
+    """Convenience constructor for a BGL constraint."""
+    return FairnessConstraint(
+        FairnessKind.BOUNDED_GROUP_LOSS, FairnessScope(scope), tau
+    )

@@ -1,0 +1,121 @@
+"""Coverage constraints for prescription rulesets (Sec. 4.5).
+
+**Group coverage**: the ruleset as a whole must cover at least a ``theta``
+fraction of the population and a ``theta_protected`` fraction of the
+protected group.
+
+**Rule coverage**: *every selected rule* must individually cover those
+fractions.  Rule coverage is a per-rule predicate, hence a matroid
+constraint (Prop. 9.2), and FairCap enforces it by filtering candidates
+up front; group coverage is enforced by the greedy selector (Sec. 5.3),
+which prioritises coverage gain until the constraint is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RulesetMetrics
+from repro.utils.errors import ConfigError
+
+
+class CoverageKind(str, Enum):
+    """Whether coverage binds the whole ruleset or every single rule."""
+
+    GROUP = "group"
+    RULE = "rule"
+
+
+@dataclass(frozen=True)
+class CoverageConstraint:
+    """A coverage constraint with its kind and thresholds.
+
+    Attributes
+    ----------
+    kind:
+        group (ruleset-level union coverage) or rule (per-rule coverage).
+    theta:
+        Minimum covered fraction of the whole population, in [0, 1].
+    theta_protected:
+        Minimum covered fraction of the protected group, in [0, 1].
+    """
+
+    kind: CoverageKind
+    theta: float
+    theta_protected: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", CoverageKind(self.kind))
+        for name, value in (("theta", self.theta),
+                            ("theta_protected", self.theta_protected)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+    # -- rule-level check ---------------------------------------------------------
+
+    def satisfied_by_rule(
+        self, rule: PrescriptionRule, n_rows: int, n_protected: int
+    ) -> bool:
+        """Per-rule check used for the RULE kind (and candidate filtering)."""
+        if n_rows == 0:
+            return False
+        covered_fraction = rule.coverage_count / n_rows
+        if covered_fraction < self.theta:
+            return False
+        if n_protected == 0:
+            return self.theta_protected == 0.0
+        protected_fraction = rule.protected_coverage_count / n_protected
+        return protected_fraction >= self.theta_protected
+
+    # -- ruleset-level check --------------------------------------------------------
+
+    def satisfied_by_metrics(self, metrics: RulesetMetrics) -> bool:
+        """Union-coverage check used for the GROUP kind."""
+        return (
+            metrics.coverage >= self.theta
+            and metrics.protected_coverage >= self.theta_protected
+        )
+
+    def satisfied(
+        self,
+        metrics: RulesetMetrics,
+        rules: Iterable[PrescriptionRule],
+        n_rows: int,
+        n_protected: int,
+    ) -> bool:
+        """Dispatch on kind."""
+        if self.kind is CoverageKind.GROUP:
+            return self.satisfied_by_metrics(metrics)
+        return all(
+            self.satisfied_by_rule(rule, n_rows, n_protected) for rule in rules
+        )
+
+    @property
+    def is_matroid(self) -> bool:
+        """Rule coverage is a matroid constraint (Prop. 9.2)."""
+        return self.kind is CoverageKind.RULE
+
+    def describe(self) -> str:
+        """Short label used in experiment tables."""
+        kind = "Group" if self.kind is CoverageKind.GROUP else "Rule"
+        return (
+            f"{kind} coverage (theta={self.theta:g}, "
+            f"theta_p={self.theta_protected:g})"
+        )
+
+
+def group_coverage(theta: float, theta_protected: float | None = None) -> CoverageConstraint:
+    """Convenience constructor for a group-coverage constraint."""
+    if theta_protected is None:
+        theta_protected = theta
+    return CoverageConstraint(CoverageKind.GROUP, theta, theta_protected)
+
+
+def rule_coverage(theta: float, theta_protected: float | None = None) -> CoverageConstraint:
+    """Convenience constructor for a rule-coverage constraint."""
+    if theta_protected is None:
+        theta_protected = theta
+    return CoverageConstraint(CoverageKind.RULE, theta, theta_protected)

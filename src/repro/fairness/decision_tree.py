@@ -1,0 +1,81 @@
+"""The Figure 2 decision tree: which problem variant fits the application.
+
+The paper guides users to one of nine structural variants by asking three
+questions: *do you need fairness?*, *group-level or per-individual?*, and
+*do you need coverage — overall or for every rule?*  Combined with the
+SP-vs-BGL choice (left to the user), this yields the paper's "18 distinct
+problem variants".
+
+:func:`select_variant` walks the tree and returns the
+:class:`~repro.core.variants.ProblemVariant` describing the chosen
+combination, with the thresholds supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from repro.fairness.constraints import (
+    FairnessConstraint,
+    FairnessKind,
+    FairnessScope,
+)
+from repro.fairness.coverage import CoverageConstraint, CoverageKind
+from repro.utils.errors import ConfigError
+
+
+def select_variant(
+    fairness: bool,
+    group_fairness: bool | None = None,
+    fairness_kind: str | FairnessKind = FairnessKind.STATISTICAL_PARITY,
+    fairness_threshold: float = 0.0,
+    coverage: bool = False,
+    per_rule_coverage: bool | None = None,
+    theta: float = 0.0,
+    theta_protected: float = 0.0,
+):
+    """Walk the Figure 2 decision tree and return a ProblemVariant.
+
+    Parameters
+    ----------
+    fairness:
+        "Fairness constraint?" — the root question.
+    group_fairness:
+        "Group fairness?" — required when ``fairness`` is True.
+    fairness_kind:
+        SP or BGL (the tree leaves this choice to the user).
+    fairness_threshold:
+        ``epsilon`` (SP) or ``tau`` (BGL).
+    coverage:
+        "Coverage requirement?".
+    per_rule_coverage:
+        "For every rule?" — required when ``coverage`` is True.
+    theta, theta_protected:
+        Coverage thresholds.
+
+    Returns
+    -------
+    ProblemVariant
+        The assembled variant (import deferred to avoid a package cycle).
+    """
+    from repro.core.variants import ProblemVariant
+
+    fairness_constraint: FairnessConstraint | None = None
+    if fairness:
+        if group_fairness is None:
+            raise ConfigError(
+                "with fairness=True you must answer group_fairness (True/False)"
+            )
+        scope = FairnessScope.GROUP if group_fairness else FairnessScope.INDIVIDUAL
+        fairness_constraint = FairnessConstraint(
+            FairnessKind(fairness_kind), scope, fairness_threshold
+        )
+
+    coverage_constraint: CoverageConstraint | None = None
+    if coverage:
+        if per_rule_coverage is None:
+            raise ConfigError(
+                "with coverage=True you must answer per_rule_coverage (True/False)"
+            )
+        kind = CoverageKind.RULE if per_rule_coverage else CoverageKind.GROUP
+        coverage_constraint = CoverageConstraint(kind, theta, theta_protected)
+
+    return ProblemVariant(fairness=fairness_constraint, coverage=coverage_constraint)

@@ -1,0 +1,24 @@
+"""Pattern language and pattern mining (S2, S7, S8).
+
+- :mod:`~repro.mining.patterns` — predicates and conjunctive patterns
+  (Def. 4.1) with vectorised coverage (Def. 4.2),
+- :mod:`~repro.mining.apriori` — Apriori frequent grouping-pattern mining
+  (Step 1 of FairCap, Sec. 5.1),
+- :mod:`~repro.mining.lattice` — the intervention-pattern lattice with
+  positive-effect pruning (Step 2 scaffolding, Sec. 5.2).
+"""
+
+from repro.mining.patterns import Operator, Predicate, Pattern
+from repro.mining.apriori import AprioriResult, FrequentPattern, apriori
+from repro.mining.lattice import LatticeNode, traverse_lattice
+
+__all__ = [
+    "Operator",
+    "Predicate",
+    "Pattern",
+    "AprioriResult",
+    "FrequentPattern",
+    "apriori",
+    "LatticeNode",
+    "traverse_lattice",
+]

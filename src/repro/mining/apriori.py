@@ -1,0 +1,225 @@
+"""Apriori frequent-pattern mining (Step 1 of FairCap, Sec. 5.1).
+
+The paper mines grouping patterns with the Apriori algorithm of Agrawal &
+Srikant [5]: a pattern is *frequent* when it covers at least a ``min_support``
+fraction of the rows, and every sub-pattern of a frequent pattern is frequent
+(anti-monotonicity), which drives the level-wise candidate generation.
+
+Items here are single-attribute :class:`~repro.mining.patterns.Pattern`
+objects — an equality predicate per categorical value, or a quantile-bin
+range (two predicates) per continuous attribute — so a level-``k`` itemset is
+a conjunction over ``k`` distinct attributes.  Coverage masks are cached as
+boolean arrays, making support counting one vectorised AND per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.mining.patterns import Operator, Pattern, Predicate
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.table import Table
+from repro.utils.errors import PatternError
+
+
+@dataclass(frozen=True)
+class FrequentPattern:
+    """A mined pattern with its support.
+
+    Attributes
+    ----------
+    pattern:
+        The conjunction of items.
+    support_count:
+        Number of covered rows.
+    support:
+        Covered fraction of the table.
+    """
+
+    pattern: Pattern
+    support_count: int
+    support: float
+
+    @property
+    def size(self) -> int:
+        """Number of attributes in the pattern (the Apriori level)."""
+        return len(self.pattern.attributes)
+
+
+@dataclass(frozen=True)
+class AprioriResult:
+    """All frequent patterns found, plus run metadata."""
+
+    patterns: tuple[FrequentPattern, ...]
+    min_support: float
+    n_rows: int
+    n_items: int
+
+    def at_level(self, level: int) -> tuple[FrequentPattern, ...]:
+        """Frequent patterns with exactly ``level`` attributes."""
+        return tuple(p for p in self.patterns if p.size == level)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+
+def build_items(
+    table: Table,
+    attributes: Sequence[str],
+    continuous_bins: int = 4,
+    max_values_per_attribute: int | None = None,
+) -> list[Pattern]:
+    """Build the single-attribute item patterns for Apriori.
+
+    Categorical attributes yield one equality item per occurring value
+    (most-frequent first, truncated at ``max_values_per_attribute``);
+    continuous attributes yield ``continuous_bins`` quantile-range items
+    covering the full observed range.
+    """
+    items: list[Pattern] = []
+    for name in attributes:
+        column = table.column(name)
+        if isinstance(column, CategoricalColumn):
+            counts = column.value_counts()
+            ranked = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+            if max_values_per_attribute is not None:
+                ranked = ranked[:max_values_per_attribute]
+            items.extend(
+                Pattern([Predicate.eq(name, value)]) for value, __ in ranked
+            )
+        elif isinstance(column, NumericColumn):
+            values = column.decode()
+            if values.size == 0:
+                continue
+            quantiles = np.linspace(0, 1, continuous_bins + 1)
+            edges = np.unique(np.quantile(values, quantiles))
+            if edges.size < 2:
+                # Constant column: a single trivially-true range item.
+                items.append(
+                    Pattern([Predicate(name, Operator.EQ, float(edges[0]))])
+                )
+                continue
+            for i in range(edges.size - 1):
+                low, high = float(edges[i]), float(edges[i + 1])
+                upper_op = Operator.LE if i == edges.size - 2 else Operator.LT
+                items.append(
+                    Pattern(
+                        [
+                            Predicate(name, Operator.GE, low),
+                            Predicate(name, upper_op, high),
+                        ]
+                    )
+                )
+        else:  # pragma: no cover - column types are closed
+            raise PatternError(f"unsupported column type for {name!r}")
+    return items
+
+
+def apriori(
+    table: Table,
+    attributes: Sequence[str] | None = None,
+    min_support: float = 0.1,
+    max_length: int | None = 3,
+    items: Sequence[Pattern] | None = None,
+    continuous_bins: int = 4,
+    max_values_per_attribute: int | None = None,
+) -> AprioriResult:
+    """Mine all frequent conjunctions over distinct attributes.
+
+    Parameters
+    ----------
+    table:
+        The database instance ``D``.
+    attributes:
+        Attributes to mine over (default: all columns).  Ignored when
+        ``items`` is given.
+    min_support:
+        Minimum covered fraction (the paper's Apriori threshold ``τ``,
+        default 0.1 per Sec. 6).
+    max_length:
+        Maximum number of attributes per pattern (``None`` = unbounded).
+    items:
+        Pre-built item patterns (each over a single attribute); overrides
+        ``attributes``.
+    continuous_bins, max_values_per_attribute:
+        Forwarded to :func:`build_items`.
+
+    Returns
+    -------
+    AprioriResult
+        Frequent patterns of every level, sorted by (level, support desc).
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise PatternError(f"min_support must be in (0, 1], got {min_support}")
+    if table.n_rows == 0:
+        return AprioriResult((), min_support, 0, 0)
+    if items is None:
+        if attributes is None:
+            attributes = table.column_names
+        items = build_items(
+            table,
+            attributes,
+            continuous_bins=continuous_bins,
+            max_values_per_attribute=max_values_per_attribute,
+        )
+    for item in items:
+        if len(item.attributes) != 1:
+            raise PatternError(
+                f"Apriori items must cover exactly one attribute, got {item}"
+            )
+
+    n = table.n_rows
+    threshold = min_support * n
+    item_masks = [item.mask(table) for item in items]
+    item_attrs = [item.attributes[0] for item in items]
+
+    found: list[FrequentPattern] = []
+    # Level 1.
+    level_sets: dict[frozenset[int], np.ndarray] = {}
+    for idx, mask in enumerate(item_masks):
+        count = int(mask.sum())
+        if count >= threshold:
+            level_sets[frozenset((idx,))] = mask
+            found.append(FrequentPattern(items[idx], count, count / n))
+
+    level = 1
+    while level_sets and (max_length is None or level < max_length):
+        next_sets: dict[frozenset[int], np.ndarray] = {}
+        keys = sorted(level_sets, key=lambda s: tuple(sorted(s)))
+        seen: set[frozenset[int]] = set()
+        for a_key, b_key in combinations(keys, 2):
+            union = a_key | b_key
+            if len(union) != level + 1 or union in seen:
+                continue
+            seen.add(union)
+            # One item per attribute.
+            attrs = [item_attrs[i] for i in union]
+            if len(set(attrs)) != len(attrs):
+                continue
+            # Anti-monotone pruning: all level-k subsets must be frequent.
+            if any(
+                frozenset(subset) not in level_sets
+                for subset in combinations(sorted(union), level)
+            ):
+                continue
+            new_index = next(iter(union - a_key))
+            mask = level_sets[a_key] & item_masks[new_index]
+            count = int(mask.sum())
+            if count >= threshold:
+                next_sets[union] = mask
+                pattern = Pattern(
+                    [pred for i in sorted(union) for pred in items[i].predicates]
+                )
+                found.append(FrequentPattern(pattern, count, count / n))
+        level_sets = next_sets
+        level += 1
+
+    found.sort(key=lambda fp: (fp.size, -fp.support, str(fp.pattern)))
+    return AprioriResult(tuple(found), min_support, n, len(items))

@@ -1,0 +1,131 @@
+"""Top-down lattice traversal with parent-based pruning (Sec. 5.2).
+
+Step 2 of FairCap searches the lattice of intervention patterns: nodes are
+conjunctions of single-attribute items, and an edge connects ``P1`` to ``P2``
+when ``P2`` adds one predicate to ``P1``.  The paper materialises a node only
+when *all of its parents* passed the filter (there: positive CATE), arguing
+that combining positive-effect treatments is likely to stay positive.
+
+This module implements the traversal generically: callers provide the items
+and an ``evaluate`` callback that decides, per pattern, whether the node is
+*kept* (expandable) and attaches an arbitrary payload (e.g. a
+:class:`~repro.causal.estimators.CateResult`).  The FairCap-specific scoring
+lives in :mod:`repro.core.intervention`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Sequence
+
+from repro.mining.patterns import Pattern
+from repro.utils.errors import PatternError
+
+Evaluation = tuple[bool, object]
+"""(keep, payload): keep=True lets the node's supersets be explored."""
+
+
+@dataclass(frozen=True)
+class LatticeNode:
+    """A materialised lattice node.
+
+    Attributes
+    ----------
+    pattern:
+        The intervention pattern at this node.
+    level:
+        Number of items combined (1 = single predicate).
+    keep:
+        Whether the evaluation kept the node (e.g. positive CATE).
+    payload:
+        Whatever ``evaluate`` attached (estimates, utilities, ...).
+    """
+
+    pattern: Pattern
+    level: int
+    keep: bool
+    payload: object
+
+
+def traverse_lattice(
+    items: Sequence[Pattern],
+    evaluate: Callable[[Pattern], Evaluation],
+    max_level: int = 2,
+    max_nodes: int | None = None,
+) -> list[LatticeNode]:
+    """Materialise the lattice top-down with all-parents-kept pruning.
+
+    Parameters
+    ----------
+    items:
+        Single-attribute item patterns (the lattice's level-1 atoms).
+    evaluate:
+        Callback returning ``(keep, payload)`` for a candidate pattern.
+        ``keep=False`` prunes the node's entire up-set from exploration
+        (it is still reported in the result with ``keep=False``).
+    max_level:
+        Deepest level to explore (the paper uses small treatments;
+        level 2 is the default as in CauSumX).
+    max_nodes:
+        Optional hard cap on materialised nodes (safety valve for
+        benchmarks); ``None`` = unlimited.
+
+    Returns
+    -------
+    list[LatticeNode]
+        Every node that was materialised (kept or not), level by level.
+    """
+    for item in items:
+        if len(item.attributes) != 1:
+            raise PatternError(
+                f"lattice items must cover exactly one attribute, got {item}"
+            )
+
+    nodes: list[LatticeNode] = []
+    kept_sets: dict[frozenset[int], Pattern] = {}
+    item_attrs = [item.attributes[0] for item in items]
+
+    def materialise(key: frozenset[int], pattern: Pattern, level: int) -> bool:
+        keep, payload = evaluate(pattern)
+        nodes.append(LatticeNode(pattern, level, keep, payload))
+        if keep:
+            kept_sets[key] = pattern
+        return keep
+
+    for idx, item in enumerate(items):
+        if max_nodes is not None and len(nodes) >= max_nodes:
+            return nodes
+        materialise(frozenset((idx,)), item, 1)
+
+    level = 1
+    current_keys = [k for k in kept_sets if len(k) == 1]
+    while current_keys and level < max_level:
+        next_keys: list[frozenset[int]] = []
+        seen: set[frozenset[int]] = set()
+        ordered = sorted(current_keys, key=lambda s: tuple(sorted(s)))
+        for a_key, b_key in combinations(ordered, 2):
+            union = a_key | b_key
+            if len(union) != level + 1 or union in seen:
+                continue
+            seen.add(union)
+            attrs = [item_attrs[i] for i in union]
+            if len(set(attrs)) != len(attrs):
+                continue
+            # "Materialise only if all parents are kept": every level-k
+            # subset must have been kept.
+            if any(
+                frozenset(sub) not in kept_sets
+                for sub in combinations(sorted(union), level)
+            ):
+                continue
+            if max_nodes is not None and len(nodes) >= max_nodes:
+                return nodes
+            pattern = Pattern(
+                [pred for i in sorted(union) for pred in items[i].predicates]
+            )
+            if materialise(union, pattern, level + 1):
+                next_keys.append(union)
+        current_keys = next_keys
+        level += 1
+    return nodes

@@ -1,0 +1,19 @@
+"""Prescription rules and rulesets (S9, S21; Defs. 4.3-4.5 of the paper)."""
+
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet, RulesetEvaluator, RulesetMetrics
+from repro.rules.utility import RuleEvaluator
+from repro.rules.templates import RuleTemplates, describe_pattern, describe_rule
+
+__all__ = [
+    "ProtectedGroup",
+    "PrescriptionRule",
+    "RuleSet",
+    "RulesetEvaluator",
+    "RulesetMetrics",
+    "RuleEvaluator",
+    "RuleTemplates",
+    "describe_pattern",
+    "describe_rule",
+]

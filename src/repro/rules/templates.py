@@ -1,0 +1,92 @@
+"""Natural-language rendering of rules via manual templates (Sec. 7.1).
+
+The paper translates mined rules into English with "simple, manually
+constructed templates".  :class:`RuleTemplates` holds per-attribute phrase
+templates with ``{value}`` placeholders; anything without a template falls
+back to a generic ``attribute = value`` phrasing.
+
+Example
+-------
+>>> templates = RuleTemplates(
+...     grouping={"Age": "individuals aged {value}"},
+...     intervention={"UndergradMajor": "pursue an undergraduate major in {value}"},
+... )
+>>> from repro.mining.patterns import Pattern
+>>> rule_text = describe_pattern(Pattern.of(Age="25-34"), templates.grouping)
+>>> rule_text
+'individuals aged 25-34'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mining.patterns import Operator, Pattern
+from repro.rules.rule import PrescriptionRule
+
+_OP_WORDS = {
+    Operator.EQ: "=",
+    Operator.NE: "is not",
+    Operator.LT: "below",
+    Operator.GT: "above",
+    Operator.LE: "at most",
+    Operator.GE: "at least",
+}
+
+
+@dataclass(frozen=True)
+class RuleTemplates:
+    """Phrase templates for grouping and intervention attributes.
+
+    Attributes
+    ----------
+    grouping:
+        ``attribute -> template`` for grouping predicates; templates may use
+        ``{value}``.
+    intervention:
+        Same, for intervention predicates (imperative mood reads best:
+        ``"work as {value}"``).
+    """
+
+    grouping: dict[str, str] = field(default_factory=dict)
+    intervention: dict[str, str] = field(default_factory=dict)
+
+
+def describe_pattern(pattern: Pattern, templates: dict[str, str] | None = None) -> str:
+    """Render a pattern as an English phrase, joining predicates with 'and'."""
+    templates = templates or {}
+    phrases: list[str] = []
+    for predicate in pattern:
+        template = templates.get(predicate.attribute)
+        if template is not None and predicate.operator is Operator.EQ:
+            phrases.append(template.format(value=predicate.value))
+        else:
+            op_word = _OP_WORDS[predicate.operator]
+            phrases.append(f"{predicate.attribute} {op_word} {predicate.value}")
+    if not phrases:
+        return "everyone"
+    return " and ".join(phrases)
+
+
+def describe_rule(
+    rule: PrescriptionRule,
+    templates: RuleTemplates | None = None,
+    utility_format: str = "{:,.0f}",
+) -> str:
+    """Render a rule in the paper's case-study style.
+
+    Example output::
+
+        For individuals aged 25-34, pursue an undergraduate major in CS
+        (exp utility protected: 10,292, exp utility non-protected: 22,586).
+    """
+    templates = templates or RuleTemplates()
+    group_text = describe_pattern(rule.grouping, templates.grouping)
+    action_text = describe_pattern(rule.intervention, templates.intervention)
+    protected = utility_format.format(rule.utility_protected)
+    non_protected = utility_format.format(rule.utility_non_protected)
+    return (
+        f"For {group_text}, {action_text} "
+        f"(exp utility protected: {protected}, "
+        f"exp utility non-protected: {non_protected})."
+    )

@@ -1,0 +1,207 @@
+"""Rule evaluation: from (grouping, intervention) patterns to utilities.
+
+:class:`RuleEvaluator` owns everything needed to turn a candidate pattern
+pair into an evaluated :class:`~repro.rules.rule.PrescriptionRule`:
+
+1. restrict the table to ``Coverage(P_grp)``;
+2. split it into treated (``P_int`` true) and control rows;
+3. pick a backdoor adjustment set for the intervention attributes from the
+   causal DAG (dropping attributes that are constant inside the subgroup —
+   e.g. attributes fixed by the grouping pattern itself);
+4. estimate the three CATEs of Def. 4.4 (overall / protected /
+   non-protected).
+
+Because Step 2 of FairCap evaluates *many* intervention patterns against the
+*same* grouping pattern, the per-group work (filtering the table, splitting
+into protected / non-protected sub-tables) is factored into a
+:class:`GroupEvaluationContext` that is built once per grouping pattern.
+
+Utilities follow the paper's conventions: a rule covering no tuples has
+utility 0, and a sub-group CATE that cannot be estimated (no protected rows,
+say) also contributes utility 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.backdoor import backdoor_adjustment_set, parents_adjustment_set
+from repro.causal.dag import CausalDAG
+from repro.causal.estimators import (
+    CateResult,
+    LinearAdjustmentEstimator,
+    StratifiedEstimator,
+)
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.tabular.table import Table
+from repro.utils.errors import EstimationError
+
+
+class GroupEvaluationContext:
+    """Cached state for evaluating treatments against one grouping pattern."""
+
+    def __init__(self, evaluator: "RuleEvaluator", grouping: Pattern) -> None:
+        self.evaluator = evaluator
+        self.grouping = grouping
+        group_mask = grouping.mask(evaluator.table)
+        self.coverage_count = int(group_mask.sum())
+        self.subtable = evaluator.table.filter(group_mask)
+        self.sub_protected = evaluator.protected_mask[group_mask]
+        self.protected_count = int(self.sub_protected.sum())
+        self.protected_table = (
+            self.subtable.filter(self.sub_protected) if self.protected_count else None
+        )
+        non_protected_count = self.coverage_count - self.protected_count
+        self.non_protected_table = (
+            self.subtable.filter(~self.sub_protected) if non_protected_count else None
+        )
+
+    def evaluate(self, intervention: Pattern) -> PrescriptionRule:
+        """Evaluate ``intervention`` for this context's grouping pattern."""
+        if intervention.is_empty():
+            raise EstimationError("intervention pattern must be non-empty")
+        if self.coverage_count == 0:
+            return PrescriptionRule(
+                grouping=self.grouping,
+                intervention=intervention,
+                utility=0.0,
+                utility_protected=0.0,
+                utility_non_protected=0.0,
+                coverage_count=0,
+                protected_coverage_count=0,
+            )
+        evaluator = self.evaluator
+        treated = intervention.mask(self.subtable)
+        adjustment = evaluator.adjustment_for(intervention.attributes)
+
+        overall = evaluator.cate(self.subtable, treated, adjustment)
+        prot = (
+            evaluator.cate(
+                self.protected_table, treated[self.sub_protected], adjustment
+            )
+            if self.protected_table is not None
+            else None
+        )
+        nonprot = (
+            evaluator.cate(
+                self.non_protected_table, treated[~self.sub_protected], adjustment
+            )
+            if self.non_protected_table is not None
+            else None
+        )
+
+        def usable(result: CateResult | None) -> float:
+            if result is None or not result.valid:
+                return 0.0
+            return float(result.estimate)
+
+        return PrescriptionRule(
+            grouping=self.grouping,
+            intervention=intervention,
+            utility=usable(overall),
+            utility_protected=usable(prot),
+            utility_non_protected=usable(nonprot),
+            coverage_count=self.coverage_count,
+            protected_coverage_count=self.protected_count,
+            estimate=overall,
+            estimate_protected=prot,
+            estimate_non_protected=nonprot,
+        )
+
+
+class RuleEvaluator:
+    """Evaluates prescription rules against a dataset and causal DAG.
+
+    Parameters
+    ----------
+    table:
+        The full database instance ``D``.
+    outcome:
+        The outcome attribute ``O``.
+    dag:
+        Causal DAG over (at least) the attributes appearing in rules plus
+        the outcome.
+    protected:
+        The protected group ``P_p``.
+    estimator:
+        CATE estimator; defaults to linear adjustment (DoWhy's default).
+    min_subgroup_size:
+        Sub-populations smaller than this yield utility 0 instead of a
+        noisy estimate (both for the rule itself and for the protected /
+        non-protected splits).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        outcome: str,
+        dag: CausalDAG,
+        protected: ProtectedGroup,
+        estimator: LinearAdjustmentEstimator | StratifiedEstimator | None = None,
+        min_subgroup_size: int = 10,
+    ) -> None:
+        self.table = table
+        self.outcome = outcome
+        self.dag = dag
+        self.protected = protected
+        self.estimator = (
+            estimator if estimator is not None else LinearAdjustmentEstimator()
+        )
+        self.min_subgroup_size = min_subgroup_size
+        self.protected_mask = protected.mask(table)
+        self._adjustment_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+    # -- adjustment ------------------------------------------------------------
+
+    def adjustment_for(self, treatment_attributes: tuple[str, ...]) -> tuple[str, ...]:
+        """Backdoor adjustment set for the treatment attributes (cached)."""
+        key = tuple(sorted(treatment_attributes))
+        if key not in self._adjustment_cache:
+            try:
+                adjustment = backdoor_adjustment_set(self.dag, key, self.outcome)
+            except EstimationError:
+                # Compound treatments whose constituents influence each
+                # other's parents have no strict backdoor set; fall back to
+                # the practical parents-union adjustment (see backdoor.py).
+                adjustment = parents_adjustment_set(self.dag, key, self.outcome)
+            # Keep only attributes present in the table: the DAG may mention
+            # latent context nodes that were never materialised.
+            available = set(self.table.column_names)
+            self._adjustment_cache[key] = tuple(
+                z for z in adjustment if z in available
+            )
+        return self._adjustment_cache[key]
+
+    # -- estimation ------------------------------------------------------------
+
+    def cate(
+        self,
+        subtable: Table,
+        treated: np.ndarray,
+        adjustment: tuple[str, ...],
+    ) -> CateResult:
+        """Estimate a CATE on ``subtable`` guarding against tiny subgroups."""
+        if subtable.n_rows < self.min_subgroup_size:
+            return CateResult.invalid(
+                f"subgroup smaller than {self.min_subgroup_size}",
+                n=subtable.n_rows,
+                n_treated=int(treated.sum()),
+                n_control=int((~treated).sum()),
+                adjustment=adjustment,
+            )
+        # Drop adjustment attributes that are constant within the subgroup
+        # (they cannot confound there and only make the design degenerate).
+        effective = tuple(
+            z for z in adjustment if len(subtable.column(z).value_counts()) > 1
+        )
+        return self.estimator.estimate(subtable, treated, self.outcome, effective)
+
+    def context(self, grouping: Pattern) -> GroupEvaluationContext:
+        """Build the cached per-group context for ``grouping``."""
+        return GroupEvaluationContext(self, grouping)
+
+    def evaluate(self, grouping: Pattern, intervention: Pattern) -> PrescriptionRule:
+        """Build the evaluated :class:`PrescriptionRule` for a pattern pair."""
+        return self.context(grouping).evaluate(intervention)

@@ -1,0 +1,33 @@
+"""Columnar single-relation table substrate (S1).
+
+The paper's implementation sits on pandas; this subpackage provides the small
+columnar-table layer that FairCap actually needs, backed by numpy:
+
+- :class:`~repro.tabular.column.CategoricalColumn` — integer-coded categorical
+  columns with vectorised comparisons,
+- :class:`~repro.tabular.column.NumericColumn` — float columns,
+- :class:`~repro.tabular.schema.Schema` — attribute kinds (categorical /
+  continuous) and prescription roles (immutable / mutable / outcome),
+- :class:`~repro.tabular.table.Table` — an immutable bag of equal-length
+  columns with filtering, selection and sampling,
+- :mod:`~repro.tabular.io` — CSV round-tripping.
+"""
+
+from repro.tabular.column import CategoricalColumn, Column, NumericColumn, column_from_values
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.tabular.table import Table
+from repro.tabular.io import read_csv, write_csv
+
+__all__ = [
+    "CategoricalColumn",
+    "NumericColumn",
+    "Column",
+    "column_from_values",
+    "AttributeKind",
+    "AttributeRole",
+    "AttributeSpec",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+]

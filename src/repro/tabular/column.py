@@ -1,0 +1,229 @@
+"""Typed columns backing :class:`repro.tabular.table.Table`.
+
+Two concrete column types cover the paper's setting (Sec. 4: domains are
+categorical or continuous):
+
+- :class:`CategoricalColumn` stores values as ``int32`` codes into a fixed
+  ``categories`` tuple, so equality predicates reduce to integer comparisons
+  and copies are cheap.
+- :class:`NumericColumn` stores a ``float64`` array and supports the full
+  ordered-comparison predicate set ``=, !=, <, >, <=, >=``.
+
+Columns are immutable: every transformation returns a new column sharing no
+mutable state with its source (the underlying arrays are marked read-only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.utils.errors import PatternError, SchemaError
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` flagged read-only (view when possible)."""
+    array = np.asarray(array)
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+class CategoricalColumn:
+    """An integer-coded categorical column.
+
+    Parameters
+    ----------
+    codes:
+        ``int`` array; each entry indexes into ``categories``.
+    categories:
+        The distinct values, in code order.  Values may be any hashable
+        (typically ``str``).
+
+    Notes
+    -----
+    Ordering comparisons (``<`` etc.) deliberately raise
+    :class:`~repro.utils.errors.PatternError`: the paper's categorical domains
+    (countries, roles, age buckets) have no library-defined order, and a
+    silent lexicographic order would invent structure the data does not have.
+    """
+
+    kind = "categorical"
+
+    def __init__(self, codes: np.ndarray, categories: Sequence[object]) -> None:
+        codes = np.asarray(codes, dtype=np.int32)
+        if codes.ndim != 1:
+            raise SchemaError("categorical codes must be one-dimensional")
+        self.categories: tuple = tuple(categories)
+        if len(set(self.categories)) != len(self.categories):
+            raise SchemaError("categorical categories must be distinct")
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.categories)):
+            raise SchemaError(
+                "categorical codes out of range "
+                f"[0, {len(self.categories)}): saw [{codes.min()}, {codes.max()}]"
+            )
+        self.codes = _readonly(codes)
+        self._index = {value: i for i, value in enumerate(self.categories)}
+
+    @classmethod
+    def from_values(cls, values: Iterable[object]) -> "CategoricalColumn":
+        """Factorize raw ``values`` into a column with sorted categories."""
+        values = list(values)
+        categories = sorted(set(values), key=str)
+        index = {value: i for i, value in enumerate(categories)}
+        codes = np.fromiter((index[v] for v in values), dtype=np.int32, count=len(values))
+        return cls(codes, categories)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def code_of(self, value: object) -> int:
+        """Return the integer code for ``value``, or ``-1`` if absent."""
+        return self._index.get(value, -1)
+
+    def decode(self) -> np.ndarray:
+        """Return the column as an object array of category values."""
+        lookup = np.asarray(self.categories, dtype=object)
+        return lookup[self.codes]
+
+    def take(self, selector: np.ndarray) -> "CategoricalColumn":
+        """Return a new column of the rows selected by a mask or index array."""
+        return CategoricalColumn(self.codes[selector], self.categories)
+
+    def eq(self, value: object) -> np.ndarray:
+        """Vectorised ``column == value``; all-False if value is unseen."""
+        code = self.code_of(value)
+        if code < 0:
+            return np.zeros(len(self), dtype=bool)
+        return self.codes == code
+
+    def ne(self, value: object) -> np.ndarray:
+        """Vectorised ``column != value``."""
+        return ~self.eq(value)
+
+    def _ordered_unsupported(self, op: str) -> np.ndarray:
+        raise PatternError(
+            f"operator {op!r} is not defined for categorical columns; "
+            "use '=' or '!=' (or model the attribute as continuous)"
+        )
+
+    def lt(self, value: object) -> np.ndarray:  # noqa: D102 - uniform interface
+        return self._ordered_unsupported("<")
+
+    def gt(self, value: object) -> np.ndarray:  # noqa: D102
+        return self._ordered_unsupported(">")
+
+    def le(self, value: object) -> np.ndarray:  # noqa: D102
+        return self._ordered_unsupported("<=")
+
+    def ge(self, value: object) -> np.ndarray:  # noqa: D102
+        return self._ordered_unsupported(">=")
+
+    def unique_values(self) -> tuple:
+        """Categories that actually occur, in category order."""
+        present = np.unique(self.codes)
+        return tuple(self.categories[int(c)] for c in present)
+
+    def value_counts(self) -> dict:
+        """Mapping of occurring category value -> count."""
+        counts = np.bincount(self.codes, minlength=len(self.categories))
+        return {
+            value: int(counts[i])
+            for i, value in enumerate(self.categories)
+            if counts[i] > 0
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoricalColumn):
+            return NotImplemented
+        return self.categories == other.categories and np.array_equal(
+            self.codes, other.codes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalColumn(n={len(self)}, "
+            f"categories={len(self.categories)})"
+        )
+
+
+class NumericColumn:
+    """A continuous (``float64``) column supporting ordered comparisons."""
+
+    kind = "continuous"
+
+    def __init__(self, values: Iterable[float]) -> None:
+        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                           dtype=np.float64)
+        if array.ndim != 1:
+            raise SchemaError("numeric values must be one-dimensional")
+        self.array = _readonly(array)
+
+    def __len__(self) -> int:
+        return int(self.array.size)
+
+    def decode(self) -> np.ndarray:
+        """Return the raw float array (read-only view)."""
+        return self.array
+
+    def take(self, selector: np.ndarray) -> "NumericColumn":
+        """Return a new column of the rows selected by a mask or index array."""
+        return NumericColumn(self.array[selector])
+
+    def eq(self, value: object) -> np.ndarray:  # noqa: D102 - uniform interface
+        return self.array == float(value)  # type: ignore[arg-type]
+
+    def ne(self, value: object) -> np.ndarray:  # noqa: D102
+        return self.array != float(value)  # type: ignore[arg-type]
+
+    def lt(self, value: object) -> np.ndarray:  # noqa: D102
+        return self.array < float(value)  # type: ignore[arg-type]
+
+    def gt(self, value: object) -> np.ndarray:  # noqa: D102
+        return self.array > float(value)  # type: ignore[arg-type]
+
+    def le(self, value: object) -> np.ndarray:  # noqa: D102
+        return self.array <= float(value)  # type: ignore[arg-type]
+
+    def ge(self, value: object) -> np.ndarray:  # noqa: D102
+        return self.array >= float(value)  # type: ignore[arg-type]
+
+    def unique_values(self) -> tuple:
+        """Distinct values in ascending order."""
+        return tuple(float(v) for v in np.unique(self.array))
+
+    def value_counts(self) -> dict:
+        """Mapping of distinct value -> count (ascending by value)."""
+        values, counts = np.unique(self.array, return_counts=True)
+        return {float(v): int(c) for v, c in zip(values, counts)}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NumericColumn):
+            return NotImplemented
+        return np.array_equal(self.array, other.array)
+
+    def __repr__(self) -> str:
+        return f"NumericColumn(n={len(self)})"
+
+
+Column = Union[CategoricalColumn, NumericColumn]
+"""Union type of the two concrete column classes."""
+
+
+def column_from_values(values: Iterable[object]) -> Column:
+    """Build the appropriate column type by inspecting ``values``.
+
+    All-numeric input (ints, floats, bools, numpy numbers) becomes a
+    :class:`NumericColumn`; anything else becomes a
+    :class:`CategoricalColumn`.
+    """
+    if isinstance(values, CategoricalColumn) or isinstance(values, NumericColumn):
+        return values
+    if isinstance(values, np.ndarray) and values.dtype.kind in "ifub":
+        return NumericColumn(values)
+    values = list(values)
+    if values and all(isinstance(v, (int, float, np.integer, np.floating, bool))
+                      for v in values):
+        return NumericColumn(np.asarray(values, dtype=np.float64))
+    return CategoricalColumn.from_values(values)

@@ -1,0 +1,91 @@
+"""CSV round-tripping for :class:`~repro.tabular.table.Table`.
+
+Numeric columns serialise as plain decimal text; categorical columns as their
+raw string values.  On read, a column is treated as numeric when every cell
+parses as a float, matching :func:`~repro.tabular.column.column_from_values`.
+An optional schema constrains parsing: attributes declared categorical stay
+categorical even if their values look numeric.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.schema import AttributeKind, Schema
+from repro.tabular.table import Table
+from repro.utils.errors import SchemaError
+
+
+def _looks_numeric(cells: list[str]) -> bool:
+    """Whether every cell parses as a float (empty cells do not)."""
+    for cell in cells:
+        try:
+            float(cell)
+        except ValueError:
+            return False
+    return bool(cells)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Table:
+    """Read ``path`` into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    schema:
+        Optional schema; when given, its attribute kinds override the
+        numeric-sniffing heuristic and the file must contain exactly the
+        schema's attributes.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty (no header row)") from None
+        raw_rows = [row for row in reader]
+
+    for i, row in enumerate(raw_rows):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row {i + 2} has {len(row)} cells, header has {len(header)}"
+            )
+
+    columns: dict[str, object] = {}
+    for j, name in enumerate(header):
+        cells = [row[j] for row in raw_rows]
+        if schema is not None:
+            kind = schema.spec(name).kind
+            force_numeric = kind is AttributeKind.CONTINUOUS
+        else:
+            force_numeric = _looks_numeric(cells)
+        if force_numeric:
+            try:
+                columns[name] = NumericColumn(np.array([float(c) for c in cells]))
+            except ValueError as exc:
+                raise SchemaError(f"{path}: column {name!r} is not numeric: {exc}")
+        else:
+            columns[name] = CategoricalColumn.from_values(cells)
+    return Table(columns, schema=schema)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a header row.
+
+    Continuous values are written via ``repr``-free ``str`` formatting;
+    integers stored as floats keep a trailing ``.0`` so the round-trip stays
+    type-stable.
+    """
+    path = Path(path)
+    decoded = {name: table.values(name) for name in table.column_names}
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for i in range(table.n_rows):
+            writer.writerow([decoded[name][i] for name in table.column_names])

@@ -1,0 +1,185 @@
+"""Schemas: attribute kinds and prescription roles (Sec. 4.2 of the paper).
+
+A :class:`Schema` records, per attribute:
+
+- its **kind** — categorical or continuous (Def. 4.1 allows both), and
+- its **role** in prescription: *immutable* attributes may appear only in
+  grouping patterns, *mutable* attributes only in intervention patterns, the
+  single *outcome* attribute in neither, and *auxiliary* attributes in
+  neither (they may still act as confounders in the causal DAG).
+
+The disjointness requirements of the paper (``M ∩ I = ∅`` and
+``O ∉ M ∪ I``) hold by construction: each attribute has exactly one role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from repro.utils.errors import SchemaError
+
+
+class AttributeKind(str, Enum):
+    """Domain kind of an attribute."""
+
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+
+class AttributeRole(str, Enum):
+    """Role of an attribute in prescription-rule construction."""
+
+    IMMUTABLE = "immutable"
+    MUTABLE = "mutable"
+    OUTCOME = "outcome"
+    AUXILIARY = "auxiliary"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Kind and role of a single attribute.
+
+    Attributes
+    ----------
+    name:
+        Attribute (column) name.
+    kind:
+        :class:`AttributeKind` — categorical or continuous.
+    role:
+        :class:`AttributeRole` — immutable / mutable / outcome / auxiliary.
+    """
+
+    name: str
+    kind: AttributeKind
+    role: AttributeRole
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        object.__setattr__(self, "kind", AttributeKind(self.kind))
+        object.__setattr__(self, "role", AttributeRole(self.role))
+
+
+class Schema:
+    """An ordered collection of :class:`AttributeSpec` with unique names."""
+
+    def __init__(self, specs: Iterable[AttributeSpec]) -> None:
+        self.specs: tuple[AttributeSpec, ...] = tuple(specs)
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {duplicates}")
+        self._by_name = {spec.name: spec for spec in self.specs}
+        outcomes = [spec.name for spec in self.specs if spec.role is AttributeRole.OUTCOME]
+        if len(outcomes) > 1:
+            raise SchemaError(f"at most one outcome attribute allowed, got {outcomes}")
+
+    # -- lookup ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def spec(self, name: str) -> AttributeSpec:
+        """Return the spec for ``name``; raise :class:`SchemaError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All attribute names, in declaration order."""
+        return tuple(spec.name for spec in self.specs)
+
+    # -- role views ----------------------------------------------------------
+
+    def _names_with_role(self, role: AttributeRole) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs if s.role is role)
+
+    @property
+    def immutable_names(self) -> tuple[str, ...]:
+        """Attributes allowed in grouping patterns (set ``I`` in the paper)."""
+        return self._names_with_role(AttributeRole.IMMUTABLE)
+
+    @property
+    def mutable_names(self) -> tuple[str, ...]:
+        """Attributes allowed in intervention patterns (set ``M``)."""
+        return self._names_with_role(AttributeRole.MUTABLE)
+
+    @property
+    def auxiliary_names(self) -> tuple[str, ...]:
+        """Attributes excluded from rules (may still confound)."""
+        return self._names_with_role(AttributeRole.AUXILIARY)
+
+    @property
+    def outcome_name(self) -> str:
+        """The outcome attribute ``O``; raises if the schema declares none."""
+        outcomes = self._names_with_role(AttributeRole.OUTCOME)
+        if not outcomes:
+            raise SchemaError("schema declares no outcome attribute")
+        return outcomes[0]
+
+    def has_outcome(self) -> bool:
+        """Whether an outcome attribute is declared."""
+        return bool(self._names_with_role(AttributeRole.OUTCOME))
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_roles(self, **roles: str | AttributeRole) -> "Schema":
+        """Return a copy with the given attributes re-assigned new roles.
+
+        >>> schema = Schema([AttributeSpec("a", "categorical", "immutable")])
+        >>> schema.with_roles(a="mutable").spec("a").role
+        <AttributeRole.MUTABLE: 'mutable'>
+        """
+        for name in roles:
+            if name not in self:
+                raise SchemaError(f"unknown attribute {name!r}")
+        new_specs = [
+            AttributeSpec(s.name, s.kind, AttributeRole(roles.get(s.name, s.role)))
+            for s in self.specs
+        ]
+        return Schema(new_specs)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Return the sub-schema over ``names`` (declaration order kept)."""
+        wanted = set(names)
+        missing = wanted - set(self.names)
+        if missing:
+            raise SchemaError(f"unknown attributes: {sorted(missing)}")
+        return Schema(s for s in self.specs if s.name in wanted)
+
+    def validate_for_prescription(self) -> None:
+        """Check the invariants FairCap relies on.
+
+        Requires an outcome attribute, at least one immutable attribute (for
+        grouping patterns) and at least one mutable attribute (for
+        intervention patterns).
+        """
+        if not self.has_outcome():
+            raise SchemaError("prescription requires an outcome attribute")
+        if not self.immutable_names:
+            raise SchemaError("prescription requires at least one immutable attribute")
+        if not self.mutable_names:
+            raise SchemaError("prescription requires at least one mutable attribute")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.specs == other.specs
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({len(self.specs)} attributes: "
+            f"{len(self.immutable_names)} immutable, "
+            f"{len(self.mutable_names)} mutable, "
+            f"outcome={self._names_with_role(AttributeRole.OUTCOME) or None})"
+        )

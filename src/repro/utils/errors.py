@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  Subclasses separate the main failure domains:
+schema validation, pattern construction, causal-effect estimation, and
+algorithm configuration.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Raised when a table, column, or schema is malformed or inconsistent.
+
+    Examples: duplicate attribute names, a column whose length differs from
+    the table's row count, or referencing an attribute that does not exist.
+    """
+
+
+class PatternError(ReproError):
+    """Raised when a predicate or pattern is invalid.
+
+    Examples: an unknown comparison operator, an ordering comparison against
+    a categorical attribute, or conjoining two predicates on the same
+    attribute with contradictory equality values.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when a causal effect cannot be estimated.
+
+    Examples: an empty treated or control group (positivity violation), a
+    singular design matrix, or a treatment attribute missing from the DAG.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised when an algorithm configuration is invalid.
+
+    Examples: negative thresholds, unknown problem-variant names, or fairness
+    constraints that reference an undefined protected group.
+    """

@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either an
+integer seed, a :class:`numpy.random.Generator`, or ``None``; this module
+normalises those three spellings so that internal code can always assume a
+``Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SEED = 20250227
+"""Default seed (the paper's arXiv submission date) for reproducible runs."""
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (use :data:`DEFAULT_SEED`), an ``int`` seed, or an existing
+        generator (returned unchanged so callers can share stream state).
+
+    Examples
+    --------
+    >>> gen = ensure_rng(7)
+    >>> ensure_rng(gen) is gen
+    True
+    """
+    if rng is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int, or numpy Generator; got {type(rng)!r}")

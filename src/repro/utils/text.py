@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the experiment harness.
+
+The evaluation harness prints the paper's tables as aligned ASCII.  This
+module holds the small formatting helpers shared by all experiment scripts
+so numbers render consistently (percentages as in Table 4, dollar-scale
+utilities without decimals, unit-scale utilities with two decimals).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_float(value: float, decimals: int = 2) -> str:
+    """Format ``value`` with ``decimals`` digits, dropping the sign of -0.0."""
+    if value == 0:
+        value = 0.0
+    return f"{value:.{decimals}f}"
+
+
+def format_percent(fraction: float, decimals: int = 2) -> str:
+    """Render a 0-1 fraction as a percentage string like Table 4.
+
+    >>> format_percent(0.9991)
+    '99.91%'
+    """
+    return f"{fraction * 100:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Each cell is stringified with ``str``; column widths adapt to content.
+    The result is suitable for printing in benchmark output.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Wall-clock timing helpers used by the runtime experiments (Figs. 3-5).
+
+:class:`Timer` is a context manager for a single measurement.  A
+:class:`StepTimer` accumulates named phases so the FairCap driver can report
+the per-step breakdown shown in the paper's Figure 3 (group mining /
+treatment mining / greedy selection).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class StepTimer:
+    """Accumulates elapsed time per named step.
+
+    The same step name may be entered multiple times; durations add up.
+    """
+
+    def __init__(self) -> None:
+        self.steps: dict[str, float] = {}
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to step ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.steps[name] = self.steps.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded step durations."""
+        return sum(self.steps.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a copy of the per-step durations."""
+        return dict(self.steps)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self.steps.items())
+        return f"StepTimer({inner})"

@@ -1,0 +1,99 @@
+"""Tests for the IDS/FRL adaptation protocol (Sec. 7.1)."""
+
+import pytest
+
+from repro.baselines.adapt import (
+    adapt_if_as_grouping,
+    adapt_if_as_intervention,
+    merge_rule_pools,
+)
+from repro.baselines.association import AssociationRule
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+
+from tests.conftest import build_toy_dag, build_toy_table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    table = build_toy_table(n=1500, seed=13)
+    return table, build_toy_dag(), ProtectedGroup(Pattern.of(Gender="Female"))
+
+
+def test_merge_rule_pools_dedupes():
+    rule_a = AssociationRule(Pattern.of(a=1), 1, 0.5, 0.9)
+    rule_a2 = AssociationRule(Pattern.of(a=1), 0, 0.5, 0.6)  # same pattern
+    rule_b = AssociationRule(Pattern.of(b=2), 1, 0.3, 0.8)
+    merged = merge_rule_pools([[rule_a], [rule_a2, rule_b]])
+    assert [r.pattern for r in merged] == [Pattern.of(a=1), Pattern.of(b=2)]
+    assert merged[0].confidence == 0.9  # first pool wins
+
+
+def test_if_as_grouping_restricts_to_immutables(setup):
+    table, dag, protected = setup
+    clauses = [
+        Pattern.of(City="Metro", Training="Yes"),  # mixed: Training dropped
+        Pattern.of(Training="Yes"),                # mutable-only: dropped
+        Pattern.of(Gender="Male"),
+    ]
+    result = adapt_if_as_grouping(
+        "IDS", clauses, table, table.schema, dag, protected
+    )
+    groupings = {rule.grouping for rule in result.ruleset}
+    assert Pattern.of(City="Metro") in groupings
+    assert Pattern.of(Gender="Male") in groupings
+    for rule in result.ruleset:
+        assert rule.grouping.is_over(table.schema.immutable_names)
+        assert rule.intervention.is_over(table.schema.mutable_names)
+
+
+def test_if_as_intervention_uses_entire_data(setup):
+    table, dag, protected = setup
+    clauses = [Pattern.of(Training="Yes", City="Metro")]
+    result = adapt_if_as_intervention(
+        "FRL", clauses, table, table.schema, dag, protected
+    )
+    assert result.metrics.n_rules == 1
+    rule = result.ruleset[0]
+    assert rule.grouping.is_empty()
+    assert rule.intervention == Pattern.of(Training="Yes")
+    assert result.metrics.coverage == 1.0
+
+
+def test_if_as_intervention_drops_immutable_only_clauses(setup):
+    table, dag, protected = setup
+    clauses = [Pattern.of(Gender="Male")]
+    result = adapt_if_as_intervention(
+        "IDS", clauses, table, table.schema, dag, protected
+    )
+    assert result.metrics.n_rules == 0
+
+
+def test_negative_utility_interventions_dropped(setup):
+    table, dag, protected = setup
+    clauses = [Pattern.of(Training="No")]  # the harmful direction
+    result = adapt_if_as_intervention(
+        "IDS", clauses, table, table.schema, dag, protected
+    )
+    assert result.metrics.n_rules == 0
+
+
+def test_names_follow_paper_layout(setup):
+    table, dag, protected = setup
+    result = adapt_if_as_grouping(
+        "IDS", [Pattern.of(Gender="Male")], table, table.schema, dag, protected
+    )
+    assert result.name == "IDS (IF clause as grouping pattern)"
+    result = adapt_if_as_intervention(
+        "FRL", [Pattern.of(Training="Yes")], table, table.schema, dag, protected
+    )
+    assert result.name == "FRL (IF clause as intervention pattern)"
+
+
+def test_source_rule_count_recorded(setup):
+    table, dag, protected = setup
+    clauses = [Pattern.of(Gender="Male"), Pattern.of(City="Metro")]
+    result = adapt_if_as_grouping(
+        "IDS", clauses, table, table.schema, dag, protected
+    )
+    assert result.source_rule_count == 2

@@ -1,0 +1,83 @@
+"""Tests for the association-rule substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.association import (
+    binarize_outcome,
+    mine_association_rules,
+)
+from repro.tabular.table import Table
+from repro.utils.errors import EstimationError
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    n = 500
+    group = rng.choice(["a", "b"], n)
+    outcome = np.where(group == "a", 100.0, 10.0) + rng.normal(0, 1, n)
+    return Table({"group": group.astype(object), "outcome": outcome})
+
+
+def test_binarize_at_mean(table):
+    labels = binarize_outcome(table, "outcome")
+    values = table.values("outcome")
+    assert np.array_equal(labels == 1, values >= values.mean())
+
+
+def test_binary_outcome_passthrough():
+    table = Table({"y": [0.0, 1.0, 1.0, 0.0]})
+    assert list(binarize_outcome(table, "y")) == [0, 1, 1, 0]
+
+
+def test_binarize_requires_numeric():
+    table = Table({"y": ["hi", "lo"]})
+    with pytest.raises(EstimationError):
+        binarize_outcome(table, "y")
+
+
+def test_rules_have_correct_confidence(table):
+    rules = mine_association_rules(
+        table, "outcome", ["group"], min_support=0.1, min_confidence=0.0
+    )
+    labels = binarize_outcome(table, "outcome")
+    for rule in rules:
+        mask = rule.pattern.mask(table)
+        positive_rate = labels[mask].mean()
+        expected = positive_rate if rule.outcome_class == 1 else 1 - positive_rate
+        assert rule.confidence == pytest.approx(expected)
+        assert rule.support == pytest.approx(mask.mean())
+
+
+def test_perfect_separation_found(table):
+    rules = mine_association_rules(
+        table, "outcome", ["group"], min_support=0.1, min_confidence=0.9
+    )
+    by_pattern = {str(r.pattern): r for r in rules}
+    assert by_pattern["group = a"].outcome_class == 1
+    assert by_pattern["group = b"].outcome_class == 0
+
+
+def test_min_confidence_filters(table):
+    rng = np.random.default_rng(1)
+    noisy = table.with_column("noise", rng.choice(["x", "y"], 500).astype(object))
+    rules = mine_association_rules(
+        noisy, "outcome", ["noise"], min_support=0.1, min_confidence=0.95
+    )
+    assert rules == []
+
+
+def test_sorted_by_confidence(table):
+    rules = mine_association_rules(
+        table, "outcome", ["group"], min_support=0.1, min_confidence=0.0
+    )
+    confidences = [r.confidence for r in rules]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_rule_length(table):
+    rules = mine_association_rules(
+        table, "outcome", ["group"], min_support=0.1, max_length=1
+    )
+    assert all(r.length == 1 for r in rules)

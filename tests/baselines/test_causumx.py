@@ -1,0 +1,56 @@
+"""Tests for the CauSumX adaptation."""
+
+import pytest
+
+from repro.baselines.causumx import causumx_variant, run_causumx
+from repro.core.config import FairCapConfig
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+
+from tests.conftest import build_toy_dag, build_toy_table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    table = build_toy_table(n=1500, seed=12)
+    return table, build_toy_dag(), ProtectedGroup(Pattern.of(Gender="Female"))
+
+
+def test_variant_shape():
+    variant = causumx_variant(theta=0.4)
+    assert variant.fairness is None
+    assert variant.has_group_coverage
+    assert variant.coverage.theta == 0.4
+    assert variant.coverage.theta_protected == 0.0  # no protected floor
+
+
+def test_run_produces_rules(setup):
+    table, dag, protected = setup
+    result = run_causumx(table, table.schema, dag, protected,
+                         FairCapConfig(), theta=0.4)
+    assert result.metrics.n_rules >= 1
+    assert result.metrics.coverage >= 0.4
+
+
+def test_ignores_fairness(setup):
+    """CauSumX maximises utility; its unfairness is at least FairCap's."""
+    from repro.core.faircap import FairCap
+    from repro.core.variants import canonical_variants
+
+    table, dag, protected = setup
+    causumx = run_causumx(table, table.schema, dag, protected)
+    variants = canonical_variants("SP", 3_000.0, 0.5, 0.5)
+    fair = FairCap(
+        FairCapConfig(variant=variants["Group fairness"])
+    ).run(table, table.schema, dag, protected)
+    assert abs(causumx.metrics.unfairness) >= abs(fair.metrics.unfairness) - 1e-9
+
+
+def test_config_variant_overridden(setup):
+    table, dag, protected = setup
+    from repro.core.variants import canonical_variants
+
+    variants = canonical_variants("SP", 1.0, 0.5, 0.5)
+    config = FairCapConfig(variant=variants["Individual fairness"])
+    result = run_causumx(table, table.schema, dag, protected, config)
+    assert result.config.variant.fairness is None

@@ -1,0 +1,73 @@
+"""Tests for the FRL baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.frl import FRLConfig, run_frl
+from repro.tabular.table import Table
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(1)
+    n = 800
+    tier = rng.choice(["gold", "silver", "bronze"], n, p=[0.2, 0.4, 0.4])
+    region = rng.choice(["n", "s"], n)
+    p_good = {"gold": 0.95, "silver": 0.6, "bronze": 0.15}
+    y = np.array([rng.random() < p_good[t] for t in tier], dtype=float)
+    return Table(
+        {"tier": tier.astype(object), "region": region.astype(object), "y": y}
+    )
+
+
+def test_list_is_falling(table):
+    result = run_frl(table, "y", ("tier", "region"))
+    assert result.rules
+    assert result.is_falling()
+
+
+def test_top_rule_is_highest_probability(table):
+    result = run_frl(table, "y", ("tier", "region"))
+    top = result.rules[0]
+    assert "gold" in str(top.pattern.pattern)
+    assert top.probability > 0.85
+
+
+def test_else_probability_reported(table):
+    result = run_frl(table, "y", ("tier", "region"))
+    assert 0.0 <= result.else_probability <= 1.0
+
+
+def test_max_rules_cap(table):
+    result = run_frl(table, "y", ("tier", "region"), FRLConfig(max_rules=2))
+    assert len(result.rules) <= 2
+
+
+def test_min_rule_rows_respected(table):
+    result = run_frl(
+        table, "y", ("tier", "region"), FRLConfig(min_rule_rows=100)
+    )
+    assert all(r.captured >= 100 for r in result.rules)
+
+
+def test_captured_counts_disjoint(table):
+    """Captured rows are counted against the not-yet-covered remainder."""
+    result = run_frl(table, "y", ("tier", "region"))
+    assert sum(r.captured for r in result.rules) <= table.n_rows
+
+
+def test_ordering_sweeps_scale_runtime(table):
+    fast = run_frl(table, "y", ("tier",), FRLConfig(ordering_sweeps=1))
+    slow = run_frl(table, "y", ("tier",), FRLConfig(ordering_sweeps=30))
+    assert slow.runtime_seconds > fast.runtime_seconds
+
+
+def test_invalid_sweeps():
+    with pytest.raises(ValueError):
+        FRLConfig(ordering_sweeps=0)
+
+
+def test_deterministic(table):
+    a = run_frl(table, "y", ("tier", "region"))
+    b = run_frl(table, "y", ("tier", "region"))
+    assert [r.probability for r in a.rules] == [r.probability for r in b.rules]

@@ -1,0 +1,72 @@
+"""Tests for the IDS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ids import IDSConfig, run_ids
+from repro.tabular.table import Table
+from repro.utils.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    n = 600
+    a = rng.choice(["hi", "lo"], n, p=[0.5, 0.5])
+    b = rng.choice(["x", "y", "z"], n)
+    outcome = (
+        50.0 * (a == "hi") + 5.0 * (b == "x") + rng.normal(0, 3, n)
+    )
+    return Table({"a": a.astype(object), "b": b.astype(object), "y": outcome})
+
+
+def test_selects_predictive_rules(table):
+    result = run_ids(table, "y", ("a", "b"), IDSConfig(max_rules=6))
+    assert result.rules
+    assert result.accuracy > 0.8
+    patterns = {str(r.pattern) for r in result.rules}
+    assert "a = hi" in patterns or "a = lo" in patterns
+
+
+def test_coverage_floor_respected(table):
+    result = run_ids(
+        table, "y", ("a", "b"), IDSConfig(max_rules=10, min_coverage=0.95)
+    )
+    assert result.coverage >= 0.95
+
+
+def test_max_rules_cap(table):
+    result = run_ids(table, "y", ("a", "b"), IDSConfig(max_rules=2))
+    assert len(result.rules) <= 2
+
+
+def test_target_rules_fills(table):
+    result = run_ids(
+        table, "y", ("a", "b"), IDSConfig(max_rules=20, target_rules=8)
+    )
+    assert len(result.rules) == min(8, result.candidate_count)
+
+
+def test_runtime_recorded(table):
+    result = run_ids(table, "y", ("a", "b"))
+    assert result.runtime_seconds > 0
+
+
+def test_objective_value_positive(table):
+    result = run_ids(table, "y", ("a", "b"))
+    assert result.objective > 0
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigError):
+        IDSConfig(lambdas=(1.0, 1.0))
+    with pytest.raises(ConfigError):
+        IDSConfig(lambdas=(1.0,) * 6 + (-1.0,))
+    with pytest.raises(ConfigError):
+        IDSConfig(target_rules=0)
+
+
+def test_deterministic(table):
+    a = run_ids(table, "y", ("a", "b"), IDSConfig(max_rules=4))
+    b = run_ids(table, "y", ("a", "b"), IDSConfig(max_rules=4))
+    assert [str(r.pattern) for r in a.rules] == [str(r.pattern) for r in b.rules]

@@ -1,0 +1,109 @@
+"""Tests for backdoor adjustment-set selection."""
+
+import pytest
+
+from repro.causal.backdoor import (
+    backdoor_adjustment_set,
+    is_valid_backdoor_set,
+    minimal_backdoor_set,
+    parents_adjustment_set,
+)
+from repro.causal.dag import CausalDAG
+from repro.utils.errors import EstimationError
+
+
+@pytest.fixture
+def confounded():
+    # z confounds t -> y
+    return CausalDAG(edges=[("z", "t"), ("z", "y"), ("t", "y")])
+
+
+def test_confounder_identified(confounded):
+    assert backdoor_adjustment_set(confounded, ["t"], "y") == ("z",)
+
+
+def test_empty_set_when_unconfounded():
+    dag = CausalDAG(edges=[("t", "y"), ("w", "y")])
+    assert backdoor_adjustment_set(dag, ["t"], "y") == ()
+
+
+def test_mediator_not_included():
+    # t -> m -> y; no confounding: adjustment should be empty, never m.
+    dag = CausalDAG(edges=[("t", "m"), ("m", "y")])
+    assert backdoor_adjustment_set(dag, ["t"], "y") == ()
+
+
+def test_minimality_prunes_redundant():
+    # Two parents of t, but only z1 reaches y: z2 is prunable.
+    dag = CausalDAG(
+        edges=[("z1", "t"), ("z2", "t"), ("z1", "y"), ("t", "y")]
+    )
+    assert backdoor_adjustment_set(dag, ["t"], "y") == ("z1",)
+
+
+def test_is_valid_backdoor_set(confounded):
+    assert is_valid_backdoor_set(confounded, ["t"], "y", ["z"])
+    assert not is_valid_backdoor_set(confounded, ["t"], "y", [])
+
+
+def test_descendant_invalid():
+    dag = CausalDAG(edges=[("t", "m"), ("m", "y"), ("z", "t"), ("z", "y")])
+    assert not is_valid_backdoor_set(dag, ["t"], "y", ["m"])
+    assert not is_valid_backdoor_set(dag, ["t"], "y", ["z", "m"])
+
+
+def test_outcome_in_adjustment_invalid(confounded):
+    assert not is_valid_backdoor_set(confounded, ["t"], "y", ["y"])
+
+
+def test_treatment_in_adjustment_invalid(confounded):
+    assert not is_valid_backdoor_set(confounded, ["t"], "y", ["t"])
+
+
+def test_multi_treatment():
+    dag = CausalDAG(
+        edges=[
+            ("z", "t1"), ("z", "t2"), ("z", "y"), ("t1", "y"), ("t2", "y"),
+        ]
+    )
+    assert backdoor_adjustment_set(dag, ["t1", "t2"], "y") == ("z",)
+
+
+def test_compound_treatment_without_strict_set():
+    # t1 -> m -> t2 with m -> y: parents(t2) includes m, a descendant of t1,
+    # so no strict backdoor set exists.
+    dag = CausalDAG(
+        edges=[
+            ("t1", "m"), ("m", "t2"), ("m", "y"), ("t1", "y"), ("t2", "y"),
+        ]
+    )
+    with pytest.raises(EstimationError):
+        backdoor_adjustment_set(dag, ["t1", "t2"], "y")
+    # The practical fallback still returns the parents union.
+    assert parents_adjustment_set(dag, ["t1", "t2"], "y") == ("m",)
+
+
+def test_minimal_backdoor_requires_valid_start(confounded):
+    with pytest.raises(EstimationError):
+        minimal_backdoor_set(confounded, ["t"], "y", [])
+
+
+def test_minimal_keeps_necessary(confounded):
+    assert minimal_backdoor_set(confounded, ["t"], "y", ["z"]) == ("z",)
+
+
+def test_unknown_nodes_rejected(confounded):
+    with pytest.raises(EstimationError):
+        backdoor_adjustment_set(confounded, ["ghost"], "y")
+    with pytest.raises(EstimationError):
+        backdoor_adjustment_set(confounded, ["t"], "ghost")
+
+
+def test_empty_treatments_rejected(confounded):
+    with pytest.raises(EstimationError):
+        backdoor_adjustment_set(confounded, [], "y")
+
+
+def test_outcome_as_treatment_rejected(confounded):
+    with pytest.raises(EstimationError):
+        is_valid_backdoor_set(confounded, ["y"], "y", [])

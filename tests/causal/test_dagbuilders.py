@@ -1,0 +1,77 @@
+"""Tests for the Table 6 synthetic DAG builders."""
+
+import pytest
+
+from repro.causal.dagbuilders import (
+    named_dag_variants,
+    one_layer_independent_dag,
+    two_layer_dag,
+    two_layer_mutable_dag,
+    validate_dag_covers_schema,
+)
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.utils.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            AttributeSpec("g1", AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE),
+            AttributeSpec("g2", AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE),
+            AttributeSpec("m1", AttributeKind.CATEGORICAL, AttributeRole.MUTABLE),
+            AttributeSpec("m2", AttributeKind.CATEGORICAL, AttributeRole.MUTABLE),
+            AttributeSpec("o", AttributeKind.CONTINUOUS, AttributeRole.OUTCOME),
+        ]
+    )
+
+
+def test_one_layer(schema):
+    dag = one_layer_independent_dag(schema)
+    assert set(dag.edges) == {("g1", "o"), ("g2", "o"), ("m1", "o"), ("m2", "o")}
+
+
+def test_two_layer_mutable(schema):
+    dag = two_layer_mutable_dag(schema)
+    # Immutables feed mutables but not the outcome directly.
+    assert ("g1", "m1") in dag.edges
+    assert ("m1", "o") in dag.edges
+    assert ("g1", "o") not in dag.edges
+
+
+def test_two_layer(schema):
+    dag = two_layer_dag(schema)
+    assert ("g1", "m1") in dag.edges
+    assert ("g1", "o") in dag.edges
+    assert ("m1", "o") in dag.edges
+
+
+def test_all_cover_schema(schema):
+    for builder in (one_layer_independent_dag, two_layer_mutable_dag, two_layer_dag):
+        dag = builder(schema)
+        validate_dag_covers_schema(dag, schema)
+
+
+def test_validate_detects_missing(schema):
+    dag = one_layer_independent_dag(schema).restricted_to(["g1", "o"])
+    with pytest.raises(SchemaError):
+        validate_dag_covers_schema(dag, schema)
+
+
+def test_named_variants(schema):
+    original = two_layer_dag(schema)
+    variants = named_dag_variants(schema, original)
+    assert set(variants) == {
+        "Original causal DAG", "1-Layer Indep DAG",
+        "2-Layer Mutable DAG", "2-Layer DAG",
+    }
+    with_pc = named_dag_variants(schema, original, pc=original)
+    assert "PC DAG" in with_pc
+
+
+def test_requires_prescription_schema():
+    bad = Schema(
+        [AttributeSpec("a", AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE)]
+    )
+    with pytest.raises(SchemaError):
+        one_layer_independent_dag(bad)

@@ -1,0 +1,98 @@
+"""Tests for d-separation against textbook structures."""
+
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.utils.errors import SchemaError
+
+
+@pytest.fixture
+def chain():
+    return CausalDAG(edges=[("x", "m"), ("m", "y")])
+
+
+@pytest.fixture
+def fork():
+    return CausalDAG(edges=[("z", "x"), ("z", "y")])
+
+
+@pytest.fixture
+def collider():
+    return CausalDAG(edges=[("x", "c"), ("y", "c"), ("c", "d")])
+
+
+def test_chain_blocked_by_mediator(chain):
+    assert not chain.d_separated(["x"], ["y"])
+    assert chain.d_separated(["x"], ["y"], ["m"])
+
+
+def test_fork_blocked_by_common_cause(fork):
+    assert not fork.d_separated(["x"], ["y"])
+    assert fork.d_separated(["x"], ["y"], ["z"])
+
+
+def test_collider_blocks_by_default(collider):
+    assert collider.d_separated(["x"], ["y"])
+
+
+def test_conditioning_on_collider_opens_path(collider):
+    assert not collider.d_separated(["x"], ["y"], ["c"])
+
+
+def test_conditioning_on_collider_descendant_opens_path(collider):
+    assert not collider.d_separated(["x"], ["y"], ["d"])
+
+
+def test_m_structure():
+    # x <- a -> c <- b -> y : conditioning on c opens the path.
+    dag = CausalDAG(edges=[("a", "x"), ("a", "c"), ("b", "c"), ("b", "y")])
+    assert dag.d_separated(["x"], ["y"])
+    assert not dag.d_separated(["x"], ["y"], ["c"])
+    assert dag.d_separated(["x"], ["y"], ["c", "a"])
+
+
+def test_set_arguments():
+    dag = CausalDAG(edges=[("a", "y"), ("b", "y")])
+    assert dag.d_separated(["a"], ["b"])
+    assert not dag.d_separated(["a", "b"], ["y"])
+
+
+def test_overlapping_sets_rejected():
+    dag = CausalDAG(edges=[("a", "b")])
+    with pytest.raises(SchemaError):
+        dag.d_separated(["a"], ["a"])
+    with pytest.raises(SchemaError):
+        dag.d_separated(["a"], ["b"], ["a"])
+
+
+def test_empty_sets_rejected():
+    dag = CausalDAG(edges=[("a", "b")])
+    with pytest.raises(SchemaError):
+        dag.d_separated([], ["b"])
+
+
+def test_unknown_node_rejected():
+    dag = CausalDAG(edges=[("a", "b")])
+    with pytest.raises(SchemaError):
+        dag.d_separated(["a"], ["ghost"])
+
+
+def test_matches_networkx_reference():
+    """Cross-check against networkx's d-separation on a richer DAG."""
+    import networkx as nx
+    from itertools import combinations
+
+    edges = [
+        ("a", "b"), ("b", "c"), ("a", "d"), ("d", "c"),
+        ("c", "e"), ("f", "d"), ("f", "e"),
+    ]
+    dag = CausalDAG(edges=edges)
+    graph = nx.DiGraph(edges)
+    nodes = sorted(dag.nodes)
+    for x, y in combinations(nodes, 2):
+        others = [n for n in nodes if n not in (x, y)]
+        for size in range(len(others) + 1):
+            for zs in combinations(others, size):
+                ours = dag.d_separated([x], [y], list(zs))
+                reference = nx.is_d_separator(graph, {x}, {y}, set(zs))
+                assert ours == reference, (x, y, zs)

@@ -1,0 +1,160 @@
+"""Tests for the CATE estimators against known ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.causal.estimators import (
+    CateResult,
+    LinearAdjustmentEstimator,
+    StratifiedEstimator,
+    estimate_cate,
+)
+from repro.tabular.table import Table
+from repro.utils.errors import EstimationError
+
+
+def confounded_table(n=4000, effect=5.0, seed=0):
+    """z confounds both treatment uptake and the outcome."""
+    rng = np.random.default_rng(seed)
+    z = rng.integers(0, 3, n)
+    t = rng.random(n) < (0.2 + 0.2 * z)
+    y = effect * t + 3.0 * z + rng.normal(size=n)
+    table = Table(
+        {"z": [f"z{v}" for v in z], "y": y}
+    )
+    return table, t, z
+
+
+@pytest.mark.parametrize("estimator", [LinearAdjustmentEstimator(), StratifiedEstimator()])
+def test_recovers_effect_with_adjustment(estimator):
+    table, t, _ = confounded_table()
+    result = estimator.estimate(table, t, "y", ("z",))
+    assert result.valid
+    assert result.estimate == pytest.approx(5.0, abs=0.25)
+    assert result.p_value < 1e-6
+
+
+@pytest.mark.parametrize("estimator", [LinearAdjustmentEstimator(), StratifiedEstimator()])
+def test_unadjusted_estimate_is_biased(estimator):
+    table, t, _ = confounded_table()
+    naive = estimator.estimate(table, t, "y", ())
+    adjusted = estimator.estimate(table, t, "y", ("z",))
+    # Confounding inflates the naive estimate well above the truth.
+    assert naive.estimate > adjusted.estimate + 0.5
+
+
+def test_null_effect_not_significant():
+    table, t, _ = confounded_table(effect=0.0, seed=3)
+    result = LinearAdjustmentEstimator().estimate(table, t, "y", ("z",))
+    assert abs(result.estimate) < 0.2
+    assert result.p_value > 0.01
+
+
+def test_continuous_adjustment_column():
+    rng = np.random.default_rng(4)
+    n = 3000
+    z = rng.normal(size=n)
+    t = rng.random(n) < 1 / (1 + np.exp(-z))
+    y = 2.0 * t + 1.5 * z + rng.normal(size=n)
+    table = Table({"z": z, "y": y})
+    result = LinearAdjustmentEstimator().estimate(table, t, "y", ("z",))
+    assert result.estimate == pytest.approx(2.0, abs=0.15)
+
+
+def test_empty_treated_group_invalid():
+    table, t, _ = confounded_table(n=100)
+    result = LinearAdjustmentEstimator().estimate(
+        table, np.zeros(100, dtype=bool), "y", ()
+    )
+    assert not result.valid
+    assert "positivity" in result.reason
+    assert np.isnan(result.estimate)
+
+
+def test_empty_control_group_invalid():
+    table, t, _ = confounded_table(n=100)
+    result = LinearAdjustmentEstimator().estimate(
+        table, np.ones(100, dtype=bool), "y", ()
+    )
+    assert not result.valid
+
+
+def test_counts_reported():
+    table, t, _ = confounded_table(n=500)
+    result = LinearAdjustmentEstimator().estimate(table, t, "y", ("z",))
+    assert result.n == 500
+    assert result.n_treated == int(t.sum())
+    assert result.n_control == 500 - int(t.sum())
+    assert result.adjustment == ("z",)
+
+
+def test_mask_length_validation():
+    table, t, _ = confounded_table(n=100)
+    with pytest.raises(EstimationError):
+        LinearAdjustmentEstimator().estimate(table, t[:50], "y", ())
+
+
+def test_categorical_outcome_rejected():
+    table = Table({"y": ["a", "b"], "t": [0.0, 1.0]})
+    with pytest.raises(EstimationError):
+        LinearAdjustmentEstimator().estimate(
+            table, np.array([True, False]), "y", ()
+        )
+
+
+def test_stratified_no_overlap_invalid():
+    # Treatment perfectly determined by stratum: no stratum has both groups.
+    table = Table({"z": ["a"] * 50 + ["b"] * 50, "y": [1.0] * 100})
+    treated = np.array([True] * 50 + [False] * 50)
+    result = StratifiedEstimator().estimate(table, treated, "y", ("z",))
+    assert not result.valid
+
+
+def test_stratified_drops_partial_overlap():
+    # Stratum 'a' has both groups, stratum 'b' only controls: 'b' dropped,
+    # but 'b' holds 50% of rows -> still valid at the default threshold.
+    rng = np.random.default_rng(5)
+    z = np.array(["a"] * 100 + ["b"] * 100)
+    treated = np.concatenate([rng.random(100) < 0.5, np.zeros(100, dtype=bool)])
+    y = 3.0 * treated + rng.normal(size=200)
+    table = Table({"z": z, "y": y})
+    result = StratifiedEstimator(max_dropped_fraction=0.6).estimate(
+        table, treated, "y", ("z",)
+    )
+    assert result.valid
+    assert result.estimate == pytest.approx(3.0, abs=0.5)
+
+
+def test_stratified_continuous_binning():
+    rng = np.random.default_rng(6)
+    n = 4000
+    z = rng.normal(size=n)
+    t = rng.random(n) < 1 / (1 + np.exp(-2 * z))
+    y = 1.0 * t + 2.0 * z + rng.normal(size=n) * 0.5
+    table = Table({"z": z, "y": y})
+    result = StratifiedEstimator(n_bins=8).estimate(table, t, "y", ("z",))
+    assert result.valid
+    assert result.estimate == pytest.approx(1.0, abs=0.3)
+
+
+def test_cate_result_significance_helpers():
+    good = CateResult(1.0, 0.1, 0.001, 100, 50, 50)
+    assert good.is_significant(0.05)
+    assert not good.is_significant(0.0001)
+    bad = CateResult.invalid("nope")
+    assert not bad.is_significant()
+    assert not bad.valid
+
+
+def test_estimate_cate_facade():
+    table, t, _ = confounded_table(n=1000)
+    default = estimate_cate(table, t, "y", ("z",))
+    explicit = estimate_cate(
+        table, t, "y", ("z",), estimator=LinearAdjustmentEstimator()
+    )
+    assert default.estimate == pytest.approx(explicit.estimate)
+
+
+def test_stratified_invalid_bins():
+    with pytest.raises(EstimationError):
+        StratifiedEstimator(n_bins=1)

@@ -1,0 +1,111 @@
+"""Tests for the conditional-independence tests."""
+
+import numpy as np
+import pytest
+
+from repro.causal.independence import CITester, fisher_z_test, g_square_test
+from repro.tabular.table import Table
+from repro.utils.errors import EstimationError
+
+
+def test_fisher_z_detects_dependence():
+    rng = np.random.default_rng(0)
+    n = 2000
+    x = rng.normal(size=n)
+    y = x + 0.5 * rng.normal(size=n)
+    data = np.column_stack([x, y])
+    assert fisher_z_test(data, 0, 1) < 0.01
+
+
+def test_fisher_z_independent():
+    rng = np.random.default_rng(1)
+    data = rng.normal(size=(2000, 2))
+    assert fisher_z_test(data, 0, 1) > 0.01
+
+
+def test_fisher_z_conditional_independence():
+    rng = np.random.default_rng(2)
+    n = 3000
+    z = rng.normal(size=n)
+    x = z + 0.5 * rng.normal(size=n)
+    y = z + 0.5 * rng.normal(size=n)
+    data = np.column_stack([x, y, z])
+    assert fisher_z_test(data, 0, 1) < 0.01      # marginally dependent
+    assert fisher_z_test(data, 0, 1, (2,)) > 0.01  # independent given z
+
+
+def test_fisher_z_small_sample_returns_one():
+    data = np.random.default_rng(0).normal(size=(4, 3))
+    assert fisher_z_test(data, 0, 1, (2,)) == 1.0
+
+
+def test_g_square_detects_dependence():
+    rng = np.random.default_rng(3)
+    n = 2000
+    x = rng.integers(0, 2, n)
+    y = np.where(rng.random(n) < 0.8, x, 1 - x)
+    codes = np.column_stack([x, y])
+    assert g_square_test(codes, (2, 2), 0, 1) < 0.001
+
+
+def test_g_square_independent():
+    rng = np.random.default_rng(4)
+    codes = np.column_stack([rng.integers(0, 2, 3000), rng.integers(0, 3, 3000)])
+    assert g_square_test(codes, (2, 3), 0, 1) > 0.01
+
+
+def test_g_square_conditional_independence():
+    rng = np.random.default_rng(5)
+    n = 5000
+    z = rng.integers(0, 2, n)
+    x = np.where(rng.random(n) < 0.7, z, 1 - z)
+    y = np.where(rng.random(n) < 0.7, z, 1 - z)
+    codes = np.column_stack([x, y, z])
+    assert g_square_test(codes, (2, 2, 2), 0, 1) < 0.001
+    assert g_square_test(codes, (2, 2, 2), 0, 1, (2,)) > 0.01
+
+
+def test_g_square_constant_column_independent():
+    codes = np.column_stack([np.zeros(100, dtype=int), np.arange(100) % 2])
+    assert g_square_test(codes, (1, 2), 0, 1) == 1.0
+
+
+class TestCITester:
+    def make_table(self, n=3000, seed=6):
+        rng = np.random.default_rng(seed)
+        z = rng.integers(0, 2, n)
+        x = np.where(rng.random(n) < 0.75, z, 1 - z)
+        w = rng.normal(size=n)
+        y = w + rng.normal(size=n)
+        return Table(
+            {
+                "z": [f"z{v}" for v in z],
+                "x": [f"x{v}" for v in x],
+                "w": w,
+                "y": y,
+            }
+        )
+
+    def test_categorical_query(self):
+        tester = CITester(self.make_table())
+        assert tester.p_value("x", "z") < 0.001
+        assert not tester.independent("x", "z")
+
+    def test_continuous_query(self):
+        tester = CITester(self.make_table())
+        assert tester.p_value("w", "y") < 0.001
+
+    def test_mixed_query_discretises(self):
+        tester = CITester(self.make_table())
+        # w and x are independent.
+        assert tester.independent("w", "x")
+
+    def test_unknown_attribute(self):
+        tester = CITester(self.make_table())
+        with pytest.raises(EstimationError):
+            tester.p_value("ghost", "x")
+
+    def test_empty_table_rejected(self):
+        table = Table({"a": np.array([], dtype=float)})
+        with pytest.raises(EstimationError):
+            CITester(table)

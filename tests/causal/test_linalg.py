@@ -1,0 +1,90 @@
+"""Tests for the OLS helper."""
+
+import numpy as np
+import pytest
+
+from repro.causal.linalg import ols, one_hot
+from repro.utils.errors import EstimationError
+
+
+def test_recovers_exact_coefficients():
+    rng = np.random.default_rng(0)
+    X = np.column_stack([np.ones(200), rng.normal(size=200), rng.normal(size=200)])
+    beta = np.array([1.0, 2.0, -3.0])
+    y = X @ beta
+    fit = ols(X, y)
+    assert np.allclose(fit.coefficients, beta, atol=1e-10)
+    assert fit.rank == 3
+
+
+def test_stderr_shrinks_with_n():
+    rng = np.random.default_rng(1)
+
+    def stderr_at(n):
+        X = np.column_stack([np.ones(n), rng.normal(size=n)])
+        y = X @ np.array([0.0, 1.0]) + rng.normal(size=n)
+        return ols(X, y).stderr[1]
+
+    assert stderr_at(4000) < stderr_at(100)
+
+
+def test_stderr_matches_closed_form():
+    rng = np.random.default_rng(2)
+    n = 500
+    x = rng.normal(size=n)
+    X = np.column_stack([np.ones(n), x])
+    y = 2.0 + 0.5 * x + rng.normal(size=n)
+    fit = ols(X, y)
+    residuals = y - X @ fit.coefficients
+    s2 = residuals @ residuals / (n - 2)
+    expected = np.sqrt(s2 * np.linalg.inv(X.T @ X)[1, 1])
+    assert fit.stderr[1] == pytest.approx(expected, rel=1e-9)
+
+
+def test_rank_deficient_design_handled():
+    n = 50
+    x = np.linspace(0, 1, n)
+    X = np.column_stack([np.ones(n), x, 2 * x])  # collinear
+    y = 1.0 + x
+    fit = ols(X, y)
+    assert fit.rank == 2
+    assert np.allclose(X @ fit.coefficients, y, atol=1e-8)
+
+
+def test_zero_dof():
+    X = np.eye(3)
+    y = np.arange(3.0)
+    fit = ols(X, y)
+    assert fit.dof == 0
+    assert np.isnan(fit.residual_variance)
+    assert np.isnan(fit.stderr).all()
+
+
+def test_shape_validation():
+    with pytest.raises(EstimationError):
+        ols(np.ones(5), np.ones(5))  # 1-D design
+    with pytest.raises(EstimationError):
+        ols(np.ones((5, 2)), np.ones(4))  # length mismatch
+    with pytest.raises(EstimationError):
+        ols(np.ones((0, 2)), np.ones(0))  # empty
+
+
+class TestOneHot:
+    def test_drop_first(self):
+        codes = np.array([0, 1, 2, 1])
+        matrix = one_hot(codes, 3)
+        assert matrix.shape == (4, 2)
+        assert list(matrix[:, 0]) == [0.0, 1.0, 0.0, 1.0]  # category 1
+        assert list(matrix[:, 1]) == [0.0, 0.0, 1.0, 0.0]  # category 2
+
+    def test_keep_all(self):
+        matrix = one_hot(np.array([0, 1]), 2, drop_first=False)
+        assert matrix.shape == (2, 2)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_empty_input(self):
+        assert one_hot(np.array([], dtype=int), 3).shape == (0, 2)
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(EstimationError):
+            one_hot(np.array([0]), 0)

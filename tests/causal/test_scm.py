@@ -1,0 +1,155 @@
+"""Tests for structural causal models."""
+
+import numpy as np
+import pytest
+
+from repro.causal.scm import SCMNode, StructuralCausalModel
+from repro.datasets.synth import uniform_noise
+from repro.utils.errors import SchemaError
+
+
+def simple_scm(effect=4.0):
+    """z -> t -> y with z -> y."""
+    def mk_z(parents, noise):
+        return (noise > 0).astype(np.float64)
+
+    def mk_t(parents, noise):
+        return (noise < 0.3 + 0.4 * parents["z"]).astype(np.float64)
+
+    def mk_y(parents, noise):
+        return effect * parents["t"] + 2.0 * parents["z"] + noise
+
+    return StructuralCausalModel(
+        [
+            SCMNode("z", (), mk_z),
+            SCMNode("t", ("z",), mk_t, uniform_noise),
+            SCMNode("y", ("z", "t"), mk_y),
+        ]
+    )
+
+
+def test_dag_matches_parents():
+    scm = simple_scm()
+    dag = scm.dag()
+    assert set(dag.edges) == {("z", "t"), ("z", "y"), ("t", "y")}
+
+
+def test_sample_shapes():
+    values = simple_scm().sample(100, rng=0)
+    assert set(values) == {"z", "t", "y"}
+    assert all(v.shape == (100,) for v in values.values())
+
+
+def test_sampling_deterministic():
+    scm = simple_scm()
+    a = scm.sample(50, rng=7)
+    b = scm.sample(50, rng=7)
+    for name in a:
+        assert np.array_equal(a[name], b[name])
+
+
+def test_do_intervention_sets_constant():
+    scm = simple_scm()
+    values = scm.sample(100, rng=0, interventions={"t": 1.0})
+    assert (values["t"] == 1.0).all()
+
+
+def test_do_breaks_dependence_on_parents():
+    scm = simple_scm()
+    values = scm.sample(5000, rng=1, interventions={"t": 1.0})
+    # Under do(t=1), t no longer depends on z.
+    assert (values["t"] == 1.0).all()
+
+
+def test_noise_replay_isolates_effect():
+    scm = simple_scm(effect=4.0)
+    noise = scm.draw_noise(10_000, rng=2)
+    treated = scm.sample_with_noise(noise, {"t": 1.0})
+    control = scm.sample_with_noise(noise, {"t": 0.0})
+    diff = treated["y"] - control["y"]
+    # With shared noise the difference is *exactly* the structural effect.
+    assert np.allclose(diff, 4.0)
+
+
+def test_ground_truth_ate():
+    scm = simple_scm(effect=4.0)
+    ate = scm.ground_truth_ate({"t": 1.0}, {"t": 0.0}, "y", n=5000, rng=3)
+    assert ate == pytest.approx(4.0, abs=1e-9)
+
+
+def test_ground_truth_cate_with_condition():
+    scm = simple_scm(effect=4.0)
+    cate = scm.ground_truth_cate(
+        {"t": 1.0}, {"t": 0.0}, "y", n=5000, rng=4,
+        condition=lambda values: values["z"] == 1.0,
+    )
+    assert cate == pytest.approx(4.0, abs=1e-9)
+
+
+def test_condition_selecting_nothing_rejected():
+    scm = simple_scm()
+    with pytest.raises(SchemaError):
+        scm.ground_truth_cate(
+            {"t": 1.0}, {"t": 0.0}, "y", n=100, rng=0,
+            condition=lambda values: np.zeros(100, dtype=bool),
+        )
+
+
+def test_sample_table_with_schema():
+    scm = simple_scm()
+    table = scm.sample_table(50, rng=5)
+    assert table.n_rows == 50
+    assert set(table.column_names) == {"z", "t", "y"}
+
+
+def test_cycle_rejected():
+    def identity(parents, noise):
+        return noise
+
+    with pytest.raises(SchemaError):
+        StructuralCausalModel(
+            [
+                SCMNode("a", ("b",), identity),
+                SCMNode("b", ("a",), identity),
+            ]
+        )
+
+
+def test_unknown_parent_rejected():
+    with pytest.raises(SchemaError):
+        StructuralCausalModel([SCMNode("a", ("ghost",), lambda p, n: n)])
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchemaError):
+        StructuralCausalModel(
+            [SCMNode("a", (), lambda p, n: n), SCMNode("a", (), lambda p, n: n)]
+        )
+
+
+def test_self_parent_rejected():
+    with pytest.raises(SchemaError):
+        SCMNode("a", ("a",), lambda p, n: n)
+
+
+def test_intervention_on_unknown_node_rejected():
+    scm = simple_scm()
+    with pytest.raises(SchemaError):
+        scm.sample(10, rng=0, interventions={"ghost": 1})
+
+
+def test_bad_mechanism_shape_rejected():
+    scm = StructuralCausalModel(
+        [SCMNode("a", (), lambda p, n: np.zeros(3))]
+    )
+    with pytest.raises(SchemaError):
+        scm.sample(10, rng=0)
+
+
+def test_categorical_intervention():
+    def mk_c(parents, noise):
+        return np.where(noise > 0, "hi", "lo").astype(object)
+
+    scm = StructuralCausalModel([SCMNode("c", (), mk_c)])
+    values = scm.sample(20, rng=0, interventions={"c": "hi"})
+    assert (values["c"] == "hi").all()

@@ -1,0 +1,115 @@
+"""Shared fixtures for the FairCap reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.tabular.table import Table
+
+
+def build_toy_table(n: int = 400, seed: int = 11) -> Table:
+    """A small confounded dataset with a known treatment effect.
+
+    Structure: ``City -> Training -> Income`` with ``City -> Income``
+    (City confounds Training).  The training effect is +10,000 for men and
+    +5,000 for women (women are the natural protected group).
+    """
+    rng = np.random.default_rng(seed)
+    gender = rng.choice(["Male", "Female"], size=n, p=[0.6, 0.4])
+    city = rng.choice(["Metro", "Rural"], size=n, p=[0.5, 0.5])
+    p_training = np.where(city == "Metro", 0.6, 0.3)
+    training = rng.random(n) < p_training
+    effect = np.where(gender == "Female", 5_000.0, 10_000.0)
+    income = (
+        30_000.0
+        + 8_000.0 * (city == "Metro")
+        + effect * training
+        + rng.normal(0.0, 1_500.0, size=n)
+    )
+    schema = Schema(
+        [
+            AttributeSpec("Gender", AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE),
+            AttributeSpec("City", AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE),
+            AttributeSpec("Training", AttributeKind.CATEGORICAL, AttributeRole.MUTABLE),
+            AttributeSpec("Income", AttributeKind.CONTINUOUS, AttributeRole.OUTCOME),
+        ]
+    )
+    return Table(
+        {
+            "Gender": gender.astype(object),
+            "City": city.astype(object),
+            "Training": np.where(training, "Yes", "No").astype(object),
+            "Income": income,
+        },
+        schema=schema,
+    )
+
+
+def build_toy_dag() -> CausalDAG:
+    """The DAG matching :func:`build_toy_table`."""
+    return CausalDAG(
+        edges=[
+            ("City", "Training"),
+            ("City", "Income"),
+            ("Training", "Income"),
+            ("Gender", "Income"),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_table() -> Table:
+    return build_toy_table()
+
+
+@pytest.fixture(scope="session")
+def toy_dag() -> CausalDAG:
+    return build_toy_dag()
+
+
+@pytest.fixture(scope="session")
+def toy_protected() -> ProtectedGroup:
+    return ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+
+
+def make_rule(
+    grouping: Pattern,
+    intervention: Pattern,
+    utility: float,
+    utility_protected: float,
+    utility_non_protected: float,
+    coverage: int = 100,
+    protected_coverage: int = 40,
+) -> PrescriptionRule:
+    """Build an evaluated rule directly (no estimation) for selector tests."""
+    return PrescriptionRule(
+        grouping=grouping,
+        intervention=intervention,
+        utility=utility,
+        utility_protected=utility_protected,
+        utility_non_protected=utility_non_protected,
+        coverage_count=coverage,
+        protected_coverage_count=protected_coverage,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_so_bundle():
+    """A small Stack Overflow bundle shared across integration tests."""
+    from repro.datasets import load_stackoverflow
+
+    return load_stackoverflow(n=1_500, rng=5)
+
+
+@pytest.fixture(scope="session")
+def small_german_bundle():
+    """A small German bundle shared across integration tests."""
+    from repro.datasets import load_german
+
+    return load_german(n=1_500, rng=5)

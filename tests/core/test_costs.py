@@ -1,0 +1,108 @@
+"""Tests for the cost-aware extension (Sec. 8 future work)."""
+
+import pytest
+
+from repro.core.costs import (
+    InterventionCostModel,
+    cost_effectiveness,
+    select_within_budget,
+)
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.ruleset import RulesetEvaluator
+from repro.tabular.table import Table
+from repro.utils.errors import ConfigError
+
+from tests.conftest import make_rule
+
+
+@pytest.fixture
+def cost_model():
+    return InterventionCostModel(
+        value_costs={("Education", "PhD"): 10.0},
+        attribute_costs={"Education": 5.0, "Language": 1.0},
+        default_cost=2.0,
+    )
+
+
+def test_resolution_order(cost_model):
+    assert cost_model.predicate_cost("Education", "PhD") == 10.0
+    assert cost_model.predicate_cost("Education", "Bachelor") == 5.0
+    assert cost_model.predicate_cost("Language", "Python") == 1.0
+    assert cost_model.predicate_cost("Role", "Manager") == 2.0
+
+
+def test_pattern_cost_sums(cost_model):
+    pattern = Pattern.of(Education="PhD", Language="Python")
+    assert cost_model.cost_of(pattern) == 11.0
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ConfigError):
+        InterventionCostModel(default_cost=-1.0)
+    with pytest.raises(ConfigError):
+        InterventionCostModel(attribute_costs={"a": -2.0})
+    with pytest.raises(ConfigError):
+        InterventionCostModel(value_costs={("a", "b"): -2.0})
+
+
+def test_cost_effectiveness(cost_model):
+    rule = make_rule(Pattern.of(g="a"), Pattern.of(Language="Python"),
+                     utility=10.0, utility_protected=5.0,
+                     utility_non_protected=12.0)
+    assert cost_effectiveness(rule, cost_model) == 10.0
+    free_model = InterventionCostModel(default_cost=0.0)
+    assert cost_effectiveness(rule, free_model) == float("inf")
+
+
+@pytest.fixture
+def pool():
+    table = Table(
+        {"g": ["A"] * 4 + ["B"] * 4, "p": ["yes", "no"] * 4}
+    )
+    protected = ProtectedGroup(Pattern.of(p="yes"))
+    rules = [
+        # Expensive but strong.
+        make_rule(Pattern.of(g="A"), Pattern.of(Education="PhD"),
+                  utility=100.0, utility_protected=90.0,
+                  utility_non_protected=105.0, coverage=4, protected_coverage=2),
+        # Cheap and decent.
+        make_rule(Pattern.of(g="B"), Pattern.of(Language="Python"),
+                  utility=40.0, utility_protected=35.0,
+                  utility_non_protected=42.0, coverage=4, protected_coverage=2),
+    ]
+    return RulesetEvaluator(table, rules, protected)
+
+
+def test_budget_excludes_expensive(pool, cost_model):
+    result = select_within_budget(pool, cost_model, budget=5.0)
+    assert result.indices == (1,)  # only the cheap rule fits
+    assert result.total_cost == 1.0
+    assert result.budget == 5.0
+
+
+def test_large_budget_takes_both(pool, cost_model):
+    result = select_within_budget(pool, cost_model, budget=20.0)
+    assert set(result.indices) == {0, 1}
+    assert result.total_cost == 11.0
+
+
+def test_zero_budget_selects_nothing(pool, cost_model):
+    result = select_within_budget(pool, cost_model, budget=0.0)
+    assert result.indices == ()
+    assert result.metrics.n_rules == 0
+
+
+def test_negative_budget_rejected(pool, cost_model):
+    with pytest.raises(ConfigError):
+        select_within_budget(pool, cost_model, budget=-1.0)
+
+
+def test_max_rules_cap(pool, cost_model):
+    result = select_within_budget(pool, cost_model, budget=100.0, max_rules=1)
+    assert len(result.indices) == 1
+
+
+def test_metrics_match_selection(pool, cost_model):
+    result = select_within_budget(pool, cost_model, budget=20.0)
+    assert result.metrics == pool.metrics(list(result.indices))

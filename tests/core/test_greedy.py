@@ -1,0 +1,144 @@
+"""Tests for the greedy selector (Step 3, Sec. 5.3)."""
+
+import pytest
+
+from repro.core.config import FairCapConfig
+from repro.core.greedy import greedy_select
+from repro.core.variants import ProblemVariant, canonical_variants
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.ruleset import RulesetEvaluator
+from repro.tabular.table import Table
+
+from tests.conftest import make_rule
+
+
+def build_pool():
+    """A 12-row table with three disjoint groups and one global rule."""
+    table = Table(
+        {
+            "g": ["A"] * 4 + ["B"] * 4 + ["C"] * 4,
+            "p": (["yes", "no", "no", "no"] * 3),
+        }
+    )
+    protected = ProtectedGroup(Pattern.of(p="yes"))
+    rules = [
+        make_rule(Pattern.of(g="A"), Pattern.of(m="x"), 100.0, 90.0, 105.0,
+                  coverage=4, protected_coverage=1),
+        make_rule(Pattern.of(g="B"), Pattern.of(m="x"), 80.0, 20.0, 95.0,
+                  coverage=4, protected_coverage=1),
+        make_rule(Pattern.of(g="C"), Pattern.of(m="x"), 10.0, 9.0, 11.0,
+                  coverage=4, protected_coverage=1),
+        make_rule(Pattern.empty(), Pattern.of(m="y"), 50.0, 45.0, 52.0,
+                  coverage=12, protected_coverage=3),
+    ]
+    return table, protected, rules
+
+
+def test_unconstrained_prefers_high_utility():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    config = FairCapConfig(max_rules=2, stop_threshold=0.01)
+    result = greedy_select(evaluator, config)
+    assert 0 in result.indices  # the 100-utility rule is picked
+
+
+def test_max_rules_cap():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    config = FairCapConfig(max_rules=1)
+    result = greedy_select(evaluator, config)
+    assert len(result.indices) == 1
+
+
+def test_stop_threshold_halts():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    config = FairCapConfig(max_rules=4, stop_threshold=0.4)
+    result = greedy_select(evaluator, config)
+    # The weak C rule (utility 10 ~ 0.1 normalised) should not be added.
+    assert 2 not in result.indices
+
+
+def test_group_coverage_drives_selection():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    variants = canonical_variants("SP", 1e9, theta=1.0, theta_protected=1.0)
+    config = FairCapConfig(
+        variant=variants["Group coverage"], max_rules=4, stop_threshold=1e9
+    )
+    result = greedy_select(evaluator, config)
+    assert result.metrics.coverage == 1.0  # constraint met despite threshold
+
+
+def test_individual_fairness_filters_candidates():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    variants = canonical_variants("SP", 10.0, theta=0.0, theta_protected=0.0)
+    config = FairCapConfig(variant=variants["Individual fairness"], max_rules=4)
+    result = greedy_select(evaluator, config)
+    # Rule B has gap 75 > 10 and must be excluded.
+    assert 1 not in result.indices
+    assert all(
+        abs(r.utility_gap) <= 10.0 for r in result.ruleset
+    )
+
+
+def test_rule_coverage_filters_candidates():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    variants = canonical_variants("SP", 1e9, theta=0.5, theta_protected=0.5)
+    config = FairCapConfig(variant=variants["Rule coverage"], max_rules=4)
+    result = greedy_select(evaluator, config)
+    # Only the global rule covers >= 50% of rows and protected rows.
+    assert tuple(result.indices) == (3,)
+
+
+def test_group_fairness_enforced():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    variants = canonical_variants("SP", 15.0, theta=0.0, theta_protected=0.0)
+    config = FairCapConfig(variant=variants["Group fairness"], max_rules=4)
+    result = greedy_select(evaluator, config)
+    assert abs(result.metrics.unfairness) <= 15.0
+
+
+def test_group_fairness_first_pick_fallback():
+    """With no satisfying candidate, the least-violating rule is selected."""
+    table, protected, __ = build_pool()
+    rules = [
+        make_rule(Pattern.of(g="A"), Pattern.of(m="x"), 100.0, 0.0, 100.0,
+                  coverage=4, protected_coverage=1),
+        make_rule(Pattern.of(g="B"), Pattern.of(m="x"), 100.0, 40.0, 100.0,
+                  coverage=4, protected_coverage=1),
+    ]
+    evaluator = RulesetEvaluator(table, rules, protected)
+    variants = canonical_variants("SP", 5.0, theta=0.0, theta_protected=0.0)
+    config = FairCapConfig(variant=variants["Group fairness"], max_rules=2)
+    result = greedy_select(evaluator, config)
+    assert len(result.indices) >= 1
+    assert 1 in result.indices  # the smaller-violation rule
+
+
+def test_empty_pool():
+    table, protected, __ = build_pool()
+    evaluator = RulesetEvaluator(table, [], protected)
+    result = greedy_select(evaluator, FairCapConfig())
+    assert result.indices == ()
+    assert result.metrics.n_rules == 0
+
+
+def test_trace_records_steps():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    result = greedy_select(evaluator, FairCapConfig(max_rules=3))
+    assert len(result.trace) == len(result.indices)
+    for step, index in zip(result.trace, result.indices):
+        assert step.candidate_index == index
+
+
+def test_metrics_consistent_with_evaluator():
+    table, protected, rules = build_pool()
+    evaluator = RulesetEvaluator(table, rules, protected)
+    result = greedy_select(evaluator, FairCapConfig(max_rules=4))
+    assert result.metrics == evaluator.metrics(list(result.indices))

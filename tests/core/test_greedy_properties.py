@@ -1,0 +1,88 @@
+"""Property-based invariants of the greedy selector."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairCapConfig
+from repro.core.greedy import greedy_select
+from repro.core.variants import canonical_variants
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RulesetEvaluator
+from repro.tabular.table import Table
+
+
+@st.composite
+def random_pool(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(10, 60))
+    n_groups = draw(st.integers(2, 5))
+    groups = rng.integers(0, n_groups, n)
+    protected = rng.random(n) < 0.3
+    table = Table(
+        {
+            "g": [f"g{v}" for v in groups],
+            "p": np.where(protected, "yes", "no").astype(object),
+        }
+    )
+    rules = []
+    for i in range(draw(st.integers(1, 6))):
+        target = int(rng.integers(0, n_groups))
+        grouping = Pattern.of(g=f"g{target}")
+        mask = grouping.mask(table)
+        rules.append(
+            PrescriptionRule(
+                grouping=grouping,
+                intervention=Pattern.of(m=f"x{i}"),
+                utility=float(abs(rng.normal(10, 5)) + 0.1),
+                utility_protected=float(rng.normal(5, 5)),
+                utility_non_protected=float(rng.normal(12, 5)),
+                coverage_count=int(mask.sum()),
+                protected_coverage_count=int((mask & protected).sum()),
+            )
+        )
+    return RulesetEvaluator(table, rules, ProtectedGroup(Pattern.of(p="yes")))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_pool(), st.integers(1, 6))
+def test_greedy_structural_invariants(evaluator, max_rules):
+    config = FairCapConfig(max_rules=max_rules, stop_threshold=0.0)
+    result = greedy_select(evaluator, config)
+    # No duplicates, valid indices, size cap respected.
+    assert len(set(result.indices)) == len(result.indices)
+    assert all(0 <= i < len(evaluator) for i in result.indices)
+    assert len(result.indices) <= max_rules
+    # Metrics agree with a batch evaluation of the same subset.
+    assert result.metrics == evaluator.metrics(list(result.indices))
+    # Trace aligns with selections.
+    assert [s.candidate_index for s in result.trace] == list(result.indices)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_pool())
+def test_greedy_individual_fairness_never_violated(evaluator):
+    variants = canonical_variants("SP", 6.0, theta=0.0, theta_protected=0.0)
+    config = FairCapConfig(
+        variant=variants["Individual fairness"], stop_threshold=0.0
+    )
+    result = greedy_select(evaluator, config)
+    for rule in result.ruleset:
+        assert abs(rule.utility_gap) <= 6.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_pool())
+def test_greedy_rule_coverage_never_violated(evaluator):
+    variants = canonical_variants("SP", 1e12, theta=0.3, theta_protected=0.0)
+    config = FairCapConfig(
+        variant=variants["Rule coverage"], stop_threshold=0.0
+    )
+    result = greedy_select(evaluator, config)
+    for rule in result.ruleset:
+        assert rule.coverage_count >= 0.3 * evaluator.n

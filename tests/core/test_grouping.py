@@ -1,0 +1,81 @@
+"""Tests for Step 1 (grouping-pattern mining)."""
+
+import pytest
+
+from repro.core.config import FairCapConfig
+from repro.core.grouping import mine_grouping_patterns
+from repro.core.variants import canonical_variants
+from repro.utils.errors import ConfigError
+
+from tests.conftest import build_toy_dag, build_toy_table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.mining.patterns import Pattern
+    from repro.rules.protected import ProtectedGroup
+
+    table = build_toy_table(n=500, seed=1)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"))
+    return table, table.schema, protected
+
+
+def test_patterns_over_immutables_only(setup):
+    table, schema, protected = setup
+    config = FairCapConfig(apriori_min_support=0.1)
+    patterns = mine_grouping_patterns(table, schema, config, protected)
+    assert patterns
+    for fp in patterns:
+        assert fp.pattern.is_over(schema.immutable_names)
+
+
+def test_supports_meet_threshold(setup):
+    table, schema, protected = setup
+    config = FairCapConfig(apriori_min_support=0.3)
+    patterns = mine_grouping_patterns(table, schema, config, protected)
+    assert all(fp.support >= 0.3 for fp in patterns)
+
+
+def test_rule_coverage_raises_threshold(setup):
+    table, schema, protected = setup
+    variants = canonical_variants("SP", 1.0, theta=0.45, theta_protected=0.0)
+    config = FairCapConfig(
+        variant=variants["Rule coverage"], apriori_min_support=0.1
+    )
+    patterns = mine_grouping_patterns(table, schema, config, protected)
+    assert all(fp.support >= 0.45 for fp in patterns)
+
+
+def test_rule_coverage_protected_filter(setup):
+    table, schema, protected = setup
+    variants = canonical_variants("SP", 1.0, theta=0.1, theta_protected=0.5)
+    config = FairCapConfig(variant=variants["Rule coverage"])
+    patterns = mine_grouping_patterns(table, schema, config, protected)
+    protected_mask = protected.mask(table)
+    n_protected = int(protected_mask.sum())
+    for fp in patterns:
+        covered_protected = int((fp.pattern.mask(table) & protected_mask).sum())
+        assert covered_protected >= 0.5 * n_protected
+
+
+def test_explicit_grouping_attributes(setup):
+    table, schema, protected = setup
+    config = FairCapConfig(grouping_attributes=("City",))
+    patterns = mine_grouping_patterns(table, schema, config, protected)
+    assert all(fp.pattern.attributes == ("City",) for fp in patterns)
+
+
+def test_unknown_grouping_attribute_rejected(setup):
+    table, schema, protected = setup
+    config = FairCapConfig(grouping_attributes=("Ghost",))
+    with pytest.raises(ConfigError):
+        mine_grouping_patterns(table, schema, config, protected)
+
+
+def test_no_immutables_rejected(setup):
+    table, schema, protected = setup
+    stripped = schema.with_roles(Gender="auxiliary", City="auxiliary")
+    with pytest.raises(ConfigError):
+        mine_grouping_patterns(
+            table.with_schema(stripped), stripped, FairCapConfig(), protected
+        )

@@ -1,0 +1,62 @@
+"""Tests for the problem-variant space (Sec. 4.7)."""
+
+from repro.core.variants import (
+    ProblemVariant,
+    all_variants,
+    canonical_variants,
+    unconstrained,
+)
+
+
+def test_unconstrained():
+    variant = unconstrained()
+    assert variant.name == "No constraints"
+    assert not variant.has_group_fairness
+    assert not variant.has_rule_coverage
+
+
+def test_canonical_variants_are_nine():
+    variants = canonical_variants("SP", 10_000.0, 0.5, 0.5)
+    assert len(variants) == 9
+    expected_names = {
+        "No constraints", "Group coverage", "Rule coverage",
+        "Group fairness", "Individual fairness",
+        "Group coverage, Group fairness", "Rule coverage, Group fairness",
+        "Group coverage, Individual fairness",
+        "Rule coverage, Individual fairness",
+    }
+    assert set(variants) == expected_names
+
+
+def test_names_match_structure():
+    variants = canonical_variants("SP", 1.0, 0.5, 0.5)
+    v = variants["Rule coverage, Group fairness"]
+    assert v.has_rule_coverage and v.has_group_fairness
+    v = variants["Group coverage, Individual fairness"]
+    assert v.has_group_coverage and v.has_individual_fairness
+
+
+def test_thresholds_propagated():
+    variants = canonical_variants("BGL", 0.1, 0.3, 0.25)
+    v = variants["Group coverage, Group fairness"]
+    assert v.fairness.threshold == 0.1
+    assert v.coverage.theta == 0.3
+    assert v.coverage.theta_protected == 0.25
+
+
+def test_all_variants_eighteen_combinations():
+    variants = all_variants(10_000.0, 0.1, 0.5, 0.5)
+    # 6 SP-fairness + 6 BGL-fairness + 3 shared fairness-free = 15 distinct
+    # keys covering the paper's 9 x {SP, BGL} = 18 nominal variants.
+    assert len(variants) == 15
+    sp = [k for k in variants if k.startswith("SP:")]
+    bgl = [k for k in variants if k.startswith("BGL:")]
+    shared = [k for k in variants if ":" not in k]
+    assert len(sp) == 6 and len(bgl) == 6 and len(shared) == 3
+
+
+def test_describe_includes_thresholds():
+    variants = canonical_variants("SP", 10_000.0, 0.5, 0.5)
+    text = variants["Group coverage, Group fairness"].describe()
+    assert "10000" in text and "0.5" in text
+    assert ProblemVariant().describe() == "no constraints"

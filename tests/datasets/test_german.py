@@ -1,0 +1,93 @@
+"""Tests for the synthetic German Credit dataset (S20)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.german import (
+    PROTECTED_EFFECT_FACTOR,
+    build_german_scm,
+    load_german,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_german(n=4_000, rng=0)
+
+
+def test_table3_statistics():
+    bundle = load_german(rng=0)  # paper size
+    stats = bundle.stats()
+    assert stats["tuples"] == 1_000
+    assert stats["attributes"] == 20
+    assert stats["mutable_attributes"] == 15
+    # Paper: 9.2% single females.
+    assert 0.06 <= stats["protected_fraction"] <= 0.13
+
+
+def test_outcome_binary(bundle):
+    outcome = bundle.table.values("CreditRisk")
+    assert set(np.unique(outcome)) <= {0.0, 1.0}
+
+
+def test_good_credit_rate_plausible(bundle):
+    rate = bundle.table.values("CreditRisk").mean()
+    assert 0.35 <= rate <= 0.75
+
+
+def test_protected_group_disadvantaged(bundle):
+    outcome = bundle.table.values("CreditRisk")
+    protected = bundle.protected.mask(bundle.table)
+    assert outcome[protected].mean() < outcome[~protected].mean()
+
+
+def test_dag_covers_schema(bundle):
+    for name in bundle.schema.names:
+        assert name in bundle.dag
+
+
+def test_years_in_housing_is_trap(bundle):
+    """Correlated with credit (via age) but causally inert."""
+    assert "CreditRisk" not in bundle.dag.children("YearsInHousing")
+    big = load_german(n=20_000, rng=1)
+    outcome = big.table.values("CreditRisk")
+    yih = big.table.values("YearsInHousing")
+    long_tenure = np.isin(yih, (">7 years", "4-7 years"))
+    assert outcome[long_tenure].mean() > outcome[~long_tenure].mean()
+
+
+def test_ground_truth_checking_effect_moderated():
+    scm = build_german_scm()
+
+    def protected(values):
+        return values["PersonalStatus"] == "female single"
+
+    def non_protected(values):
+        return values["PersonalStatus"] != "female single"
+
+    kwargs = dict(
+        interventions={"CheckingAccount": ">=200 DM"},
+        baseline={"CheckingAccount": "none"},
+        outcome="CreditRisk",
+        n=300_000,
+        rng=2,
+    )
+    effect_p = scm.ground_truth_cate(condition=protected, **kwargs)
+    effect_np = scm.ground_truth_cate(condition=non_protected, **kwargs)
+    assert effect_np > 0.1
+    assert effect_p / effect_np == pytest.approx(
+        PROTECTED_EFFECT_FACTOR, abs=0.12
+    )
+
+
+def test_deterministic_generation():
+    a = load_german(n=300, rng=3)
+    b = load_german(n=300, rng=3)
+    assert a.table == b.table
+
+
+def test_bundle_defaults():
+    bundle = load_german(n=200, rng=0)
+    assert bundle.fairness_kind == "BGL"
+    assert bundle.default_fairness_threshold == 0.1
+    assert bundle.default_coverage_theta == 0.3

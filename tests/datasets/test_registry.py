@@ -1,0 +1,25 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASET_LOADERS, load_dataset
+from repro.utils.errors import ConfigError
+
+
+def test_registry_contents():
+    assert set(DATASET_LOADERS) == {"stackoverflow", "german"}
+
+
+def test_load_with_size_override():
+    bundle = load_dataset("german", n=123, rng=0)
+    assert bundle.table.n_rows == 123
+
+
+def test_load_default_sizes():
+    bundle = load_dataset("german", rng=0)
+    assert bundle.table.n_rows == 1_000
+
+
+def test_unknown_dataset():
+    with pytest.raises(ConfigError):
+        load_dataset("mnist")

@@ -1,0 +1,118 @@
+"""Tests for the synthetic Stack Overflow dataset (S19)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.stackoverflow import (
+    LOW_GDP_EFFECT_FACTOR,
+    build_stackoverflow_scm,
+    load_stackoverflow,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_stackoverflow(n=4_000, rng=0)
+
+
+def test_table3_statistics(bundle):
+    stats = bundle.stats()
+    assert stats["attributes"] == 20
+    assert stats["mutable_attributes"] == 10
+    # Paper: 21.5% — the synthetic targets ~22%.
+    assert 0.18 <= stats["protected_fraction"] <= 0.27
+
+
+def test_schema_roles(bundle):
+    assert len(bundle.schema.immutable_names) == 10
+    assert len(bundle.schema.mutable_names) == 10
+    assert bundle.outcome == "Salary"
+
+
+def test_dag_covers_schema(bundle):
+    for name in bundle.schema.names:
+        assert name in bundle.dag
+
+
+def test_salary_positive_and_plausible(bundle):
+    salary = bundle.table.values("Salary")
+    assert (salary > 0).all()
+    assert 40_000 < salary.mean() < 250_000
+
+
+def test_low_gdp_earn_less(bundle):
+    salary = bundle.table.values("Salary")
+    protected = bundle.protected.mask(bundle.table)
+    assert salary[protected].mean() < 0.6 * salary[~protected].mean()
+
+
+def test_gdp_deterministic_from_country(bundle):
+    country = bundle.table.values("Country")
+    gdp = bundle.table.values("GDP")
+    low = {"India", "Brazil", "Nigeria", "Philippines"}
+    assert all((c in low) == (g == "Low") for c, g in zip(country, gdp))
+
+
+def test_deterministic_generation():
+    a = load_stackoverflow(n=500, rng=3)
+    b = load_stackoverflow(n=500, rng=3)
+    assert a.table == b.table
+
+
+def test_orientation_correlated_but_causally_inert():
+    """The association trap: orientation correlates with salary but has no
+    causal effect (there is no DAG edge into Salary)."""
+    bundle = load_stackoverflow(n=20_000, rng=1)
+    salary = bundle.table.values("Salary")
+    orientation = bundle.table.values("SexualOrientation")
+    straight = orientation == "Straight"
+    # Correlated (low-GDP countries report straight more often, earn less).
+    assert salary[straight].mean() < salary[~straight].mean()
+    # But not a cause:
+    assert "Salary" not in bundle.dag.children("SexualOrientation")
+
+
+def test_ground_truth_role_effect_moderated():
+    """do(Role=backend) raises salary ~LOW_GDP_EFFECT_FACTOR less for the
+    protected group — the planted disparity."""
+    scm = build_stackoverflow_scm()
+    low = {"India", "Brazil", "Nigeria", "Philippines"}
+
+    def protected(values):
+        return np.isin(values["Country"], list(low))
+
+    def non_protected(values):
+        return ~np.isin(values["Country"], list(low))
+
+    kwargs = dict(
+        interventions={"Role": "Back-end developer"},
+        baseline={"Role": "QA developer"},
+        outcome="Salary",
+        n=30_000,
+        rng=2,
+    )
+    effect_protected = scm.ground_truth_cate(condition=protected, **kwargs)
+    effect_non_protected = scm.ground_truth_cate(condition=non_protected, **kwargs)
+    ratio = effect_protected / effect_non_protected
+    assert ratio == pytest.approx(LOW_GDP_EFFECT_FACTOR, abs=0.05)
+
+
+def test_estimator_recovers_ground_truth_on_so():
+    """End-to-end estimator validation on the SO SCM."""
+    from repro.causal.estimators import LinearAdjustmentEstimator
+    from repro.causal.backdoor import backdoor_adjustment_set
+
+    bundle = load_stackoverflow(n=20_000, rng=4)
+    truth = bundle.scm.ground_truth_ate(
+        {"Education": "Master"}, {"Education": "HighSchool"}, "Salary",
+        n=40_000, rng=5,
+    )
+    adjustment = backdoor_adjustment_set(bundle.dag, ["Education"], "Salary")
+    treated = bundle.table.values("Education") == "Master"
+    baseline_rows = (bundle.table.values("Education") == "HighSchool") | treated
+    sub = bundle.table.filter(baseline_rows)
+    result = LinearAdjustmentEstimator().estimate(
+        sub, treated[baseline_rows], "Salary", adjustment
+    )
+    assert result.valid
+    assert result.estimate == pytest.approx(truth, rel=0.2)

@@ -1,0 +1,68 @@
+"""Tests for the SCM mechanism helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import indicator, lookup, pick, pick_rows
+from repro.utils.errors import SchemaError
+
+
+def test_pick_distribution():
+    rng = np.random.default_rng(0)
+    u = rng.random(50_000)
+    values = pick(["a", "b", "c"], [0.5, 0.3, 0.2], u)
+    counts = {v: (values == v).mean() for v in ("a", "b", "c")}
+    assert counts["a"] == pytest.approx(0.5, abs=0.02)
+    assert counts["b"] == pytest.approx(0.3, abs=0.02)
+    assert counts["c"] == pytest.approx(0.2, abs=0.02)
+
+
+def test_pick_validates_probabilities():
+    u = np.array([0.5])
+    with pytest.raises(SchemaError):
+        pick(["a", "b"], [0.6, 0.6], u)
+    with pytest.raises(SchemaError):
+        pick(["a"], [0.5, 0.5], u)
+
+
+def test_pick_deterministic_in_noise():
+    u = np.array([0.1, 0.9])
+    first = pick(["x", "y"], [0.5, 0.5], u)
+    second = pick(["x", "y"], [0.5, 0.5], u)
+    assert np.array_equal(first, second)
+
+
+def test_pick_rows_rowwise_distributions():
+    rng = np.random.default_rng(1)
+    n = 30_000
+    probs = np.zeros((n, 2))
+    probs[: n // 2] = (0.9, 0.1)
+    probs[n // 2:] = (0.1, 0.9)
+    values = pick_rows(["a", "b"], probs, rng.random(n))
+    assert (values[: n // 2] == "a").mean() == pytest.approx(0.9, abs=0.02)
+    assert (values[n // 2:] == "b").mean() == pytest.approx(0.9, abs=0.02)
+
+
+def test_pick_rows_normalises():
+    values = pick_rows(["a", "b"], np.array([[2.0, 2.0]]), np.array([0.1]))
+    assert values[0] in ("a", "b")
+
+
+def test_pick_rows_validation():
+    with pytest.raises(SchemaError):
+        pick_rows(["a", "b"], np.array([[0.5, -0.5]]), np.array([0.5]))
+    with pytest.raises(SchemaError):
+        pick_rows(["a", "b"], np.array([[0.0, 0.0]]), np.array([0.5]))
+    with pytest.raises(SchemaError):
+        pick_rows(["a"], np.array([[0.5, 0.5]]), np.array([0.5]))
+
+
+def test_lookup():
+    keys = np.array(["x", "y", "z"], dtype=object)
+    out = lookup({"x": 1.0, "y": 2.0}, keys, default=-1.0)
+    assert list(out) == [1.0, 2.0, -1.0]
+
+
+def test_indicator():
+    keys = np.array(["a", "b", "a"], dtype=object)
+    assert list(indicator(keys, "a")) == [1.0, 0.0, 1.0]

@@ -1,0 +1,89 @@
+"""Tests for the Sec. 6 case-study module."""
+
+from repro.experiments.casestudy import (
+    BALANCED,
+    FAVORS_NON_PROTECTED,
+    FAVORS_PROTECTED,
+    categorize_rules,
+    pick_case_study_rules,
+    render_case_study,
+)
+from repro.mining.patterns import Pattern
+from repro.rules.ruleset import RuleSet
+
+from tests.conftest import make_rule
+
+
+def build_ruleset():
+    return RuleSet(
+        [
+            # Strongly favours non-protected (paper's S1a).
+            make_rule(Pattern.of(Age="24-34"), Pattern.of(Major="CS"),
+                      utility=20_000.0, utility_protected=10_292.0,
+                      utility_non_protected=22_586.0),
+            # Balanced (paper's S1b).
+            make_rule(Pattern.of(Years="6-8"), Pattern.of(Hours="9-12"),
+                      utility=18_000.0, utility_protected=17_161.0,
+                      utility_non_protected=19_254.0),
+            # Favours protected (paper's S1c).
+            make_rule(Pattern.of(Parents="Secondary"), Pattern.of(Role="Backend"),
+                      utility=48_000.0, utility_protected=51_542.0,
+                      utility_non_protected=46_354.0 - 20_000.0),
+        ]
+    )
+
+
+def test_categorisation():
+    categories = categorize_rules(build_ruleset())
+    assert len(categories[FAVORS_NON_PROTECTED]) == 1
+    assert len(categories[BALANCED]) == 1
+    assert len(categories[FAVORS_PROTECTED]) == 1
+
+
+def test_zero_utilities_are_balanced():
+    ruleset = RuleSet(
+        [make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 0.0, 0.0, 0.0)]
+    )
+    categories = categorize_rules(ruleset)
+    assert len(categories[BALANCED]) == 1
+
+
+def test_tolerance_widens_balanced():
+    ruleset = build_ruleset()
+    strict = categorize_rules(ruleset, balance_tolerance=0.01)
+    loose = categorize_rules(ruleset, balance_tolerance=5.0)
+    assert len(strict[BALANCED]) <= len(loose[BALANCED])
+    assert len(loose[BALANCED]) == 3
+
+
+def test_pick_one_per_category():
+    selection = pick_case_study_rules(build_ruleset(), rng=0)
+    assert selection.favors_protected is not None
+    assert selection.favors_non_protected is not None
+    assert selection.balanced is not None
+    assert len(selection.rules()) == 3
+
+
+def test_pick_handles_empty_categories():
+    ruleset = RuleSet(
+        [make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 10.0, 1.0, 10.0)]
+    )
+    selection = pick_case_study_rules(ruleset, rng=0)
+    assert selection.favors_non_protected is not None
+    assert selection.favors_protected is None
+    assert len(selection.rules()) == 1
+
+
+def test_render_layout():
+    text = render_case_study("SO (SP group fairness)", build_ruleset(), rng=1)
+    lines = text.splitlines()
+    assert lines[0] == "3 Selected Rules out of 3 for SO (SP group fairness):"
+    assert all(line.startswith("> For ") for line in lines[1:])
+    assert "exp utility protected" in lines[1]
+
+
+def test_render_deterministic_with_seed():
+    ruleset = build_ruleset()
+    assert render_case_study("X", ruleset, rng=5) == (
+        render_case_study("X", ruleset, rng=5)
+    )

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["table4", "--dataset", "german", "--n", "500"])
+    assert args.command == "table4"
+    assert args.dataset == "german"
+    assert args.n == 500
+
+
+def test_run_requires_known_variant(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--dataset", "german", "--n", "400",
+              "--variant", "Bogus"])
+
+
+def test_table3_prints(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "stackoverflow" in out
+
+
+@pytest.mark.slow
+def test_run_command_prints_case_study(capsys):
+    assert main(["run", "--dataset", "german", "--n", "1000",
+                 "--variant", "No constraints", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "expected utility" in out
+    assert "Selected Rules" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,111 @@
+"""Smoke tests for the table/figure harness at tiny scale.
+
+These validate the plumbing (rows produced, formatting renders, key paper
+shapes hold directionally); the real reproductions run in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    format_apriori_sweep,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    run_apriori_sweep,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+TINY = ExperimentSettings(so_n=1_200, german_n=1_200, seed=3)
+
+
+def test_table3():
+    rows = run_table3(rng=1)
+    assert len(rows) == 2
+    text = format_table3(rows)
+    assert "stackoverflow" in text and "german" in text
+
+
+@pytest.mark.slow
+def test_table4_stackoverflow():
+    result = run_table4("stackoverflow", settings=TINY, include_baselines=True)
+    labels = [row.label for row in result.rows]
+    assert "No constraints" in labels
+    assert any("IDS" in label for label in labels)
+    assert any("FRL" in label for label in labels)
+    assert len(result.rows) == 13  # 9 variants + 4 baseline adaptations
+    text = format_table4(result)
+    assert "Table 4" in text
+
+
+@pytest.mark.slow
+def test_table5_sweep_shape():
+    result = run_table5("stackoverflow", epsilons=(2_500.0, 20_000.0),
+                        settings=TINY)
+    assert len(result.rows) == 4  # 2 epsilons x {group, individual}
+    text = format_table5(result)
+    assert "Group SP (2.5K)" in text
+
+
+@pytest.mark.slow
+def test_table6_dag_variants():
+    result = run_table6("german", settings=TINY, pc_sample_rows=600)
+    labels = [row.label for row in result.rows]
+    assert labels == [
+        "Original causal DAG", "1-Layer Indep DAG", "2-Layer Mutable DAG",
+        "2-Layer DAG", "PC DAG",
+    ]
+    assert "Table 6" in format_table6(result)
+
+
+@pytest.mark.slow
+def test_figure3_step_breakdown():
+    result = run_figure3("german", settings=TINY)
+    assert len(result.rows) == 9
+    for row in result.rows:
+        assert row.total > 0
+        # Paper: group mining is negligible next to treatment mining.
+        assert row.group_mining <= row.treatment_mining
+    assert "Figure 3" in format_figure3(result)
+
+
+@pytest.mark.slow
+def test_figure4_runtime_series():
+    result = run_figure4(
+        "german", fractions=(0.5, 1.0), settings=TINY,
+        variant_names=("No constraints",), include_baselines=True,
+    )
+    methods = {s.method for s in result.series}
+    assert methods == {"No constraints", "IDS", "FRL"}
+    for series in result.series:
+        assert len(series.seconds) == 2
+    assert "Figure 4" in format_figure4(result)
+
+
+@pytest.mark.slow
+def test_figure5_attribute_sweep():
+    result = run_figure5(
+        "german", settings=TINY, mutable_counts=(2, 3),
+        immutable_counts=(3,), include_baselines=False,
+    )
+    assert result.points
+    mutable_counts = {p.n_mutable for p in result.points}
+    assert {2, 3} <= mutable_counts
+    assert "Figure 5" in format_figure5(result)
+
+
+@pytest.mark.slow
+def test_apriori_sweep_monotone_groups():
+    result = run_apriori_sweep("german", taus=(0.1, 0.4), settings=TINY)
+    assert result.rows[0].n_grouping_patterns >= result.rows[1].n_grouping_patterns
+    assert "Apriori" in format_apriori_sweep(result)

@@ -1,0 +1,38 @@
+"""Tests for experiment reporting helpers."""
+
+from repro.experiments.reporting import ResultRow, format_rows, row_from_metrics
+from repro.rules.ruleset import RulesetMetrics
+
+
+def make_metrics():
+    return RulesetMetrics(
+        n_rules=3, coverage=0.95, protected_coverage=0.9,
+        expected_utility=100.0, expected_utility_protected=60.0,
+        expected_utility_non_protected=110.0,
+    )
+
+
+def test_row_from_metrics():
+    row = row_from_metrics("setting", make_metrics(), runtime_seconds=1.5)
+    assert row.n_rules == 3
+    assert row.unfairness == 50.0
+    assert row.runtime_seconds == 1.5
+
+
+def test_format_rows_layout():
+    rows = [row_from_metrics("No constraints", make_metrics())]
+    text = format_rows(rows, "Table X", utility_decimals=1)
+    assert "Table X" in text
+    assert "95.00%" in text
+    assert "100.0" in text
+    assert "50.0" in text
+
+
+def test_format_rows_runtime_column():
+    rows = [row_from_metrics("a", make_metrics(), runtime_seconds=2.0)]
+    text = format_rows(rows, "T", include_runtime=True)
+    assert "time (s)" in text
+    assert "2.0" in text
+    missing = [row_from_metrics("b", make_metrics())]
+    text = format_rows(missing, "T", include_runtime=True)
+    assert "-" in text

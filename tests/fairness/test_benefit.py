@@ -1,0 +1,72 @@
+"""Tests for the benefit functions (Secs. 5.2, 5.4)."""
+
+import pytest
+
+from repro.fairness.benefit import benefit, total_benefit
+from repro.fairness.constraints import bounded_group_loss, statistical_parity
+from repro.mining.patterns import Pattern
+
+from tests.conftest import make_rule
+
+
+def rule(utility, protected, non_protected):
+    return make_rule(
+        Pattern.of(g="a"), Pattern.of(m="x"),
+        utility=utility, utility_protected=protected,
+        utility_non_protected=non_protected,
+    )
+
+
+def test_no_constraint_is_utility():
+    assert benefit(rule(10.0, 1.0, 20.0), None) == 10.0
+
+
+class TestSPBenefit:
+    def test_penalised_when_gap_positive(self):
+        constraint = statistical_parity("group", 5.0)
+        r = rule(10.0, 2.0, 6.0)  # gap = 4
+        assert benefit(r, constraint) == pytest.approx(10.0 / 5.0)
+
+    def test_unpenalised_when_protected_ahead(self):
+        constraint = statistical_parity("group", 5.0)
+        r = rule(10.0, 8.0, 6.0)  # protected does better
+        assert benefit(r, constraint) == 10.0
+
+    def test_zero_gap_keeps_utility(self):
+        constraint = statistical_parity("group", 5.0)
+        assert benefit(rule(10.0, 6.0, 6.0), constraint) == pytest.approx(10.0)
+
+    def test_larger_gap_smaller_benefit(self):
+        constraint = statistical_parity("group", 5.0)
+        small_gap = benefit(rule(10.0, 5.0, 6.0), constraint)
+        large_gap = benefit(rule(10.0, 1.0, 6.0), constraint)
+        assert large_gap < small_gap
+
+    def test_threshold_does_not_enter_formula(self):
+        r = rule(10.0, 2.0, 6.0)
+        assert benefit(r, statistical_parity("group", 1.0)) == pytest.approx(
+            benefit(r, statistical_parity("group", 99.0))
+        )
+
+
+class TestBGLBenefit:
+    def test_penalised_below_floor(self):
+        constraint = bounded_group_loss("group", 0.5)
+        r = rule(10.0, 0.2, 6.0)  # shortfall = 0.3
+        assert benefit(r, constraint) == pytest.approx(10.0 / 1.3)
+
+    def test_unpenalised_above_floor(self):
+        constraint = bounded_group_loss("group", 0.5)
+        assert benefit(rule(10.0, 0.8, 6.0), constraint) == 10.0
+
+    def test_exactly_at_floor_penalised_by_one(self):
+        constraint = bounded_group_loss("group", 0.5)
+        assert benefit(rule(10.0, 0.5, 6.0), constraint) == pytest.approx(10.0)
+
+
+def test_total_benefit_sums():
+    constraint = statistical_parity("group", 5.0)
+    rules = [rule(10.0, 2.0, 6.0), rule(4.0, 4.0, 4.0)]
+    assert total_benefit(rules, constraint) == pytest.approx(
+        benefit(rules[0], constraint) + benefit(rules[1], constraint)
+    )

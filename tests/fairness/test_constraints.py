@@ -1,0 +1,112 @@
+"""Tests for the four fairness constraints (Sec. 4.6)."""
+
+import pytest
+
+from repro.fairness.constraints import (
+    FairnessConstraint,
+    FairnessKind,
+    FairnessScope,
+    bounded_group_loss,
+    statistical_parity,
+)
+from repro.mining.patterns import Pattern
+from repro.rules.ruleset import RulesetMetrics
+from repro.utils.errors import ConfigError
+
+from tests.conftest import make_rule
+
+
+def metrics(protected: float, non_protected: float) -> RulesetMetrics:
+    return RulesetMetrics(
+        n_rules=1, coverage=1.0, protected_coverage=1.0,
+        expected_utility=(protected + non_protected) / 2,
+        expected_utility_protected=protected,
+        expected_utility_non_protected=non_protected,
+    )
+
+
+def rule(protected: float, non_protected: float):
+    return make_rule(
+        Pattern.of(g="a"), Pattern.of(m="x"),
+        utility=(protected + non_protected) / 2,
+        utility_protected=protected,
+        utility_non_protected=non_protected,
+    )
+
+
+class TestStatisticalParity:
+    def test_group_satisfied_within_epsilon(self):
+        constraint = statistical_parity("group", 10.0)
+        assert constraint.satisfied_by_metrics(metrics(100.0, 105.0))
+        assert not constraint.satisfied_by_metrics(metrics(100.0, 120.0))
+
+    def test_group_symmetric(self):
+        constraint = statistical_parity("group", 10.0)
+        assert constraint.satisfied_by_metrics(metrics(105.0, 100.0))
+        assert not constraint.satisfied_by_metrics(metrics(120.0, 100.0))
+
+    def test_rule_level(self):
+        constraint = statistical_parity("individual", 5.0)
+        assert constraint.satisfied_by_rule(rule(10.0, 13.0))
+        assert not constraint.satisfied_by_rule(rule(10.0, 20.0))
+
+    def test_violation_magnitude(self):
+        constraint = statistical_parity("group", 10.0)
+        assert constraint.metrics_violation(metrics(100.0, 125.0)) == 15.0
+        assert constraint.metrics_violation(metrics(100.0, 105.0)) == 0.0
+        assert constraint.rule_violation(rule(0.0, 13.0)) == 3.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            statistical_parity("group", -1.0)
+
+
+class TestBoundedGroupLoss:
+    def test_group_floor(self):
+        constraint = bounded_group_loss("group", 0.3)
+        assert constraint.satisfied_by_metrics(metrics(0.35, 0.9))
+        assert not constraint.satisfied_by_metrics(metrics(0.2, 0.9))
+
+    def test_rule_level(self):
+        constraint = bounded_group_loss("individual", 0.3)
+        assert constraint.satisfied_by_rule(rule(0.31, 0.9))
+        assert not constraint.satisfied_by_rule(rule(0.29, 0.9))
+
+    def test_ignores_non_protected(self):
+        """BGL only looks at the protected floor (Sec. 6, German)."""
+        constraint = bounded_group_loss("group", 0.1)
+        assert constraint.satisfied_by_metrics(metrics(0.2, 99.0))
+
+    def test_negative_tau_allowed(self):
+        constraint = bounded_group_loss("group", -0.5)
+        assert constraint.satisfied_by_metrics(metrics(-0.2, 0.0))
+
+
+class TestScopeDispatch:
+    def test_group_scope_uses_metrics(self):
+        constraint = statistical_parity("group", 10.0)
+        unfair_rule = rule(0.0, 100.0)
+        # Metrics fine, rules unfair: group scope passes.
+        assert constraint.satisfied(metrics(50.0, 55.0), [unfair_rule])
+
+    def test_individual_scope_uses_rules(self):
+        constraint = statistical_parity("individual", 10.0)
+        unfair_rule = rule(0.0, 100.0)
+        assert not constraint.satisfied(metrics(50.0, 55.0), [unfair_rule])
+
+    def test_is_matroid(self):
+        assert statistical_parity("individual", 1.0).is_matroid
+        assert not statistical_parity("group", 1.0).is_matroid
+
+
+def test_describe():
+    text = statistical_parity("group", 10_000.0).describe()
+    assert "SP" in text and "Group" in text
+    text = bounded_group_loss("individual", 0.1).describe()
+    assert "BGL" in text and "Individual" in text
+
+
+def test_string_coercion():
+    constraint = FairnessConstraint("SP", "group", 1.0)
+    assert constraint.kind is FairnessKind.STATISTICAL_PARITY
+    assert constraint.scope is FairnessScope.GROUP

@@ -1,0 +1,92 @@
+"""Tests for coverage constraints (Sec. 4.5)."""
+
+import pytest
+
+from repro.fairness.coverage import (
+    CoverageConstraint,
+    CoverageKind,
+    group_coverage,
+    rule_coverage,
+)
+from repro.mining.patterns import Pattern
+from repro.rules.ruleset import RulesetMetrics
+from repro.utils.errors import ConfigError
+
+from tests.conftest import make_rule
+
+
+def metrics(coverage: float, protected: float) -> RulesetMetrics:
+    return RulesetMetrics(
+        n_rules=1, coverage=coverage, protected_coverage=protected,
+        expected_utility=0.0, expected_utility_protected=0.0,
+        expected_utility_non_protected=0.0,
+    )
+
+
+def test_group_coverage_metrics():
+    constraint = group_coverage(0.5, 0.4)
+    assert constraint.satisfied_by_metrics(metrics(0.6, 0.5))
+    assert not constraint.satisfied_by_metrics(metrics(0.4, 0.5))
+    assert not constraint.satisfied_by_metrics(metrics(0.6, 0.3))
+
+
+def test_group_coverage_default_protected_threshold():
+    constraint = group_coverage(0.5)
+    assert constraint.theta_protected == 0.5
+
+
+def test_rule_coverage_per_rule():
+    constraint = rule_coverage(0.3, 0.2)
+    good = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1, 1, 1,
+                     coverage=40, protected_coverage=10)
+    bad_total = make_rule(Pattern.of(g="b"), Pattern.of(m="x"), 1, 1, 1,
+                          coverage=20, protected_coverage=10)
+    bad_protected = make_rule(Pattern.of(g="c"), Pattern.of(m="x"), 1, 1, 1,
+                              coverage=40, protected_coverage=2)
+    n, n_p = 100, 30
+    assert constraint.satisfied_by_rule(good, n, n_p)
+    assert not constraint.satisfied_by_rule(bad_total, n, n_p)
+    assert not constraint.satisfied_by_rule(bad_protected, n, n_p)
+
+
+def test_rule_coverage_empty_population():
+    constraint = rule_coverage(0.3, 0.2)
+    r = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1, 1, 1)
+    assert not constraint.satisfied_by_rule(r, 0, 0)
+
+
+def test_rule_coverage_no_protected_population():
+    r = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1, 1, 1,
+                  coverage=50, protected_coverage=0)
+    assert rule_coverage(0.3, 0.0).satisfied_by_rule(r, 100, 0)
+    assert not rule_coverage(0.3, 0.1).satisfied_by_rule(r, 100, 0)
+
+
+def test_dispatch():
+    group = group_coverage(0.5, 0.5)
+    rule_c = rule_coverage(0.5, 0.0)
+    big = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1, 1, 1,
+                    coverage=60, protected_coverage=30)
+    small = make_rule(Pattern.of(g="b"), Pattern.of(m="x"), 1, 1, 1,
+                      coverage=10, protected_coverage=5)
+    m = metrics(0.7, 0.7)
+    assert group.satisfied(m, [big, small], 100, 50)
+    assert not rule_c.satisfied(m, [big, small], 100, 50)  # small fails
+
+
+def test_is_matroid():
+    assert rule_coverage(0.1).is_matroid
+    assert not group_coverage(0.1).is_matroid
+
+
+def test_invalid_thresholds():
+    for bad in (-0.1, 1.1):
+        with pytest.raises(ConfigError):
+            CoverageConstraint(CoverageKind.GROUP, bad, 0.5)
+        with pytest.raises(ConfigError):
+            CoverageConstraint(CoverageKind.GROUP, 0.5, bad)
+
+
+def test_describe():
+    assert "Group" in group_coverage(0.5).describe()
+    assert "Rule" in rule_coverage(0.5).describe()

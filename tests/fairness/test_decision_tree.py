@@ -1,0 +1,70 @@
+"""Tests for the Figure 2 decision tree."""
+
+import pytest
+
+from repro.fairness.decision_tree import select_variant
+from repro.utils.errors import ConfigError
+
+
+def test_no_constraints_leaf():
+    variant = select_variant(fairness=False, coverage=False)
+    assert variant.name == "No constraints"
+    assert variant.fairness is None
+    assert variant.coverage is None
+
+
+def test_group_fairness_leaf():
+    variant = select_variant(
+        fairness=True, group_fairness=True, fairness_threshold=10.0
+    )
+    assert variant.name == "Group fairness"
+    assert variant.has_group_fairness
+
+
+def test_individual_fairness_leaf():
+    variant = select_variant(
+        fairness=True, group_fairness=False, fairness_threshold=10.0
+    )
+    assert variant.name == "Individual fairness"
+    assert variant.has_individual_fairness
+
+
+def test_group_coverage_leaf():
+    variant = select_variant(
+        fairness=False, coverage=True, per_rule_coverage=False, theta=0.5
+    )
+    assert variant.name == "Group coverage"
+    assert variant.has_group_coverage
+
+
+def test_rule_coverage_leaf():
+    variant = select_variant(
+        fairness=False, coverage=True, per_rule_coverage=True, theta=0.5
+    )
+    assert variant.name == "Rule coverage"
+    assert variant.has_rule_coverage
+
+
+def test_combined_leaves():
+    variant = select_variant(
+        fairness=True, group_fairness=True, fairness_threshold=1.0,
+        coverage=True, per_rule_coverage=True, theta=0.3, theta_protected=0.2,
+    )
+    assert variant.name == "Rule coverage, Group fairness"
+    assert variant.coverage.theta == 0.3
+    assert variant.coverage.theta_protected == 0.2
+
+
+def test_bgl_kind_selectable():
+    variant = select_variant(
+        fairness=True, group_fairness=True, fairness_kind="BGL",
+        fairness_threshold=0.1,
+    )
+    assert variant.fairness.kind.value == "BGL"
+
+
+def test_missing_answers_rejected():
+    with pytest.raises(ConfigError):
+        select_variant(fairness=True)  # group_fairness unanswered
+    with pytest.raises(ConfigError):
+        select_variant(fairness=False, coverage=True)  # per-rule unanswered

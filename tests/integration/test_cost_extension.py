@@ -1,0 +1,65 @@
+"""Integration: the Sec. 8 cost extension composes with the full pipeline."""
+
+import pytest
+
+from repro.core import (
+    FairCap,
+    FairCapConfig,
+    InterventionCostModel,
+    select_within_budget,
+)
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.ruleset import RulesetEvaluator
+
+from tests.conftest import build_toy_dag, build_toy_table
+
+
+@pytest.fixture(scope="module")
+def pipeline_output():
+    table = build_toy_table(n=1500, seed=21)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"))
+    result = FairCap(FairCapConfig(stop_threshold=0.0)).run(
+        table, table.schema, build_toy_dag(), protected
+    )
+    evaluator = RulesetEvaluator(table, result.candidate_rules, protected)
+    return result, evaluator
+
+
+def test_budget_zero_blocks_everything(pipeline_output):
+    __, evaluator = pipeline_output
+    model = InterventionCostModel(default_cost=1.0)
+    selection = select_within_budget(evaluator, model, budget=0.5)
+    assert selection.indices == ()
+
+
+def test_budget_limits_rule_count(pipeline_output):
+    __, evaluator = pipeline_output
+    model = InterventionCostModel(default_cost=1.0)
+    tight = select_within_budget(evaluator, model, budget=2.0)
+    loose = select_within_budget(evaluator, model, budget=1e9)
+    assert len(tight.indices) <= 2
+    assert loose.metrics.expected_utility >= tight.metrics.expected_utility
+
+
+def test_expensive_treatment_displaced(pipeline_output):
+    """Pricing the dominant treatment out of budget changes the selection."""
+    __, evaluator = pipeline_output
+    free = select_within_budget(
+        evaluator, InterventionCostModel(default_cost=1.0), budget=1.0
+    )
+    assert free.indices  # something selected under uniform pricing
+    first_rule = evaluator.rules[free.indices[0]]
+    pred = first_rule.intervention.predicates[0]
+    pricey = InterventionCostModel(
+        value_costs={(pred.attribute, pred.value): 100.0}, default_cost=1.0
+    )
+    constrained = select_within_budget(evaluator, pricey, budget=1.0)
+    assert free.indices[0] not in constrained.indices
+
+
+def test_total_cost_within_budget(pipeline_output):
+    __, evaluator = pipeline_output
+    model = InterventionCostModel(default_cost=3.0)
+    selection = select_within_budget(evaluator, model, budget=7.0)
+    assert selection.total_cost <= 7.0

@@ -1,0 +1,107 @@
+"""Full-pipeline integration tests on the synthetic paper datasets.
+
+These assert the *shapes* the paper reports (who wins, directionality of
+fairness/utility trade-offs), not absolute numbers.
+"""
+
+import pytest
+
+from repro.core import FairCap, FairCapConfig, canonical_variants
+
+
+def so_config(bundle, variant_name, variants=None):
+    variants = variants or canonical_variants(
+        "SP", 10_000.0, theta=0.5, theta_protected=0.5
+    )
+    return FairCapConfig(
+        variant=variants[variant_name],
+        max_values_per_attribute=5,
+        max_grouping_size=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def so_results(small_so_bundle):
+    bundle = small_so_bundle
+    results = {}
+    for name in ("No constraints", "Group fairness", "Rule coverage"):
+        config = so_config(bundle, name)
+        results[name] = FairCap(config).run(
+            bundle.table, bundle.schema, bundle.dag, bundle.protected
+        )
+    return results
+
+
+@pytest.mark.slow
+def test_unconstrained_maximises_utility(so_results):
+    unconstrained = so_results["No constraints"].metrics
+    fair = so_results["Group fairness"].metrics
+    assert unconstrained.expected_utility >= fair.expected_utility - 1e-9
+
+
+@pytest.mark.slow
+def test_fairness_constraint_reduces_unfairness(so_results):
+    unconstrained = so_results["No constraints"].metrics
+    fair = so_results["Group fairness"].metrics
+    assert abs(fair.unfairness) < abs(unconstrained.unfairness)
+
+
+@pytest.mark.slow
+def test_unconstrained_is_unfair(so_results):
+    """The headline finding: without constraints the protected group gets
+    far less (paper: 18.4k vs 32.6k on SO)."""
+    metrics = so_results["No constraints"].metrics
+    assert metrics.expected_utility_protected < (
+        0.8 * metrics.expected_utility_non_protected
+    )
+
+
+@pytest.mark.slow
+def test_rule_coverage_selects_fewer_rules(so_results):
+    assert (
+        so_results["Rule coverage"].metrics.n_rules
+        <= so_results["No constraints"].metrics.n_rules
+    )
+
+
+@pytest.mark.slow
+def test_rules_are_actionable_and_causal(so_results):
+    """No rule may recommend changing an immutable attribute, and every
+    intervention attribute must be a causal ancestor of the outcome."""
+    result = so_results["No constraints"]
+    for rule in result.ruleset:
+        assert rule.intervention.is_over(
+            ("Education", "UndergradMajor", "Role", "HoursComputer",
+             "RemoteWork", "PrimaryLanguage", "Exercise", "CompanySize",
+             "OpenSource", "Certifications")
+        )
+        # SexualOrientation is immutable AND causally inert: never prescribed.
+        assert "SexualOrientation" not in rule.intervention.attributes
+
+
+@pytest.mark.slow
+def test_german_bgl_shapes(small_german_bundle):
+    bundle = small_german_bundle
+    variants = canonical_variants("BGL", 0.1, theta=0.3, theta_protected=0.3)
+    results = {}
+    for name in ("No constraints", "Group fairness"):
+        config = FairCapConfig(
+            variant=variants[name], max_values_per_attribute=5,
+            max_grouping_size=2,
+        )
+        results[name] = FairCap(config).run(
+            bundle.table, bundle.schema, bundle.dag, bundle.protected
+        )
+    free = results["No constraints"].metrics
+    fair = results["Group fairness"].metrics
+    # BGL steers protected utility upward relative to the unconstrained run.
+    assert fair.expected_utility_protected >= free.expected_utility_protected
+    # Outcome is a probability: utilities live in [-1, 1].
+    assert -1.0 <= free.expected_utility <= 1.0
+
+
+@pytest.mark.slow
+def test_timings_shape(so_results):
+    """Figure 3 shape: treatment mining dominates group mining."""
+    timings = so_results["No constraints"].timings
+    assert timings["treatment_mining"] > timings["group_mining"]

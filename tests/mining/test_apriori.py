@@ -1,0 +1,136 @@
+"""Tests for the Apriori miner (Step 1 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.apriori import apriori, build_items
+from repro.mining.patterns import Pattern, Predicate
+from repro.tabular.table import Table
+from repro.utils.errors import PatternError
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    n = 200
+    return Table(
+        {
+            "a": rng.choice(["x", "y"], n, p=[0.7, 0.3]).astype(object),
+            "b": rng.choice(["p", "q", "r"], n).astype(object),
+            "c": rng.normal(size=n),
+        }
+    )
+
+
+def brute_force_frequent(table, attributes, min_support, max_length):
+    """Reference implementation: enumerate all value combinations."""
+    from itertools import combinations, product
+
+    result = {}
+    for size in range(1, max_length + 1):
+        for attrs in combinations(attributes, size):
+            domains = [table.unique(a) for a in attrs]
+            for combo in product(*domains):
+                pattern = Pattern([Predicate.eq(a, v) for a, v in zip(attrs, combo)])
+                support = pattern.coverage(table) / table.n_rows
+                if support >= min_support:
+                    result[pattern] = support
+    return result
+
+
+def test_matches_brute_force(table):
+    mined = apriori(table, attributes=["a", "b"], min_support=0.1, max_length=2)
+    expected = brute_force_frequent(table, ["a", "b"], 0.1, 2)
+    mined_map = {fp.pattern: fp.support for fp in mined}
+    assert mined_map.keys() == expected.keys()
+    for pattern, support in expected.items():
+        assert mined_map[pattern] == pytest.approx(support)
+
+
+def test_support_counts_correct(table):
+    for fp in apriori(table, attributes=["a", "b"], min_support=0.05):
+        assert fp.support_count == fp.pattern.coverage(table)
+        assert fp.support == pytest.approx(fp.support_count / table.n_rows)
+
+
+def test_anti_monotonicity(table):
+    """Every sub-pattern of a frequent pattern is frequent."""
+    result = apriori(table, attributes=["a", "b"], min_support=0.1, max_length=2)
+    level1 = {fp.pattern for fp in result.at_level(1)}
+    for fp in result.at_level(2):
+        for pred in fp.pattern:
+            assert Pattern([pred]) in level1
+
+
+def test_max_length_respected(table):
+    result = apriori(table, attributes=["a", "b"], min_support=0.01, max_length=1)
+    assert all(fp.size == 1 for fp in result)
+
+
+def test_min_support_filters(table):
+    strict = apriori(table, attributes=["a", "b"], min_support=0.5)
+    loose = apriori(table, attributes=["a", "b"], min_support=0.05)
+    assert len(strict) <= len(loose)
+    assert all(fp.support >= 0.5 for fp in strict)
+
+
+def test_invalid_support_rejected(table):
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(PatternError):
+            apriori(table, attributes=["a"], min_support=bad)
+
+
+def test_empty_table():
+    table = Table({"a": np.array([], dtype=object)})
+    result = apriori(table, attributes=["a"], min_support=0.1)
+    assert len(result) == 0
+
+
+def test_continuous_binning(table):
+    items = build_items(table, ["c"], continuous_bins=4)
+    assert len(items) == 4
+    # Bins partition the rows.
+    total = sum(item.coverage(table) for item in items)
+    assert total == table.n_rows
+
+
+def test_constant_continuous_column():
+    table = Table({"c": [5.0] * 10})
+    items = build_items(table, ["c"])
+    assert len(items) == 1
+    assert items[0].coverage(table) == 10
+
+
+def test_max_values_per_attribute(table):
+    items = build_items(table, ["b"], max_values_per_attribute=2)
+    assert len(items) == 2
+    # The kept items are the most frequent values.
+    counts = table.value_counts("b")
+    kept_values = {item.predicates[0].value for item in items}
+    dropped = set(counts) - kept_values
+    assert all(counts[k] >= counts[d] for k in kept_values for d in dropped)
+
+
+def test_multi_attribute_items_rejected(table):
+    bad_item = Pattern.of(a="x", b="p")
+    with pytest.raises(PatternError):
+        apriori(table, items=[bad_item], min_support=0.1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.floats(0.05, 0.5))
+def test_apriori_random_tables(n_values, min_support):
+    rng = np.random.default_rng(n_values)
+    n = 120
+    table = Table(
+        {
+            "u": rng.integers(0, n_values, n).astype(str).astype(object),
+            "v": rng.integers(0, 3, n).astype(str).astype(object),
+        }
+    )
+    mined = apriori(table, attributes=["u", "v"], min_support=min_support,
+                    max_length=2)
+    expected = brute_force_frequent(table, ["u", "v"], min_support, 2)
+    assert {fp.pattern for fp in mined} == set(expected)

@@ -1,0 +1,129 @@
+"""Tests for predicates and patterns (Defs. 4.1-4.2)."""
+
+import pytest
+
+from repro.mining.patterns import Operator, Pattern, Predicate
+from repro.tabular.table import Table
+from repro.utils.errors import PatternError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "role": ["dev", "qa", "dev", "mgr"],
+            "age": [25.0, 35.0, 45.0, 30.0],
+        }
+    )
+
+
+class TestOperator:
+    def test_parse_symbols(self):
+        assert Operator.parse("=") is Operator.EQ
+        assert Operator.parse("==") is Operator.EQ
+        assert Operator.parse("≠") is Operator.NE
+        assert Operator.parse("<>") is Operator.NE
+        assert Operator.parse("≤") is Operator.LE
+        assert Operator.parse("≥") is Operator.GE
+
+    def test_parse_unknown(self):
+        with pytest.raises(PatternError):
+            Operator.parse("~")
+
+
+class TestPredicate:
+    def test_mask(self, table):
+        assert list(Predicate.eq("role", "dev").mask(table)) == [
+            True, False, True, False,
+        ]
+
+    def test_numeric_ops(self, table):
+        assert list(Predicate("age", Operator.GE, 35).mask(table)) == [
+            False, True, True, False,
+        ]
+
+    def test_string_operator_coerced(self):
+        pred = Predicate("age", ">", 10)
+        assert pred.operator is Operator.GT
+
+    def test_matches_row(self):
+        pred = Predicate("x", Operator.LT, 5)
+        assert pred.matches_row({"x": 3})
+        assert not pred.matches_row({"x": 7})
+        with pytest.raises(PatternError):
+            pred.matches_row({"y": 1})
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(PatternError):
+            Predicate("", Operator.EQ, 1)
+
+
+class TestPattern:
+    def test_empty_pattern_covers_all(self, table):
+        assert Pattern.empty().mask(table).all()
+        assert Pattern.empty().coverage(table) == 4
+
+    def test_conjunction_mask(self, table):
+        pattern = Pattern(
+            [Predicate.eq("role", "dev"), Predicate("age", Operator.GT, 30)]
+        )
+        assert list(pattern.mask(table)) == [False, False, True, False]
+
+    def test_of_constructor(self):
+        pattern = Pattern.of(role="dev", city="NY")
+        assert pattern.attributes == ("city", "role")
+
+    def test_canonical_ordering(self):
+        a = Pattern([Predicate.eq("x", 1), Predicate.eq("y", 2)])
+        b = Pattern([Predicate.eq("y", 2), Predicate.eq("x", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_deduplication(self):
+        pattern = Pattern([Predicate.eq("x", 1), Predicate.eq("x", 1)])
+        assert len(pattern) == 1
+
+    def test_contradictory_equalities_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([Predicate.eq("x", 1), Predicate.eq("x", 2)])
+
+    def test_range_on_same_attribute_allowed(self, table):
+        pattern = Pattern(
+            [Predicate("age", Operator.GT, 26), Predicate("age", Operator.LT, 40)]
+        )
+        assert pattern.coverage(table) == 2
+
+    def test_conjoin(self):
+        base = Pattern.of(a=1)
+        extended = base & Predicate.eq("b", 2)
+        assert len(extended) == 2
+        both = base & Pattern.of(c=3)
+        assert both.attributes == ("a", "c")
+
+    def test_restricted_to(self):
+        pattern = Pattern.of(a=1, b=2)
+        assert pattern.restricted_to(["a"]).attributes == ("a",)
+        assert pattern.restricted_to(["zzz"]).is_empty()
+
+    def test_is_over(self):
+        pattern = Pattern.of(a=1, b=2)
+        assert pattern.is_over(["a", "b", "c"])
+        assert not pattern.is_over(["a"])
+
+    def test_subsumes(self):
+        small = Pattern.of(a=1)
+        big = Pattern.of(a=1, b=2)
+        assert small.subsumes(big)
+        assert not big.subsumes(small)
+
+    def test_matches_row(self):
+        pattern = Pattern.of(a=1, b=2)
+        assert pattern.matches_row({"a": 1, "b": 2, "c": 9})
+        assert not pattern.matches_row({"a": 1, "b": 3})
+
+    def test_coverage_fraction(self, table):
+        assert Pattern.of(role="dev").coverage_fraction(table) == 0.5
+
+    def test_str_rendering(self):
+        assert str(Pattern.empty()) == "TRUE"
+        assert "role = dev" in str(Pattern.of(role="dev"))

@@ -1,0 +1,67 @@
+"""Property-based tests for the pattern language (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.patterns import Operator, Pattern, Predicate
+from repro.tabular.table import Table
+
+values = st.sampled_from(["a", "b", "c"])
+rows = st.lists(
+    st.tuples(values, st.floats(min_value=0, max_value=100, allow_nan=False)),
+    min_size=1,
+    max_size=50,
+)
+
+
+def build_table(data):
+    return Table({"cat": [c for c, _ in data], "num": [v for _, v in data]})
+
+
+@settings(max_examples=50)
+@given(rows, values)
+def test_conjunction_is_intersection(data, probe):
+    table = build_table(data)
+    p1 = Pattern([Predicate.eq("cat", probe)])
+    p2 = Pattern([Predicate("num", Operator.GE, 50)])
+    conj = p1 & p2
+    assert np.array_equal(conj.mask(table), p1.mask(table) & p2.mask(table))
+
+
+@settings(max_examples=50)
+@given(rows, values)
+def test_coverage_monotone_under_conjunction(data, probe):
+    """Adding predicates never increases coverage (anti-monotonicity)."""
+    table = build_table(data)
+    p1 = Pattern([Predicate.eq("cat", probe)])
+    conj = p1 & Predicate("num", Operator.LT, 30)
+    assert conj.coverage(table) <= p1.coverage(table)
+
+
+@settings(max_examples=50)
+@given(rows)
+def test_mask_matches_row_agreement(data):
+    """Vectorised mask and per-row evaluation agree."""
+    table = build_table(data)
+    pattern = Pattern(
+        [Predicate.eq("cat", "a"), Predicate("num", Operator.GE, 20)]
+    )
+    mask = pattern.mask(table)
+    for i, row in enumerate(table.to_rows()):
+        assert mask[i] == pattern.matches_row(row)
+
+
+@given(st.lists(st.tuples(st.sampled_from("xyz"), st.integers(0, 3)),
+                min_size=0, max_size=6))
+def test_pattern_hash_order_invariance(pairs):
+    """Any permutation of consistent predicates builds an equal pattern."""
+    # Keep one value per attribute to avoid contradictions.
+    seen = {}
+    for attr, val in pairs:
+        seen.setdefault(attr, val)
+    preds = [Predicate.eq(a, v) for a, v in seen.items()]
+    forward = Pattern(preds)
+    backward = Pattern(list(reversed(preds)))
+    assert forward == backward
+    assert hash(forward) == hash(backward)

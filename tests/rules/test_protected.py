@@ -1,0 +1,44 @@
+"""Tests for ProtectedGroup."""
+
+import pytest
+
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.tabular.table import Table
+from repro.utils.errors import PatternError
+
+
+@pytest.fixture
+def table():
+    return Table({"eth": ["White", "Black", "White", "Asian"]})
+
+
+def test_mask_and_size(table):
+    group = ProtectedGroup(Pattern.of(eth="Black"))
+    assert group.size(table) == 1
+    assert group.fraction(table) == 0.25
+
+
+def test_negation_style_pattern(table):
+    from repro.mining.patterns import Operator, Predicate
+
+    group = ProtectedGroup(Pattern([Predicate("eth", Operator.NE, "White")]))
+    assert group.size(table) == 2
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(PatternError):
+        ProtectedGroup(Pattern.empty())
+
+
+def test_empty_table_fraction():
+    import numpy as np
+
+    table = Table({"eth": np.array([], dtype=object)})
+    group = ProtectedGroup(Pattern.of(eth="Black"))
+    assert group.fraction(table) == 0.0
+
+
+def test_repr_contains_name():
+    group = ProtectedGroup(Pattern.of(eth="Black"), name="minority")
+    assert "minority" in repr(group)

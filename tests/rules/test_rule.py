@@ -1,0 +1,84 @@
+"""Tests for PrescriptionRule (Defs. 4.3-4.4)."""
+
+import pytest
+
+from repro.mining.patterns import Pattern
+from repro.rules.rule import PrescriptionRule
+from repro.utils.errors import PatternError
+
+from tests.conftest import make_rule
+
+
+def test_basic_construction():
+    rule = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 10.0, 5.0, 12.0)
+    assert rule.utility == 10.0
+    assert rule.utility_gap == pytest.approx(7.0)
+    assert rule.non_protected_coverage_count == 60
+
+
+def test_empty_grouping_allowed():
+    rule = make_rule(Pattern.empty(), Pattern.of(m="x"), 1.0, 1.0, 1.0)
+    assert rule.grouping.is_empty()
+
+
+def test_empty_intervention_rejected():
+    with pytest.raises(PatternError):
+        make_rule(Pattern.of(g="a"), Pattern.empty(), 1.0, 1.0, 1.0)
+
+
+def test_negative_coverage_rejected():
+    with pytest.raises(PatternError):
+        PrescriptionRule(
+            grouping=Pattern.of(g="a"),
+            intervention=Pattern.of(m="x"),
+            utility=1.0,
+            utility_protected=1.0,
+            utility_non_protected=1.0,
+            coverage_count=-1,
+            protected_coverage_count=0,
+        )
+
+
+def test_protected_exceeding_total_rejected():
+    with pytest.raises(PatternError):
+        PrescriptionRule(
+            grouping=Pattern.of(g="a"),
+            intervention=Pattern.of(m="x"),
+            utility=1.0,
+            utility_protected=1.0,
+            utility_non_protected=1.0,
+            coverage_count=10,
+            protected_coverage_count=11,
+        )
+
+
+def test_check_role_split():
+    rule = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1.0, 1.0, 1.0)
+    rule.check_role_split(immutable=("g",), mutable=("m",))
+    with pytest.raises(PatternError):
+        rule.check_role_split(immutable=("other",), mutable=("m",))
+    with pytest.raises(PatternError):
+        rule.check_role_split(immutable=("g",), mutable=("other",))
+
+
+def test_str_contains_patterns():
+    rule = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1.0, 1.0, 1.0)
+    text = str(rule)
+    assert "g = a" in text and "m = x" in text
+
+
+def test_equality_ignores_diagnostics():
+    from repro.causal.estimators import CateResult
+
+    base = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 1.0, 1.0, 1.0)
+    with_diag = PrescriptionRule(
+        grouping=Pattern.of(g="a"),
+        intervention=Pattern.of(m="x"),
+        utility=1.0,
+        utility_protected=1.0,
+        utility_non_protected=1.0,
+        coverage_count=100,
+        protected_coverage_count=40,
+        estimate=CateResult(1.0, 0.1, 0.01, 100, 50, 50),
+    )
+    assert base == with_diag

@@ -1,0 +1,156 @@
+"""Tests for RuleSet / RulesetEvaluator (Def. 4.5, Eqs. 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.ruleset import RuleSet, RulesetEvaluator
+from repro.tabular.table import Table
+from repro.utils.errors import PatternError
+
+from tests.conftest import make_rule
+
+
+@pytest.fixture
+def table():
+    # 10 rows: 4 in group A (2 protected), 4 in group B (2 protected),
+    # 2 uncovered (1 protected).
+    return Table(
+        {
+            "g": ["A"] * 4 + ["B"] * 4 + ["C"] * 2,
+            "p": ["yes", "yes", "no", "no"] * 2 + ["yes", "no"],
+        }
+    )
+
+
+@pytest.fixture
+def protected():
+    return ProtectedGroup(Pattern.of(p="yes"))
+
+
+@pytest.fixture
+def rules():
+    rule_a = make_rule(Pattern.of(g="A"), Pattern.of(m="x"),
+                       utility=10.0, utility_protected=4.0,
+                       utility_non_protected=12.0, coverage=4,
+                       protected_coverage=2)
+    rule_b = make_rule(Pattern.of(g="B"), Pattern.of(m="y"),
+                       utility=20.0, utility_protected=8.0,
+                       utility_non_protected=22.0, coverage=4,
+                       protected_coverage=2)
+    # Overlapping rule covering both A and B via no predicate on g.
+    rule_all = make_rule(Pattern.empty(), Pattern.of(m="z"),
+                         utility=5.0, utility_protected=5.0,
+                         utility_non_protected=5.0, coverage=10,
+                         protected_coverage=5)
+    return [rule_a, rule_b, rule_all]
+
+
+def test_ruleset_container(rules):
+    ruleset = RuleSet(rules[:2])
+    assert len(ruleset) == 2
+    assert ruleset.size == 2
+    assert ruleset[0] is rules[0]
+    extended = ruleset.with_rule(rules[2])
+    assert extended.size == 3
+    assert ruleset.size == 2  # immutability
+
+
+def test_empty_metrics(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    metrics = evaluator.metrics([])
+    assert metrics.n_rules == 0
+    assert metrics.coverage == 0.0
+    assert metrics.expected_utility == 0.0
+
+
+def test_single_rule_metrics(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    metrics = evaluator.metrics([0])  # rule A: 4 of 10 rows
+    assert metrics.coverage == pytest.approx(0.4)
+    assert metrics.protected_coverage == pytest.approx(2 / 5)
+    # Eq. 5: sum over covered of max utility / n = 4*10/10.
+    assert metrics.expected_utility == pytest.approx(4.0)
+    # Eq. 6: covered protected get min utility_p = 4; averaged over the
+    # 2 covered protected.
+    assert metrics.expected_utility_protected == pytest.approx(4.0)
+    # Eq. 7: covered non-protected get max utility_np = 12.
+    assert metrics.expected_utility_non_protected == pytest.approx(12.0)
+    assert metrics.unfairness == pytest.approx(8.0)
+
+
+def test_overlap_max_for_overall(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    metrics = evaluator.metrics([0, 2])  # A rows get max(10,5)=10; C rows 5
+    expected = (4 * 10.0 + 6 * 5.0) / 10
+    assert metrics.expected_utility == pytest.approx(expected)
+
+
+def test_overlap_min_for_protected(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    metrics = evaluator.metrics([0, 2])
+    # Protected in A: min(4, 5) = 4 (2 rows); protected in B or C covered
+    # only by rule_all: 5 (3 rows).
+    assert metrics.expected_utility_protected == pytest.approx(
+        (2 * 4.0 + 3 * 5.0) / 5
+    )
+
+
+def test_full_coverage(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    metrics = evaluator.metrics([2])
+    assert metrics.coverage == 1.0
+    assert metrics.protected_coverage == 1.0
+    assert metrics.unfairness == pytest.approx(0.0)
+
+
+def test_unfairness_signed(table, rules, protected):
+    favor_protected = make_rule(
+        Pattern.of(g="A"), Pattern.of(m="x"),
+        utility=10.0, utility_protected=20.0, utility_non_protected=5.0,
+        coverage=4, protected_coverage=2,
+    )
+    evaluator = RulesetEvaluator(table, [favor_protected], protected)
+    assert evaluator.metrics([0]).unfairness < 0
+
+
+def test_subset_materialisation(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    ruleset = evaluator.subset([1])
+    assert ruleset.size == 1
+    assert ruleset[0] is rules[1]
+
+
+def test_invalid_index(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    with pytest.raises(PatternError):
+        evaluator.metrics([99])
+
+
+def test_objective(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    value = evaluator.objective([0], lambda_size=1.0, lambda_utility=2.0)
+    metrics = evaluator.metrics([0])
+    assert value == pytest.approx((3 - 1) + 2.0 * metrics.expected_utility)
+
+
+def test_metrics_for_rules_matches_subset(table, rules, protected):
+    evaluator = RulesetEvaluator(table, rules, protected)
+    direct = evaluator.metrics([0, 1])
+    via_rules = evaluator.metrics_for_rules([rules[0], rules[1]])
+    assert direct == via_rules
+
+
+def test_incremental_matches_batch(table, rules, protected):
+    """The greedy's incremental state must agree with batch metrics."""
+    from repro.core.greedy import _IncrementalState
+
+    evaluator = RulesetEvaluator(table, rules, protected)
+    state = _IncrementalState(evaluator)
+    assert state.preview(0) == evaluator.metrics([0])
+    state.commit(0)
+    assert state.metrics() == evaluator.metrics([0])
+    assert state.preview(2) == evaluator.metrics([0, 2])
+    state.commit(2)
+    assert state.metrics() == evaluator.metrics([0, 2])

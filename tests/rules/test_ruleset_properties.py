@@ -1,0 +1,143 @@
+"""Property-based validation of the expected-utility metrics (Eqs. 5-7).
+
+A naive per-tuple reference implementation of Def. 4.5 is compared against
+the vectorised :class:`RulesetEvaluator` on randomly generated tables and
+rule pools.  Any divergence between the two is a correctness bug in the
+fast path used by the greedy selector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RulesetEvaluator
+from repro.tabular.table import Table
+
+
+def reference_metrics(table, rules, protected_mask, indices):
+    """Literal transcription of Eqs. 5-7 over individual tuples."""
+    n = table.n_rows
+    masks = [rules[i].grouping.mask(table) for i in indices]
+    chosen = [rules[i] for i in indices]
+
+    total_overall = 0.0
+    protected_values = []
+    non_protected_values = []
+    covered = 0
+    for t in range(n):
+        applicable = [r for r, m in zip(chosen, masks) if m[t]]
+        if not applicable:
+            continue
+        covered += 1
+        total_overall += max(r.utility for r in applicable)
+        if protected_mask[t]:
+            protected_values.append(
+                min(r.utility_protected for r in applicable)
+            )
+        else:
+            non_protected_values.append(
+                max(r.utility_non_protected for r in applicable)
+            )
+    coverage = covered / n if n else 0.0
+    n_protected = int(protected_mask.sum())
+    protected_coverage = (
+        len(protected_values) / n_protected if n_protected else 0.0
+    )
+    return {
+        "coverage": coverage,
+        "protected_coverage": protected_coverage,
+        "expected_utility": total_overall / n if n else 0.0,
+        "expected_utility_protected": (
+            float(np.mean(protected_values)) if protected_values else 0.0
+        ),
+        "expected_utility_non_protected": (
+            float(np.mean(non_protected_values)) if non_protected_values else 0.0
+        ),
+    }
+
+
+@st.composite
+def table_and_rules(draw):
+    n = draw(st.integers(5, 40))
+    n_groups = draw(st.integers(1, 4))
+    rng_seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(rng_seed)
+    groups = rng.integers(0, n_groups, n)
+    protected = rng.random(n) < 0.35
+    table = Table(
+        {
+            "g": [f"g{v}" for v in groups],
+            "p": np.where(protected, "yes", "no").astype(object),
+        }
+    )
+    n_rules = draw(st.integers(1, 5))
+    rules = []
+    for i in range(n_rules):
+        target = int(rng.integers(0, n_groups + 1))
+        grouping = (
+            Pattern.empty() if target == n_groups else Pattern.of(g=f"g{target}")
+        )
+        mask = grouping.mask(table)
+        rules.append(
+            PrescriptionRule(
+                grouping=grouping,
+                intervention=Pattern.of(m=f"x{i}"),
+                utility=float(rng.normal(10, 5)),
+                utility_protected=float(rng.normal(5, 5)),
+                utility_non_protected=float(rng.normal(12, 5)),
+                coverage_count=int(mask.sum()),
+                protected_coverage_count=int((mask & protected).sum()),
+            )
+        )
+    subset = sorted(
+        set(draw(st.lists(st.integers(0, n_rules - 1), max_size=n_rules)))
+    )
+    return table, rules, protected, subset
+
+
+@settings(max_examples=60, deadline=None)
+@given(table_and_rules())
+def test_fast_metrics_match_reference(case):
+    table, rules, protected_mask, subset = case
+    protected = ProtectedGroup(Pattern.of(p="yes"))
+    # Guard: the generated protected mask must match the pattern mask.
+    assert np.array_equal(protected.mask(table), protected_mask)
+
+    evaluator = RulesetEvaluator(table, rules, protected)
+    fast = evaluator.metrics(subset)
+    slow = reference_metrics(table, rules, protected_mask, subset)
+
+    assert fast.coverage == pytest.approx(slow["coverage"])
+    assert fast.protected_coverage == pytest.approx(slow["protected_coverage"])
+    assert fast.expected_utility == pytest.approx(slow["expected_utility"])
+    assert fast.expected_utility_protected == pytest.approx(
+        slow["expected_utility_protected"]
+    )
+    assert fast.expected_utility_non_protected == pytest.approx(
+        slow["expected_utility_non_protected"]
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_and_rules())
+def test_incremental_state_matches_batch(case):
+    """The greedy's incremental previews must equal batch metrics."""
+    from repro.core.greedy import _IncrementalState
+
+    table, rules, __, subset = case
+    protected = ProtectedGroup(Pattern.of(p="yes"))
+    evaluator = RulesetEvaluator(table, rules, protected)
+    state = _IncrementalState(evaluator)
+    committed: list[int] = []
+    for index in subset:
+        preview = state.preview(index)
+        assert preview == evaluator.metrics(committed + [index])
+        state.commit(index)
+        committed.append(index)
+        assert state.metrics() == evaluator.metrics(committed)

@@ -1,0 +1,56 @@
+"""Tests for the natural-language rule templating."""
+
+from repro.mining.patterns import Operator, Pattern, Predicate
+from repro.rules.templates import RuleTemplates, describe_pattern, describe_rule
+
+from tests.conftest import make_rule
+
+
+def test_describe_empty_pattern():
+    assert describe_pattern(Pattern.empty()) == "everyone"
+
+
+def test_describe_with_template():
+    templates = {"Age": "individuals aged {value}"}
+    assert describe_pattern(Pattern.of(Age="25-34"), templates) == (
+        "individuals aged 25-34"
+    )
+
+
+def test_describe_fallback_without_template():
+    assert describe_pattern(Pattern.of(Role="QA")) == "Role = QA"
+
+
+def test_describe_non_equality_uses_operator_words():
+    pattern = Pattern([Predicate("Salary", Operator.GE, 100)])
+    assert describe_pattern(pattern, {"Salary": "earning {value}"}) == (
+        "Salary at least 100"
+    )
+
+
+def test_describe_joins_with_and():
+    text = describe_pattern(Pattern.of(a=1, b=2))
+    assert " and " in text
+
+
+def test_describe_rule_full_sentence():
+    rule = make_rule(
+        Pattern.of(Age="25-34"), Pattern.of(Role="Back-end developer"),
+        utility=30_000.0, utility_protected=10_292.0,
+        utility_non_protected=22_586.0,
+    )
+    templates = RuleTemplates(
+        grouping={"Age": "individuals aged {value}"},
+        intervention={"Role": "work as a {value}"},
+    )
+    text = describe_rule(rule, templates)
+    assert text == (
+        "For individuals aged 25-34, work as a Back-end developer "
+        "(exp utility protected: 10,292, exp utility non-protected: 22,586)."
+    )
+
+
+def test_describe_rule_custom_format():
+    rule = make_rule(Pattern.of(g="a"), Pattern.of(m="x"), 0.3, 0.26, 0.35)
+    text = describe_rule(rule, utility_format="{:.2f}")
+    assert "0.26" in text and "0.35" in text

@@ -1,0 +1,131 @@
+"""Tests for repro.tabular.column."""
+
+import numpy as np
+import pytest
+
+from repro.tabular.column import (
+    CategoricalColumn,
+    NumericColumn,
+    column_from_values,
+)
+from repro.utils.errors import PatternError, SchemaError
+
+
+class TestCategoricalColumn:
+    def test_from_values_factorizes(self):
+        col = CategoricalColumn.from_values(["b", "a", "b", "c"])
+        assert col.categories == ("a", "b", "c")
+        assert list(col.decode()) == ["b", "a", "b", "c"]
+
+    def test_eq_mask(self):
+        col = CategoricalColumn.from_values(["x", "y", "x"])
+        assert list(col.eq("x")) == [True, False, True]
+
+    def test_eq_unknown_value_all_false(self):
+        col = CategoricalColumn.from_values(["x", "y"])
+        assert not col.eq("zzz").any()
+
+    def test_ne_is_complement(self):
+        col = CategoricalColumn.from_values(["x", "y", "x"])
+        assert list(col.ne("x")) == [False, True, False]
+
+    def test_ordered_comparison_raises(self):
+        col = CategoricalColumn.from_values(["a", "b"])
+        for op in ("lt", "gt", "le", "ge"):
+            with pytest.raises(PatternError):
+                getattr(col, op)("a")
+
+    def test_take_with_mask_and_indices(self):
+        col = CategoricalColumn.from_values(["a", "b", "c"])
+        taken = col.take(np.array([True, False, True]))
+        assert list(taken.decode()) == ["a", "c"]
+        taken2 = col.take(np.array([2, 0]))
+        assert list(taken2.decode()) == ["c", "a"]
+
+    def test_take_preserves_categories(self):
+        col = CategoricalColumn.from_values(["a", "b", "c"])
+        taken = col.take(np.array([0]))
+        assert taken.categories == col.categories
+
+    def test_value_counts_skips_absent(self):
+        col = CategoricalColumn(np.array([0, 0, 2]), ["a", "b", "c"])
+        assert col.value_counts() == {"a": 2, "c": 1}
+
+    def test_unique_values(self):
+        col = CategoricalColumn(np.array([2, 0]), ["a", "b", "c"])
+        assert col.unique_values() == ("a", "c")
+
+    def test_codes_out_of_range_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(np.array([0, 3]), ["a", "b"])
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(np.array([0]), ["a", "a"])
+
+    def test_codes_readonly(self):
+        col = CategoricalColumn.from_values(["a", "b"])
+        with pytest.raises(ValueError):
+            col.codes[0] = 1
+
+    def test_equality(self):
+        a = CategoricalColumn.from_values(["x", "y"])
+        b = CategoricalColumn.from_values(["x", "y"])
+        assert a == b
+
+    def test_code_of(self):
+        col = CategoricalColumn.from_values(["x", "y"])
+        assert col.code_of("x") == 0
+        assert col.code_of("missing") == -1
+
+
+class TestNumericColumn:
+    def test_comparisons(self):
+        col = NumericColumn([1.0, 2.0, 3.0])
+        assert list(col.lt(2)) == [True, False, False]
+        assert list(col.le(2)) == [True, True, False]
+        assert list(col.gt(2)) == [False, False, True]
+        assert list(col.ge(2)) == [False, True, True]
+        assert list(col.eq(2)) == [False, True, False]
+        assert list(col.ne(2)) == [True, False, True]
+
+    def test_take(self):
+        col = NumericColumn([1.0, 2.0, 3.0])
+        assert list(col.take(np.array([False, True, True])).decode()) == [2.0, 3.0]
+
+    def test_unique_and_counts(self):
+        col = NumericColumn([2.0, 1.0, 2.0])
+        assert col.unique_values() == (1.0, 2.0)
+        assert col.value_counts() == {1.0: 1, 2.0: 2}
+
+    def test_array_readonly(self):
+        col = NumericColumn([1.0])
+        with pytest.raises(ValueError):
+            col.array[0] = 5.0
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SchemaError):
+            NumericColumn(np.zeros((2, 2)))
+
+
+class TestColumnFromValues:
+    def test_numeric_detection(self):
+        assert isinstance(column_from_values([1, 2, 3]), NumericColumn)
+        assert isinstance(column_from_values([1.5, 2.5]), NumericColumn)
+
+    def test_string_detection(self):
+        assert isinstance(column_from_values(["a", "b"]), CategoricalColumn)
+
+    def test_mixed_becomes_categorical(self):
+        assert isinstance(column_from_values(["a", 1]), CategoricalColumn)
+
+    def test_numpy_float_array(self):
+        assert isinstance(column_from_values(np.array([1.0, 2.0])), NumericColumn)
+
+    def test_numpy_object_array(self):
+        arr = np.array(["a", "b"], dtype=object)
+        assert isinstance(column_from_values(arr), CategoricalColumn)
+
+    def test_passthrough(self):
+        col = NumericColumn([1.0])
+        assert column_from_values(col) is col

@@ -1,0 +1,70 @@
+"""Tests for CSV round-tripping."""
+
+import pytest
+
+from repro.tabular.io import read_csv, write_csv
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.tabular.table import Table
+from repro.utils.errors import SchemaError
+
+
+@pytest.fixture
+def table():
+    return Table({"name": ["a", "b"], "score": [1.5, 2.5]})
+
+
+def test_roundtrip(tmp_path, table):
+    path = tmp_path / "data.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded == table
+
+
+def test_numeric_sniffing(tmp_path):
+    path = tmp_path / "nums.csv"
+    path.write_text("x,y\n1,a\n2,b\n")
+    loaded = read_csv(path)
+    assert loaded.schema.spec("x").kind is AttributeKind.CONTINUOUS
+    assert loaded.schema.spec("y").kind is AttributeKind.CATEGORICAL
+
+
+def test_schema_overrides_sniffing(tmp_path):
+    path = tmp_path / "codes.csv"
+    path.write_text("code\n1\n2\n")
+    schema = Schema(
+        [AttributeSpec("code", AttributeKind.CATEGORICAL, AttributeRole.AUXILIARY)]
+    )
+    loaded = read_csv(path, schema=schema)
+    assert loaded.schema.spec("code").kind is AttributeKind.CATEGORICAL
+    assert list(loaded.values("code")) == ["1", "2"]
+
+
+def test_schema_numeric_parse_failure(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("v\nx\n")
+    schema = Schema(
+        [AttributeSpec("v", AttributeKind.CONTINUOUS, AttributeRole.AUXILIARY)]
+    )
+    with pytest.raises(SchemaError):
+        read_csv(path, schema=schema)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError):
+        read_csv(path)
+
+
+def test_ragged_row_rejected(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(SchemaError):
+        read_csv(path)
+
+
+def test_quoted_values_roundtrip(tmp_path):
+    table = Table({"text": ["hello, world", 'say "hi"']})
+    path = tmp_path / "quoted.csv"
+    write_csv(table, path)
+    assert read_csv(path) == table

@@ -1,0 +1,120 @@
+"""Tests for repro.tabular.schema."""
+
+import pytest
+
+from repro.tabular.schema import (
+    AttributeKind,
+    AttributeRole,
+    AttributeSpec,
+    Schema,
+)
+from repro.utils.errors import SchemaError
+
+
+def spec(name, kind="categorical", role="auxiliary"):
+    return AttributeSpec(name, AttributeKind(kind), AttributeRole(role))
+
+
+def test_spec_string_coercion():
+    s = AttributeSpec("a", "categorical", "mutable")
+    assert s.kind is AttributeKind.CATEGORICAL
+    assert s.role is AttributeRole.MUTABLE
+
+
+def test_spec_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        AttributeSpec("", "categorical", "mutable")
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchemaError):
+        Schema([spec("a"), spec("a")])
+
+
+def test_two_outcomes_rejected():
+    with pytest.raises(SchemaError):
+        Schema([spec("a", role="outcome"), spec("b", role="outcome")])
+
+
+def test_role_views():
+    schema = Schema(
+        [
+            spec("g", role="immutable"),
+            spec("t", role="mutable"),
+            spec("x", role="auxiliary"),
+            spec("o", kind="continuous", role="outcome"),
+        ]
+    )
+    assert schema.immutable_names == ("g",)
+    assert schema.mutable_names == ("t",)
+    assert schema.auxiliary_names == ("x",)
+    assert schema.outcome_name == "o"
+    assert schema.has_outcome()
+
+
+def test_outcome_missing_raises():
+    schema = Schema([spec("a")])
+    assert not schema.has_outcome()
+    with pytest.raises(SchemaError):
+        schema.outcome_name
+
+
+def test_lookup_and_contains():
+    schema = Schema([spec("a")])
+    assert "a" in schema
+    assert "b" not in schema
+    assert schema.spec("a").name == "a"
+    with pytest.raises(SchemaError):
+        schema.spec("b")
+
+
+def test_with_roles():
+    schema = Schema([spec("a", role="immutable")])
+    updated = schema.with_roles(a="mutable")
+    assert updated.mutable_names == ("a",)
+    assert schema.immutable_names == ("a",)  # original untouched
+
+
+def test_with_roles_unknown_attribute():
+    with pytest.raises(SchemaError):
+        Schema([spec("a")]).with_roles(b="mutable")
+
+
+def test_restrict():
+    schema = Schema([spec("a"), spec("b"), spec("c")])
+    sub = schema.restrict(["c", "a"])
+    assert sub.names == ("a", "c")  # declaration order kept
+    with pytest.raises(SchemaError):
+        schema.restrict(["zzz"])
+
+
+def test_validate_for_prescription():
+    good = Schema(
+        [
+            spec("g", role="immutable"),
+            spec("t", role="mutable"),
+            spec("o", kind="continuous", role="outcome"),
+        ]
+    )
+    good.validate_for_prescription()
+
+    for missing_role in ("immutable", "mutable", "outcome"):
+        specs = [
+            spec("g", role="immutable"),
+            spec("t", role="mutable"),
+            spec("o", kind="continuous", role="outcome"),
+        ]
+        specs = [s for s in specs if s.role.value != missing_role]
+        with pytest.raises(SchemaError):
+            Schema(specs).validate_for_prescription()
+
+
+def test_iteration_and_len():
+    schema = Schema([spec("a"), spec("b")])
+    assert len(schema) == 2
+    assert [s.name for s in schema] == ["a", "b"]
+
+
+def test_equality():
+    assert Schema([spec("a")]) == Schema([spec("a")])
+    assert Schema([spec("a")]) != Schema([spec("b")])

@@ -1,0 +1,151 @@
+"""Tests for repro.tabular.table."""
+
+import numpy as np
+import pytest
+
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.tabular.table import Table
+from repro.utils.errors import SchemaError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "city": ["NY", "LA", "NY", "SF"],
+            "value": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+
+
+def test_basic_shape(table):
+    assert table.n_rows == 4
+    assert len(table) == 4
+    assert table.column_names == ("city", "value")
+
+
+def test_values_decoding(table):
+    assert list(table.values("city")) == ["NY", "LA", "NY", "SF"]
+    assert list(table.values("value")) == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_unknown_column(table):
+    with pytest.raises(SchemaError):
+        table.column("nope")
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(SchemaError):
+        Table({"a": [1, 2], "b": [1]})
+
+
+def test_inferred_schema_kinds(table):
+    assert table.schema.spec("city").kind is AttributeKind.CATEGORICAL
+    assert table.schema.spec("value").kind is AttributeKind.CONTINUOUS
+    assert table.schema.spec("city").role is AttributeRole.AUXILIARY
+
+
+def test_explicit_schema_mismatch_rejected():
+    schema = Schema(
+        [AttributeSpec("a", AttributeKind.CONTINUOUS, AttributeRole.AUXILIARY)]
+    )
+    with pytest.raises(SchemaError):
+        Table({"a": ["x", "y"]}, schema=schema)
+
+
+def test_schema_column_set_mismatch_rejected():
+    schema = Schema(
+        [AttributeSpec("a", AttributeKind.CONTINUOUS, AttributeRole.AUXILIARY)]
+    )
+    with pytest.raises(SchemaError):
+        Table({"b": [1.0]}, schema=schema)
+
+
+def test_filter(table):
+    mask = np.array([True, False, True, False])
+    sub = table.filter(mask)
+    assert sub.n_rows == 2
+    assert list(sub.values("city")) == ["NY", "NY"]
+    assert sub.schema == table.schema
+
+
+def test_filter_bad_mask(table):
+    with pytest.raises(SchemaError):
+        table.filter(np.array([1, 0, 1, 0]))  # not boolean
+    with pytest.raises(SchemaError):
+        table.filter(np.array([True]))  # wrong length
+
+
+def test_take_preserves_order(table):
+    sub = table.take(np.array([3, 0]))
+    assert list(sub.values("value")) == [4.0, 1.0]
+
+
+def test_head(table):
+    assert table.head(2).n_rows == 2
+    assert table.head(99).n_rows == 4
+
+
+def test_select_and_drop(table):
+    assert table.select(["value"]).column_names == ("value",)
+    assert table.drop(["value"]).column_names == ("city",)
+    with pytest.raises(SchemaError):
+        table.select(["ghost"])
+
+
+def test_with_column_add_and_replace(table):
+    extended = table.with_column("flag", [1.0, 0.0, 1.0, 0.0])
+    assert "flag" in extended.schema
+    assert table.column_names == ("city", "value")  # original untouched
+    replaced = table.with_column("value", [9.0] * 4)
+    assert list(replaced.values("value")) == [9.0] * 4
+
+
+def test_with_column_length_mismatch(table):
+    with pytest.raises(SchemaError):
+        table.with_column("bad", [1.0])
+
+
+def test_from_rows_roundtrip():
+    rows = [{"a": "x", "b": 1.0}, {"a": "y", "b": 2.0}]
+    table = Table.from_rows(rows)
+    assert table.to_rows() == rows
+
+
+def test_from_rows_key_mismatch():
+    with pytest.raises(SchemaError):
+        Table.from_rows([{"a": 1}, {"b": 2}])
+
+
+def test_from_rows_empty():
+    with pytest.raises(SchemaError):
+        Table.from_rows([])
+
+
+def test_sample_fraction(table):
+    sampled = table.sample_fraction(0.5, rng=0)
+    assert sampled.n_rows == 2
+    assert table.sample_fraction(1.0) is table
+    with pytest.raises(ValueError):
+        table.sample_fraction(0.0)
+    with pytest.raises(ValueError):
+        table.sample_fraction(1.5)
+
+
+def test_sample_deterministic(table):
+    a = table.sample_fraction(0.5, rng=3)
+    b = table.sample_fraction(0.5, rng=3)
+    assert a == b
+
+
+def test_value_counts_and_unique(table):
+    assert table.value_counts("city") == {"LA": 1, "NY": 2, "SF": 1}
+    assert table.unique("city") == ("LA", "NY", "SF")
+
+
+def test_equality(table):
+    clone = Table(
+        {"city": ["NY", "LA", "NY", "SF"], "value": [1.0, 2.0, 3.0, 4.0]}
+    )
+    assert table == clone
+    assert table != table.filter(np.array([True, True, True, False]))

@@ -1,0 +1,69 @@
+"""Property-based tests for the tabular substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.table import Table
+
+names = st.sampled_from(["a", "b", "c", "d"])
+cat_values = st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=40)
+num_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@given(cat_values)
+def test_categorical_roundtrip(values):
+    col = CategoricalColumn.from_values(values)
+    assert list(col.decode()) == values
+
+
+@given(cat_values, st.sampled_from(["x", "y", "z", "missing"]))
+def test_categorical_eq_matches_python(values, probe):
+    col = CategoricalColumn.from_values(values)
+    assert list(col.eq(probe)) == [v == probe for v in values]
+
+
+@given(cat_values)
+def test_categorical_partition(values):
+    """eq and ne partition the rows for any present value."""
+    col = CategoricalColumn.from_values(values)
+    for value in set(values):
+        assert not (col.eq(value) & col.ne(value)).any()
+        assert (col.eq(value) | col.ne(value)).all()
+
+
+@given(num_values, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_numeric_trichotomy(values, probe):
+    col = NumericColumn(values)
+    lt, eq, gt = col.lt(probe), col.eq(probe), col.gt(probe)
+    combined = lt.astype(int) + eq.astype(int) + gt.astype(int)
+    assert (combined == 1).all()
+
+
+@given(num_values)
+def test_value_counts_total(values):
+    col = NumericColumn(values)
+    assert sum(col.value_counts().values()) == len(values)
+
+
+@settings(max_examples=30)
+@given(cat_values, num_values)
+def test_filter_then_filter_equals_and(cats, nums):
+    n = min(len(cats), len(nums))
+    table = Table({"c": cats[:n], "v": nums[:n]})
+    rng = np.random.default_rng(0)
+    m1 = rng.random(n) < 0.5
+    m2 = rng.random(n) < 0.5
+    sequential = table.filter(m1).filter(m2[m1])
+    combined = table.filter(m1 & m2)
+    assert sequential == combined
+
+
+@settings(max_examples=30)
+@given(cat_values)
+def test_take_identity(values):
+    table = Table({"c": values})
+    assert table.take(np.arange(len(values))) == table

@@ -1,0 +1,101 @@
+"""Tests for the appendix property checkers (Props. 9.1-9.2, Lemma 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import statistical_parity
+from repro.fairness.coverage import rule_coverage
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.ruleset import RulesetEvaluator
+from repro.tabular.table import Table
+from repro.theory.properties import (
+    check_exchange_property,
+    check_hereditary_property,
+    check_lemma_4_1,
+    check_submodularity,
+)
+
+from tests.conftest import make_rule
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    table = Table(
+        {
+            "g": ["A"] * 3 + ["B"] * 3 + ["C"] * 2,
+            "p": ["yes", "no", "no"] * 2 + ["yes", "no"],
+        }
+    )
+    protected = ProtectedGroup(Pattern.of(p="yes"))
+    rules = [
+        make_rule(Pattern.of(g="A"), Pattern.of(m="x"), 30.0, 28.0, 31.0,
+                  coverage=3, protected_coverage=1),
+        make_rule(Pattern.of(g="B"), Pattern.of(m="x"), 20.0, 5.0, 26.0,
+                  coverage=3, protected_coverage=1),
+        make_rule(Pattern.empty(), Pattern.of(m="y"), 8.0, 8.0, 8.0,
+                  coverage=8, protected_coverage=3),
+    ]
+    return RulesetEvaluator(table, rules, protected)
+
+
+def test_objective_submodular(evaluator):
+    """Prop. 9.1: the Def. 4.6 objective shows diminishing returns."""
+    violations = check_submodularity(evaluator, lambda_size=1.0, lambda_utility=1.0)
+    assert violations == []
+
+
+def test_size_only_objective_submodular(evaluator):
+    violations = check_submodularity(
+        evaluator, lambda_size=1.0, lambda_utility=0.0
+    )
+    assert violations == []
+
+
+def test_submodularity_guard(evaluator):
+    with pytest.raises(ValueError):
+        check_submodularity(evaluator, max_candidates=1)
+
+
+def test_detects_supermodular_function(evaluator):
+    """A deliberately supermodular function must produce violations."""
+
+    def supermodular(indices):
+        return float(len(indices)) ** 2
+
+    violations = check_submodularity(evaluator, objective=supermodular)
+    assert violations
+
+
+def test_individual_fairness_matroid(evaluator):
+    constraint = statistical_parity("individual", 10.0)
+    rules = list(evaluator.rules)
+    assert check_hereditary_property(rules, constraint.satisfied_by_rule)
+    assert check_exchange_property(rules, constraint.satisfied_by_rule)
+
+
+def test_rule_coverage_matroid(evaluator):
+    constraint = rule_coverage(0.3, 0.3)
+    rules = list(evaluator.rules)
+
+    def admissible(rule):
+        return constraint.satisfied_by_rule(rule, evaluator.n,
+                                            evaluator.n_protected)
+
+    assert check_hereditary_property(rules, admissible)
+    assert check_exchange_property(rules, admissible)
+
+
+def test_lemma_4_1_on_random_utilities():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        utilities = rng.normal(size=rng.integers(1, 50))
+        assert check_lemma_4_1(utilities)
+
+
+def test_lemma_4_1_empty():
+    assert check_lemma_4_1(np.array([]))
+
+
+def test_lemma_4_1_constant():
+    assert check_lemma_4_1(np.full(10, 3.0))

@@ -1,0 +1,25 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.errors import (
+    ConfigError,
+    EstimationError,
+    PatternError,
+    ReproError,
+    SchemaError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [SchemaError, PatternError, EstimationError, ConfigError]
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("message")
+
+
+def test_catching_specific_error():
+    with pytest.raises(SchemaError):
+        raise SchemaError("bad schema")

@@ -1,0 +1,36 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, ensure_rng
+
+
+def test_none_uses_default_seed():
+    a = ensure_rng(None).random(5)
+    b = np.random.default_rng(DEFAULT_SEED).random(5)
+    assert np.allclose(a, b)
+
+
+def test_int_seed_is_deterministic():
+    assert np.allclose(ensure_rng(42).random(3), ensure_rng(42).random(3))
+
+
+def test_different_seeds_differ():
+    assert not np.allclose(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_numpy_integer_seed():
+    assert np.allclose(
+        ensure_rng(np.int64(9)).random(3), ensure_rng(9).random(3)
+    )
+
+
+def test_invalid_type_raises():
+    with pytest.raises(TypeError):
+        ensure_rng("not-a-seed")

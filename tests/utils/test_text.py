@@ -1,0 +1,36 @@
+"""Tests for repro.utils.text."""
+
+from repro.utils.text import format_float, format_percent, format_table
+
+
+def test_format_float_basic():
+    assert format_float(3.14159, 2) == "3.14"
+
+
+def test_format_float_negative_zero():
+    assert format_float(-0.0) == "0.00"
+
+
+def test_format_percent():
+    assert format_percent(0.9991) == "99.91%"
+    assert format_percent(1.0) == "100.00%"
+    assert format_percent(0.215, 1) == "21.5%"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equally wide
+
+
+def test_format_table_title():
+    out = format_table(["c"], [["x"]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+    assert out.splitlines()[1] == "========"
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out

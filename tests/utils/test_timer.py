@@ -1,0 +1,62 @@
+"""Tests for repro.utils.timer."""
+
+import time
+
+from repro.utils.timer import StepTimer, Timer
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_initial_zero():
+    assert Timer().elapsed == 0.0
+
+
+def test_step_timer_records_steps():
+    timer = StepTimer()
+    with timer.step("a"):
+        time.sleep(0.005)
+    with timer.step("b"):
+        pass
+    assert set(timer.steps) == {"a", "b"}
+    assert timer.steps["a"] >= 0.004
+
+
+def test_step_timer_accumulates_same_step():
+    timer = StepTimer()
+    for _ in range(3):
+        with timer.step("x"):
+            time.sleep(0.002)
+    assert timer.steps["x"] >= 0.005
+
+
+def test_step_timer_total_and_dict():
+    timer = StepTimer()
+    with timer.step("a"):
+        pass
+    with timer.step("b"):
+        pass
+    assert timer.total == sum(timer.as_dict().values())
+    # as_dict returns a copy
+    timer.as_dict()["a"] = 999.0
+    assert timer.steps["a"] != 999.0
+
+
+def test_step_timer_records_on_exception():
+    timer = StepTimer()
+    try:
+        with timer.step("err"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert "err" in timer.steps
+
+
+def test_step_timer_repr():
+    timer = StepTimer()
+    with timer.step("phase"):
+        pass
+    assert "phase" in repr(timer)
