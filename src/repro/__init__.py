@@ -9,7 +9,7 @@ variants, the CauSumX / IDS / FRL baselines, SCM-backed synthetic datasets,
 and an experiment harness regenerating every table and figure of the
 evaluation.
 
-Quickstart::
+Quickstart — mine a ruleset::
 
     from repro import (
         FairCap, FairCapConfig, canonical_variants, load_stackoverflow,
@@ -23,6 +23,24 @@ Quickstart::
     )
     for rule in result.ruleset:
         print(rule)
+
+Quickstart — deploy it (:mod:`repro.serve`)::
+
+    from repro import PrescriptionEngine, ServingArtifact
+
+    # Persist the mined ruleset as a versioned JSON artifact ...
+    artifact = ServingArtifact(
+        result.ruleset, schema=bundle.schema, protected=bundle.protected
+    )
+    artifact.save("ruleset.json")
+
+    # ... and answer per-individual queries against it.
+    engine = PrescriptionEngine.from_artifact(ServingArtifact.load("ruleset.json"))
+    prescription = engine.prescribe({"Country": "US", "Age": 31, ...})
+    print(prescription.intervention, prescription.expected_utility)
+
+    # Or over HTTP (also: python -m repro serve --artifact ruleset.json):
+    # POST /prescribe {"individual": {...}} -> {"prescription": {...}}
 """
 
 from repro.tabular import (
@@ -77,6 +95,12 @@ from repro.core import (
 )
 from repro.baselines import run_causumx, run_frl, run_ids
 from repro.datasets import load_dataset, load_german, load_stackoverflow
+from repro.serve import (
+    CompiledRuleIndex,
+    Prescription,
+    PrescriptionEngine,
+    ServingArtifact,
+)
 
 __version__ = "1.0.0"
 
@@ -104,5 +128,8 @@ __all__ = [
     "run_causumx", "run_ids", "run_frl",
     # datasets
     "load_stackoverflow", "load_german", "load_dataset",
+    # serving
+    "ServingArtifact", "CompiledRuleIndex", "PrescriptionEngine",
+    "Prescription",
     "__version__",
 ]

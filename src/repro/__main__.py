@@ -9,6 +9,13 @@ Commands mirror the experiment harness::
     python -m repro figure3 | figure4 | figure5 | apriori-sweep
     python -m repro run --dataset stackoverflow --variant "Group fairness"
 
+and the serving subsystem::
+
+    python -m repro export --dataset german --out ruleset.json
+    python -m repro serve --artifact ruleset.json --port 8080
+    python -m repro list-datasets
+    python -m repro --version
+
 Dataset sizes default to the laptop-scale experiment settings; ``--n``
 overrides both datasets, ``--seed`` the generator seed.
 """
@@ -82,7 +89,8 @@ def _cmd_apriori_sweep(args: argparse.Namespace) -> str:
     )
 
 
-def _cmd_run(args: argparse.Namespace) -> str:
+def _run_variant(args: argparse.Namespace):
+    """Shared mine step: load the dataset and run FairCap on one variant."""
     from repro.core.faircap import FairCap
 
     settings = _settings(args)
@@ -97,6 +105,11 @@ def _cmd_run(args: argparse.Namespace) -> str:
     result = FairCap(config).run(
         bundle.table, bundle.schema, bundle.dag, bundle.protected
     )
+    return settings, bundle, result
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    settings, bundle, result = _run_variant(args)
     lines = [
         f"dataset={args.dataset} variant={args.variant!r} "
         f"rows={bundle.table.n_rows}",
@@ -116,6 +129,59 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _mine_artifact(args: argparse.Namespace):
+    """Mine a ruleset and wrap it as a serving artifact (export path)."""
+    from repro.serve.artifact import ServingArtifact
+
+    settings, bundle, result = _run_variant(args)
+    artifact = ServingArtifact(
+        ruleset=result.ruleset,
+        schema=bundle.schema,
+        protected=bundle.protected,
+        metadata={
+            "dataset": args.dataset,
+            "variant": args.variant,
+            "n_rows": bundle.table.n_rows,
+            "seed": settings.seed,
+            "expected_utility": result.metrics.expected_utility,
+            "coverage": result.metrics.coverage,
+        },
+    )
+    return artifact, result
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    artifact, result = _mine_artifact(args)
+    artifact.save(args.out)
+    return (
+        f"exported {result.ruleset.size} rules "
+        f"(coverage {result.metrics.coverage:.1%}, expected utility "
+        f"{result.metrics.expected_utility:,.2f}) to {args.out}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.serve.artifact import ServingArtifact
+    from repro.serve.engine import PrescriptionEngine
+    from repro.serve.http import run_server
+
+    artifact = ServingArtifact.load(args.artifact)
+    engine = PrescriptionEngine.from_artifact(artifact, cache_size=args.cache_size)
+    run_server(engine, host=args.host, port=args.port)
+    return ""
+
+
+def _cmd_list_datasets(args: argparse.Namespace) -> str:
+    from repro.datasets.registry import DATASET_LOADERS
+
+    lines = ["Bundled datasets:"]
+    for name, loader in sorted(DATASET_LOADERS.items()):
+        doc = (loader.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        lines.append(f"  {name:<15} {summary}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "table3": _cmd_table3,
     "table4": _cmd_table4,
@@ -126,17 +192,31 @@ _COMMANDS = {
     "figure5": _cmd_figure5,
     "apriori-sweep": _cmd_apriori_sweep,
     "run": _cmd_run,
+    "export": _cmd_export,
+    "serve": _cmd_serve,
+    "list-datasets": _cmd_list_datasets,
 }
+
+_EXPERIMENT_COMMANDS = (
+    "table3", "table4", "table5", "table6",
+    "figure3", "figure4", "figure5", "apriori-sweep", "run",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="FairCap reproduction: regenerate paper experiments.",
+        description="FairCap reproduction: regenerate paper experiments "
+                    "and serve mined rulesets.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in _COMMANDS:
+    for name in _EXPERIMENT_COMMANDS:
         cmd = sub.add_parser(name)
         cmd.add_argument("--dataset", default="stackoverflow",
                          choices=["stackoverflow", "german"])
@@ -146,13 +226,45 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "run":
             cmd.add_argument("--variant", default="Group fairness",
                              help='e.g. "No constraints", "Group fairness"')
+
+    export = sub.add_parser(
+        "export", help="mine a ruleset and write a serving artifact"
+    )
+    export.add_argument("--dataset", default="stackoverflow",
+                        choices=["stackoverflow", "german"])
+    export.add_argument("--n", type=int, default=None,
+                        help="row-count override for both datasets")
+    export.add_argument("--seed", type=int, default=None)
+    export.add_argument("--variant", default="Group fairness",
+                        help='e.g. "No constraints", "Group fairness"')
+    export.add_argument("--out", required=True,
+                        help="output path for the ruleset artifact JSON")
+
+    serve = sub.add_parser(
+        "serve", help="serve a ruleset artifact over HTTP"
+    )
+    serve.add_argument("--artifact", required=True,
+                       help="path to a ruleset artifact JSON")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="profile LRU cache size (0 disables)")
+
+    sub.add_parser("list-datasets", help="list the bundled datasets")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.utils.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
+    try:
+        output = _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
     return 0
 
 

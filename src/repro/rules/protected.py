@@ -48,5 +48,13 @@ class ProtectedGroup:
             return 0.0
         return self.size(table) / table.n_rows
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProtectedGroup):
+            return NotImplemented
+        return self.pattern == other.pattern and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.pattern, self.name))
+
     def __repr__(self) -> str:
         return f"ProtectedGroup({self.name!r}: {self.pattern})"

@@ -30,6 +30,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.mining.patterns import Pattern
 from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.tabular.table import Table
@@ -59,6 +60,34 @@ class RuleSet:
     def with_rule(self, rule: PrescriptionRule) -> "RuleSet":
         """Return a new ruleset with ``rule`` appended."""
         return RuleSet(self.rules + (rule,))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RuleSet):
+            return NotImplemented
+        return self.rules == other.rules
+
+    def __hash__(self) -> int:
+        return hash(self.rules)
+
+    # -- persistence (delegates to the serving subsystem) -------------------------
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to the versioned ruleset-artifact JSON format.
+
+        Round-trips exactly: ``RuleSet.from_json(rs.to_json()) == rs``.
+        For an artifact carrying the dataset schema and protected group as
+        well, use :class:`repro.serve.artifact.ServingArtifact` directly.
+        """
+        from repro.serve.artifact import ServingArtifact
+
+        return ServingArtifact(self).to_json(indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuleSet":
+        """Rebuild a ruleset from :meth:`to_json` output (or a full artifact)."""
+        from repro.serve.artifact import ServingArtifact
+
+        return ServingArtifact.from_json(text).ruleset
 
     def __repr__(self) -> str:
         return f"RuleSet({len(self.rules)} rules)"
@@ -125,8 +154,19 @@ class RulesetEvaluator:
         self.protected_mask = protected.mask(table)
         self.n_protected = int(self.protected_mask.sum())
         self.n_non_protected = self.n - self.n_protected
-        # Pre-compute per-rule coverage masks once.
-        self._masks = [rule.grouping.mask(table) for rule in self.rules]
+        # Per-rule coverage masks, cached on the table keyed by grouping
+        # pattern: repeated evaluator constructions over the same table
+        # (greedy runs, experiment sweeps) reuse masks for unchanged rules.
+        cache = table.mask_cache()
+        masks: list[np.ndarray] = []
+        for rule in self.rules:
+            mask = cache.get(rule.grouping)
+            if mask is None:
+                mask = rule.grouping.mask(table)
+                mask.setflags(write=False)
+                cache[rule.grouping] = mask
+            masks.append(mask)
+        self._masks = masks
         self._utilities = np.array([r.utility for r in self.rules], dtype=np.float64)
         self._utilities_p = np.array(
             [r.utility_protected for r in self.rules], dtype=np.float64

@@ -1,0 +1,75 @@
+"""Production serving for mined prescription rulesets.
+
+Takes a :class:`~repro.rules.ruleset.RuleSet` from the end of the FairCap
+pipeline to live traffic, in four layers:
+
+- :mod:`repro.serve.artifact` — versioned JSON persistence
+  (:class:`ServingArtifact`): a mined ruleset becomes a deployable file;
+- :mod:`repro.serve.index` — :class:`CompiledRuleIndex`: per-attribute
+  discrimination maps matching an individual against the ruleset without
+  scanning every rule, plus a vectorized batch path;
+- :mod:`repro.serve.engine` — :class:`PrescriptionEngine`: resolves
+  multiple matching rules with the paper's Eq. 5/6 utility semantics and
+  caches repeated attribute profiles;
+- :mod:`repro.serve.http` — a dependency-free ``http.server`` JSON API
+  (``POST /prescribe``, ``GET /rules``, ``GET /health``).
+
+Quickstart::
+
+    from repro.serve import PrescriptionEngine, ServingArtifact
+
+    artifact = ServingArtifact.load("ruleset.json")
+    engine = PrescriptionEngine.from_artifact(artifact)
+    print(engine.prescribe({"Country": "US", "Age": 31}))
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ServingArtifact,
+    pattern_from_list,
+    pattern_to_list,
+    predicate_from_dict,
+    predicate_to_dict,
+    protected_from_dict,
+    protected_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+    schema_from_list,
+    schema_to_list,
+)
+from repro.serve.engine import Prescription, PrescriptionEngine
+from repro.serve.http import (
+    PrescriptionServer,
+    make_server,
+    run_server,
+)
+from repro.serve.index import (
+    CompiledRuleIndex,
+    naive_match_row,
+    naive_match_table,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ServingArtifact",
+    "CompiledRuleIndex",
+    "Prescription",
+    "PrescriptionEngine",
+    "PrescriptionServer",
+    "make_server",
+    "run_server",
+    "naive_match_row",
+    "naive_match_table",
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "pattern_to_list",
+    "pattern_from_list",
+    "rule_to_dict",
+    "rule_from_dict",
+    "schema_to_list",
+    "schema_from_list",
+    "protected_to_dict",
+    "protected_from_dict",
+]

@@ -1,0 +1,186 @@
+"""Stdlib HTTP JSON API over a :class:`PrescriptionEngine`.
+
+Built on :class:`http.server.ThreadingHTTPServer` — zero dependencies, one
+thread per connection, shared engine.  Requests run concurrently: the
+engine's matching structures are immutable after construction and its LRU
+cache synchronizes internally, so no request-level lock is needed.
+Endpoints:
+
+- ``GET  /health``     — liveness plus rule count and cache statistics;
+- ``GET  /rules``      — the served ruleset as JSON (artifact rule format);
+- ``POST /prescribe``  — ``{"individual": {...}}`` for one profile, or
+  ``{"individuals": [{...}, ...]}`` for a batch; responds with the
+  corresponding ``prescription`` / ``prescriptions`` payloads.
+
+Client errors (bad JSON, missing attributes, unknown paths) map to 400/404
+with a ``{"error": ...}`` body; unexpected failures map to 500.
+
+Start a server programmatically with :func:`make_server` (port 0 picks an
+ephemeral port — the tests do this) or from the CLI::
+
+    python -m repro serve --artifact ruleset.json --port 8080
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.artifact import rule_to_dict
+from repro.serve.engine import PrescriptionEngine
+from repro.utils.errors import ReproError, ServeError
+
+MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd request bodies early
+
+
+class PrescriptionServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one prescription engine."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: PrescriptionEngine,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, PrescriptionRequestHandler)
+        self.engine = engine
+        self.quiet = quiet
+        self._rules_payload = [rule_to_dict(r) for r in engine.ruleset]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return int(self.server_address[1])
+
+
+class PrescriptionRequestHandler(BaseHTTPRequestHandler):
+    """Routes /health, /rules and /prescribe to the server's engine."""
+
+    server: PrescriptionServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - logging passthrough
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            self.close_connection = True  # body length unknown: cannot drain
+            raise ServeError("Content-Length header is not an integer") from None
+        if length <= 0:
+            raise ServeError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # body left unread on the socket
+            raise ServeError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from None
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/health":
+            engine = self.server.engine
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "n_rules": len(engine.ruleset),
+                    "cache": engine.cache_info(),
+                },
+            )
+        elif self.path == "/rules":
+            self._send_json(
+                200,
+                {
+                    "n_rules": len(self.server._rules_payload),
+                    "rules": self.server._rules_payload,
+                },
+            )
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/prescribe":
+            # The request body is never read on this path; close the
+            # connection so leftover bytes cannot corrupt a keep-alive peer.
+            self.close_connection = True
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = self._read_json_body()
+            self._send_json(200, self._prescribe(payload))
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def _prescribe(self, payload: object) -> dict:
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        engine = self.server.engine
+        if "individual" in payload:
+            individual = payload["individual"]
+            if not isinstance(individual, dict):
+                raise ServeError("'individual' must be a JSON object")
+            return {"prescription": engine.prescribe(individual).to_dict()}
+        if "individuals" in payload:
+            individuals = payload["individuals"]
+            if not isinstance(individuals, list) or not all(
+                isinstance(i, dict) for i in individuals
+            ):
+                raise ServeError("'individuals' must be a list of JSON objects")
+            prescriptions = engine.prescribe_batch(individuals)
+            return {
+                "count": len(prescriptions),
+                "prescriptions": [p.to_dict() for p in prescriptions],
+            }
+        raise ServeError("request must contain 'individual' or 'individuals'")
+
+
+def make_server(
+    engine: PrescriptionEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> PrescriptionServer:
+    """Bind a :class:`PrescriptionServer` (``port=0`` picks a free port)."""
+    return PrescriptionServer((host, port), engine, quiet=quiet)
+
+
+def run_server(
+    engine: PrescriptionEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = False,
+) -> None:
+    """Serve until interrupted (the blocking path behind the CLI)."""
+    server = make_server(engine, host, port, quiet=quiet)
+    print(
+        f"serving {len(engine.ruleset)} prescription rules "
+        f"on http://{host}:{server.port} (Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

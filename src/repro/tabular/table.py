@@ -11,6 +11,7 @@ of its parent and copies only the selected codes/values.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -24,6 +25,26 @@ from repro.tabular.column import (
 from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
 from repro.utils.errors import SchemaError
 from repro.utils.rng import ensure_rng
+
+
+class _MaskCache(OrderedDict):
+    """LRU-bounded mapping used by :meth:`Table.mask_cache`."""
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        self.max_entries = max(1, int(max_entries))
+
+    def get(self, key: object, default: object = None) -> object:
+        value = super().get(key, default)
+        if key in self:
+            self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: object, value: object) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
 
 
 class Table:
@@ -141,6 +162,24 @@ class Table:
     def values(self, name: str) -> np.ndarray:
         """Return decoded values of column ``name`` (object or float array)."""
         return self.column(name).decode()
+
+    def mask_cache(self, max_entries: int = 1024) -> "_MaskCache":
+        """Per-table memo of hashable key -> boolean coverage mask.
+
+        :class:`~repro.rules.ruleset.RulesetEvaluator` keys this by grouping
+        pattern so repeated evaluations over the same table reuse masks for
+        unchanged rules.  The cache is LRU-bounded (``max_entries``) so
+        long-lived tables driven through many candidate pools (e.g. the
+        apriori sweep) do not pin every mask ever computed; ``max_entries``
+        applies when the cache is first created.  Cached arrays are
+        read-only; derived tables (``filter``/``take``/``select``) start
+        with a fresh cache because they are new objects.
+        """
+        cache = self.__dict__.get("_mask_cache")
+        if cache is None:
+            cache = _MaskCache(max_entries)
+            self.__dict__["_mask_cache"] = cache
+        return cache
 
     # -- row selection ---------------------------------------------------------
 

@@ -42,3 +42,12 @@ class ConfigError(ReproError):
     Examples: negative thresholds, unknown problem-variant names, or fairness
     constraints that reference an undefined protected group.
     """
+
+
+class ServeError(ReproError):
+    """Raised by the serving subsystem for bad artifacts or requests.
+
+    Examples: a ruleset artifact with an unknown format or future version,
+    a prescription request missing attributes the ruleset's grouping
+    patterns require, or a malformed request body.
+    """

@@ -38,3 +38,57 @@ def test_run_command_prints_case_study(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    from repro import __version__
+
+    assert f"repro {__version__}" in out
+
+
+def test_list_datasets(capsys):
+    assert main(["list-datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "german" in out
+    assert "stackoverflow" in out
+
+
+def test_export_writes_loadable_artifact(tmp_path, capsys):
+    out_path = tmp_path / "ruleset.json"
+    assert main(["export", "--dataset", "german", "--n", "500", "--seed", "3",
+                 "--variant", "No constraints", "--out", str(out_path)]) == 0
+    assert "exported" in capsys.readouterr().out
+
+    from repro.serve.artifact import ServingArtifact
+
+    artifact = ServingArtifact.load(str(out_path))
+    assert artifact.ruleset.size > 0
+    assert artifact.protected is not None
+    assert artifact.metadata["dataset"] == "german"
+
+
+def test_export_rejects_unknown_variant(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["export", "--dataset", "german", "--n", "400",
+              "--variant", "Bogus", "--out", str(tmp_path / "x.json")])
+
+
+def test_serve_missing_artifact_is_clean_error(capsys):
+    assert main(["serve", "--artifact", "/nonexistent/ruleset.json"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "ruleset.json" in err
+
+
+def test_serve_parser_arguments():
+    args = build_parser().parse_args(
+        ["serve", "--artifact", "ruleset.json", "--port", "9000"]
+    )
+    assert args.command == "serve"
+    assert args.artifact == "ruleset.json"
+    assert args.port == 9000
+    assert args.cache_size == 1024

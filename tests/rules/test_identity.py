@@ -1,0 +1,109 @@
+"""Hashability and equality of the rule value objects.
+
+The serving index dedupes predicates across rules, the engine's LRU cache
+keys on attribute profiles, and the evaluator's mask cache keys on grouping
+patterns — all of which require Predicate/Pattern/PrescriptionRule/RuleSet
+to be hashable with value semantics.
+"""
+
+from __future__ import annotations
+
+from repro.mining.patterns import Operator, Pattern, Predicate
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet, RulesetEvaluator
+
+from tests.conftest import make_rule
+
+
+def test_predicate_value_semantics():
+    a = Predicate("Age", Operator.GE, 30.0)
+    b = Predicate("Age", Operator.GE, 30.0)
+    assert a == b and hash(a) == hash(b)
+    assert a != Predicate("Age", Operator.GT, 30.0)
+    assert len({a, b}) == 1
+
+
+def test_pattern_order_insensitive_identity():
+    p1 = Predicate.eq("Country", "US")
+    p2 = Predicate("Age", Operator.LT, 40.0)
+    assert Pattern([p1, p2]) == Pattern([p2, p1])
+    assert hash(Pattern([p1, p2])) == hash(Pattern([p2, p1]))
+
+
+def test_rules_dedupe_in_sets():
+    rule = make_rule(Pattern.of(City="Metro"), Pattern.of(Training="Yes"), 3.0, 1.0, 4.0)
+    twin = make_rule(Pattern.of(City="Metro"), Pattern.of(Training="Yes"), 3.0, 1.0, 4.0)
+    other = make_rule(Pattern.of(City="Rural"), Pattern.of(Training="Yes"), 3.0, 1.0, 4.0)
+    assert rule == twin and hash(rule) == hash(twin)
+    assert len({rule, twin, other}) == 2
+
+
+def test_rule_equality_ignores_estimation_diagnostics():
+    from repro.causal.estimators import CateResult
+
+    diagnostics = CateResult(3.0, 0.5, 0.01, 100, 50, 50)
+    with_diag = PrescriptionRule(
+        Pattern.of(City="Metro"), Pattern.of(Training="Yes"),
+        3.0, 1.0, 4.0, 100, 40, estimate=diagnostics,
+    )
+    without = PrescriptionRule(
+        Pattern.of(City="Metro"), Pattern.of(Training="Yes"),
+        3.0, 1.0, 4.0, 100, 40,
+    )
+    assert with_diag == without
+    assert hash(with_diag) == hash(without)
+
+
+def test_ruleset_value_semantics():
+    r1 = make_rule(Pattern.of(City="Metro"), Pattern.of(Training="Yes"), 3.0, 1.0, 4.0)
+    r2 = make_rule(Pattern.of(City="Rural"), Pattern.of(Training="Yes"), 2.0, 1.0, 3.0)
+    assert RuleSet([r1, r2]) == RuleSet([r1, r2])
+    assert hash(RuleSet([r1, r2])) == hash(RuleSet([r1, r2]))
+    assert RuleSet([r1, r2]) != RuleSet([r2, r1])  # rulesets are ordered
+    assert RuleSet() == RuleSet()
+
+
+def test_protected_group_value_semantics():
+    a = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    b = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    assert a == b and hash(a) == hash(b)
+    assert a != ProtectedGroup(Pattern.of(Gender="Female"), name="other-name")
+
+
+def test_evaluator_mask_cache_shared_across_evaluators(toy_table, toy_protected):
+    rules = [
+        make_rule(Pattern.of(City="Metro"), Pattern.of(Training="Yes"), 3.0, 1.0, 4.0),
+        make_rule(Pattern.of(City="Rural"), Pattern.of(Training="Yes"), 2.0, 1.0, 3.0),
+    ]
+    first = RulesetEvaluator(toy_table, rules, toy_protected)
+    second = RulesetEvaluator(toy_table, rules, toy_protected)
+    for i in range(len(rules)):
+        assert first.mask_of(i) is second.mask_of(i)  # recomputation skipped
+        assert not first.mask_of(i).flags.writeable
+    assert set(toy_table.mask_cache()) >= {r.grouping for r in rules}
+
+
+def test_mask_cache_is_lru_bounded():
+    from tests.conftest import build_toy_table
+
+    table = build_toy_table(n=50)
+    cache = table.mask_cache(max_entries=2)
+    for city in ("Metro", "Rural"):
+        cache[Pattern.of(City=city)] = Pattern.of(City=city).mask(table)
+    cache.get(Pattern.of(City="Metro"))  # refresh: Rural is now LRU
+    cache[Pattern.of(Gender="Female")] = Pattern.of(Gender="Female").mask(table)
+    assert len(cache) == 2
+    assert Pattern.of(City="Rural") not in cache
+    assert Pattern.of(City="Metro") in cache
+
+
+def test_evaluator_mask_cache_is_per_table(toy_table, toy_protected):
+    rules = [
+        make_rule(Pattern.of(City="Metro"), Pattern.of(Training="Yes"), 3.0, 1.0, 4.0),
+    ]
+    shrunk = toy_table.filter(toy_table.column("City").eq("Metro"))
+    a = RulesetEvaluator(toy_table, rules, toy_protected)
+    b = RulesetEvaluator(shrunk, rules, toy_protected)
+    assert a.mask_of(0) is not b.mask_of(0)
+    assert a.mask_of(0).shape != b.mask_of(0).shape

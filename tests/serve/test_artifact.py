@@ -1,0 +1,139 @@
+"""Artifact (de)serialization: exact round-trips and format validation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap
+from repro.core.variants import unconstrained
+from repro.mining.patterns import Operator, Pattern, Predicate
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ServingArtifact,
+    predicate_from_dict,
+    predicate_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+)
+from repro.utils.errors import ServeError
+
+from tests.serve.conftest import random_rules
+
+
+def test_predicate_round_trip_all_operators():
+    for op in Operator:
+        pred = Predicate("Age", op, 42.5)
+        assert predicate_from_dict(predicate_to_dict(pred)) == pred
+
+
+def test_predicate_numpy_scalar_values_become_plain():
+    pred = Predicate("Age", Operator.GE, np.float64(30.0))
+    payload = predicate_to_dict(pred)
+    assert type(payload["value"]) is float
+    assert predicate_from_dict(json.loads(json.dumps(payload))) == pred
+
+
+def test_predicate_unserializable_value_rejected():
+    with pytest.raises(ServeError, match="not JSON-serializable"):
+        predicate_to_dict(Predicate("Age", Operator.EQ, object()))
+
+
+def test_rule_round_trip_drops_diagnostics_but_compares_equal(toy_ruleset):
+    for rule in toy_ruleset:
+        rebuilt = rule_from_dict(json.loads(json.dumps(rule_to_dict(rule))))
+        assert rebuilt == rule
+        assert hash(rebuilt) == hash(rule)
+
+
+def test_ruleset_json_round_trip(toy_ruleset):
+    text = toy_ruleset.to_json()
+    rebuilt = RuleSet.from_json(text)
+    assert rebuilt == toy_ruleset
+    # A second serialization of the rebuilt ruleset is byte-identical.
+    assert rebuilt.to_json() == text
+
+
+def test_full_artifact_round_trip(toy_ruleset, serve_protected, toy_table):
+    artifact = ServingArtifact(
+        ruleset=toy_ruleset,
+        schema=toy_table.schema,
+        protected=serve_protected,
+        metadata={"dataset": "toy", "n_rows": 400},
+    )
+    rebuilt = ServingArtifact.from_json(artifact.to_json(indent=2))
+    assert rebuilt.ruleset == artifact.ruleset
+    assert rebuilt.schema == artifact.schema
+    assert rebuilt.protected == artifact.protected
+    assert rebuilt.metadata == artifact.metadata
+
+
+def test_artifact_save_load(tmp_path, toy_ruleset):
+    path = tmp_path / "ruleset.json"
+    ServingArtifact(toy_ruleset).save(str(path))
+    assert ServingArtifact.load(str(path)).ruleset == toy_ruleset
+
+
+@pytest.mark.parametrize(
+    "corruption, message",
+    [
+        ({"format": "something-else"}, "unknown artifact format"),
+        ({"version": ARTIFACT_VERSION + 1}, "newer than supported"),
+        ({"version": "one"}, "bad artifact version"),
+        ({"rules": {"not": "a list"}}, "'rules' must be a list"),
+    ],
+)
+def test_artifact_validation_errors(toy_ruleset, corruption, message):
+    payload = ServingArtifact(toy_ruleset).to_dict()
+    payload.update(corruption)
+    with pytest.raises(ServeError, match=message):
+        ServingArtifact.from_dict(payload)
+
+
+def test_artifact_rejects_non_json_text():
+    with pytest.raises(ServeError, match="not valid JSON"):
+        ServingArtifact.from_json("{truncated")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n_rules=st.integers(0, 12))
+def test_random_ruleset_round_trip_property(seed, n_rules):
+    """to_json/from_json is the identity on randomized rulesets."""
+    rng = np.random.default_rng(seed)
+    ruleset = RuleSet(random_rules(rng, n_rules))
+    rebuilt = RuleSet.from_json(ruleset.to_json())
+    assert rebuilt == ruleset
+    assert rebuilt.to_json() == ruleset.to_json()
+
+
+@pytest.mark.parametrize("bundle_fixture", ["small_german_bundle", "small_so_bundle"])
+def test_mined_ruleset_round_trips_exactly(bundle_fixture, request):
+    """Acceptance: rulesets mined from both bundled datasets round-trip."""
+    bundle = request.getfixturevalue(bundle_fixture)
+    config = FairCapConfig(
+        variant=unconstrained(),
+        apriori_min_support=0.2,
+        max_grouping_size=1,
+        max_intervention_size=1,
+        max_values_per_attribute=4,
+    )
+    result = FairCap(config).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+    assert result.ruleset.size > 0
+    artifact = ServingArtifact(
+        result.ruleset, schema=bundle.schema, protected=bundle.protected
+    )
+    rebuilt = ServingArtifact.from_json(artifact.to_json())
+    assert rebuilt.ruleset == result.ruleset
+    assert rebuilt.schema == bundle.schema
+    assert rebuilt.protected == bundle.protected
