@@ -1,0 +1,26 @@
+"""Repo-root pytest configuration.
+
+Lives at the rootdir so its command-line options are registered before
+argument parsing regardless of how pytest is invoked (``python -m pytest``,
+``pytest tests/...``, CI).
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/goldens/*.json from the current "
+        "implementation instead of comparing against them (use after an "
+        "*intentional* change to paper numbers; review the diff)",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: end-to-end pipeline tests (seconds each); always part of tier-1",
+    )

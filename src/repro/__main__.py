@@ -52,7 +52,15 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     so_n = args.n if args.n is not None else base.so_n
     german_n = args.n if args.n is not None else base.german_n
     seed = args.seed if args.seed is not None else base.seed
-    return ExperimentSettings(so_n=so_n, german_n=german_n, seed=seed)
+    n_workers = getattr(args, "workers", None)
+    n_workers = n_workers if n_workers is not None else base.n_workers
+    executor = getattr(args, "executor", None) or base.executor
+    cache_size = getattr(args, "cache_size", None)
+    cache_size = cache_size if cache_size is not None else base.cache_size
+    return ExperimentSettings(
+        so_n=so_n, german_n=german_n, seed=seed,
+        n_workers=n_workers, executor=executor, cache_size=cache_size,
+    )
 
 
 def _cmd_table3(args: argparse.Namespace) -> str:
@@ -216,6 +224,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_worker_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="treatment-mining worker count (0 = all CPUs; default 1). "
+                 "Results are identical for any worker count — parallelism "
+                 "only changes runtime (see repro.parallel).",
+        )
+        cmd.add_argument(
+            "--executor", default=None,
+            choices=["auto", "serial", "thread", "process"],
+            help="execution strategy behind --workers "
+                 "(auto = process when --workers != 1)",
+        )
+        cmd.add_argument(
+            "--cache-size", type=int, default=None, metavar="N",
+            help="CATE memo entry bound (0 disables caching for "
+                 "paper-comparable cold runtimes; default 65536). "
+                 "Caching never changes results, only runtime.",
+        )
+
     for name in _EXPERIMENT_COMMANDS:
         cmd = sub.add_parser(name)
         cmd.add_argument("--dataset", default="stackoverflow",
@@ -223,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--n", type=int, default=None,
                          help="row-count override for both datasets")
         cmd.add_argument("--seed", type=int, default=None)
+        add_worker_flags(cmd)
         if name == "run":
             cmd.add_argument("--variant", default="Group fairness",
                              help='e.g. "No constraints", "Group fairness"')
@@ -235,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--n", type=int, default=None,
                         help="row-count override for both datasets")
     export.add_argument("--seed", type=int, default=None)
+    add_worker_flags(export)
     export.add_argument("--variant", default="Group fairness",
                         help='e.g. "No constraints", "Group fairness"')
     export.add_argument("--out", required=True,

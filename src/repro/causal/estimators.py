@@ -129,6 +129,10 @@ class LinearAdjustmentEstimator:
 
     name = "linear_adjustment"
 
+    def cache_key(self) -> tuple:
+        """Identity-and-parameters key for :class:`EstimationCache` entries."""
+        return (self.name,)
+
     def estimate(
         self,
         table: Table,
@@ -218,6 +222,10 @@ class StratifiedEstimator:
             raise EstimationError("n_bins must be at least 2")
         self.n_bins = n_bins
         self.max_dropped_fraction = max_dropped_fraction
+
+    def cache_key(self) -> tuple:
+        """Identity-and-parameters key for :class:`EstimationCache` entries."""
+        return (self.name, self.n_bins, self.max_dropped_fraction)
 
     def _stratum_codes(self, table: Table, names: tuple[str, ...]) -> np.ndarray:
         """Combine adjustment columns into a single stratum id per row."""
@@ -329,7 +337,15 @@ def estimate_cate(
     outcome: str,
     adjustment: tuple[str, ...] = (),
     estimator: LinearAdjustmentEstimator | StratifiedEstimator | None = None,
+    cache=None,
 ) -> CateResult:
-    """Facade: estimate a CATE with the given (or default linear) estimator."""
+    """Facade: estimate a CATE with the given (or default linear) estimator.
+
+    ``cache`` may be an :class:`~repro.parallel.cache.EstimationCache` (or
+    anything exposing ``get_or_estimate``); a hit returns a result identical
+    to recomputation because entries are keyed by the full problem content.
+    """
     chosen = estimator if estimator is not None else _DEFAULT_ESTIMATOR
+    if cache is not None:
+        return cache.get_or_estimate(chosen, table, treated, outcome, adjustment)
     return chosen.estimate(table, treated, outcome, adjustment)

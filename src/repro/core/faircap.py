@@ -90,10 +90,34 @@ class FairCapResult:
 
 
 class FairCap:
-    """The FairCap algorithm (paper's Algorithm 1)."""
+    """The FairCap algorithm (paper's Algorithm 1).
 
-    def __init__(self, config: FairCapConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        Algorithm tunables (defaults to :class:`FairCapConfig`), including
+        the Step-2 execution strategy (``executor`` / ``n_workers``) and the
+        CATE memo bound (``cache_size``).
+    executor:
+        Optional pre-built :mod:`repro.parallel` executor; overrides the
+        config's ``executor``/``n_workers`` spelling.  Results are identical
+        for every executor and worker count (determinism contract).
+    cache:
+        Optional :class:`~repro.parallel.cache.EstimationCache` shared
+        across runs — e.g. one cache for all nine variants of a Table 4
+        block, so overlapping candidates are estimated once.  ``None``
+        builds a fresh per-run cache of ``config.cache_size`` entries.
+    """
+
+    def __init__(
+        self,
+        config: FairCapConfig | None = None,
+        executor=None,
+        cache=None,
+    ) -> None:
         self.config = config if config is not None else FairCapConfig()
+        self.executor = executor
+        self.cache = cache
 
     def run(
         self,
@@ -122,6 +146,8 @@ class FairCap:
             raise SchemaError(f"causal DAG is missing schema attributes: {missing}")
 
         config = self.config
+        executor = self.executor if self.executor is not None else config.make_executor()
+        cache = self.cache if self.cache is not None else config.make_cache()
         timer = StepTimer()
 
         with timer.step(STEP_GROUP_MINING):
@@ -137,10 +163,11 @@ class FairCap:
                 protected,
                 estimator=config.make_estimator(),
                 min_subgroup_size=config.min_subgroup_size,
+                cache=cache,
             )
             items = intervention_items(table, schema, dag, config)
             candidate_rules, nodes_evaluated = mine_interventions_for_groups(
-                evaluator, grouping_patterns, items, config
+                evaluator, grouping_patterns, items, config, executor=executor
             )
 
         with timer.step(STEP_GREEDY):
@@ -167,6 +194,10 @@ def run_faircap(
     protected: ProtectedGroup,
     config: FairCapConfig | None = None,
     schema: Schema | None = None,
+    executor=None,
+    cache=None,
 ) -> FairCapResult:
     """Convenience facade: ``FairCap(config).run(table, schema, dag, protected)``."""
-    return FairCap(config).run(table, schema, dag, protected)
+    return FairCap(config, executor=executor, cache=cache).run(
+        table, schema, dag, protected
+    )

@@ -18,8 +18,11 @@ The best treatment for the grouping pattern is then chosen by *benefit*:
 Implementation notes: the paper's optimisation (i) — discarding mutable
 attributes with no causal path to the outcome — is applied when building the
 item list; optimisation (ii) (parallelism across grouping patterns) is
-intentionally not used here so that the Figure 3/4 runtime shapes reflect
-algorithmic work rather than process-pool noise.
+available through :mod:`repro.parallel` — pass an executor to
+:func:`mine_interventions_for_groups` (or set ``FairCapConfig.executor`` /
+``n_workers``).  The serial executor remains the default so the Figure 3/4
+runtime shapes reflect algorithmic work rather than process-pool noise, and
+the differential suite guarantees all executors return identical rules.
 """
 
 from __future__ import annotations
@@ -92,6 +95,7 @@ def mine_intervention(
     context: GroupEvaluationContext,
     items: list[Pattern],
     config: FairCapConfig,
+    lattice_executor=None,
 ) -> InterventionMiningResult:
     """Run the Step-2 lattice search for one grouping pattern.
 
@@ -105,6 +109,10 @@ def mine_intervention(
     config:
         Algorithm configuration; ``config.variant.fairness`` selects the
         benefit function.
+    lattice_executor:
+        Optional in-process executor (serial/thread) used to evaluate each
+        lattice level's candidate batch concurrently; results are identical
+        to the serial traversal (see :func:`repro.mining.lattice.traverse_lattice`).
     """
     alpha = config.significance_alpha
     fairness = config.variant.fairness
@@ -117,7 +125,10 @@ def mine_intervention(
         return keep, rule
 
     nodes: list[LatticeNode] = traverse_lattice(
-        items, evaluate, max_level=config.max_intervention_size
+        items,
+        evaluate,
+        max_level=config.max_intervention_size,
+        executor=lattice_executor,
     )
     kept = [node.payload for node in nodes if node.keep]
     candidates: list[PrescriptionRule] = [
@@ -149,12 +160,21 @@ def mine_interventions_for_groups(
     grouping_patterns,
     items: list[Pattern],
     config: FairCapConfig,
+    executor=None,
 ) -> tuple[list[PrescriptionRule], int]:
     """Run Step 2 for every grouping pattern; return rules + node count.
 
     Each grouping pattern contributes at most one rule (its best treatment),
-    mirroring Algorithm 1's loop.
+    mirroring Algorithm 1's loop.  With an ``executor`` (see
+    :mod:`repro.parallel.executors`) the per-pattern searches fan out in
+    chunks; the rule list is reassembled in Step-1 mining order either way,
+    so the result is independent of the execution strategy.
     """
+    if executor is not None and executor.kind != "serial":
+        from repro.parallel.mining import mine_groups
+
+        return mine_groups(evaluator, grouping_patterns, items, config, executor)
+
     rules: list[PrescriptionRule] = []
     nodes_total = 0
     for frequent in grouping_patterns:

@@ -42,11 +42,23 @@ def _env_int(name: str, default: int) -> int:
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Row counts, seed, and per-dataset constraint defaults."""
+    """Row counts, seed, worker count, and per-dataset constraint defaults.
+
+    ``n_workers``/``executor`` select the Step-2 execution strategy for
+    every experiment driver (see :mod:`repro.parallel`); results are
+    identical for any combination — only runtime changes.  ``executor`` of
+    ``"auto"`` resolves to the process executor when ``n_workers`` asks for
+    parallelism and the serial reference otherwise.
+    """
 
     so_n: int
     german_n: int
     seed: int
+    n_workers: int = 1
+    executor: str = "auto"
+    cache_size: int | None = None
+    """CATE memo bound; ``None`` = the FairCapConfig default, ``0`` disables
+    caching entirely (cache-free, paper-methodology-comparable runtimes)."""
 
     @classmethod
     def from_environment(cls) -> "ExperimentSettings":
@@ -56,7 +68,21 @@ class ExperimentSettings:
         else:
             so_n = _env_int("REPRO_SO_N", DEFAULT_SO_N)
             german_n = _env_int("REPRO_GERMAN_N", DEFAULT_GERMAN_N)
-        return cls(so_n=so_n, german_n=german_n, seed=_env_int("REPRO_SEED", DEFAULT_SEED))
+        cache_raw = os.environ.get("REPRO_CACHE_SIZE")
+        return cls(
+            so_n=so_n,
+            german_n=german_n,
+            seed=_env_int("REPRO_SEED", DEFAULT_SEED),
+            n_workers=_env_int("REPRO_WORKERS", 1),
+            executor=os.environ.get("REPRO_EXECUTOR", "auto"),
+            cache_size=int(cache_raw) if cache_raw is not None else None,
+        )
+
+    def resolved_executor(self) -> str:
+        """The concrete executor kind behind an ``"auto"`` spelling."""
+        if self.executor != "auto":
+            return self.executor
+        return "process" if self.n_workers != 1 else "serial"
 
     def rows_for(self, dataset: str) -> int:
         """Experiment row count for ``dataset``."""
@@ -82,6 +108,7 @@ class ExperimentSettings:
         self, bundle: DatasetBundle, variant: ProblemVariant
     ) -> FairCapConfig:
         """FairCap config with the paper's defaults for this dataset."""
+        extra = {} if self.cache_size is None else {"cache_size": self.cache_size}
         return FairCapConfig(
             variant=variant,
             apriori_min_support=0.1,
@@ -89,4 +116,7 @@ class ExperimentSettings:
             max_intervention_size=2,
             max_values_per_attribute=5,
             min_subgroup_size=10,
+            executor=self.resolved_executor(),
+            n_workers=self.n_workers,
+            **extra,
         )

@@ -53,6 +53,7 @@ def traverse_lattice(
     evaluate: Callable[[Pattern], Evaluation],
     max_level: int = 2,
     max_nodes: int | None = None,
+    executor=None,
 ) -> list[LatticeNode]:
     """Materialise the lattice top-down with all-parents-kept pruning.
 
@@ -70,6 +71,17 @@ def traverse_lattice(
     max_nodes:
         Optional hard cap on materialised nodes (safety valve for
         benchmarks); ``None`` = unlimited.
+    executor:
+        Optional *in-process* :class:`~repro.parallel.executors.Executor`
+        (serial or thread) used to evaluate each level's candidate batch
+        concurrently.  A level's candidates are fully determined by the
+        previous levels' keeps, and within-level evaluations are mutually
+        independent, so batching preserves the serial traversal exactly:
+        nodes are appended in candidate-generation order regardless of
+        completion order.  Process executors are ignored (silent serial
+        fallback): ``evaluate`` is typically a closure, which cannot cross
+        a process boundary — process-level parallelism belongs at the
+        grouping-pattern fan-out (:mod:`repro.parallel.mining`).
 
     Returns
     -------
@@ -82,26 +94,45 @@ def traverse_lattice(
                 f"lattice items must cover exactly one attribute, got {item}"
             )
 
+    if executor is not None and getattr(executor, "kind", "serial") == "process":
+        executor = None  # closures cannot cross a process boundary
+
     nodes: list[LatticeNode] = []
     kept_sets: dict[frozenset[int], Pattern] = {}
     item_attrs = [item.attributes[0] for item in items]
 
-    def materialise(key: frozenset[int], pattern: Pattern, level: int) -> bool:
-        keep, payload = evaluate(pattern)
-        nodes.append(LatticeNode(pattern, level, keep, payload))
-        if keep:
-            kept_sets[key] = pattern
-        return keep
+    def evaluate_batch(patterns: list[Pattern]) -> list[Evaluation]:
+        if executor is None or len(patterns) <= 1:
+            return [evaluate(p) for p in patterns]
+        return executor.map(evaluate, patterns)
 
-    for idx, item in enumerate(items):
-        if max_nodes is not None and len(nodes) >= max_nodes:
-            return nodes
-        materialise(frozenset((idx,)), item, 1)
+    def materialise_level(
+        candidates: list[tuple[frozenset[int], Pattern]], level: int
+    ) -> tuple[list[frozenset[int]], bool]:
+        """Evaluate one level's candidates; True in slot 2 = cap reached."""
+        truncated = False
+        if max_nodes is not None:
+            remaining = max_nodes - len(nodes)
+            if len(candidates) > remaining:
+                candidates = candidates[:remaining]
+                truncated = True
+        evaluations = evaluate_batch([pattern for _, pattern in candidates])
+        kept_keys: list[frozenset[int]] = []
+        for (key, pattern), (keep, payload) in zip(candidates, evaluations):
+            nodes.append(LatticeNode(pattern, level, keep, payload))
+            if keep:
+                kept_sets[key] = pattern
+                kept_keys.append(key)
+        return kept_keys, truncated
+
+    level1 = [(frozenset((idx,)), item) for idx, item in enumerate(items)]
+    current_keys, truncated = materialise_level(level1, 1)
+    if truncated:
+        return nodes
 
     level = 1
-    current_keys = [k for k in kept_sets if len(k) == 1]
     while current_keys and level < max_level:
-        next_keys: list[frozenset[int]] = []
+        candidates: list[tuple[frozenset[int], Pattern]] = []
         seen: set[frozenset[int]] = set()
         ordered = sorted(current_keys, key=lambda s: tuple(sorted(s)))
         for a_key, b_key in combinations(ordered, 2):
@@ -119,13 +150,12 @@ def traverse_lattice(
                 for sub in combinations(sorted(union), level)
             ):
                 continue
-            if max_nodes is not None and len(nodes) >= max_nodes:
-                return nodes
             pattern = Pattern(
                 [pred for i in sorted(union) for pred in items[i].predicates]
             )
-            if materialise(union, pattern, level + 1):
-                next_keys.append(union)
-        current_keys = next_keys
+            candidates.append((union, pattern))
+        current_keys, truncated = materialise_level(candidates, level + 1)
+        if truncated:
+            return nodes
         level += 1
     return nodes

@@ -1,0 +1,212 @@
+"""Content-addressed memoisation of CATE estimates.
+
+FairCap's Step 2 estimates thousands of CATEs, and large fractions of that
+work recur: the same sub-population / treated-mask / adjustment-set triple is
+re-estimated across lattice levels (a kept node's splits reappear under its
+children's contexts), across the nine problem variants of a Table-4 style
+experiment (variants change *selection*, not estimation), and across repeat
+runs on the same data.  :class:`EstimationCache` memoises
+:meth:`~repro.causal.estimators.LinearAdjustmentEstimator.estimate` results
+under a key derived entirely from content:
+
+``(estimator identity+params, table fingerprint, treated-mask digest,
+outcome name, adjustment attributes)``
+
+The table fingerprint (:meth:`repro.tabular.table.Table.fingerprint`) hashes
+the actual column data, so two structurally identical sub-tables produced by
+different filter paths share entries — this is what makes the cache work
+across variants and runs, where the sub-table *objects* are always fresh.
+
+Because the key captures every input of the estimation, a cache hit returns
+a value bit-identical to recomputation; caching can change latency, never
+results (see the determinism contract in :mod:`repro.parallel`).  The store
+is an LRU bounded by ``max_entries`` and guarded by a lock so
+:class:`~repro.parallel.executors.ThreadExecutor` workers can share one
+instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+CacheKey = tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of an :class:`EstimationCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def treated_mask_digest(treated: np.ndarray) -> bytes:
+    """Stable digest of a boolean treated/control mask."""
+    treated = np.asarray(treated, dtype=bool)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(treated.size).encode())
+    h.update(np.packbits(treated).tobytes())
+    return h.digest()
+
+
+class EstimationCache:
+    """Bounded, thread-safe, content-addressed store of CATE results.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound; least-recently-used entries are evicted past it.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._store: OrderedDict[CacheKey, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._new: dict[CacheKey, object] | None = None
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        estimator,
+        table,
+        treated: np.ndarray,
+        outcome: str,
+        adjustment: tuple[str, ...],
+    ) -> CacheKey:
+        """Content key of one estimation problem.
+
+        ``estimator`` must expose ``cache_key()`` (see
+        :mod:`repro.causal.estimators`); ``table`` must expose
+        ``fingerprint()`` (see :class:`repro.tabular.table.Table`).
+        """
+        return (
+            estimator.cache_key(),
+            table.fingerprint(),
+            treated_mask_digest(treated),
+            outcome,
+            tuple(adjustment),
+        )
+
+    # -- store -----------------------------------------------------------------
+
+    def get(self, key: CacheKey):
+        """Return the cached result for ``key`` or ``None`` (counts stats)."""
+        with self._lock:
+            result = self._store.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._store.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def put(self, key: CacheKey, result) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries past the bound."""
+        with self._lock:
+            self._store[key] = result
+            self._store.move_to_end(key)
+            if self._new is not None:
+                self._new[key] = result
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def get_or_estimate(
+        self,
+        estimator,
+        table,
+        treated: np.ndarray,
+        outcome: str,
+        adjustment: tuple[str, ...] = (),
+    ):
+        """Memoised ``estimator.estimate(table, treated, outcome, adjustment)``."""
+        key = self.key_for(estimator, table, treated, outcome, adjustment)
+        result = self.get(key)
+        if result is None:
+            result = estimator.estimate(table, treated, outcome, adjustment)
+            self.put(key, result)
+        return result
+
+    # -- cross-process sharing -------------------------------------------------
+    #
+    # Process-pool workers cannot share one in-memory cache, so the mining
+    # fan-out (repro.parallel.mining) moves content instead: each worker is
+    # *seeded* with a snapshot of the caller's cache, *records* the entries
+    # it computes, and ships them back with its chunk results, where they
+    # are merged into the caller's cache.  Content-addressed keys make all
+    # of this transparent — a merged entry is exactly what the caller would
+    # have computed itself.
+
+    def snapshot(self) -> dict:
+        """A picklable copy of the current entries (for seeding workers)."""
+        with self._lock:
+            return dict(self._store)
+
+    def seed(self, entries: dict) -> None:
+        """Bulk-insert entries without touching hit/miss counters or the
+        new-entry record; LRU bound still applies."""
+        with self._lock:
+            for key, result in entries.items():
+                self._store[key] = result
+                self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def record_new_entries(self) -> None:
+        """Start recording keys added by :meth:`put` (worker-side)."""
+        with self._lock:
+            self._new = {}
+
+    def drain_new_entries(self) -> dict:
+        """Return and forget the entries added since the last drain.
+
+        A no-op (empty dict) when recording was never enabled — draining
+        must not switch a shared caller-side cache into recording mode.
+        """
+        with self._lock:
+            if self._new is None:
+                return {}
+            drained = self._new
+            self._new = {}
+            return drained
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/entry counters."""
+        with self._lock:
+            return CacheStats(self._hits, self._misses, len(self._store))
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+            if self._new is not None:
+                self._new = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"EstimationCache(entries={stats.entries}/{self.max_entries}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

@@ -1,0 +1,196 @@
+"""The pluggable execution layer: serial, thread, and process strategies.
+
+All three executors implement the same two operations:
+
+- :meth:`map`: apply a callable to items, returning results in input order;
+- :meth:`map_with_state`: same, but the callable receives a shared *state*
+  built once per worker from a picklable payload.  This is the primitive the
+  mining fan-out uses: the state (a :class:`~repro.rules.utility.RuleEvaluator`
+  plus its caches) is expensive to build and cheap to share, while the items
+  (chunks of grouping-pattern indices) are tiny.
+
+:class:`ProcessExecutor` ships the payload to each worker exactly once via
+the pool initializer and submits every chunk as its own task, so idle
+workers steal remaining chunks from the pool queue (chunked work-stealing).
+Because results are reassembled in input order, all executors are
+observationally identical — see the determinism contract in
+:mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.utils.errors import ConfigError
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+# Per-process state installed by the pool initializer (one per worker).
+_WORKER_STATE: Any = None
+
+
+def _worker_init(build_state: Callable[[Any], Any], payload: Any) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = build_state(payload)
+
+
+def _worker_call(fn: Callable[[Any, Any], Any], item: Any) -> Any:
+    return fn(_WORKER_STATE, item)
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``n_workers`` is not given (all visible CPUs)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def chunk_indices(
+    n_items: int, n_workers: int, chunks_per_worker: int = 4
+) -> list[list[int]]:
+    """Split ``range(n_items)`` into contiguous chunks for work-stealing.
+
+    Produces roughly ``n_workers * chunks_per_worker`` chunks so that a slow
+    chunk (one grouping pattern with a huge lattice) does not serialise the
+    run: workers that finish early pull the next chunk from the pool queue.
+    Contiguity keeps per-chunk results easy to reassemble canonically.
+    """
+    if n_items <= 0:
+        return []
+    target = max(1, n_workers * chunks_per_worker)
+    size = max(1, -(-n_items // target))
+    return [
+        list(range(start, min(start + size, n_items)))
+        for start in range(0, n_items, size)
+    ]
+
+
+class SerialExecutor:
+    """The reference executor: plain in-process iteration."""
+
+    kind = "serial"
+
+    def __init__(self) -> None:
+        self.n_workers = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, in order."""
+        return [fn(item) for item in items]
+
+    def map_with_state(
+        self,
+        build_state: Callable[[Any], Any],
+        payload: Any,
+        fn: Callable[[Any, Any], Any],
+        items: Sequence[Any],
+    ) -> list[Any]:
+        """Build the state once and apply ``fn(state, item)`` in order."""
+        state = build_state(payload)
+        return [fn(state, item) for item in items]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class ThreadExecutor(SerialExecutor):
+    """Thread-pool executor: shared-memory parallelism.
+
+    Suited to workloads dominated by numpy/BLAS calls (which release the
+    GIL); the evaluator state is built once and shared by all threads, so
+    there is no pickling cost.  Cache and evaluator accesses are
+    thread-safe (:class:`~repro.parallel.cache.EstimationCache` locks its
+    LRU; everything else is read-only).
+    """
+
+    kind = "thread"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = int(n_workers) if n_workers else default_worker_count()
+        if self.n_workers < 1:
+            raise ConfigError("n_workers must be >= 1")
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        items = list(items)
+        if len(items) <= 1 or self.n_workers == 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def map_with_state(
+        self,
+        build_state: Callable[[Any], Any],
+        payload: Any,
+        fn: Callable[[Any, Any], Any],
+        items: Sequence[Any],
+    ) -> list[Any]:
+        state = build_state(payload)
+        return self.map(lambda item: fn(state, item), items)
+
+
+class ProcessExecutor(SerialExecutor):
+    """Process-pool executor: chunked work-stealing across CPU cores.
+
+    ``map_with_state`` sends the payload to each worker exactly once (pool
+    initializer) and submits each item as its own task; the pool's shared
+    queue gives work-stealing for free.  ``build_state`` and ``fn`` must be
+    module-level functions and the payload must be picklable.
+    """
+
+    kind = "process"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = int(n_workers) if n_workers else default_worker_count()
+        if self.n_workers < 1:
+            raise ConfigError("n_workers must be >= 1")
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        items = list(items)
+        if len(items) <= 1 or self.n_workers == 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def map_with_state(
+        self,
+        build_state: Callable[[Any], Any],
+        payload: Any,
+        fn: Callable[[Any, Any], Any],
+        items: Sequence[Any],
+    ) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if self.n_workers == 1:
+            # One worker cannot win anything over in-process execution;
+            # skip the pickling round-trips but keep identical results.
+            return SerialExecutor.map_with_state(
+                self, build_state, payload, fn, items
+            )
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(items)),
+            initializer=_worker_init,
+            initargs=(build_state, payload),
+        ) as pool:
+            futures = [pool.submit(_worker_call, fn, item) for item in items]
+            return [future.result() for future in futures]
+
+
+def make_executor(kind: str, n_workers: int | None = None) -> SerialExecutor:
+    """Build an executor from its config spelling.
+
+    ``kind`` is ``"serial"``, ``"thread"``, or ``"process"``; ``n_workers``
+    of ``None``/``0`` means "all visible CPUs" for the parallel kinds.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(n_workers)
+    if kind == "process":
+        return ProcessExecutor(n_workers)
+    raise ConfigError(
+        f"unknown executor {kind!r}; choose from {list(EXECUTOR_KINDS)}"
+    )
+
+
+Executor = SerialExecutor
+"""Alias for type hints: every executor subclasses the serial reference."""

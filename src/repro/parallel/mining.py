@@ -1,0 +1,189 @@
+"""Executor-agnostic fan-out of FairCap's Step 2 over grouping patterns.
+
+One grouping pattern = one independent work unit: build its
+:class:`~repro.rules.utility.GroupEvaluationContext`, run the lattice
+search, return the best rule.  This module packages that unit so any
+:mod:`repro.parallel.executors` strategy can run it:
+
+- the *payload* carries everything a worker needs (table, DAG, protected
+  group, estimator, config, items, patterns) and is shipped to each process
+  exactly once via the pool initializer;
+- the *work items* are chunks of grouping-pattern indices
+  (:func:`~repro.parallel.executors.chunk_indices`), small enough that the
+  pool queue load-balances them across workers (work-stealing);
+- every per-pattern result travels with its index, and the final rule list
+  is reassembled in index order — the canonical Step-1 mining order the
+  serial loop produces, which is what makes results independent of worker
+  count (determinism contract, :mod:`repro.parallel`).
+
+This module is imported lazily by :mod:`repro.core.intervention` to keep
+``repro.parallel`` importable from ``repro.core.config``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.parallel.cache import EstimationCache
+from repro.parallel.executors import SerialExecutor, chunk_indices
+
+
+@dataclass
+class _MiningState:
+    """Per-worker state: the evaluator plus the shared search inputs."""
+
+    evaluator: object
+    items: list
+    config: object
+    patterns: tuple
+
+
+def _build_state(payload: dict) -> _MiningState:
+    """Pool initializer target: rebuild the evaluator inside a worker.
+
+    The worker's cache is *seeded* from a snapshot of the caller's cache
+    (cross-run warm start) and set to record what it computes, so new
+    entries can travel back with the chunk results and accumulate in the
+    caller's cache across runs — e.g. across the nine variants of a
+    Table 4 block, which would otherwise re-estimate everything because
+    each run's process pool is torn down at the end.
+    """
+    from repro.rules.utility import RuleEvaluator
+
+    config = payload["config"]
+    # The worker cache mirrors the caller's: its bound comes from the actual
+    # caller cache when one exists (FairCap(cache=...) overrides the config,
+    # including config.cache_size == 0), falling back to the config default.
+    cache_entries = payload["cache_entries"]
+    cache = EstimationCache(cache_entries) if cache_entries else None
+    if cache is not None:
+        snapshot = payload.get("cache_snapshot")
+        if snapshot:
+            cache.seed(snapshot)
+        cache.record_new_entries()
+    evaluator = RuleEvaluator(
+        payload["table"],
+        payload["outcome"],
+        payload["dag"],
+        payload["protected"],
+        estimator=payload["estimator"],
+        min_subgroup_size=config.min_subgroup_size,
+        cache=cache,
+    )
+    return _MiningState(
+        evaluator=evaluator,
+        items=payload["items"],
+        config=config,
+        patterns=payload["patterns"],
+    )
+
+
+def _mine_chunk(state: _MiningState, indices: list[int]) -> tuple[list[tuple], dict]:
+    """Chunk worker: mine the best treatment for each grouping pattern.
+
+    Returns the per-pattern results plus the cache entries this chunk
+    computed (empty unless the worker cache is in recording mode).
+    """
+    from repro.core.intervention import mine_intervention
+
+    out = []
+    for i in indices:
+        context = state.evaluator.context(state.patterns[i].pattern)
+        result = mine_intervention(context, state.items, state.config)
+        out.append((i, result.best, result.nodes_evaluated))
+    cache = state.evaluator.cache
+    new_entries = cache.drain_new_entries() if cache is not None else {}
+    return out, new_entries
+
+
+def _reuse_state(evaluator_and_inputs: tuple) -> _MiningState:
+    """State builder for in-process executors: share the existing evaluator."""
+    evaluator, items, config, patterns = evaluator_and_inputs
+    return _MiningState(
+        evaluator=evaluator, items=items, config=config, patterns=patterns
+    )
+
+
+def mine_groups(
+    evaluator,
+    grouping_patterns: Sequence,
+    items: list,
+    config,
+    executor: SerialExecutor,
+) -> tuple[list, int]:
+    """Run Step 2 for every grouping pattern through ``executor``.
+
+    Returns ``(rules, nodes_evaluated)`` exactly as the serial loop in
+    :func:`repro.core.intervention.mine_interventions_for_groups` would:
+    one best rule per grouping pattern that has an eligible treatment, in
+    Step-1 mining order.
+    """
+    patterns = tuple(grouping_patterns)
+    if not patterns:
+        return [], 0
+
+    if executor.kind == "thread" and len(patterns) < executor.n_workers:
+        # Too few patterns to feed every thread; push the threads one level
+        # down instead: walk the patterns serially and batch-evaluate each
+        # lattice level across the pool (identical results — see
+        # traverse_lattice's executor contract).  Patterns stay serial so
+        # only one level-batch pool is live at a time (no oversubscription).
+        from repro.core.intervention import mine_intervention
+
+        rules = []
+        nodes_total = 0
+        for frequent in patterns:
+            context = evaluator.context(frequent.pattern)
+            result = mine_intervention(
+                context, items, config, lattice_executor=executor
+            )
+            nodes_total += result.nodes_evaluated
+            if result.best is not None:
+                rules.append(result.best)
+        return rules, nodes_total
+
+    chunks = chunk_indices(len(patterns), executor.n_workers)
+    if executor.kind == "process" and executor.n_workers > 1:
+        # Workers rebuild the evaluator from a picklable payload (shipped
+        # once per worker via the pool initializer).  The caller's cache
+        # content rides along as a warm-start snapshot, and each chunk
+        # brings its freshly-computed entries back for merging below.
+        payload = {
+            "table": evaluator.table,
+            "outcome": evaluator.outcome,
+            "dag": evaluator.dag,
+            "protected": evaluator.protected,
+            "estimator": evaluator.estimator,
+            "config": config,
+            "items": items,
+            "patterns": patterns,
+            "cache_snapshot": (
+                evaluator.cache.snapshot() if evaluator.cache is not None else None
+            ),
+            "cache_entries": (
+                evaluator.cache.max_entries
+                if evaluator.cache is not None
+                else config.cache_size
+            ),
+        }
+        chunk_results = executor.map_with_state(
+            _build_state, payload, _mine_chunk, chunks
+        )
+    else:
+        # Serial / thread: share the caller's evaluator (and its caches)
+        # directly — threads are safe because all inputs are immutable and
+        # EstimationCache locks its LRU.
+        chunk_results = executor.map_with_state(
+            _reuse_state, (evaluator, items, config, patterns), _mine_chunk, chunks
+        )
+
+    indexed: list[tuple] = []
+    for chunk, new_entries in chunk_results:
+        indexed.extend(chunk)
+        if new_entries and evaluator.cache is not None:
+            evaluator.cache.seed(new_entries)
+    indexed.sort(key=lambda entry: entry[0])
+    rules = [best for _, best, _ in indexed if best is not None]
+    nodes_total = sum(nodes for _, _, nodes in indexed)
+    return rules, nodes_total

@@ -131,6 +131,10 @@ class RuleEvaluator:
         Sub-populations smaller than this yield utility 0 instead of a
         noisy estimate (both for the rule itself and for the protected /
         non-protected splits).
+    cache:
+        Optional :class:`~repro.parallel.cache.EstimationCache` memoising
+        CATE results by content; hits are identical to recomputation, so
+        the cache never changes results (see :mod:`repro.parallel`).
     """
 
     def __init__(
@@ -141,6 +145,7 @@ class RuleEvaluator:
         protected: ProtectedGroup,
         estimator: LinearAdjustmentEstimator | StratifiedEstimator | None = None,
         min_subgroup_size: int = 10,
+        cache=None,
     ) -> None:
         self.table = table
         self.outcome = outcome
@@ -150,6 +155,7 @@ class RuleEvaluator:
             estimator if estimator is not None else LinearAdjustmentEstimator()
         )
         self.min_subgroup_size = min_subgroup_size
+        self.cache = cache
         self.protected_mask = protected.mask(table)
         self._adjustment_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
 
@@ -196,6 +202,10 @@ class RuleEvaluator:
         effective = tuple(
             z for z in adjustment if len(subtable.column(z).value_counts()) > 1
         )
+        if self.cache is not None:
+            return self.cache.get_or_estimate(
+                self.estimator, subtable, treated, self.outcome, effective
+            )
         return self.estimator.estimate(subtable, treated, self.outcome, effective)
 
     def context(self, grouping: Pattern) -> GroupEvaluationContext:

@@ -11,6 +11,7 @@ of its parent and copies only the selected codes/values.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
@@ -162,6 +163,35 @@ class Table:
     def values(self, name: str) -> np.ndarray:
         """Return decoded values of column ``name`` (object or float array)."""
         return self.column(name).decode()
+
+    def fingerprint(self) -> str:
+        """Content hash of the table: column names, types, and data.
+
+        Two tables with identical columns (same names in the same order,
+        same category dictionaries, same row values in the same row order)
+        share a fingerprint even when they were materialised through
+        different filter paths.  :class:`~repro.parallel.cache.EstimationCache`
+        keys CATE memo entries by this, which is what lets estimation work
+        be shared across problem variants and repeated experiment runs.
+        Memoised per instance (tables are immutable).
+        """
+        fp = self.__dict__.get("_fingerprint")
+        if fp is None:
+            h = hashlib.blake2b(digest_size=20)
+            h.update(str(self._n_rows).encode())
+            for name in self.column_names:
+                column = self._columns[name]
+                h.update(name.encode())
+                if isinstance(column, CategoricalColumn):
+                    h.update(b"cat")
+                    h.update(repr(column.categories).encode())
+                    h.update(np.ascontiguousarray(column.codes).tobytes())
+                else:
+                    h.update(b"num")
+                    h.update(np.ascontiguousarray(column.decode()).tobytes())
+            fp = h.hexdigest()
+            self.__dict__["_fingerprint"] = fp
+        return fp
 
     def mask_cache(self, max_entries: int = 1024) -> "_MaskCache":
         """Per-table memo of hashable key -> boolean coverage mask.

@@ -9,11 +9,12 @@ from repro.baselines.association import (
 )
 from repro.tabular.table import Table
 from repro.utils.errors import EstimationError
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture
 def table():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     n = 500
     group = rng.choice(["a", "b"], n)
     outcome = np.where(group == "a", 100.0, 10.0) + rng.normal(0, 1, n)
@@ -60,7 +61,7 @@ def test_perfect_separation_found(table):
 
 
 def test_min_confidence_filters(table):
-    rng = np.random.default_rng(1)
+    rng = ensure_rng(1)
     noisy = table.with_column("noise", rng.choice(["x", "y"], 500).astype(object))
     rules = mine_association_rules(
         noisy, "outcome", ["noise"], min_support=0.1, min_confidence=0.95

@@ -5,11 +5,12 @@ import pytest
 
 from repro.baselines.frl import FRLConfig, run_frl
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture(scope="module")
 def table():
-    rng = np.random.default_rng(1)
+    rng = ensure_rng(1)
     n = 800
     tier = rng.choice(["gold", "silver", "bronze"], n, p=[0.2, 0.4, 0.4])
     region = rng.choice(["n", "s"], n)

@@ -6,11 +6,12 @@ import pytest
 from repro.baselines.ids import IDSConfig, run_ids
 from repro.tabular.table import Table
 from repro.utils.errors import ConfigError
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture(scope="module")
 def table():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     n = 600
     a = rng.choice(["hi", "lo"], n, p=[0.5, 0.5])
     b = rng.choice(["x", "y", "z"], n)

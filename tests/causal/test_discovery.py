@@ -5,11 +5,12 @@ import pytest
 
 from repro.causal.discovery import pc_dag, pc_skeleton
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 
 def collider_table(n=6000, seed=0):
     """x -> c <- y with an extra child c -> d."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     x = rng.normal(size=n)
     y = rng.normal(size=n)
     c = x + y + 0.3 * rng.normal(size=n)
@@ -18,7 +19,7 @@ def collider_table(n=6000, seed=0):
 
 
 def chain_table(n=6000, seed=1):
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     a = rng.normal(size=n)
     b = a + 0.5 * rng.normal(size=n)
     c = b + 0.5 * rng.normal(size=n)
@@ -58,7 +59,7 @@ def test_result_is_acyclic_dag():
 
 def test_outcome_orientation_bias():
     # Independent features, all correlated with outcome only.
-    rng = np.random.default_rng(2)
+    rng = ensure_rng(2)
     n = 5000
     a = rng.normal(size=n)
     b = rng.normal(size=n)
@@ -71,7 +72,7 @@ def test_outcome_orientation_bias():
 
 
 def test_categorical_discovery():
-    rng = np.random.default_rng(3)
+    rng = ensure_rng(3)
     n = 6000
     z = rng.integers(0, 2, n)
     x = np.where(rng.random(n) < 0.85, z, 1 - z)

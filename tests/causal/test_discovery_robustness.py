@@ -12,6 +12,7 @@ import pytest
 from repro.causal.dag import CausalDAG
 from repro.causal.discovery import _extend_to_dag, pc_dag
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 
 def test_extend_resolves_conflicting_orientations():
@@ -35,7 +36,7 @@ def test_extend_keeps_consistent_orientations():
 @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
 def test_pc_always_returns_dag_on_noisy_data(seed):
     """Small-sample, high-alpha PC runs must always produce a valid DAG."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = 300
     a = rng.integers(0, 3, n)
     b = (a + rng.integers(0, 2, n)) % 3

@@ -1,0 +1,152 @@
+"""Property-based tests for the CATE estimators (randomized, seeded).
+
+Two invariants the paper's estimates implicitly rely on:
+
+- :class:`LinearAdjustmentEstimator` is *affine-equivariant* in the outcome:
+  rescaling ``O -> a*O + b`` scales the effect (and its standard error) by
+  ``a`` and leaves the t-statistic — hence the p-value and every
+  significance decision — unchanged.  Rule mining on dollars and on
+  kilodollars must keep the same treatments.
+- :class:`StratifiedEstimator` enforces its ``max_dropped_fraction``
+  contract: a *valid* estimate never comes from strata dropping more than
+  that fraction of rows, and a drop beyond it is reported as invalid with a
+  positivity reason.
+
+Tables are randomized with seeded numpy generators (no new dependencies),
+so every property is exercised across many draws yet fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.causal.estimators import LinearAdjustmentEstimator, StratifiedEstimator
+from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
+
+SEEDS = tuple(range(10))
+
+
+def random_confounded_table(
+    rng: np.random.Generator, n: int = 300
+) -> tuple[Table, np.ndarray]:
+    """A random table where Z confounds treatment and outcome."""
+    z1 = rng.choice(["a", "b", "c"], size=n, p=[0.5, 0.3, 0.2]).astype(object)
+    z2 = rng.choice(["u", "v"], size=n).astype(object)
+    p_treat = np.select([z1 == "a", z1 == "b"], [0.7, 0.4], default=0.2)
+    treated = rng.random(n) < p_treat
+    outcome = (
+        10.0
+        + 3.0 * (z1 == "a")
+        - 2.0 * (z2 == "v")
+        + rng.uniform(0.5, 4.0) * treated
+        + rng.normal(0.0, 1.0, size=n)
+    )
+    table = Table({"Z1": z1, "Z2": z2, "Y": outcome})
+    return table, treated
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scale,shift", [(1000.0, 0.0), (-2.5, 7.0), (0.001, -3.0)])
+def test_linear_estimator_affine_equivariance(seed, scale, shift):
+    rng = ensure_rng(seed)
+    table, treated = random_confounded_table(rng)
+    estimator = LinearAdjustmentEstimator()
+
+    base = estimator.estimate(table, treated, "Y", ("Z1", "Z2"))
+    assert base.valid
+
+    rescaled = table.with_column("Y", scale * table.values("Y") + shift)
+    mapped = estimator.estimate(rescaled, treated, "Y", ("Z1", "Z2"))
+    assert mapped.valid
+
+    assert mapped.estimate == pytest.approx(scale * base.estimate, rel=1e-9)
+    assert mapped.stderr == pytest.approx(abs(scale) * base.stderr, rel=1e-9)
+    assert mapped.p_value == pytest.approx(base.p_value, rel=1e-9, abs=1e-12)
+    # Significance decisions (what Step 2 prunes on) are scale-free.
+    assert mapped.is_significant() == base.is_significant()
+    assert (mapped.n, mapped.n_treated, mapped.n_control) == (
+        base.n, base.n_treated, base.n_control,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_linear_estimator_shift_only_leaves_effect(seed):
+    """A pure shift (a=1) changes nothing but the intercept."""
+    rng = ensure_rng(1000 + seed)
+    table, treated = random_confounded_table(rng)
+    estimator = LinearAdjustmentEstimator()
+    base = estimator.estimate(table, treated, "Y", ("Z1",))
+    shifted_table = table.with_column("Y", table.values("Y") + 12345.0)
+    shifted = estimator.estimate(shifted_table, treated, "Y", ("Z1",))
+    assert shifted.estimate == pytest.approx(base.estimate, rel=1e-9)
+    assert shifted.p_value == pytest.approx(base.p_value, rel=1e-9, abs=1e-12)
+
+
+def sparse_overlap_table(
+    rng: np.random.Generator, n: int = 240
+) -> tuple[Table, np.ndarray, np.ndarray]:
+    """A table where a random subset of strata has no treated rows.
+
+    Returns the table, the treated mask, and the stratum label per row.
+    """
+    strata = rng.choice(["s0", "s1", "s2", "s3", "s4", "s5"], size=n).astype(object)
+    # Treatment exists only inside a random subset of strata; the rest are
+    # pure-control and must be dropped by exact stratification.
+    n_overlapping = int(rng.integers(1, 6))
+    overlapping = set(rng.choice(["s0", "s1", "s2", "s3", "s4", "s5"],
+                                 size=n_overlapping, replace=False))
+    in_overlap = np.isin(strata.astype(str), list(overlapping))
+    treated = in_overlap & (rng.random(n) < 0.5)
+    outcome = 1.0 + 0.5 * treated + rng.normal(0.0, 0.3, size=n)
+    return Table({"Z": strata, "Y": outcome}), treated, strata
+
+
+def expected_dropped_fraction(
+    strata: np.ndarray, treated: np.ndarray
+) -> float:
+    """Independent computation of the row fraction in no-overlap strata."""
+    dropped = 0
+    for value in np.unique(strata):
+        in_stratum = strata == value
+        has_treated = bool((in_stratum & treated).any())
+        has_control = bool((in_stratum & ~treated).any())
+        if not (has_treated and has_control):
+            dropped += int(in_stratum.sum())
+    return dropped / len(strata)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("max_dropped", [0.1, 0.3, 0.5, 0.9])
+def test_stratified_never_exceeds_drop_bound(seed, max_dropped):
+    rng = ensure_rng(2000 + seed)
+    table, treated, strata = sparse_overlap_table(rng)
+    if not treated.any() or treated.all():
+        pytest.skip("degenerate draw: no treated/control split")
+    estimator = StratifiedEstimator(max_dropped_fraction=max_dropped)
+    result = estimator.estimate(table, treated, "Y", ("Z",))
+
+    dropped = expected_dropped_fraction(strata, treated)
+    if result.valid:
+        # The contract under test: a valid estimate never silently drops
+        # more than max_dropped_fraction of the subpopulation.
+        assert dropped <= max_dropped + 1e-12
+    else:
+        assert "positivity" in result.reason or "stratum" in result.reason
+        if "too weak" in result.reason:
+            assert dropped > max_dropped
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_stratified_drop_bound_is_tight(seed):
+    """The same draw flips valid<->invalid as the bound crosses the drop."""
+    rng = ensure_rng(3000 + seed)
+    table, treated, strata = sparse_overlap_table(rng)
+    dropped = expected_dropped_fraction(strata, treated)
+    if not 0.05 < dropped < 0.95:
+        pytest.skip("draw lacks a usable dropped fraction")
+    loose = StratifiedEstimator(max_dropped_fraction=min(dropped + 0.05, 1.0))
+    tight = StratifiedEstimator(max_dropped_fraction=max(dropped - 0.05, 0.0))
+    assert loose.estimate(table, treated, "Y", ("Z",)).valid
+    assert not tight.estimate(table, treated, "Y", ("Z",)).valid

@@ -11,11 +11,12 @@ from repro.causal.estimators import (
 )
 from repro.tabular.table import Table
 from repro.utils.errors import EstimationError
+from repro.utils.rng import ensure_rng
 
 
 def confounded_table(n=4000, effect=5.0, seed=0):
     """z confounds both treatment uptake and the outcome."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     z = rng.integers(0, 3, n)
     t = rng.random(n) < (0.2 + 0.2 * z)
     y = effect * t + 3.0 * z + rng.normal(size=n)
@@ -51,7 +52,7 @@ def test_null_effect_not_significant():
 
 
 def test_continuous_adjustment_column():
-    rng = np.random.default_rng(4)
+    rng = ensure_rng(4)
     n = 3000
     z = rng.normal(size=n)
     t = rng.random(n) < 1 / (1 + np.exp(-z))
@@ -113,7 +114,7 @@ def test_stratified_no_overlap_invalid():
 def test_stratified_drops_partial_overlap():
     # Stratum 'a' has both groups, stratum 'b' only controls: 'b' dropped,
     # but 'b' holds 50% of rows -> still valid at the default threshold.
-    rng = np.random.default_rng(5)
+    rng = ensure_rng(5)
     z = np.array(["a"] * 100 + ["b"] * 100)
     treated = np.concatenate([rng.random(100) < 0.5, np.zeros(100, dtype=bool)])
     y = 3.0 * treated + rng.normal(size=200)
@@ -126,7 +127,7 @@ def test_stratified_drops_partial_overlap():
 
 
 def test_stratified_continuous_binning():
-    rng = np.random.default_rng(6)
+    rng = ensure_rng(6)
     n = 4000
     z = rng.normal(size=n)
     t = rng.random(n) < 1 / (1 + np.exp(-2 * z))

@@ -6,10 +6,11 @@ import pytest
 from repro.causal.independence import CITester, fisher_z_test, g_square_test
 from repro.tabular.table import Table
 from repro.utils.errors import EstimationError
+from repro.utils.rng import ensure_rng
 
 
 def test_fisher_z_detects_dependence():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     n = 2000
     x = rng.normal(size=n)
     y = x + 0.5 * rng.normal(size=n)
@@ -18,13 +19,13 @@ def test_fisher_z_detects_dependence():
 
 
 def test_fisher_z_independent():
-    rng = np.random.default_rng(1)
+    rng = ensure_rng(1)
     data = rng.normal(size=(2000, 2))
     assert fisher_z_test(data, 0, 1) > 0.01
 
 
 def test_fisher_z_conditional_independence():
-    rng = np.random.default_rng(2)
+    rng = ensure_rng(2)
     n = 3000
     z = rng.normal(size=n)
     x = z + 0.5 * rng.normal(size=n)
@@ -35,12 +36,12 @@ def test_fisher_z_conditional_independence():
 
 
 def test_fisher_z_small_sample_returns_one():
-    data = np.random.default_rng(0).normal(size=(4, 3))
+    data = ensure_rng(0).normal(size=(4, 3))
     assert fisher_z_test(data, 0, 1, (2,)) == 1.0
 
 
 def test_g_square_detects_dependence():
-    rng = np.random.default_rng(3)
+    rng = ensure_rng(3)
     n = 2000
     x = rng.integers(0, 2, n)
     y = np.where(rng.random(n) < 0.8, x, 1 - x)
@@ -49,13 +50,13 @@ def test_g_square_detects_dependence():
 
 
 def test_g_square_independent():
-    rng = np.random.default_rng(4)
+    rng = ensure_rng(4)
     codes = np.column_stack([rng.integers(0, 2, 3000), rng.integers(0, 3, 3000)])
     assert g_square_test(codes, (2, 3), 0, 1) > 0.01
 
 
 def test_g_square_conditional_independence():
-    rng = np.random.default_rng(5)
+    rng = ensure_rng(5)
     n = 5000
     z = rng.integers(0, 2, n)
     x = np.where(rng.random(n) < 0.7, z, 1 - z)
@@ -72,7 +73,7 @@ def test_g_square_constant_column_independent():
 
 class TestCITester:
     def make_table(self, n=3000, seed=6):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         z = rng.integers(0, 2, n)
         x = np.where(rng.random(n) < 0.75, z, 1 - z)
         w = rng.normal(size=n)

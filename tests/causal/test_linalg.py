@@ -5,10 +5,11 @@ import pytest
 
 from repro.causal.linalg import ols, one_hot
 from repro.utils.errors import EstimationError
+from repro.utils.rng import ensure_rng
 
 
 def test_recovers_exact_coefficients():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     X = np.column_stack([np.ones(200), rng.normal(size=200), rng.normal(size=200)])
     beta = np.array([1.0, 2.0, -3.0])
     y = X @ beta
@@ -18,7 +19,7 @@ def test_recovers_exact_coefficients():
 
 
 def test_stderr_shrinks_with_n():
-    rng = np.random.default_rng(1)
+    rng = ensure_rng(1)
 
     def stderr_at(n):
         X = np.column_stack([np.ones(n), rng.normal(size=n)])
@@ -29,7 +30,7 @@ def test_stderr_shrinks_with_n():
 
 
 def test_stderr_matches_closed_form():
-    rng = np.random.default_rng(2)
+    rng = ensure_rng(2)
     n = 500
     x = rng.normal(size=n)
     X = np.column_stack([np.ones(n), x])

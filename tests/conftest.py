@@ -1,6 +1,24 @@
-"""Shared fixtures for the FairCap reproduction test suite."""
+"""Shared fixtures for the FairCap reproduction test suite.
+
+Randomness policy
+-----------------
+Tests never call ``np.random.*`` directly.  Deterministic streams come from
+one of two spellings:
+
+- the ``rng`` fixture — a per-test generator derived from the session-scoped
+  ``rng_root`` seed sequence (fixed seed) and the test's node id, so every
+  test gets its own reproducible stream *independent of execution order*;
+- :func:`repro.utils.rng.ensure_rng` with an explicit seed — for tests whose
+  assertions are tuned to a specific stream (ground-truth recovery checks
+  and module-level data builders).
+
+Both are order-independent: running a single test, a file, or the whole
+suite yields identical draws.
+"""
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -11,6 +29,27 @@ from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
 from repro.tabular.table import Table
+from repro.utils.rng import DEFAULT_SEED, ensure_rng
+
+
+@pytest.fixture(scope="session")
+def rng_root() -> np.random.SeedSequence:
+    """Session-scoped root entropy for every test's random stream."""
+    return np.random.SeedSequence(DEFAULT_SEED)
+
+
+@pytest.fixture
+def rng(request, rng_root: np.random.SeedSequence) -> np.random.Generator:
+    """A per-test generator: fixed root seed + the test's node id.
+
+    Deriving the child seed from the node id (rather than drawing from a
+    shared generator) removes order dependence: a test's stream is the same
+    whether the suite runs fully, filtered, or in parallel.
+    """
+    digest = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=rng_root.entropy, spawn_key=(digest,))
+    )
 
 
 def build_toy_table(n: int = 400, seed: int = 11) -> Table:
@@ -20,7 +59,7 @@ def build_toy_table(n: int = 400, seed: int = 11) -> Table:
     (City confounds Training).  The training effect is +10,000 for men and
     +5,000 for women (women are the natural protected group).
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     gender = rng.choice(["Male", "Female"], size=n, p=[0.6, 0.4])
     city = rng.choice(["Metro", "Rural"], size=n, p=[0.5, 0.5])
     p_training = np.where(city == "Metro", 0.6, 0.3)

@@ -14,12 +14,13 @@ from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.rules.ruleset import RulesetEvaluator
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 
 @st.composite
 def random_pool(draw):
     seed = draw(st.integers(0, 10_000))
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = draw(st.integers(10, 60))
     n_groups = draw(st.integers(2, 5))
     groups = rng.integers(0, n_groups, n)

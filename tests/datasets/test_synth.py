@@ -5,10 +5,11 @@ import pytest
 
 from repro.datasets.synth import indicator, lookup, pick, pick_rows
 from repro.utils.errors import SchemaError
+from repro.utils.rng import ensure_rng
 
 
 def test_pick_distribution():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     u = rng.random(50_000)
     values = pick(["a", "b", "c"], [0.5, 0.3, 0.2], u)
     counts = {v: (values == v).mean() for v in ("a", "b", "c")}
@@ -33,7 +34,7 @@ def test_pick_deterministic_in_noise():
 
 
 def test_pick_rows_rowwise_distributions():
-    rng = np.random.default_rng(1)
+    rng = ensure_rng(1)
     n = 30_000
     probs = np.zeros((n, 2))
     probs[: n // 2] = (0.9, 0.1)

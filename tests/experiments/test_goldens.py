@@ -1,0 +1,117 @@
+"""Golden regression tests: paper numbers must not drift silently.
+
+Snapshots of small-config experiment outputs live in
+``tests/experiments/goldens/*.json``.  Any refactor that changes them —
+parallel executors, estimation caching, numeric rewrites — fails here until
+the change is either fixed or consciously accepted by regenerating the
+snapshots::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_goldens.py --update-goldens
+
+Comparisons use a 1e-6 relative tolerance so goldens survive BLAS/numpy
+version skew across CI machines while still catching real regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+# Small-config: fast enough for every CI run, big enough that all nine
+# variants select non-trivial rulesets.
+GOLDEN_SETTINGS = ExperimentSettings(so_n=1_000, german_n=1_000, seed=7)
+
+
+@pytest.fixture
+def golden(request):
+    """Compare-or-update helper bound to ``--update-goldens``."""
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, payload) -> None:
+        path = GOLDENS_DIR / f"{name}.json"
+        payload = json.loads(json.dumps(payload))  # normalise numpy scalars
+        if update:
+            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            return
+        assert path.exists(), (
+            f"golden {path.name} missing; generate it with --update-goldens"
+        )
+        expected = json.loads(path.read_text())
+        _assert_matches(expected, payload, where=name)
+
+    return check
+
+
+def _assert_matches(expected, actual, where: str) -> None:
+    assert type(expected) is type(actual) or (
+        isinstance(expected, (int, float)) and isinstance(actual, (int, float))
+    ), f"{where}: type changed ({type(expected).__name__} -> {type(actual).__name__})"
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), f"{where}: keys changed"
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{where}.{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{where}: length changed"
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_matches(e, a, f"{where}[{i}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-6, abs=1e-9), where
+    else:
+        assert expected == actual, where
+
+
+@pytest.mark.slow
+def test_table3_golden(golden):
+    rows = run_table3(rng=GOLDEN_SETTINGS.seed)
+    payload = [
+        {
+            "dataset": str(row["dataset"]),
+            "tuples": int(row["tuples"]),
+            "attributes": int(row["attributes"]),
+            "mutable_attributes": int(row["mutable_attributes"]),
+            "protected_group": str(row["protected_group"]),
+            "protected_fraction": float(row["protected_fraction"]),
+        }
+        for row in rows
+    ]
+    golden("table3", payload)
+
+
+def _table4_payload(dataset: str) -> list[dict]:
+    result = run_table4(
+        dataset, settings=GOLDEN_SETTINGS, include_baselines=False
+    )
+    return [
+        {
+            "label": row.label,
+            "n_rules": int(row.n_rules),
+            "coverage": float(row.coverage),
+            "coverage_protected": float(row.coverage_protected),
+            "exp_utility": float(row.exp_utility),
+            "exp_utility_non_protected": float(row.exp_utility_non_protected),
+            "exp_utility_protected": float(row.exp_utility_protected),
+            "unfairness": float(row.unfairness),
+            # runtime_seconds deliberately excluded: wall-clock is not a
+            # reproducible quantity.
+        }
+        for row in result.rows
+    ]
+
+
+@pytest.mark.slow
+def test_table4_german_golden(golden):
+    golden("table4_german", _table4_payload("german"))
+
+
+@pytest.mark.slow
+def test_table4_stackoverflow_golden(golden):
+    golden("table4_stackoverflow", _table4_payload("stackoverflow"))

@@ -12,11 +12,12 @@ from repro.causal.estimators import LinearAdjustmentEstimator, StratifiedEstimat
 from repro.causal.scm import SCMNode, StructuralCausalModel
 from repro.datasets.synth import uniform_noise
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 
 def random_confounded_scm(seed: int):
     """z (3 categories) -> t (binary) -> y, with z -> y; random effects."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     effect = float(rng.uniform(1.0, 10.0))
     z_effect = rng.uniform(-5.0, 5.0, size=3)
     uptake = rng.uniform(0.15, 0.85, size=3)

@@ -9,11 +9,12 @@ from repro.mining.apriori import apriori, build_items
 from repro.mining.patterns import Pattern, Predicate
 from repro.tabular.table import Table
 from repro.utils.errors import PatternError
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture
 def table():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     n = 200
     return Table(
         {
@@ -122,7 +123,7 @@ def test_multi_attribute_items_rejected(table):
 @settings(max_examples=20, deadline=None)
 @given(st.integers(2, 5), st.floats(0.05, 0.5))
 def test_apriori_random_tables(n_values, min_support):
-    rng = np.random.default_rng(n_values)
+    rng = ensure_rng(n_values)
     n = 120
     table = Table(
         {

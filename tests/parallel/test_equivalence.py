@@ -1,0 +1,264 @@
+"""Differential tests: every executor returns the *identical* FairCap result.
+
+This is the core correctness contract of the parallel mining layer
+(:mod:`repro.parallel`): for every bundled dataset, running FairCap with
+``ProcessExecutor(n_workers=4)`` (or any other executor / worker count)
+returns the same ``RuleSet`` as the serial reference — same rules, same
+order, same metrics to 1e-12 — and evaluates the same lattice.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from tests.conftest import build_toy_dag, build_toy_table
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap, FairCapResult
+from repro.mining.patterns import Pattern
+from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.rules.protected import ProtectedGroup
+
+METRIC_FIELDS = (
+    "n_rules",
+    "coverage",
+    "protected_coverage",
+    "expected_utility",
+    "expected_utility_protected",
+    "expected_utility_non_protected",
+    "unfairness",
+)
+
+CATE_FIELDS = ("estimate", "stderr", "p_value", "n", "n_treated", "n_control")
+
+
+def _same_float(a: float, b: float) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def assert_same_cate(a, b) -> None:
+    assert (a is None) == (b is None)
+    if a is None:
+        return
+    assert a.valid == b.valid and a.adjustment == b.adjustment
+    for field in CATE_FIELDS:
+        assert _same_float(getattr(a, field), getattr(b, field)), field
+
+
+def assert_identical_results(
+    reference: FairCapResult, candidate: FairCapResult
+) -> None:
+    """Rule-for-rule, metric-for-metric equality (1e-12 on metrics)."""
+    assert candidate.grouping_patterns == reference.grouping_patterns
+    assert candidate.nodes_evaluated == reference.nodes_evaluated
+
+    assert len(candidate.candidate_rules) == len(reference.candidate_rules)
+    for got, want in zip(candidate.candidate_rules, reference.candidate_rules):
+        assert got == want  # patterns, utilities, coverage counts
+        assert_same_cate(got.estimate, want.estimate)
+        assert_same_cate(got.estimate_protected, want.estimate_protected)
+        assert_same_cate(got.estimate_non_protected, want.estimate_non_protected)
+
+    # Same selected rules in the same order.
+    assert candidate.ruleset.rules == reference.ruleset.rules
+    assert candidate.greedy.indices == reference.greedy.indices
+
+    for field in METRIC_FIELDS:
+        got = getattr(candidate.metrics, field)
+        want = getattr(reference.metrics, field)
+        assert got == pytest.approx(want, abs=1e-12), field
+
+
+@pytest.fixture(scope="module")
+def synth_problem():
+    """The bundled synthetic toy problem (known ground-truth effects)."""
+    table = build_toy_table(n=900, seed=11)
+    return (
+        table,
+        None,
+        build_toy_dag(),
+        ProtectedGroup(Pattern.of(Gender="Female"), name="women"),
+        FairCapConfig(),
+    )
+
+
+@pytest.fixture(scope="module")
+def german_problem(small_german_bundle):
+    bundle = small_german_bundle
+    config = FairCapConfig(
+        max_grouping_size=2, max_values_per_attribute=4, min_subgroup_size=10
+    )
+    return bundle.table, bundle.schema, bundle.dag, bundle.protected, config
+
+
+@pytest.fixture(scope="module")
+def stackoverflow_problem(small_so_bundle):
+    bundle = small_so_bundle
+    config = FairCapConfig(
+        max_grouping_size=2, max_values_per_attribute=4, min_subgroup_size=10
+    )
+    return bundle.table, bundle.schema, bundle.dag, bundle.protected, config
+
+
+PROBLEMS = ("synth_problem", "german_problem", "stackoverflow_problem")
+
+
+def _run(problem, executor=None, cache=None) -> FairCapResult:
+    table, schema, dag, protected, config = problem
+    return FairCap(config, executor=executor, cache=cache).run(
+        table, schema, dag, protected
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference(request):
+    """Memoised serial runs, one per problem fixture."""
+    memo: dict[str, FairCapResult] = {}
+
+    def get(name: str) -> FairCapResult:
+        if name not in memo:
+            memo[name] = _run(
+                request.getfixturevalue(name), executor=SerialExecutor()
+            )
+        return memo[name]
+
+    return get
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("problem_name", PROBLEMS)
+def test_process_executor_4_workers_identical(
+    request, serial_reference, problem_name
+):
+    """The issue's headline contract: ProcessExecutor(4) ≡ SerialExecutor."""
+    problem = request.getfixturevalue(problem_name)
+    result = _run(problem, executor=ProcessExecutor(n_workers=4))
+    assert_identical_results(serial_reference(problem_name), result)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("problem_name", PROBLEMS)
+def test_thread_executor_identical(request, serial_reference, problem_name):
+    problem = request.getfixturevalue(problem_name)
+    result = _run(problem, executor=ThreadExecutor(n_workers=2))
+    assert_identical_results(serial_reference(problem_name), result)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("n_workers", [2, 3])
+def test_process_worker_count_invariance(
+    request, serial_reference, n_workers
+):
+    """Chunk boundaries move with the worker count; results must not."""
+    problem = request.getfixturevalue("synth_problem")
+    result = _run(problem, executor=ProcessExecutor(n_workers=n_workers))
+    assert_identical_results(serial_reference("synth_problem"), result)
+
+
+@pytest.mark.slow
+def test_cache_transparent(request, serial_reference):
+    """A shared, pre-warmed cache changes latency, never results."""
+    from repro.parallel import EstimationCache
+
+    problem = request.getfixturevalue("synth_problem")
+    cache = EstimationCache(max_entries=8192)
+    first = _run(problem, cache=cache)
+    warmed = _run(problem, cache=cache)
+    assert cache.stats().hits > 0
+    assert_identical_results(serial_reference("synth_problem"), first)
+    assert_identical_results(serial_reference("synth_problem"), warmed)
+
+
+@pytest.mark.slow
+def test_shared_cache_survives_process_executor(request, serial_reference):
+    """Worker-computed entries merge back into the caller's cache.
+
+    Process pools die at the end of each run, so cross-run reuse only
+    exists because workers ship their new entries home; a warm second run
+    must be answered from the merged cache and stay identical.
+    """
+    from repro.parallel import EstimationCache
+
+    problem = request.getfixturevalue("synth_problem")
+    cache = EstimationCache(max_entries=65_536)
+    first = _run(problem, executor=ProcessExecutor(n_workers=2), cache=cache)
+    assert len(cache) > 0, "worker entries were not merged back"
+    entries_after_first = len(cache)
+    warmed = _run(problem, executor=ProcessExecutor(n_workers=2), cache=cache)
+    assert len(cache) == entries_after_first  # nothing new to compute
+    assert_identical_results(serial_reference("synth_problem"), first)
+    assert_identical_results(serial_reference("synth_problem"), warmed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("n_patterns", [1, 2])
+def test_thread_executor_few_patterns_uses_lattice_batching(
+    request, serial_reference, n_patterns
+):
+    """With fewer patterns than workers, threads batch lattice levels
+    instead — same rules, same node count as the serial traversal."""
+    from repro.core.intervention import (
+        intervention_items,
+        mine_interventions_for_groups,
+    )
+    from repro.rules.utility import RuleEvaluator
+
+    table, schema, dag, protected, config = request.getfixturevalue(
+        "synth_problem"
+    )
+    schema = schema if schema is not None else table.schema
+    reference = serial_reference("synth_problem")
+    subset = reference.grouping_patterns[:n_patterns]
+
+    evaluator = RuleEvaluator(
+        table, schema.outcome_name, dag, protected,
+        estimator=config.make_estimator(),
+        min_subgroup_size=config.min_subgroup_size,
+    )
+    items = intervention_items(table, schema, dag, config)
+    serial_rules, serial_nodes = mine_interventions_for_groups(
+        evaluator, subset, items, config
+    )
+    thread_rules, thread_nodes = mine_interventions_for_groups(
+        evaluator, subset, items, config, executor=ThreadExecutor(n_workers=4)
+    )
+    assert thread_rules == serial_rules
+    assert thread_nodes == serial_nodes
+
+
+@pytest.mark.slow
+def test_explicit_cache_respected_when_config_disables_caching(request):
+    """FairCap(cache=...) wins over config.cache_size == 0 in workers too:
+    the caller's cache must accumulate entries under the process executor."""
+    from dataclasses import replace
+
+    from repro.parallel import EstimationCache
+
+    table, schema, dag, protected, config = request.getfixturevalue(
+        "synth_problem"
+    )
+    no_cache_config = replace(config, cache_size=0)
+    cache = EstimationCache(max_entries=65_536)
+    result = FairCap(
+        no_cache_config, executor=ProcessExecutor(n_workers=2), cache=cache
+    ).run(table, schema, dag, protected)
+    assert len(cache) > 0, "explicitly-passed cache was dropped by workers"
+    baseline = FairCap(no_cache_config).run(table, schema, dag, protected)
+    assert_identical_results(baseline, result)
+
+
+@pytest.mark.slow
+def test_config_spelling_matches_explicit_executor(request, serial_reference):
+    """`FairCapConfig(executor=..., n_workers=...)` routes identically."""
+    table, schema, dag, protected, config = request.getfixturevalue(
+        "synth_problem"
+    )
+    from dataclasses import replace
+
+    configured = replace(config, executor="process", n_workers=2)
+    result = FairCap(configured).run(table, schema, dag, protected)
+    assert_identical_results(serial_reference("synth_problem"), result)

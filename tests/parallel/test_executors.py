@@ -1,0 +1,133 @@
+"""Unit tests for the pluggable execution layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.lattice import traverse_lattice
+from repro.mining.patterns import Pattern
+from repro.parallel.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_indices,
+    make_executor,
+)
+from repro.utils.errors import ConfigError
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _add_state(state: int, x: int) -> int:
+    return state + x
+
+
+def _identity_state(payload: int) -> int:
+    return payload
+
+
+class TestChunkIndices:
+    def test_covers_every_index_exactly_once(self):
+        chunks = chunk_indices(103, n_workers=4)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(103))
+
+    def test_chunk_count_targets_work_stealing(self):
+        # Roughly chunks_per_worker chunks per worker: enough granularity
+        # for stealing, not so much that scheduling overhead dominates.
+        chunks = chunk_indices(1000, n_workers=4, chunks_per_worker=4)
+        assert 8 <= len(chunks) <= 32
+
+    def test_small_inputs(self):
+        assert chunk_indices(0, 4) == []
+        assert chunk_indices(1, 4) == [[0]]
+        assert chunk_indices(3, 8) == [[0], [1], [2]]
+
+
+@pytest.mark.parametrize(
+    "executor",
+    [SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)],
+    ids=["serial", "thread", "process"],
+)
+class TestExecutorContract:
+    def test_map_preserves_input_order(self, executor):
+        items = list(range(23))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    def test_map_with_state(self, executor):
+        got = executor.map_with_state(_identity_state, 100, _add_state, [1, 2, 3])
+        assert got == [101, 102, 103]
+
+    def test_map_empty(self, executor):
+        assert executor.map(_square, []) == []
+        assert executor.map_with_state(_identity_state, 0, _add_state, []) == []
+
+
+class TestMakeExecutor:
+    def test_kinds(self):
+        assert make_executor("serial").kind == "serial"
+        assert make_executor("thread", 3).n_workers == 3
+        assert make_executor("process", 2).kind == "process"
+
+    def test_default_worker_count_is_positive(self):
+        assert make_executor("thread").n_workers >= 1
+        assert make_executor("process", None).n_workers >= 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            make_executor("gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ThreadExecutor(-1)
+
+
+class TestLatticeExecutor:
+    """The lattice's per-level batch evaluation is executor-invariant."""
+
+    @staticmethod
+    def _items():
+        return [
+            Pattern.of(A="a1"),
+            Pattern.of(B="b1"),
+            Pattern.of(C="c1"),
+            Pattern.of(D="d1"),
+        ]
+
+    @staticmethod
+    def _evaluate(pattern: Pattern):
+        # Keep everything except patterns touching D; payload echoes size.
+        return "D" not in pattern.attributes, len(pattern)
+
+    def _nodes(self, executor=None, **kwargs):
+        return traverse_lattice(
+            self._items(), self._evaluate, max_level=3, executor=executor, **kwargs
+        )
+
+    def test_thread_executor_matches_serial(self):
+        serial = self._nodes()
+        threaded = self._nodes(executor=ThreadExecutor(2))
+        assert [(n.pattern, n.level, n.keep, n.payload) for n in serial] == [
+            (n.pattern, n.level, n.keep, n.payload) for n in threaded
+        ]
+
+    def test_process_executor_falls_back_to_serial(self):
+        # `evaluate` is a closure, which cannot cross a process boundary;
+        # traverse_lattice must quietly evaluate in-process instead of
+        # handing the closure to a pool (which would PicklingError).
+        serial = self._nodes()
+        processed = self._nodes(executor=ProcessExecutor(2))
+        assert [(n.pattern, n.keep) for n in serial] == [
+            (n.pattern, n.keep) for n in processed
+        ]
+
+    def test_max_nodes_truncation_matches_serial(self):
+        for cap in (1, 2, 3, 5, 7):
+            serial = self._nodes(max_nodes=cap)
+            threaded = self._nodes(executor=ThreadExecutor(2), max_nodes=cap)
+            assert len(serial) <= cap
+            assert [(n.pattern, n.keep) for n in serial] == [
+                (n.pattern, n.keep) for n in threaded
+            ]

@@ -18,6 +18,7 @@ from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.rules.ruleset import RulesetEvaluator
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 
 def reference_metrics(table, rules, protected_mask, indices):
@@ -67,7 +68,7 @@ def table_and_rules(draw):
     n = draw(st.integers(5, 40))
     n_groups = draw(st.integers(1, 4))
     rng_seed = draw(st.integers(0, 10_000))
-    rng = np.random.default_rng(rng_seed)
+    rng = ensure_rng(rng_seed)
     groups = rng.integers(0, n_groups, n)
     protected = rng.random(n) < 0.35
     table = Table(

@@ -17,6 +17,7 @@ from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.rules.ruleset import RuleSet
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 CATEGORICAL_DOMAINS = {
     "Country": ("US", "DE", "IN", "FR"),
@@ -93,7 +94,7 @@ def random_table(rng: np.random.Generator, n_rows: int) -> Table:
 
 @pytest.fixture()
 def serve_rng() -> np.random.Generator:
-    return np.random.default_rng(1234)
+    return ensure_rng(1234)
 
 
 @pytest.fixture()

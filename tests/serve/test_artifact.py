@@ -26,6 +26,7 @@ from repro.serve.artifact import (
     rule_to_dict,
 )
 from repro.utils.errors import ServeError
+from repro.utils.rng import ensure_rng
 
 from tests.serve.conftest import random_rules
 
@@ -108,7 +109,7 @@ def test_artifact_rejects_non_json_text():
 @given(seed=st.integers(0, 10_000), n_rules=st.integers(0, 12))
 def test_random_ruleset_round_trip_property(seed, n_rules):
     """to_json/from_json is the identity on randomized rulesets."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     ruleset = RuleSet(random_rules(rng, n_rules))
     rebuilt = RuleSet.from_json(ruleset.to_json())
     assert rebuilt == ruleset

@@ -15,6 +15,7 @@ from repro.serve.index import (
     naive_match_table,
 )
 from repro.utils.errors import ServeError
+from repro.utils.rng import ensure_rng
 
 from tests.serve.conftest import random_rules, random_row, random_table
 
@@ -75,7 +76,7 @@ def test_ordered_predicate_on_non_numeric_values_rejected():
 @settings(max_examples=40, deadline=None)
 @given(seed=st.integers(0, 10_000), n_rules=st.integers(0, 15))
 def test_match_row_equals_naive_scan_property(seed, n_rules):
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     rules = random_rules(rng, n_rules)
     index = CompiledRuleIndex(rules)
     for __ in range(20):
@@ -88,7 +89,7 @@ def test_match_row_equals_naive_scan_property(seed, n_rules):
 @settings(max_examples=20, deadline=None)
 @given(seed=st.integers(0, 10_000), n_rules=st.integers(0, 15))
 def test_match_table_equals_naive_masks_property(seed, n_rules):
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     rules = random_rules(rng, n_rules)
     table = random_table(rng, 60)
     np.testing.assert_array_equal(

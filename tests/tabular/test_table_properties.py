@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.tabular.column import CategoricalColumn, NumericColumn
 from repro.tabular.table import Table
+from repro.utils.rng import ensure_rng
 
 names = st.sampled_from(["a", "b", "c", "d"])
 cat_values = st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=40)
@@ -54,7 +55,7 @@ def test_value_counts_total(values):
 def test_filter_then_filter_equals_and(cats, nums):
     n = min(len(cats), len(nums))
     table = Table({"c": cats[:n], "v": nums[:n]})
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     m1 = rng.random(n) < 0.5
     m2 = rng.random(n) < 0.5
     sequential = table.filter(m1).filter(m2[m1])

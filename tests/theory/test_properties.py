@@ -15,6 +15,7 @@ from repro.theory.properties import (
     check_lemma_4_1,
     check_submodularity,
 )
+from repro.utils.rng import ensure_rng
 
 from tests.conftest import make_rule
 
@@ -87,7 +88,7 @@ def test_rule_coverage_matroid(evaluator):
 
 
 def test_lemma_4_1_on_random_utilities():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     for _ in range(20):
         utilities = rng.normal(size=rng.integers(1, 50))
         assert check_lemma_4_1(utilities)
