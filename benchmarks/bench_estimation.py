@@ -1,0 +1,235 @@
+"""Scalar-vs-batch curve for the FWL estimation engine (Step-2 mining).
+
+Runs FairCap's Step 2 (treatment mining) on the German Table-4 configuration
+at increasing row counts, once through the scalar per-candidate estimator
+path (``batch_estimation=False``) and once through the batched FWL engine
+(the default), and reports the per-size speedup of the ``treatment_mining``
+step.  Every batch run is differentially checked against its scalar twin —
+same lattice, same candidate rules (rtol 1e-9 on utilities), same selected
+ruleset — a speedup only counts if the answer is unchanged.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_estimation.py            # full curve
+    PYTHONPATH=src python benchmarks/bench_estimation.py --sizes 1000,4000
+    PYTHONPATH=src python benchmarks/bench_estimation.py --smoke    # CI job
+
+Outputs:
+
+- ``benchmarks/BENCH_estimation.json`` — machine-readable record (schema in
+  ``benchmarks/README.md``); the committed copy is the perf trajectory of
+  the repository.
+- ``benchmarks/results/estimation.txt`` — human-readable table.
+
+The ≥5x target applies to the German Table-4 configuration at the
+experiment scale (the largest size of the default curve) on a single core;
+``--smoke`` shrinks the run to a plumbing/equality check only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.faircap import FairCap
+from repro.experiments.settings import ExperimentSettings
+
+BENCH_DIR = Path(__file__).resolve().parent
+JSON_PATH = BENCH_DIR / "BENCH_estimation.json"
+TEXT_PATH = BENCH_DIR / "results" / "estimation.txt"
+
+TARGET_SPEEDUP = 5.0
+RTOL = 1e-9
+
+
+def _parse_sizes(text: str) -> list[int]:
+    sizes = sorted({int(part) for part in text.split(",") if part.strip()})
+    if not sizes or any(s < 200 for s in sizes):
+        raise argparse.ArgumentTypeError("sizes must be integers >= 200")
+    return sizes
+
+
+def _check_identical(scalar, batch) -> list[str]:
+    """Differential check; returns a list of mismatch descriptions."""
+    problems: list[str] = []
+    if batch.nodes_evaluated != scalar.nodes_evaluated:
+        problems.append(
+            f"lattice differs: {batch.nodes_evaluated} vs "
+            f"{scalar.nodes_evaluated} nodes"
+        )
+    if len(batch.candidate_rules) != len(scalar.candidate_rules):
+        problems.append("candidate count differs")
+    else:
+        for got, want in zip(batch.candidate_rules, scalar.candidate_rules):
+            if got.grouping != want.grouping or got.intervention != want.intervention:
+                problems.append(f"candidate patterns differ: {got} vs {want}")
+                break
+            for field in ("utility", "utility_protected", "utility_non_protected"):
+                a, b = getattr(got, field), getattr(want, field)
+                if abs(a - b) > RTOL * max(abs(a), abs(b), 1.0):
+                    problems.append(f"{field} differs on {got.grouping}: {a} vs {b}")
+                    break
+    got_rules = [(r.grouping, r.intervention) for r in batch.ruleset.rules]
+    want_rules = [(r.grouping, r.intervention) for r in scalar.ruleset.rules]
+    if got_rules != want_rules:
+        problems.append("selected rulesets differ")
+    return problems
+
+
+def _run(config, bundle):
+    return FairCap(config).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+
+
+def _time_step2(configs, bundle, reps: int) -> list[tuple[float, object]]:
+    """Median ``treatment_mining`` seconds per config, interleaved runs.
+
+    The first (un-timed) run warms the caches both paths share — the DAG's
+    d-separation/backdoor memos and the per-table fingerprints — so neither
+    estimator path gets a cold-cache handicap.  Per-run state (the
+    estimation cache) is rebuilt inside every ``FairCap`` run either way.
+    """
+    _run(configs[0], bundle)
+    times: list[list[float]] = [[] for _ in configs]
+    results: list[object] = [None] * len(configs)
+    for _ in range(reps):
+        for i, config in enumerate(configs):
+            results[i] = _run(config, bundle)
+            times[i].append(results[i].timings["treatment_mining"])
+    return [
+        (statistics.median(per_config), results[i])
+        for i, per_config in enumerate(times)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="german",
+                        choices=["german", "stackoverflow"])
+    parser.add_argument("--sizes", type=_parse_sizes, default=None,
+                        help="comma-separated row counts "
+                             "(default 1000,2000,<experiment scale>)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="runs per (mode, size); the median counts")
+    parser.add_argument("--variant", default="No constraints",
+                        help="problem variant to mine (default: the slowest)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI: 800 rows, 1 rep, "
+                             "equality check only")
+    args = parser.parse_args(argv)
+
+    base = ExperimentSettings.from_environment()
+    experiment_n = base.rows_for(args.dataset)
+    if args.smoke:
+        sizes = [800]
+        args.reps = 1
+    elif args.sizes is not None:
+        sizes = args.sizes
+    else:
+        sizes = sorted({1_000, 2_000, experiment_n})
+
+    rows = []
+    failures: list[str] = []
+    for n in sizes:
+        settings = ExperimentSettings(so_n=n, german_n=n, seed=base.seed)
+        bundle = settings.load(args.dataset)
+        variants = settings.variants_for(bundle)
+        if args.variant not in variants:
+            raise SystemExit(
+                f"unknown variant {args.variant!r}; choose from: "
+                f"{', '.join(sorted(variants))}"
+            )
+        config = settings.config_for(bundle, variants[args.variant])
+        (batch_seconds, batch_result), (scalar_seconds, scalar_result) = _time_step2(
+            [config, replace(config, batch_estimation=False)], bundle, args.reps
+        )
+        problems = _check_identical(scalar_result, batch_result)
+        failures.extend(f"n={n}: {p}" for p in problems)
+        rows.append(
+            {
+                "rows": bundle.table.n_rows,
+                "scalar_seconds": round(scalar_seconds, 4),
+                "batch_seconds": round(batch_seconds, 4),
+                "speedup": round(scalar_seconds / batch_seconds, 2)
+                if batch_seconds > 0
+                else float("inf"),
+                "nodes_evaluated": batch_result.nodes_evaluated,
+                "identical": not problems,
+            }
+        )
+
+    at_scale = rows[-1]["speedup"]
+    payload = {
+        "benchmark": "estimation",
+        "dataset": args.dataset,
+        "variant": args.variant,
+        "step": "treatment_mining",
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "reps": args.reps,
+        "sizes": rows,
+        "speedup_at_experiment_scale": at_scale,
+        "target": {
+            "min_speedup": TARGET_SPEEDUP,
+            "applies_to": (
+                "largest size of the full curve (experiment scale); "
+                "smoke runs check equality only"
+            ),
+        },
+        "differential_failures": failures,
+        "passed": not failures and (args.smoke or at_scale >= TARGET_SPEEDUP),
+    }
+
+    lines = [
+        f"bench_estimation: dataset={args.dataset} variant={args.variant!r} "
+        f"step=treatment_mining reps={args.reps} cpus={os.cpu_count()}"
+        f"{' [smoke]' if args.smoke else ''}",
+        "",
+        f"{'rows':>7} {'scalar s':>9} {'batch s':>9} {'speedup':>9}  identical",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['rows']:>7} {row['scalar_seconds']:>9.3f} "
+            f"{row['batch_seconds']:>9.3f} {row['speedup']:>8.2f}x  "
+            f"{'yes' if row['identical'] else 'NO'}"
+        )
+    lines.append("")
+    if args.smoke:
+        lines.append("smoke run: batch == scalar equality check only")
+    else:
+        lines.append(
+            f"speedup at experiment scale: {at_scale:.2f}x "
+            f"(target >= {TARGET_SPEEDUP:.0f}x)"
+        )
+    print("\n".join(lines))
+
+    TEXT_PATH.parent.mkdir(exist_ok=True)
+    TEXT_PATH.write_text("\n".join(lines) + "\n")
+    if not args.smoke:
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {JSON_PATH}")
+    print(f"wrote {TEXT_PATH}")
+
+    if failures:
+        print("DIFFERENTIAL FAILURE:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    if not args.smoke and at_scale < TARGET_SPEEDUP:
+        print(
+            f"speedup {at_scale:.2f}x below the {TARGET_SPEEDUP:.0f}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Implements the slice of Pearl's graphical-model machinery that FairCap needs
 - :mod:`~repro.causal.backdoor` — backdoor adjustment-set selection,
 - :mod:`~repro.causal.estimators` — CATE estimation by linear adjustment and
   by exact stratification, with significance tests,
+- :mod:`~repro.causal.batch` — the batched Frisch-Waugh-Lovell engine:
+  one design factorization + one GEMM per lattice level instead of one OLS
+  per candidate,
 - :mod:`~repro.causal.independence` — conditional-independence tests,
 - :mod:`~repro.causal.discovery` — the PC causal-discovery algorithm
   (the "PC DAG" row of Table 6),
@@ -24,6 +27,12 @@ from repro.causal.backdoor import (
     backdoor_adjustment_set,
     is_valid_backdoor_set,
     minimal_backdoor_set,
+)
+from repro.causal.batch import (
+    DesignFactorization,
+    build_factorization,
+    estimate_cate_batch,
+    estimate_cate_level,
 )
 from repro.causal.estimators import (
     CateResult,
@@ -46,9 +55,13 @@ __all__ = [
     "is_valid_backdoor_set",
     "minimal_backdoor_set",
     "CateResult",
+    "DesignFactorization",
     "LinearAdjustmentEstimator",
     "StratifiedEstimator",
+    "build_factorization",
     "estimate_cate",
+    "estimate_cate_batch",
+    "estimate_cate_level",
     "pc_dag",
     "pc_skeleton",
     "one_layer_independent_dag",

@@ -1,0 +1,479 @@
+"""Batched Frisch-Waugh-Lovell CATE estimation: one GEMM per lattice level.
+
+Step 2 of FairCap evaluates hundreds of intervention candidates against the
+*same* (sub-table, adjustment set, outcome) triple — within one lattice
+level only the treated column of the OLS design differs between candidates.
+The scalar path (:class:`~repro.causal.estimators.LinearAdjustmentEstimator`)
+nevertheless pays a full ``lstsq`` *and* a dense covariance factorization per
+candidate, rebuilding identical one-hot adjustment blocks every time.
+
+This module factors the shared work out once and amortises it over the whole
+level via the Frisch-Waugh-Lovell theorem.  Write the design as
+``X = [t, W]`` with ``W = [1, Z-block]``; residualise both the treated
+indicator and the outcome against ``col(W)``::
+
+    t̃ = t - Q Qᵀ t          ỹ = y - Q Qᵀ y
+
+where ``Q`` is a thin orthonormal basis of ``col(W)``.  Then the OLS
+coefficient of ``t`` is ``β = (t̃·ỹ) / (t̃·t̃)``, its sampling variance is
+``s² / (t̃·t̃)``, and the residual sum of squares of the *full* regression is
+``ỹ·ỹ - (t̃·ỹ)²/(t̃·t̃)``.  The identity for the variance holds even when
+``W`` is rank deficient (absent one-hot categories, collinear adjustment
+columns): the ``t``-coefficient of the minimum-norm least-squares solution is
+the unique functional ``y ↦ t̃·y / t̃·t̃`` whenever ``t ∉ col(W)``, so the
+``t`` row of ``X⁺`` is ``t̃ᵀ/(t̃·t̃)`` and ``(XᵀX)⁺_tt = 1/(t̃·t̃)`` — exactly
+what the scalar path reads off ``pinv``.
+
+:class:`DesignFactorization` captures ``Q``, the rank of ``W``, and the
+residualised outcome — computed once per (table, adjustment, outcome) and
+cacheable (see :class:`~repro.parallel.cache.EstimationCache`).
+:func:`estimate_cate_batch` residualises an ``(n, m)`` stack of treated
+masks in one GEMM pair and reads off all ``m`` estimates, standard errors
+and t-test p-values vectorised; :func:`estimate_cate_level` drives a whole
+lattice level — several adjustment groups over one treated-mask stack —
+through that machinery with the per-call fixed costs (dtype conversion,
+positivity screening, the t-tail evaluation) paid once.
+
+Exactness contract
+------------------
+Results agree with the scalar path to floating-point working precision
+(differentially tested at rtol 1e-9).  Candidates the FWL identities do not
+cover bit-identically fall back to the scalar ``ols()`` path per column:
+
+- ``t`` numerically inside ``col(W)`` (the full design is rank deficient);
+- an ill-conditioned ``W`` whose numerical rank is ambiguous under the
+  ``lstsq`` cutoff rule;
+- a numerically perfect fit (RSS at rounding level), where the FWL RSS
+  identity loses relative accuracy.
+
+Per-column determinism: each column's estimate is a pure function of that
+column, the factorization, and the *batch shape* — BLAS GEMM kernels round
+identically under column permutation at a fixed width, but not across
+different widths.  Callers that must be bit-reproducible across executors
+therefore key caches by the whole batch (see ``EstimationCache.level_key``),
+never by single columns computed inside different batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import linalg as scipy_linalg
+from scipy import special
+from scipy.linalg import lapack
+
+from repro.causal.estimators import (
+    CateResult,
+    LinearAdjustmentEstimator,
+    _outcome_vector,
+)
+from repro.causal.linalg import one_hot
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+from repro.utils.errors import EstimationError
+
+# Guard thresholds for the scalar fallback (see module docstring).  The
+# rank cutoff mirrors numpy's lstsq rcond rule; CONDITION_MARGIN widens it
+# so designs whose rank determination is ambiguous between the W-SVD here
+# and the X-SVD inside lstsq are routed to the scalar path instead of
+# risking an off-by-one dof.  RCOND_FAST_PATH is the dtrcon estimate above
+# which a design is certified clean without computing singular values.
+CONDITION_MARGIN = 1e3
+RCOND_FAST_PATH = 1e-7
+RESIDUAL_TOL = 1e-10  # ‖t̃‖²/‖t‖² below this -> t ∈ col(W) numerically
+PERFECT_FIT_TOL = 1e-12  # RSS/‖ỹ‖² below this -> scalar path
+
+_SCALAR_FALLBACK = LinearAdjustmentEstimator()
+
+_POSITIVITY = "positivity violated: empty treated or control group"
+_DEGENERATE = "degenerate fit: no residual degrees of freedom"
+
+
+@dataclass(frozen=True)
+class DesignFactorization:
+    """Orthonormal factorization of the shared design block ``W = [1, Z]``.
+
+    Attributes
+    ----------
+    q:
+        ``(n, r)`` orthonormal basis of ``col(W)``.
+    rank:
+        Numerical rank ``r`` of ``W`` under the ``lstsq`` cutoff rule.
+    y_res:
+        The outcome residualised against ``col(W)`` (``ỹ``).
+    y_res_sq:
+        Cached ``ỹ·ỹ``.
+    n:
+        Row count of the underlying table.
+    degenerate:
+        True when ``W`` is rank deficient beyond exactly-zero columns or
+        ill-conditioned near the rank cutoff; every estimate against a
+        degenerate factorization takes the scalar fallback path.
+    """
+
+    q: np.ndarray
+    rank: int
+    y_res: np.ndarray
+    y_res_sq: float
+    n: int
+    degenerate: bool
+
+
+def _attribute_block(table: Table, name: str) -> np.ndarray:
+    """Encoded design columns of one adjustment attribute, memoised per table.
+
+    Same encoding as :func:`repro.causal.estimators._encode_adjustment`:
+    categoricals one-hot with the first category dropped, continuous as-is.
+    The same attribute appears in many adjustment sets of one sub-table
+    (every treatment whose backdoor set contains it), so the block rides on
+    the immutable table like its fingerprint does.
+    """
+    cache = table.__dict__.setdefault("_design_block_cache", {})
+    block = cache.get(name)
+    if block is None:
+        column = table.column(name)
+        if isinstance(column, CategoricalColumn):
+            block = one_hot(column.codes, len(column.categories))
+        else:
+            block = column.decode().reshape(-1, 1).astype(np.float64, copy=False)
+        cache[name] = block
+    return block
+
+
+def _build_design_block(table: Table, adjustment: tuple[str, ...]) -> np.ndarray:
+    """Assemble ``W = [1, Z-block]`` from the per-attribute block cache."""
+    n = table.n_rows
+    blocks = [_attribute_block(table, name) for name in adjustment]
+    total = 1 + sum(block.shape[1] for block in blocks)
+    w = np.empty((n, total), dtype=np.float64)
+    w[:, 0] = 1.0
+    offset = 1
+    for block in blocks:
+        width = block.shape[1]
+        w[:, offset : offset + width] = block
+        offset += width
+    return w
+
+
+def _rank_from_singular_values(
+    r_factor: np.ndarray, shape: tuple[int, int]
+) -> tuple[int, bool]:
+    """(rank, shaky) from the singular values of the triangular factor."""
+    s = np.linalg.svd(r_factor, compute_uv=False)
+    cutoff = max(shape) * np.finfo(np.float64).eps * s[0]
+    rank = int((s > cutoff).sum())
+    shaky = bool(((s > cutoff) & (s < CONDITION_MARGIN * cutoff)).any())
+    return rank, shaky
+
+
+def build_factorization(
+    table: Table, outcome: str, adjustment: tuple[str, ...] = ()
+) -> DesignFactorization:
+    """Factorize ``[1, Z-block]`` for one (table, adjustment, outcome) triple.
+
+    One thin QR per triple; every lattice level sharing the triple reuses
+    the result.  Rank and conditioning are certified on the small
+    triangular factor: a LAPACK ``dtrcon`` estimate fast-paths the
+    well-conditioned common case, and only suspicious designs pay an SVD of
+    ``R`` (whose singular values equal ``W``'s, so the rank cutoff matches
+    ``lstsq``'s rule).  Exactly-zero adjustment columns (one-hot categories
+    absent from the sub-table) deflate cleanly — they contribute nothing to
+    the basis and the rank, matching ``lstsq``'s treatment of them in the
+    scalar path.
+    """
+    y = _outcome_vector(table, outcome)
+    n = table.n_rows
+    if n == 0:
+        raise EstimationError("cannot factorize an empty design")
+    w = _build_design_block(table, adjustment)
+    n_cols = w.shape[1]
+
+    rank = n_cols
+    degenerate = False
+    if n_cols > n:  # wide design: trivially deficient
+        degenerate = True
+        q = np.empty((n, 0), dtype=np.float64)  # unused on the scalar path
+    else:
+        # Raw LAPACK spelling of scipy.linalg.qr(mode="economic"): same
+        # bits, none of the wrapper overhead — this runs ~1.4k times per
+        # German Table-4 mining run.
+        lwork = int(lapack.dgeqrf_lwork(n, n_cols)[0])
+        qr_t, tau, _, info = lapack.dgeqrf(w, lwork=lwork)
+        if info != 0:  # pragma: no cover - LAPACK input errors
+            raise EstimationError(f"dgeqrf failed with info={info}")
+        r_factor = qr_t[:n_cols, :n_cols]  # sub-diagonal junk is ignored
+        diag = np.abs(r_factor.diagonal())
+        if diag.size and diag.min() == 0.0:
+            degenerate = True  # exactly singular; maybe just zero columns
+        else:
+            rcond = lapack.dtrcon(r_factor, norm="1", uplo="U", diag="N")[0]
+            if rcond < RCOND_FAST_PATH:
+                rank, shaky = _rank_from_singular_values(
+                    np.triu(r_factor), w.shape
+                )
+                degenerate = rank < n_cols or shaky
+        q, _, info = lapack.dorgqr(qr_t, tau, lwork=lwork)
+        if info != 0:  # pragma: no cover - LAPACK input errors
+            raise EstimationError(f"dorgqr failed with info={info}")
+    if degenerate:
+        # Zero columns (absent one-hot categories) deflate cleanly: drop
+        # them and re-factorize; any other deficiency keeps the
+        # factorization degenerate and takes the scalar fallback per
+        # column.
+        nonzero = np.abs(w).max(axis=0) > 0.0
+        if not nonzero.all():
+            reduced = np.ascontiguousarray(w[:, nonzero])
+            if reduced.shape[1] <= n:
+                q2, r2 = scipy_linalg.qr(
+                    reduced, mode="economic", overwrite_a=True, check_finite=False
+                )
+                rank, shaky = _rank_from_singular_values(r2, reduced.shape)
+                if rank == reduced.shape[1] and not shaky:
+                    q = q2
+                    degenerate = False
+
+    if degenerate:
+        # Basis unused on the degenerate path; keep fields consistent.
+        rank = min(rank, q.shape[1])
+    q = q[:, :rank] if q.shape[1] != rank else q
+    # C-contiguous basis: LAPACK hands back Fortran order, under which the
+    # projection GEMM's per-column rounding depends on the column position;
+    # row-major Q keeps batch results bit-invariant under column
+    # permutation (the property the differential suite pins down).
+    q = np.ascontiguousarray(q)
+    y_res = y - q @ (q.T @ y)
+    return DesignFactorization(
+        q=q,
+        rank=rank,
+        y_res=y_res,
+        y_res_sq=float(y_res @ y_res),
+        n=n,
+        degenerate=degenerate,
+    )
+
+
+def _resolve(factorization, table, outcome, adjustment) -> DesignFactorization:
+    if factorization is None:
+        return build_factorization(table, outcome, adjustment)
+    if callable(factorization):
+        return factorization()
+    return factorization
+
+
+def estimate_cate_level(
+    table: Table,
+    treated_matrix: np.ndarray,
+    outcome: str,
+    adjustments: Sequence[tuple[str, ...]],
+    factorization_for=None,
+) -> list[CateResult]:
+    """Estimate one CATE per column for a whole lattice level.
+
+    Columns may use different adjustment sets (``adjustments[j]`` belongs
+    to column ``j``); columns sharing a set form one FWL group and ride the
+    same GEMM pair.  The per-call fixed costs — boolean screening, the
+    float64 conversion of the mask stack, the vectorised t-tail — are paid
+    once for the level rather than once per group.
+
+    Parameters
+    ----------
+    table:
+        The conditioning subpopulation.
+    treated_matrix:
+        ``(n, m)`` boolean stack of treated masks.
+    outcome:
+        Continuous outcome attribute name.
+    adjustments:
+        Per-column adjustment tuples (``len == m``).
+    factorization_for:
+        Optional ``adjustment -> DesignFactorization`` callable (e.g. a
+        cache lookup); invoked once per group that has at least one column
+        passing the positivity screen.
+
+    Returns
+    -------
+    list[CateResult]
+        One result per column, each identical (to working precision, or
+        bit-identical on fallback paths) to the scalar estimator's answer
+        for that column alone.
+    """
+    if treated_matrix.dtype != np.bool_:
+        treated_matrix = np.asarray(treated_matrix, dtype=bool)
+    if treated_matrix.ndim != 2:
+        raise EstimationError(
+            f"treated_matrix must be 2-D (n, m), got shape {treated_matrix.shape}"
+        )
+    n, m = treated_matrix.shape
+    if n != table.n_rows:
+        raise EstimationError(
+            f"treated_matrix rows {n} != table rows {table.n_rows}"
+        )
+    if len(adjustments) != m:
+        raise EstimationError(
+            f"{len(adjustments)} adjustment tuples for {m} columns"
+        )
+    if m == 0:
+        return []
+
+    n_treated_arr = treated_matrix.sum(axis=0)
+    n_treated = n_treated_arr.tolist()
+    results: list[CateResult | None] = [None] * m
+
+    if 0 in n_treated or n in n_treated:
+        for j in range(m):
+            if n_treated[j] == 0 or n_treated[j] == n:
+                results[j] = CateResult.invalid(
+                    _POSITIVITY,
+                    n=n,
+                    n_treated=n_treated[j],
+                    n_control=n - n_treated[j],
+                    adjustment=tuple(adjustments[j]),
+                )
+
+    # First-seen grouping by adjustment set: deterministic given the level.
+    groups: dict[tuple[str, ...], list[int]] = {}
+    for j in range(m):
+        if results[j] is None:
+            groups.setdefault(tuple(adjustments[j]), []).append(j)
+    if not groups:
+        return results  # type: ignore[return-value]
+
+    t_all: np.ndarray | None = None
+    # Deferred t-tests: (column, estimate, stderr) plus parallel dof array.
+    pending: list[tuple[int, float, float]] = []
+    pending_dof: list[int] = []
+
+    for adjustment, cols in groups.items():
+        factorization = _resolve(
+            factorization_for(adjustment) if factorization_for else None,
+            table,
+            outcome,
+            adjustment,
+        )
+        if factorization.degenerate:
+            for j in cols:
+                results[j] = _SCALAR_FALLBACK.estimate(
+                    table, treated_matrix[:, j], outcome, adjustment
+                )
+            continue
+
+        if t_all is None:
+            t_all = treated_matrix.astype(np.float64)
+        t_mat = t_all[:, cols] if len(cols) != m else t_all
+        q = factorization.q
+        y_res = factorization.y_res
+        dof = n - factorization.rank - 1
+
+        # The one GEMM pair of the group: project out col(W).
+        t_res = t_mat - q @ (q.T @ t_mat)
+        # Column-wise reductions (einsum stays off BLAS: per-column sums
+        # are bit-identical regardless of batch width).
+        tt = np.einsum("ij,ij->j", t_res, t_res)
+        ty = np.einsum("ij,i->j", t_res, y_res)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            estimates = ty / tt
+            rss = factorization.y_res_sq - ty * ty / tt
+            stderrs = np.sqrt((rss / max(dof, 1)) / tt)
+
+        # ‖t‖² of a boolean mask is its treated count.
+        fallback = tt <= RESIDUAL_TOL * n_treated_arr[cols].astype(np.float64)
+        # A numerically perfect fit makes the FWL RSS identity cancel
+        # catastrophically; defer to the scalar residual computation.
+        fallback |= rss <= PERFECT_FIT_TOL * max(factorization.y_res_sq, 1.0)
+        degenerate_fit = (dof <= 0) | ~np.isfinite(stderrs) | (stderrs == 0.0)
+
+        bad = (fallback | degenerate_fit).tolist()
+        fallback_l = fallback.tolist()
+        estimates_l = estimates.tolist()
+        stderrs_l = stderrs.tolist()
+        for pos, j in enumerate(cols):
+            if bad[pos]:
+                if fallback_l[pos]:
+                    # t numerically inside col(W) (the full design is rank
+                    # deficient) or a perfect fit: the scalar path defines
+                    # the answer bit-for-bit.
+                    results[j] = _SCALAR_FALLBACK.estimate(
+                        table, treated_matrix[:, j], outcome, adjustment
+                    )
+                else:
+                    results[j] = CateResult.invalid(
+                        _DEGENERATE,
+                        n=n,
+                        n_treated=n_treated[j],
+                        n_control=n - n_treated[j],
+                        adjustment=adjustment,
+                    )
+            else:
+                pending.append((j, estimates_l[pos], stderrs_l[pos]))
+                pending_dof.append(dof)
+
+    if pending:
+        t_stats = np.array([est / se for _, est, se in pending])
+        # scipy.special.stdtr is what stats.t.sf evaluates, sans the
+        # distribution machinery: one vectorised call for the whole level,
+        # bit-identical to the per-candidate spelling.
+        p_values = (
+            2.0 * special.stdtr(np.array(pending_dof, dtype=np.float64), -np.abs(t_stats))
+        ).tolist()
+        for (j, estimate, stderr), p_value in zip(pending, p_values):
+            results[j] = CateResult(
+                estimate=estimate,
+                stderr=stderr,
+                p_value=p_value,
+                n=n,
+                n_treated=n_treated[j],
+                n_control=n - n_treated[j],
+                adjustment=tuple(adjustments[j]),
+            )
+    return results  # type: ignore[return-value]
+
+
+def estimate_cate_batch(
+    table: Table,
+    treated_matrix: np.ndarray,
+    outcome: str,
+    adjustment: tuple[str, ...] = (),
+    factorization=None,
+) -> list[CateResult]:
+    """Estimate one CATE per column of ``treated_matrix`` in one GEMM pair.
+
+    Single-adjustment-set spelling of :func:`estimate_cate_level` (the
+    whole stack shares ``adjustment``).
+
+    Parameters
+    ----------
+    table:
+        The conditioning subpopulation (rows already restricted).
+    treated_matrix:
+        ``(n, m)`` boolean array; column ``j`` is candidate ``j``'s treated
+        mask.  ``m = 0`` returns an empty list.
+    outcome:
+        Continuous outcome attribute name.
+    adjustment:
+        Confounder attributes (a backdoor set).
+    factorization:
+        Optional pre-built :func:`build_factorization` result for
+        ``(table, outcome, adjustment)`` — or a zero-argument callable
+        producing one, invoked only if some column survives the positivity
+        screen.  Built on the fly when omitted.
+    """
+    treated_matrix = np.asarray(treated_matrix, dtype=bool)
+    if treated_matrix.ndim != 2:
+        raise EstimationError(
+            f"treated_matrix must be 2-D (n, m), got shape {treated_matrix.shape}"
+        )
+    m = treated_matrix.shape[1]
+    adjustment = tuple(adjustment)
+    provider = None
+    if factorization is not None:
+        provider = lambda _adj: factorization  # noqa: E731 - tiny adaptor
+    return estimate_cate_level(
+        table,
+        treated_matrix,
+        outcome,
+        [adjustment] * m,
+        factorization_for=provider,
+    )

@@ -48,6 +48,27 @@ class CausalDAG:
             cycle = nx.find_cycle(graph)
             raise SchemaError(f"causal graph contains a cycle: {cycle}")
         self._graph = graph
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        # The DAG is immutable after construction, so every graph query is a
+        # pure function of the instance; Step 2 of FairCap asks the same
+        # ancestry / backdoor-graph / d-separation questions for every
+        # grouping pattern, which made these memos one of the larger
+        # Step-2 costs before they existed.
+        self._ancestors_cache: dict[str, frozenset[str]] = {}
+        self._descendants_cache: dict[str, frozenset[str]] = {}
+        self._backdoor_graph_cache: dict[frozenset[str], "CausalDAG"] = {}
+        self._dsep_cache: dict[tuple, bool] = {}
+
+    def __getstate__(self) -> dict:
+        # Memo caches are derived data; keep pickled payloads (e.g. the
+        # process-pool mining payload) lean by dropping them.
+        return {"_graph": self._graph}
+
+    def __setstate__(self, state: dict) -> None:
+        self._graph = state["_graph"]
+        self._init_caches()
 
     # -- construction helpers -----------------------------------------------
 
@@ -56,9 +77,35 @@ class CausalDAG:
         """Wrap an existing networkx DiGraph (validating acyclicity)."""
         return cls(edges=graph.edges(), nodes=graph.nodes())
 
+    @classmethod
+    def _from_validated(
+        cls, edges: Iterable[tuple[str, str]], nodes: Iterable[str]
+    ) -> "CausalDAG":
+        """Internal: build without the acyclicity check.
+
+        Only for graphs derived from an existing DAG by operations that
+        cannot introduce cycles (edge removal, induced subgraphs).
+        """
+        dag = cls.__new__(cls)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(edges)
+        dag._graph = graph
+        dag._init_caches()
+        return dag
+
     def to_networkx(self) -> nx.DiGraph:
         """Return a copy of the underlying DiGraph."""
         return self._graph.copy()
+
+    def networkx_view(self) -> nx.DiGraph:
+        """The underlying DiGraph itself — read-only by convention.
+
+        For query code on the hot path (:mod:`repro.causal.dseparation`)
+        that must not pay :meth:`to_networkx`'s copy; callers must not
+        mutate the returned graph.
+        """
+        return self._graph
 
     # -- basic queries ----------------------------------------------------------
 
@@ -93,14 +140,22 @@ class CausalDAG:
         return tuple(sorted(self._graph.successors(node)))
 
     def ancestors(self, node: str) -> frozenset[str]:
-        """All strict ancestors of ``node``."""
-        self._require(node)
-        return frozenset(nx.ancestors(self._graph, node))
+        """All strict ancestors of ``node`` (memoised)."""
+        cached = self._ancestors_cache.get(node)
+        if cached is None:
+            self._require(node)
+            cached = frozenset(nx.ancestors(self._graph, node))
+            self._ancestors_cache[node] = cached
+        return cached
 
     def descendants(self, node: str) -> frozenset[str]:
-        """All strict descendants of ``node``."""
-        self._require(node)
-        return frozenset(nx.descendants(self._graph, node))
+        """All strict descendants of ``node`` (memoised)."""
+        cached = self._descendants_cache.get(node)
+        if cached is None:
+            self._require(node)
+            cached = frozenset(nx.descendants(self._graph, node))
+            self._descendants_cache[node] = cached
+        return cached
 
     def topological_order(self) -> tuple[str, ...]:
         """A topological ordering of the nodes (deterministic for ties)."""
@@ -122,11 +177,18 @@ class CausalDAG:
     ) -> bool:
         """Whether node sets ``xs`` and ``ys`` are d-separated given ``zs``.
 
-        Delegates to :func:`repro.causal.dseparation.d_separated`.
+        Delegates to :func:`repro.causal.dseparation.d_separated`; memoised
+        per query triple (the backdoor pruning of Step 2 re-asks the same
+        questions across grouping patterns and problem variants).
         """
         from repro.causal.dseparation import d_separated
 
-        return d_separated(self, xs, ys, zs)
+        key = (frozenset(xs), frozenset(ys), frozenset(zs))
+        cached = self._dsep_cache.get(key)
+        if cached is None:
+            cached = d_separated(self, key[0], key[1], key[2])
+            self._dsep_cache[key] = cached
+        return cached
 
     def causally_relevant(self, outcome: str) -> frozenset[str]:
         """Nodes with a directed path into ``outcome``.
@@ -142,11 +204,17 @@ class CausalDAG:
         """Return a copy with all edges *out of* ``nodes`` removed.
 
         This is the "backdoor graph" used when checking the backdoor
-        criterion via d-separation.
+        criterion via d-separation.  Memoised per cut set, and built
+        without re-validating acyclicity (removing edges cannot create a
+        cycle).
         """
-        cut = set(nodes)
-        kept = [(u, v) for u, v in self._graph.edges() if u not in cut]
-        return CausalDAG(edges=kept, nodes=self._graph.nodes())
+        cut = frozenset(nodes)
+        cached = self._backdoor_graph_cache.get(cut)
+        if cached is None:
+            kept = [(u, v) for u, v in self._graph.edges() if u not in cut]
+            cached = CausalDAG._from_validated(kept, self._graph.nodes())
+            self._backdoor_graph_cache[cut] = cached
+        return cached
 
     def restricted_to(self, nodes: Iterable[str]) -> "CausalDAG":
         """Induced subgraph over ``nodes``."""

@@ -55,7 +55,7 @@ def d_separated(
         raise SchemaError(f"X and Y overlap: {sorted(x_set & y_set)}")
     if (x_set | y_set) & z_set:
         raise SchemaError("conditioning set Z must be disjoint from X and Y")
-    graph = dag.to_networkx()
+    graph = dag.networkx_view()  # read-only: never mutated below
     for node in x_set | y_set | z_set:
         if node not in graph:
             raise SchemaError(f"node {node!r} not in causal DAG")

@@ -1,9 +1,12 @@
 """Ordinary least squares with coefficient standard errors.
 
-A tiny OLS used by the linear-adjustment CATE estimator.  Implemented on
-numpy's ``lstsq``/``pinv`` so rank-deficient design matrices (e.g. a one-hot
-block whose category never appears among the treated) degrade gracefully
-instead of crashing.
+A tiny OLS used by the linear-adjustment CATE estimator.  Coefficients come
+from numpy's ``lstsq``; coefficient variances come from a Cholesky
+factorization of ``XᵀX`` on full-rank designs, falling back to ``pinv`` so
+rank-deficient design matrices (e.g. a one-hot block whose category never
+appears among the treated) degrade gracefully instead of crashing.  The
+historical dense-``pinv`` covariance stays available behind
+``full_covariance=True``.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import linalg as scipy_linalg
 
 from repro.utils.errors import EstimationError
 
@@ -40,7 +44,9 @@ class OLSResult:
     rank: int
 
 
-def ols(design: np.ndarray, response: np.ndarray) -> OLSResult:
+def ols(
+    design: np.ndarray, response: np.ndarray, full_covariance: bool = False
+) -> OLSResult:
     """Fit ``response ~ design`` by least squares.
 
     Parameters
@@ -49,6 +55,13 @@ def ols(design: np.ndarray, response: np.ndarray) -> OLSResult:
         ``(n, p)`` design matrix (caller adds the intercept column).
     response:
         ``(n,)`` response vector.
+    full_covariance:
+        Opt-in to the dense ``pinv(XᵀX)``-based covariance (the historical
+        behaviour).  By default the coefficient variances are derived from a
+        Cholesky factorization of ``XᵀX`` — same values to working
+        precision on full-rank designs, without the SVD a pseudo-inverse
+        costs.  Rank-deficient designs silently take the ``pinv`` route
+        either way, so degenerate fits are unchanged.
 
     Raises
     ------
@@ -75,12 +88,27 @@ def ols(design: np.ndarray, response: np.ndarray) -> OLSResult:
     else:
         residual_variance = float("nan")
 
-    # Covariance of beta-hat: s^2 (X'X)^+ ; pinv handles rank deficiency.
-    xtx_pinv = np.linalg.pinv(design.T @ design)
     if np.isnan(residual_variance):
         stderr = np.full(p, np.nan)
     else:
-        variances = residual_variance * np.diag(xtx_pinv)
+        # Covariance of beta-hat: s^2 (X'X)^+.  The default route factors
+        # X'X = L L' and reads the inverse diagonal off the rows of L^-1;
+        # pinv (an SVD) is reserved for rank-deficient designs and the
+        # opt-in full_covariance spelling.
+        xtx = design.T @ design
+        inv_diag: np.ndarray | None = None
+        if not full_covariance and rank == p:
+            try:
+                l_factor = scipy_linalg.cholesky(xtx, lower=True)
+                l_inv = scipy_linalg.solve_triangular(
+                    l_factor, np.eye(p), lower=True
+                )
+                inv_diag = np.einsum("ij,ij->j", l_inv, l_inv)
+            except scipy_linalg.LinAlgError:
+                inv_diag = None  # numerically not PD: fall through to pinv
+        if inv_diag is None:
+            inv_diag = np.diag(np.linalg.pinv(xtx))
+        variances = residual_variance * inv_diag
         stderr = np.sqrt(np.clip(variances, 0.0, None))
     return OLSResult(
         coefficients=coefficients,

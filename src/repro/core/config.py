@@ -76,6 +76,15 @@ class FairCapConfig:
         Entry bound of the content-addressed CATE memo
         (:class:`~repro.parallel.cache.EstimationCache`); ``0`` disables
         caching.  Caching never changes results, only latency.
+    batch_estimation:
+        Route Step-2 lattice levels through the batched FWL estimation
+        engine (:mod:`repro.causal.batch`): one GEMM per level instead of
+        one OLS per candidate.  ``False`` selects the scalar per-candidate
+        path — the differential reference the batch engine is tested
+        against.  Only the linear-adjustment estimator has a batched path;
+        other estimators ignore the flag.  Mined rulesets are identical
+        either way (estimates agree to working precision; degenerate
+        candidates take the scalar path bit-identically).
     """
 
     variant: ProblemVariant = field(default_factory=ProblemVariant)
@@ -100,6 +109,7 @@ class FairCapConfig:
     # (a 6,000-row Table 4 variant estimates ~5-20k CATEs; entries are a few
     # hundred bytes each) so cross-variant reuse survives the LRU.
     cache_size: int = 65_536
+    batch_estimation: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.apriori_min_support <= 1.0:

@@ -27,7 +27,9 @@ Constraint handling:
 
 The state needed to score a candidate against the running ruleset —
 per-tuple best/worst utilities and the covered mask — is maintained
-incrementally, so each scoring pass is one vectorised sweep per candidate.
+incrementally; scoring a candidate touches only its covered slice (metric
+deltas against running totals), and candidates are scanned in sorted index
+order so score ties break deterministically.
 """
 
 from __future__ import annotations
@@ -62,7 +64,16 @@ class GreedyResult:
 
 
 class _IncrementalState:
-    """Running per-tuple aggregates for the selected ruleset."""
+    """Running per-tuple aggregates for the selected ruleset.
+
+    ``preview`` is the greedy inner loop (every remaining candidate, every
+    iteration), so it works on the candidate's covered *slice* only: the
+    committed per-tuple arrays stay untouched and the candidate's marginal
+    contribution is added to running totals — no full-length array copies.
+    ``commit`` (once per iteration) recomputes the totals from the full
+    arrays, so committed metrics are exact and preview drift cannot
+    accumulate across iterations.
+    """
 
     def __init__(self, evaluator: RulesetEvaluator) -> None:
         self.evaluator = evaluator
@@ -72,22 +83,65 @@ class _IncrementalState:
         self.best_np = np.full(n, -np.inf)
         self.worst_p = np.full(n, np.inf)
         self.size = 0
+        self._sum_best = 0.0
+        self._sum_worst_p = 0.0
+        self._sum_best_np = 0.0
+        self._n_cov = 0
+        self._n_cov_p = 0
+        self._n_cov_np = 0
+        # index -> (covered row indices, protected flags on those rows)
+        self._rows_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _candidate_rows(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._rows_cache.get(index)
+        if cached is None:
+            rows = np.flatnonzero(self.evaluator.mask_of(index))
+            cached = (rows, self.evaluator.protected_mask[rows])
+            self._rows_cache[index] = cached
+        return cached
 
     def preview(self, index: int) -> RulesetMetrics:
         """Metrics of the current selection plus candidate ``index``."""
         ev = self.evaluator
-        mask = ev.mask_of(index)
-        covered = self.covered | mask
-        best_overall = self.best_overall.copy()
-        best_np = self.best_np.copy()
-        worst_p = self.worst_p.copy()
-        best_overall[mask] = np.maximum(best_overall[mask], ev._utilities[index])
-        best_np[mask] = np.maximum(best_np[mask], ev._utilities_np[index])
-        worst_p[mask] = np.minimum(worst_p[mask], ev._utilities_p[index])
-        return self._metrics_from(covered, best_overall, best_np, worst_p, self.size + 1)
+        rows, prot = self._candidate_rows(index)
+        u = ev._utilities[index]
+        u_p = ev._utilities_p[index]
+        u_np = ev._utilities_np[index]
+
+        cov = self.covered[rows]
+        best = self.best_overall[rows]
+        newly = ~cov
+        n_cov = self._n_cov + int(newly.sum())
+        n_cov_p = self._n_cov_p + int((newly & prot).sum())
+        n_cov_np = self._n_cov_np + int((newly & ~prot).sum())
+
+        # Every candidate row counts max(best, u) afterwards; previously
+        # only its covered rows counted (uncovered rows hold -inf, which
+        # np.maximum replaces with the candidate utility).
+        sum_best = (
+            self._sum_best
+            + float(np.maximum(best, u).sum())
+            - float(best[cov].sum())
+        )
+        wp = self.worst_p[rows][prot]
+        sum_worst_p = (
+            self._sum_worst_p
+            + float(np.minimum(wp, u_p).sum())
+            - float(wp[cov[prot]].sum())
+        )
+        bnp = self.best_np[rows][~prot]
+        sum_best_np = (
+            self._sum_best_np
+            + float(np.maximum(bnp, u_np).sum())
+            - float(bnp[cov[~prot]].sum())
+        )
+        return self._metrics_from_sums(
+            n_cov, n_cov_p, n_cov_np, sum_best, sum_worst_p, sum_best_np,
+            self.size + 1,
+        )
 
     def commit(self, index: int) -> None:
-        """Add candidate ``index`` to the selection."""
+        """Add candidate ``index`` to the selection (exact recompute)."""
         ev = self.evaluator
         mask = ev.mask_of(index)
         self.covered |= mask
@@ -97,34 +151,41 @@ class _IncrementalState:
         self.best_np[mask] = np.maximum(self.best_np[mask], ev._utilities_np[index])
         self.worst_p[mask] = np.minimum(self.worst_p[mask], ev._utilities_p[index])
         self.size += 1
+        covered_p = self.covered & ev.protected_mask
+        covered_np = self.covered & ~ev.protected_mask
+        self._n_cov = int(self.covered.sum())
+        self._n_cov_p = int(covered_p.sum())
+        self._n_cov_np = int(covered_np.sum())
+        self._sum_best = float(self.best_overall[self.covered].sum())
+        self._sum_worst_p = float(self.worst_p[covered_p].sum())
+        self._sum_best_np = float(self.best_np[covered_np].sum())
 
     def metrics(self) -> RulesetMetrics:
         """Metrics of the current selection."""
-        return self._metrics_from(
-            self.covered, self.best_overall, self.best_np, self.worst_p, self.size
+        return self._metrics_from_sums(
+            self._n_cov, self._n_cov_p, self._n_cov_np,
+            self._sum_best, self._sum_worst_p, self._sum_best_np, self.size,
         )
 
-    def _metrics_from(
+    def _metrics_from_sums(
         self,
-        covered: np.ndarray,
-        best_overall: np.ndarray,
-        best_np: np.ndarray,
-        worst_p: np.ndarray,
+        n_cov: int,
+        n_cov_p: int,
+        n_cov_np: int,
+        sum_best: float,
+        sum_worst_p: float,
+        sum_best_np: float,
         size: int,
     ) -> RulesetMetrics:
         ev = self.evaluator
         if size == 0:
             return RulesetMetrics(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        covered_p = covered & ev.protected_mask
-        covered_np = covered & ~ev.protected_mask
-        n_cov_p = int(covered_p.sum())
-        n_cov_np = int(covered_np.sum())
-        expected = float(best_overall[covered].sum()) / ev.n if ev.n else 0.0
-        expected_p = float(worst_p[covered_p].sum()) / n_cov_p if n_cov_p else 0.0
-        expected_np = float(best_np[covered_np].sum()) / n_cov_np if n_cov_np else 0.0
+        expected = sum_best / ev.n if ev.n else 0.0
+        expected_p = sum_worst_p / n_cov_p if n_cov_p else 0.0
+        expected_np = sum_best_np / n_cov_np if n_cov_np else 0.0
         return RulesetMetrics(
             n_rules=size,
-            coverage=float(covered.sum()) / ev.n if ev.n else 0.0,
+            coverage=n_cov / ev.n if ev.n else 0.0,
             protected_coverage=(
                 n_cov_p / ev.n_protected if ev.n_protected else 0.0
             ),
@@ -195,7 +256,9 @@ def greedy_select(
         fallback_violation = np.inf
         fallback_score = -np.inf
 
-        for index in remaining:
+        # Deterministic candidate order: ties on score break toward the
+        # lowest candidate index instead of set-iteration order.
+        for index in sorted(remaining):
             preview = state.preview(index)
             rule = evaluator.rules[index]
             score = benefit(rule, variant.fairness) / scale

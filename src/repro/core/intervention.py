@@ -113,22 +113,35 @@ def mine_intervention(
         Optional in-process executor (serial/thread) used to evaluate each
         lattice level's candidate batch concurrently; results are identical
         to the serial traversal (see :func:`repro.mining.lattice.traverse_lattice`).
+        Moot under the batched estimation engine, which already consumes a
+        level at a time.
     """
     alpha = config.significance_alpha
     fairness = config.variant.fairness
 
-    def evaluate(pattern: Pattern) -> tuple[bool, PrescriptionRule]:
-        rule = context.evaluate(pattern)
+    def decide(rule: PrescriptionRule) -> tuple[bool, PrescriptionRule]:
         keep = rule.utility > 0.0
         if keep and alpha is not None:
             keep = rule.estimate is not None and rule.estimate.is_significant(alpha)
         return keep, rule
+
+    def evaluate(pattern: Pattern) -> tuple[bool, PrescriptionRule]:
+        return decide(context.evaluate(pattern))
+
+    evaluate_many = None
+    if config.batch_estimation and hasattr(context.evaluator.estimator, "estimate_level"):
+        # Batched FWL engine: one GEMM per lattice level instead of one OLS
+        # per candidate (repro.causal.batch).  The scalar path above stays
+        # as the differential reference (config.batch_estimation=False).
+        def evaluate_many(patterns: list[Pattern]) -> list[tuple[bool, PrescriptionRule]]:
+            return [decide(rule) for rule in context.evaluate_batch(patterns)]
 
     nodes: list[LatticeNode] = traverse_lattice(
         items,
         evaluate,
         max_level=config.max_intervention_size,
         executor=lattice_executor,
+        evaluate_many=evaluate_many,
     )
     kept = [node.payload for node in nodes if node.keep]
     candidates: list[PrescriptionRule] = [

@@ -9,8 +9,10 @@ that combining positive-effect treatments is likely to stay positive.
 This module implements the traversal generically: callers provide the items
 and an ``evaluate`` callback that decides, per pattern, whether the node is
 *kept* (expandable) and attaches an arbitrary payload (e.g. a
-:class:`~repro.causal.estimators.CateResult`).  The FairCap-specific scoring
-lives in :mod:`repro.core.intervention`.
+:class:`~repro.causal.estimators.CateResult`) — or an ``evaluate_many``
+callback that consumes a whole level at once (the batched FWL engine's entry
+point).  The FairCap-specific scoring lives in
+:mod:`repro.core.intervention`.
 """
 
 from __future__ import annotations
@@ -50,10 +52,11 @@ class LatticeNode:
 
 def traverse_lattice(
     items: Sequence[Pattern],
-    evaluate: Callable[[Pattern], Evaluation],
+    evaluate: Callable[[Pattern], Evaluation] | None = None,
     max_level: int = 2,
     max_nodes: int | None = None,
     executor=None,
+    evaluate_many: Callable[[list[Pattern]], list[Evaluation]] | None = None,
 ) -> list[LatticeNode]:
     """Materialise the lattice top-down with all-parents-kept pruning.
 
@@ -65,6 +68,7 @@ def traverse_lattice(
         Callback returning ``(keep, payload)`` for a candidate pattern.
         ``keep=False`` prunes the node's entire up-set from exploration
         (it is still reported in the result with ``keep=False``).
+        May be omitted when ``evaluate_many`` is given.
     max_level:
         Deepest level to explore (the paper uses small treatments;
         level 2 is the default as in CauSumX).
@@ -81,13 +85,24 @@ def traverse_lattice(
         completion order.  Process executors are ignored (silent serial
         fallback): ``evaluate`` is typically a closure, which cannot cross
         a process boundary — process-level parallelism belongs at the
-        grouping-pattern fan-out (:mod:`repro.parallel.mining`).
+        grouping-pattern fan-out (:mod:`repro.parallel.mining`).  Ignored
+        when ``evaluate_many`` is given.
+    evaluate_many:
+        Batch variant of ``evaluate``: receives one whole level's candidate
+        patterns and returns their evaluations in order.  Takes precedence
+        over ``evaluate``/``executor`` — this is how the batched FWL
+        estimation engine (:mod:`repro.causal.batch`) consumes a level in
+        one GEMM instead of one OLS per candidate.  The traversal is
+        unchanged: candidate generation, ordering, and pruning are
+        identical to the per-pattern path.
 
     Returns
     -------
     list[LatticeNode]
         Every node that was materialised (kept or not), level by level.
     """
+    if evaluate is None and evaluate_many is None:
+        raise PatternError("traverse_lattice needs evaluate or evaluate_many")
     for item in items:
         if len(item.attributes) != 1:
             raise PatternError(
@@ -102,6 +117,8 @@ def traverse_lattice(
     item_attrs = [item.attributes[0] for item in items]
 
     def evaluate_batch(patterns: list[Pattern]) -> list[Evaluation]:
+        if evaluate_many is not None:
+            return evaluate_many(patterns)
         if executor is None or len(patterns) <= 1:
             return [evaluate(p) for p in patterns]
         return executor.map(evaluate, patterns)

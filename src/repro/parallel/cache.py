@@ -23,6 +23,16 @@ results (see the determinism contract in :mod:`repro.parallel`).  The store
 is an LRU bounded by ``max_entries`` and guarded by a lock so
 :class:`~repro.parallel.executors.ThreadExecutor` workers can share one
 instance.
+
+The batched FWL engine (:mod:`repro.causal.batch`) adds two entry families:
+
+- *level entries* (:meth:`EstimationCache.level_key`) memoise one whole
+  lattice level's results under a digest of the full treated-mask stack —
+  per-column GEMM output is only bit-reproducible for an identical batch,
+  so the level itself is the content unit;
+- *design factorizations* (:meth:`EstimationCache.get_or_factorize`) memoise
+  the per-(table, outcome, adjustment) orthogonal basis in a sibling LRU
+  that never crosses process boundaries.
 """
 
 from __future__ import annotations
@@ -61,6 +71,22 @@ def treated_mask_digest(treated: np.ndarray) -> bytes:
     return h.digest()
 
 
+def treated_matrix_digest(treated_matrix: np.ndarray) -> bytes:
+    """Stable digest of an ``(n, m)`` boolean treated-mask stack.
+
+    The digest covers the shape *and* the column order: two batches with the
+    same columns in a different order hash differently.  That is deliberate
+    — batch entries memoise the result of one specific GEMM, and BLAS
+    kernels only guarantee bit-identical per-column results for an identical
+    batch (see the determinism notes in :mod:`repro.causal.batch`).
+    """
+    treated_matrix = np.asarray(treated_matrix, dtype=bool)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(treated_matrix.shape).encode())
+    h.update(np.packbits(treated_matrix, axis=0).tobytes())
+    return h.digest()
+
+
 class EstimationCache:
     """Bounded, thread-safe, content-addressed store of CATE results.
 
@@ -77,6 +103,13 @@ class EstimationCache:
         self._hits = 0
         self._misses = 0
         self._new: dict[CacheKey, object] | None = None
+        # Design factorizations (repro.causal.batch) live in a sibling LRU:
+        # they are derived data — recomputable from the table — and carry an
+        # (n x rank) orthonormal basis each, so they are deliberately
+        # excluded from snapshot()/seed() (process workers rebuild their own
+        # rather than paying to ship dense bases across the pool).
+        self._factorizations: OrderedDict[CacheKey, object] = OrderedDict()
+        self.max_factorizations = max(1, min(self.max_entries, 512))
 
     # -- keys ------------------------------------------------------------------
 
@@ -101,6 +134,41 @@ class EstimationCache:
             outcome,
             tuple(adjustment),
         )
+
+    @staticmethod
+    def level_key(
+        estimator,
+        table,
+        treated_matrix: np.ndarray,
+        outcome: str,
+        adjustments,
+    ) -> CacheKey:
+        """Content key of one whole-level estimation (per-column adjustments).
+
+        Level entries are keyed by the full treated-mask stack rather than
+        per column: a stored value is the result of one specific GEMM
+        batch, and only an identical batch is guaranteed to reproduce it
+        bit-for-bit (see :func:`treated_matrix_digest`).  Lattice levels
+        are fully determined by the traversal, so identical runs — warm
+        reruns, sibling problem variants, any executor or worker count —
+        hit the same keys.  The per-column adjustment tuples determine the
+        FWL grouping, so they are part of the content.
+        """
+        return (
+            "level",
+            estimator.cache_key(),
+            table.fingerprint(),
+            treated_matrix_digest(treated_matrix),
+            outcome,
+            tuple(tuple(adj) for adj in adjustments),
+        )
+
+    @staticmethod
+    def factorization_key(
+        table, outcome: str, adjustment: tuple[str, ...]
+    ) -> CacheKey:
+        """Content key of one design factorization (table, outcome, Z)."""
+        return ("fwl", table.fingerprint(), outcome, tuple(adjustment))
 
     # -- store -----------------------------------------------------------------
 
@@ -140,6 +208,58 @@ class EstimationCache:
             result = estimator.estimate(table, treated, outcome, adjustment)
             self.put(key, result)
         return result
+
+    def get_or_estimate_level(
+        self,
+        estimator,
+        table,
+        treated_matrix: np.ndarray,
+        outcome: str,
+        adjustments,
+    ) -> list:
+        """Memoised ``estimator.estimate_level(...)`` keyed by the level.
+
+        Factorizations for the level's adjustment groups are fetched (or
+        built) through the factorization store, so consecutive lattice
+        levels of one context share their QRs.
+        """
+        key = self.level_key(estimator, table, treated_matrix, outcome, adjustments)
+        results = self.get(key)
+        if results is None:
+            results = estimator.estimate_level(
+                table,
+                treated_matrix,
+                outcome,
+                adjustments,
+                factorization_for=lambda adjustment: self.get_or_factorize(
+                    table, outcome, adjustment
+                ),
+            )
+            self.put(key, results)
+        return results
+
+    def get_or_factorize(self, table, outcome: str, adjustment: tuple[str, ...]):
+        """Memoised :func:`repro.causal.batch.build_factorization`.
+
+        Factorizations live in their own LRU (``max_factorizations``) and
+        never travel through :meth:`snapshot`/:meth:`seed` — see
+        ``__init__``.
+        """
+        from repro.causal.batch import build_factorization
+
+        key = self.factorization_key(table, outcome, adjustment)
+        with self._lock:
+            factorization = self._factorizations.get(key)
+            if factorization is not None:
+                self._factorizations.move_to_end(key)
+        if factorization is None:
+            factorization = build_factorization(table, outcome, adjustment)
+            with self._lock:
+                self._factorizations[key] = factorization
+                self._factorizations.move_to_end(key)
+                while len(self._factorizations) > self.max_factorizations:
+                    self._factorizations.popitem(last=False)
+        return factorization
 
     # -- cross-process sharing -------------------------------------------------
     #
@@ -192,9 +312,10 @@ class EstimationCache:
             return CacheStats(self._hits, self._misses, len(self._store))
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every entry (results and factorizations), reset counters."""
         with self._lock:
             self._store.clear()
+            self._factorizations.clear()
             self._hits = 0
             self._misses = 0
             if self._new is not None:

@@ -16,6 +16,14 @@ search, return the best rule.  This module packages that unit so any
   serial loop produces, which is what makes results independent of worker
   count (determinism contract, :mod:`repro.parallel`).
 
+Each worker's per-pattern search runs the batched FWL engine when
+``config.batch_estimation`` is set (the default): a lattice level is one
+GEMM batch (:mod:`repro.causal.batch`), and the worker-side
+:class:`~repro.parallel.cache.EstimationCache` stores whole-level entries,
+which is what keeps results bit-identical across executors — a level's
+batch composition is determined by the traversal, never by which worker
+mined neighbouring patterns (see ``EstimationCache.level_key``).
+
 This module is imported lazily by :mod:`repro.core.intervention` to keep
 ``repro.parallel`` importable from ``repro.core.config``.
 """

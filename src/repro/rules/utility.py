@@ -14,7 +14,11 @@ pair into an evaluated :class:`~repro.rules.rule.PrescriptionRule`:
 Because Step 2 of FairCap evaluates *many* intervention patterns against the
 *same* grouping pattern, the per-group work (filtering the table, splitting
 into protected / non-protected sub-tables) is factored into a
-:class:`GroupEvaluationContext` that is built once per grouping pattern.
+:class:`GroupEvaluationContext` that is built once per grouping pattern —
+and whole lattice levels go through :meth:`GroupEvaluationContext.evaluate_batch`,
+which computes the overall/protected/non-protected CATEs of a level in three
+batched FWL estimations (:mod:`repro.causal.batch`) instead of three OLS
+solves per candidate.
 
 Utilities follow the paper's conventions: a rule covering no tuples has
 utility 0, and a sub-group CATE that cannot be estimated (no protected rows,
@@ -22,6 +26,8 @@ say) also contributes utility 0.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -57,6 +63,22 @@ class GroupEvaluationContext:
         self.non_protected_table = (
             self.subtable.filter(~self.sub_protected) if non_protected_count else None
         )
+        # Per-predicate masks over the subtable, shared by every lattice
+        # level: a level-2 intervention reuses its two items' masks and
+        # pays one AND instead of re-evaluating both predicates.
+        self._predicate_masks: dict = {}
+
+    def _intervention_mask(self, intervention: Pattern) -> np.ndarray:
+        """Treated mask of ``intervention`` from memoised predicate masks."""
+        combined: np.ndarray | None = None
+        for predicate in intervention.predicates:
+            mask = self._predicate_masks.get(predicate)
+            if mask is None:
+                mask = predicate.mask(self.subtable)
+                self._predicate_masks[predicate] = mask
+            combined = mask if combined is None else combined & mask
+        assert combined is not None  # interventions are non-empty
+        return combined
 
     def evaluate(self, intervention: Pattern) -> PrescriptionRule:
         """Evaluate ``intervention`` for this context's grouping pattern."""
@@ -92,6 +114,88 @@ class GroupEvaluationContext:
             else None
         )
 
+        return self._assemble_rule(intervention, overall, prot, nonprot)
+
+    def evaluate_batch(
+        self, interventions: Sequence[Pattern]
+    ) -> list[PrescriptionRule]:
+        """Evaluate a whole lattice level of interventions at once.
+
+        The scalar :meth:`evaluate` runs up to three OLS solves per
+        intervention; here the level's treated masks are stacked into one
+        ``(n, m)`` matrix per adjustment set and the overall / protected /
+        non-protected CATEs come out of three batched FWL estimations
+        (:func:`repro.causal.batch.estimate_cate_level`) — three GEMMs per
+        level.  Results match :meth:`evaluate` per rule to working
+        precision (bit-identically on degenerate fallbacks), and the level
+        is the cache unit (see
+        :meth:`repro.parallel.cache.EstimationCache.level_key`).
+        """
+        interventions = list(interventions)
+        for intervention in interventions:
+            if intervention.is_empty():
+                raise EstimationError("intervention pattern must be non-empty")
+        if not interventions:
+            return []
+        if self.coverage_count == 0:
+            return [
+                PrescriptionRule(
+                    grouping=self.grouping,
+                    intervention=intervention,
+                    utility=0.0,
+                    utility_protected=0.0,
+                    utility_non_protected=0.0,
+                    coverage_count=0,
+                    protected_coverage_count=0,
+                )
+                for intervention in interventions
+            ]
+        evaluator = self.evaluator
+        m = len(interventions)
+        n = self.subtable.n_rows
+        # One treated-mask stack and one backdoor set per candidate; the
+        # level driver groups equal adjustment sets onto shared GEMMs.
+        adjustments = [
+            evaluator.adjustment_for(intervention.attributes)
+            for intervention in interventions
+        ]
+        treated_matrix = np.empty((n, m), dtype=bool)
+        for column, intervention in enumerate(interventions):
+            treated_matrix[:, column] = self._intervention_mask(intervention)
+
+        overall = evaluator.cate_level(self.subtable, treated_matrix, adjustments)
+        prot = (
+            evaluator.cate_level(
+                self.protected_table,
+                treated_matrix[self.sub_protected, :],
+                adjustments,
+            )
+            if self.protected_table is not None
+            else [None] * m
+        )
+        nonprot = (
+            evaluator.cate_level(
+                self.non_protected_table,
+                treated_matrix[~self.sub_protected, :],
+                adjustments,
+            )
+            if self.non_protected_table is not None
+            else [None] * m
+        )
+        return [
+            self._assemble_rule(
+                interventions[idx], overall[idx], prot[idx], nonprot[idx]
+            )
+            for idx in range(m)
+        ]
+
+    def _assemble_rule(
+        self,
+        intervention: Pattern,
+        overall: CateResult | None,
+        prot: CateResult | None,
+        nonprot: CateResult | None,
+    ) -> PrescriptionRule:
         def usable(result: CateResult | None) -> float:
             if result is None or not result.valid:
                 return 0.0
@@ -158,6 +262,7 @@ class RuleEvaluator:
         self.cache = cache
         self.protected_mask = protected.mask(table)
         self._adjustment_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
+        self._factorization_memo: dict[tuple, object] = {}
 
     # -- adjustment ------------------------------------------------------------
 
@@ -207,6 +312,98 @@ class RuleEvaluator:
                 self.estimator, subtable, treated, self.outcome, effective
             )
         return self.estimator.estimate(subtable, treated, self.outcome, effective)
+
+    def cate_level(
+        self,
+        subtable: Table,
+        treated_matrix: np.ndarray,
+        adjustments: Sequence[tuple[str, ...]],
+    ) -> list[CateResult]:
+        """Whole-level :meth:`cate`: per-column adjustment sets.
+
+        Applies the scalar guards — the minimum-subgroup cutoff (a property
+        of the subtable) and the constant-within-subgroup restriction of
+        each column's adjustment set — then routes through the estimator's
+        level driver (:func:`repro.causal.batch.estimate_cate_level`),
+        memoised per level when a cache is attached.
+        """
+        n = subtable.n_rows
+        m = treated_matrix.shape[1]
+        if n < self.min_subgroup_size:
+            n_treated = treated_matrix.sum(axis=0).tolist()
+            return [
+                CateResult.invalid(
+                    f"subgroup smaller than {self.min_subgroup_size}",
+                    n=n,
+                    n_treated=int(n_treated[j]),
+                    n_control=int(n - n_treated[j]),
+                    adjustment=tuple(adjustments[j]),
+                )
+                for j in range(m)
+            ]
+        effective = [
+            self._effective_adjustment(subtable, adjustment)
+            for adjustment in adjustments
+        ]
+        if self.cache is not None:
+            return self.cache.get_or_estimate_level(
+                self.estimator, subtable, treated_matrix, self.outcome, effective
+            )
+        return self.estimator.estimate_level(
+            subtable,
+            treated_matrix,
+            self.outcome,
+            effective,
+            factorization_for=lambda adjustment: self._local_factorization(
+                subtable, adjustment
+            ),
+        )
+
+    @staticmethod
+    def _effective_adjustment(
+        subtable: Table, adjustment: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Non-constant adjustment attributes, memoised per table instance.
+
+        Same restriction the scalar :meth:`cate` applies inline; both the
+        overall and protected/non-protected batches of every lattice level
+        ask for it, so the answer rides on the (immutable) table like
+        :meth:`repro.tabular.table.Table.mask_cache` entries do.
+        """
+        memo = subtable.__dict__.setdefault("_effective_adjustment_cache", {})
+        effective = memo.get(adjustment)
+        if effective is None:
+            varying = memo.setdefault("_varying", {})
+            keep = []
+            for z in adjustment:
+                flag = varying.get(z)
+                if flag is None:
+                    flag = len(subtable.column(z).value_counts()) > 1
+                    varying[z] = flag
+                if flag:
+                    keep.append(z)
+            effective = tuple(keep)
+            memo[adjustment] = effective
+        return effective
+
+    def _local_factorization(self, subtable: Table, effective: tuple[str, ...]):
+        """Design factorization for cache-free runs (``cache_size=0``).
+
+        With an :class:`EstimationCache` attached, factorizations live in
+        its dedicated store (:meth:`get_or_factorize`); without one, this
+        small evaluator-local LRU still amortises the SVD across the
+        lattice levels and the three sub-populations of each context.
+        """
+        from repro.causal.batch import build_factorization
+
+        key = (subtable.fingerprint(), self.outcome, effective)
+        factorization = self._factorization_memo.get(key)
+        if factorization is None:
+            factorization = build_factorization(subtable, self.outcome, effective)
+            self._factorization_memo[key] = factorization
+            while len(self._factorization_memo) > 512:
+                self._factorization_memo.pop(next(iter(self._factorization_memo)))
+        return factorization
 
     def context(self, grouping: Pattern) -> GroupEvaluationContext:
         """Build the cached per-group context for ``grouping``."""

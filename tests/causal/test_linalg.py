@@ -42,6 +42,30 @@ def test_stderr_matches_closed_form():
     assert fit.stderr[1] == pytest.approx(expected, rel=1e-9)
 
 
+def test_full_covariance_flag_matches_default():
+    """The Cholesky-derived stderrs equal the opt-in pinv covariance path."""
+    rng = ensure_rng(5)
+    n = 400
+    X = np.column_stack([np.ones(n), rng.normal(size=(n, 3))])
+    y = X @ np.array([1.0, 2.0, -1.0, 0.5]) + rng.normal(size=n)
+    fast = ols(X, y)
+    full = ols(X, y, full_covariance=True)
+    assert np.array_equal(fast.coefficients, full.coefficients)
+    assert fast.stderr == pytest.approx(full.stderr, rel=1e-9)
+    assert fast.dof == full.dof and fast.rank == full.rank
+
+
+def test_full_covariance_flag_identical_when_rank_deficient():
+    """Deficient designs take the pinv route under either spelling."""
+    n = 60
+    x = np.linspace(0, 1, n)
+    X = np.column_stack([np.ones(n), x, 2 * x])
+    y = 1.0 + x + np.sin(x)
+    fast = ols(X, y)
+    full = ols(X, y, full_covariance=True)
+    assert np.array_equal(fast.stderr, full.stderr)
+
+
 def test_rank_deficient_design_handled():
     n = 50
     x = np.linspace(0, 1, n)

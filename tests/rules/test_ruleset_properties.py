@@ -125,10 +125,31 @@ def test_fast_metrics_match_reference(case):
     )
 
 
+def _assert_metrics_close(got, want) -> None:
+    """Field-wise equality up to summation-order rounding (rel 1e-12)."""
+    assert got.n_rules == want.n_rules
+    for field in (
+        "coverage",
+        "protected_coverage",
+        "expected_utility",
+        "expected_utility_protected",
+        "expected_utility_non_protected",
+    ):
+        assert getattr(got, field) == pytest.approx(
+            getattr(want, field), rel=1e-12, abs=1e-12
+        ), field
+
+
 @settings(max_examples=40, deadline=None)
 @given(table_and_rules())
 def test_incremental_state_matches_batch(case):
-    """The greedy's incremental previews must equal batch metrics."""
+    """The greedy's incremental previews must equal batch metrics.
+
+    Previews accumulate metric deltas over the candidate's covered slice
+    (no full-length recompute), so sums may differ from the batch spelling
+    by summation order only — hence the 1e-12 tolerance.  Committed states
+    are recomputed from the full arrays and must match exactly.
+    """
     from repro.core.greedy import _IncrementalState
 
     table, rules, __, subset = case
@@ -138,7 +159,7 @@ def test_incremental_state_matches_batch(case):
     committed: list[int] = []
     for index in subset:
         preview = state.preview(index)
-        assert preview == evaluator.metrics(committed + [index])
+        _assert_metrics_close(preview, evaluator.metrics(committed + [index]))
         state.commit(index)
         committed.append(index)
         assert state.metrics() == evaluator.metrics(committed)
