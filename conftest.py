@@ -2,7 +2,8 @@
 
 Lives at the rootdir so its command-line options are registered before
 argument parsing regardless of how pytest is invoked (``python -m pytest``,
-``pytest tests/...``, CI).
+``pytest tests/...``, CI).  Markers (``slow``, ``scenario``,
+``integration``) are registered in ``pyproject.toml``.
 """
 
 from __future__ import annotations
@@ -16,11 +17,4 @@ def pytest_addoption(parser) -> None:
         help="rewrite tests/experiments/goldens/*.json from the current "
         "implementation instead of comparing against them (use after an "
         "*intentional* change to paper numbers; review the diff)",
-    )
-
-
-def pytest_configure(config) -> None:
-    config.addinivalue_line(
-        "markers",
-        "slow: end-to-end pipeline tests (seconds each); always part of tier-1",
     )

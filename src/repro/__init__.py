@@ -95,6 +95,12 @@ from repro.core import (
 )
 from repro.baselines import run_causumx, run_frl, run_ids
 from repro.datasets import load_dataset, load_german, load_stackoverflow
+from repro.scenarios import (
+    ScenarioSpec,
+    ScenarioWorld,
+    load_scenario,
+    oracle_grid,
+)
 from repro.serve import (
     CompiledRuleIndex,
     Prescription,
@@ -128,6 +134,8 @@ __all__ = [
     "run_causumx", "run_ids", "run_frl",
     # datasets
     "load_stackoverflow", "load_german", "load_dataset",
+    # scenarios (ground-truth oracle worlds)
+    "ScenarioSpec", "ScenarioWorld", "oracle_grid", "load_scenario",
     # serving
     "ServingArtifact", "CompiledRuleIndex", "PrescriptionEngine",
     "Prescription",

@@ -60,6 +60,7 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings(
         so_n=so_n, german_n=german_n, seed=seed,
         n_workers=n_workers, executor=executor, cache_size=cache_size,
+        n_override=args.n,
     )
 
 
@@ -181,12 +182,21 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
 def _cmd_list_datasets(args: argparse.Namespace) -> str:
     from repro.datasets.registry import DATASET_LOADERS
+    from repro.scenarios import oracle_grid
+    from repro.scenarios.catalog import SCENARIO_PREFIX
 
     lines = ["Bundled datasets:"]
     for name, loader in sorted(DATASET_LOADERS.items()):
         doc = (loader.__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         lines.append(f"  {name:<15} {summary}")
+    lines.append("")
+    lines.append(
+        "Scenario worlds (ground-truth SCMs with known CATEs; "
+        f"load as {SCENARIO_PREFIX}<name>):"
+    )
+    for spec in oracle_grid():
+        lines.append(f"  {SCENARIO_PREFIX}{spec.name:<28} {spec.description}")
     return "\n".join(lines)
 
 
@@ -247,8 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name in _EXPERIMENT_COMMANDS:
         cmd = sub.add_parser(name)
-        cmd.add_argument("--dataset", default="stackoverflow",
-                         choices=["stackoverflow", "german"])
+        if name == "run":
+            # `run` accepts any registered dataset, including the
+            # ground-truth scenario worlds (scenario:<name>); the paper
+            # table/figure commands stay pinned to the paper datasets.
+            cmd.add_argument(
+                "--dataset", default="stackoverflow",
+                help="bundled dataset or scenario world "
+                     "(see `python -m repro list-datasets`)",
+            )
+        else:
+            cmd.add_argument("--dataset", default="stackoverflow",
+                             choices=["stackoverflow", "german"])
         cmd.add_argument("--n", type=int, default=None,
                          help="row-count override for both datasets")
         cmd.add_argument("--seed", type=int, default=None)
@@ -261,7 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="mine a ruleset and write a serving artifact"
     )
     export.add_argument("--dataset", default="stackoverflow",
-                        choices=["stackoverflow", "german"])
+                        help="bundled dataset or scenario world "
+                             "(see `python -m repro list-datasets`)")
     export.add_argument("--n", type=int, default=None,
                         help="row-count override for both datasets")
     export.add_argument("--seed", type=int, default=None)

@@ -114,6 +114,23 @@ def _encode_adjustment(table: Table, names: tuple[str, ...]) -> np.ndarray:
     return np.hstack(blocks)
 
 
+def _treatment_unidentified(design: np.ndarray) -> bool:
+    """Whether the treatment column (column 1) lies in the span of the rest.
+
+    Only consulted on rank-deficient designs.  If every null-space
+    direction lives among the adjustment columns, the treatment coefficient
+    is still unique across all least-squares solutions and the fit stands;
+    if the treated indicator itself is (numerically) a linear function of
+    the intercept and adjustment block, no amount of data identifies the
+    effect and the estimate must be declared invalid.
+    """
+    t_col = design[:, 1]
+    others = np.delete(design, 1, axis=1)
+    projection, *_ = np.linalg.lstsq(others, t_col, rcond=None)
+    residual = t_col - others @ projection
+    return float(residual @ residual) <= 1e-16 * design.shape[0]
+
+
 def _outcome_vector(table: Table, outcome: str) -> np.ndarray:
     column = table.column(outcome)
     if not isinstance(column, NumericColumn):
@@ -187,6 +204,19 @@ class LinearAdjustmentEstimator:
         if fit.dof <= 0 or not np.isfinite(stderr) or stderr == 0.0:
             return CateResult.invalid(
                 "degenerate fit: no residual degrees of freedom",
+                n=n,
+                n_treated=n_treated,
+                n_control=n_control,
+                adjustment=adjustment,
+            )
+        if fit.rank < design.shape[1] and _treatment_unidentified(design):
+            # The treated indicator lies in the span of the intercept and
+            # the adjustment block — the effect is not identified (zero
+            # overlap within adjustment strata) and lstsq's minimum-norm
+            # split would silently report an arbitrary coefficient.
+            return CateResult.invalid(
+                "treatment collinear with the adjustment set "
+                "(no treated/control overlap within strata)",
                 n=n,
                 n_treated=n_treated,
                 n_control=n_control,

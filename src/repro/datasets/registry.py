@@ -3,6 +3,14 @@
 Keeps the experiment harness free of dataset-specific imports — a benchmark
 asks for ``load_dataset("stackoverflow", n=6000)`` and receives a
 :class:`~repro.datasets.bundle.DatasetBundle`.
+
+Besides the two paper datasets, every ground-truth world of the scenario
+oracle grid (:mod:`repro.scenarios`) is addressable as
+``scenario:<name>`` — e.g. ``load_dataset("scenario:linear-g2-d1-gap-lo")``
+— so the CLI and the benchmarks can name known-CATE worlds the same way
+they name the bundled datasets.  Scenario resolution is imported lazily to
+keep ``repro.datasets`` import-light (and cycle-free: the scenario package
+itself builds :class:`DatasetBundle` objects).
 """
 
 from __future__ import annotations
@@ -22,6 +30,13 @@ DATASET_LOADERS: dict[str, Callable[..., DatasetBundle]] = {
 }
 
 
+def available_datasets() -> tuple[str, ...]:
+    """Every loadable dataset name: bundled datasets plus scenario worlds."""
+    from repro.scenarios.catalog import scenario_names
+
+    return tuple(sorted(DATASET_LOADERS)) + scenario_names()
+
+
 def load_dataset(
     name: str,
     n: int | None = None,
@@ -32,18 +47,27 @@ def load_dataset(
     Parameters
     ----------
     name:
-        ``"stackoverflow"`` or ``"german"``.
+        ``"stackoverflow"``, ``"german"``, or a scenario world
+        (``"scenario:<name>"``).
     n:
-        Row count override (``None`` = the paper's size: 38K / 1K).
+        Row count override (``None`` = the paper's size: 38K / 1K; scenario
+        worlds default to :data:`repro.scenarios.catalog.DEFAULT_ROWS`).
     rng:
         Seed or generator.
     """
-    try:
-        loader = DATASET_LOADERS[name]
-    except KeyError:
+    loader = DATASET_LOADERS.get(name)
+    if loader is None:
+        from repro.scenarios.catalog import is_scenario_name, load_scenario
+
+        if is_scenario_name(name):
+            if n is None:
+                return load_scenario(name, rng=rng)
+            return load_scenario(name, n=n, rng=rng)
         raise ConfigError(
-            f"unknown dataset {name!r}; available: {sorted(DATASET_LOADERS)}"
-        ) from None
+            f"unknown dataset {name!r}; available: {sorted(DATASET_LOADERS)} "
+            "plus the scenario worlds (scenario:<name> — see "
+            "`python -m repro list-datasets`)"
+        )
     if n is None:
         return loader(rng=rng)
     return loader(n=n, rng=rng)

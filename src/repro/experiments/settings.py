@@ -59,6 +59,9 @@ class ExperimentSettings:
     cache_size: int | None = None
     """CATE memo bound; ``None`` = the FairCapConfig default, ``0`` disables
     caching entirely (cache-free, paper-methodology-comparable runtimes)."""
+    n_override: int | None = None
+    """Explicit row-count override (the CLI's ``--n``); applies to every
+    dataset including scenario worlds.  ``None`` = per-dataset defaults."""
 
     @classmethod
     def from_environment(cls) -> "ExperimentSettings":
@@ -86,7 +89,15 @@ class ExperimentSettings:
 
     def rows_for(self, dataset: str) -> int:
         """Experiment row count for ``dataset``."""
-        return self.so_n if dataset == "stackoverflow" else self.german_n
+        if dataset == "stackoverflow":
+            return self.so_n
+        if dataset == "german":
+            return self.german_n
+        from repro.scenarios.catalog import DEFAULT_ROWS, is_scenario_name
+
+        if is_scenario_name(dataset):
+            return self.n_override if self.n_override is not None else DEFAULT_ROWS
+        return self.german_n
 
     def load(self, dataset: str) -> DatasetBundle:
         """Load ``dataset`` at the experiment scale."""

@@ -1,0 +1,72 @@
+"""Ground-truth scenario factory and oracle verification harness.
+
+This package generates parameterized SCM *worlds* whose per-group CATEs,
+fairness-optimal rulesets, and expected utilities are known in closed form,
+and provides the oracle checks that assert FairCap recovers them:
+
+- :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` and the canonical
+  oracle grid (confounding depth, heterogeneous effects, protected benefit
+  gaps, rule overlap, noise, degenerate worlds);
+- :mod:`repro.scenarios.world` — :class:`ScenarioWorld`: SCM construction
+  plus the closed-form oracles (true rule utilities, planted optimal
+  ruleset, population Eq. 5-7 metrics);
+- :mod:`repro.scenarios.catalog` — the grid as registry-loadable datasets
+  (``scenario:<name>``);
+- :mod:`repro.scenarios.oracle` — end-to-end checks: CATE recovery,
+  planted-ruleset recovery, fairness, batch≡scalar and serial≡process
+  differentials, and the serving round-trip.
+
+``tests/scenarios/`` drives these checks over the whole grid;
+``benchmarks/bench_scenarios.py`` records mining wall-clock across it.
+"""
+
+from repro.scenarios.catalog import (
+    DEFAULT_ROWS,
+    SCENARIO_PREFIX,
+    load_scenario,
+    scenario_names,
+    scenario_spec,
+)
+from repro.scenarios.oracle import (
+    check_batch_scalar,
+    check_cate_recovery,
+    check_executors,
+    check_fairness,
+    check_planted_recovery,
+    check_serve_roundtrip,
+    check_world,
+    oracle_config,
+    run_world,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    degenerate_specs,
+    oracle_grid,
+    random_spec,
+    spec_by_name,
+)
+from repro.scenarios.world import ScenarioWorld, TrueRule
+
+__all__ = [
+    "DEFAULT_ROWS",
+    "SCENARIO_PREFIX",
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "TrueRule",
+    "check_batch_scalar",
+    "check_cate_recovery",
+    "check_executors",
+    "check_fairness",
+    "check_planted_recovery",
+    "check_serve_roundtrip",
+    "check_world",
+    "degenerate_specs",
+    "load_scenario",
+    "oracle_config",
+    "oracle_grid",
+    "random_spec",
+    "run_world",
+    "scenario_names",
+    "scenario_spec",
+    "spec_by_name",
+]

@@ -1,0 +1,60 @@
+"""Named scenario datasets: the oracle grid as registry-loadable bundles.
+
+Every spec in :func:`repro.scenarios.spec.oracle_grid` is addressable as a
+dataset named ``scenario:<spec name>`` — the dataset registry
+(:mod:`repro.datasets.registry`), the CLI (``python -m repro list-datasets``)
+and the benchmarks all resolve scenario worlds through this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.bundle import DatasetBundle
+from repro.scenarios.spec import ScenarioSpec, oracle_grid, spec_by_name
+from repro.scenarios.world import ScenarioWorld
+from repro.utils.errors import ConfigError
+
+SCENARIO_PREFIX = "scenario:"
+DEFAULT_ROWS = 2_000
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registry names of every grid scenario, sorted."""
+    return tuple(SCENARIO_PREFIX + spec.name for spec in oracle_grid())
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    """Resolve a registry name (``scenario:<name>``) to its spec."""
+    if not name.startswith(SCENARIO_PREFIX):
+        raise ConfigError(
+            f"scenario datasets are named {SCENARIO_PREFIX}<name>; got {name!r}"
+        )
+    return spec_by_name(name[len(SCENARIO_PREFIX):])
+
+
+def load_scenario(
+    name: str,
+    n: int = DEFAULT_ROWS,
+    rng: int | np.random.Generator | None = None,
+) -> DatasetBundle:
+    """Sample a named scenario world as a :class:`DatasetBundle`.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``scenario:<name>``) or the bare spec name.
+    n:
+        Row count (default 2,000).
+    rng:
+        Seed or generator; ``None`` uses the scenario's own stable seed.
+    """
+    if not name.startswith(SCENARIO_PREFIX):
+        name = SCENARIO_PREFIX + name
+    spec = scenario_spec(name)
+    return ScenarioWorld(spec).bundle(n, rng=rng)
+
+
+def is_scenario_name(name: str) -> bool:
+    """Whether ``name`` addresses a scenario dataset."""
+    return name.startswith(SCENARIO_PREFIX)

@@ -1,0 +1,342 @@
+"""Oracle verification: run FairCap on a ground-truth world and check it.
+
+Every check returns a list of human-readable problem strings (empty =
+pass), so the same logic drives both the pytest harness in
+``tests/scenarios/`` (``assert not problems``) and the scenario benchmark's
+built-in gate (``benchmarks/bench_scenarios.py``), mirroring the repo's
+differential-bench convention.
+
+The checks cover the five oracle properties of the scenario harness:
+
+a. **CATE recovery** — every mined rule's estimate sits inside the analytic
+   confidence band around the closed-form truth
+   (:func:`check_cate_recovery`);
+b. **planted-ruleset recovery** — the selected ruleset equals the planted
+   optimum, or is utility-equivalent under the true expected-utility
+   functional (:func:`check_planted_recovery`);
+c. **fairness** — the scenario's constraints hold on the mined result
+   (:func:`check_fairness`);
+d. **differentials** — batch ≡ scalar estimation and serial ≡ process
+   execution (:func:`check_batch_scalar`, :func:`check_executors`);
+e. **serving round-trip** — export → compile → prescribe returns identical
+   decisions before and after the JSON round-trip
+   (:func:`check_serve_roundtrip`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap, FairCapResult
+from repro.datasets.bundle import DatasetBundle
+from repro.parallel.executors import ProcessExecutor
+from repro.scenarios.world import ScenarioWorld
+from repro.serve.artifact import ServingArtifact
+from repro.serve.engine import PrescriptionEngine
+
+#: Apriori floor of the oracle configuration; every grid spec keeps its
+#: smallest group probability comfortably above it.
+ORACLE_MIN_SUPPORT = 0.08
+#: Half-width multiplier of the analytic band: estimate within z standard
+#: errors of the closed-form truth.
+CATE_Z = 6.0
+#: Absolute slack added to every band (guards near-zero standard errors).
+CATE_ABS_TOL = 0.05
+#: Relative tolerance on true expected utility for "utility-equivalent"
+#: recovered rulesets that differ from the planted one.
+RECOVERY_EU_RTOL = 0.02
+#: Tolerance of the batch-vs-scalar utility comparison.
+BATCH_RTOL = 1e-9
+
+
+def oracle_config(world: ScenarioWorld, **overrides) -> FairCapConfig:
+    """The FairCap configuration the oracle harness runs a world under.
+
+    Grouping is restricted to the world's effect-bearing immutable
+    attributes and intervention patterns to single treatments, so every
+    candidate rule has a closed-form estimand (conjunctions of binary
+    treatments would mix treated populations and lose exactness).
+    ``stop_threshold=0`` makes the greedy deterministic against the planted
+    optimum: every positive-score admissible rule is selected.
+    """
+    defaults = dict(
+        variant=world.spec.variant(),
+        apriori_min_support=ORACLE_MIN_SUPPORT,
+        max_grouping_size=1,
+        max_intervention_size=1,
+        grouping_attributes=world.grouping_attributes,
+        stop_threshold=0.0,
+    )
+    defaults.update(overrides)
+    return FairCapConfig(**defaults)
+
+
+def run_world(
+    world: ScenarioWorld,
+    bundle: DatasetBundle,
+    config: FairCapConfig | None = None,
+    executor=None,
+    cache=None,
+) -> FairCapResult:
+    """Run FairCap end-to-end on a sampled world."""
+    config = config if config is not None else oracle_config(world)
+    return FairCap(config, executor=executor, cache=cache).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+
+
+# -- (a) CATE recovery -------------------------------------------------------------
+
+
+def _band_problem(
+    label: str, estimate, truth: float, z: float
+) -> str | None:
+    if estimate is None or not estimate.valid:
+        return None
+    half_width = CATE_ABS_TOL
+    if math.isfinite(estimate.stderr):
+        half_width += z * estimate.stderr
+    if abs(estimate.estimate - truth) > half_width:
+        return (
+            f"{label}: estimate {estimate.estimate:.4f} outside "
+            f"truth {truth:.4f} ± {half_width:.4f}"
+        )
+    return None
+
+
+def check_cate_recovery(
+    world: ScenarioWorld, result: FairCapResult, z: float = CATE_Z
+) -> list[str]:
+    """Every candidate rule's CATEs lie in the analytic band around truth."""
+    problems: list[str] = []
+    for rule in result.candidate_rules:
+        predicates = rule.intervention.predicates
+        if len(predicates) != 1:  # oracle config caps interventions at 1
+            problems.append(f"unexpected compound intervention: {rule}")
+            continue
+        predicate = predicates[0]
+        truth = world.true_rule(
+            rule.grouping, predicate.attribute, str(predicate.value)
+        )
+        label = f"{rule.grouping} -> {rule.intervention}"
+        for suffix, estimate, true_value in (
+            ("", rule.estimate, truth.utility),
+            ("[protected]", rule.estimate_protected, truth.utility_protected),
+            (
+                "[non-protected]",
+                rule.estimate_non_protected,
+                truth.utility_non_protected,
+            ),
+        ):
+            problem = _band_problem(label + suffix, estimate, true_value, z)
+            if problem is not None:
+                problems.append(problem)
+    return problems
+
+
+# -- (b) planted recovery ----------------------------------------------------------
+
+
+def check_planted_recovery(
+    world: ScenarioWorld, result: FairCapResult
+) -> list[str]:
+    """Selected rules match the planted optimum (or tie in true utility)."""
+    variant = result.config.variant
+    planted = world.planted_ruleset(
+        variant, min_support=result.config.apriori_min_support
+    )
+    recovered = {
+        (rule.grouping, rule.intervention) for rule in result.ruleset
+    }
+    expected = {(rule.grouping, rule.intervention) for rule in planted}
+    if recovered == expected:
+        return []
+    # Escape hatch: a different ruleset is acceptable only when its *true*
+    # expected utility ties the planted optimum (utility-equivalent plans).
+    recovered_rules = [
+        world._true_prescription_rule(
+            rule.grouping,
+            rule.intervention.predicates[0].attribute,
+            str(rule.intervention.predicates[0].value),
+        )
+        for rule in result.ruleset
+        if len(rule.intervention.predicates) == 1
+    ]
+    if len(recovered_rules) != len(result.ruleset):
+        return [f"recovered ruleset has compound interventions: {recovered}"]
+    got = world.true_metrics(recovered_rules).expected_utility
+    want = world.true_metrics(list(planted)).expected_utility
+    slack = RECOVERY_EU_RTOL * max(1.0, abs(want))
+    if abs(got - want) <= slack:
+        return []
+    return [
+        "planted ruleset not recovered: "
+        f"expected {sorted(map(str, expected))}, got {sorted(map(str, recovered))} "
+        f"(true EU {got:.4f} vs optimum {want:.4f})"
+    ]
+
+
+# -- (c) fairness ------------------------------------------------------------------
+
+
+def check_fairness(result: FairCapResult) -> list[str]:
+    """The scenario's constraints hold on the mined result."""
+    problems: list[str] = []
+    variant = result.config.variant
+    fairness = variant.fairness
+    if fairness is not None and fairness.is_matroid:
+        for rule in result.ruleset:
+            if not fairness.satisfied_by_rule(rule):
+                problems.append(
+                    f"rule violates {fairness.describe()}: {rule}"
+                )
+    if (variant.fairness is not None or variant.coverage is not None) and (
+        len(result.ruleset) > 0
+    ):
+        if not result.satisfied():
+            problems.append(
+                f"selected ruleset violates the variant "
+                f"({variant.describe()}): {result.metrics}"
+            )
+    return problems
+
+
+# -- (d) differentials -------------------------------------------------------------
+
+
+def _same_float(a: float, b: float) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def _compare_results(
+    reference: FairCapResult,
+    candidate: FairCapResult,
+    rtol: float,
+    label: str,
+) -> list[str]:
+    problems: list[str] = []
+    if candidate.nodes_evaluated != reference.nodes_evaluated:
+        problems.append(
+            f"{label}: lattice differs ({candidate.nodes_evaluated} vs "
+            f"{reference.nodes_evaluated} nodes)"
+        )
+    if len(candidate.candidate_rules) != len(reference.candidate_rules):
+        problems.append(f"{label}: candidate count differs")
+        return problems
+    for got, want in zip(candidate.candidate_rules, reference.candidate_rules):
+        if got.grouping != want.grouping or got.intervention != want.intervention:
+            problems.append(
+                f"{label}: candidate patterns differ ({got} vs {want})"
+            )
+            break
+        for field in ("utility", "utility_protected", "utility_non_protected"):
+            a, b = getattr(got, field), getattr(want, field)
+            if rtol == 0.0:
+                same = _same_float(a, b)
+            else:
+                same = abs(a - b) <= rtol * max(abs(a), abs(b), 1.0)
+            if not same:
+                problems.append(
+                    f"{label}: {field} differs on {got.grouping} "
+                    f"({a!r} vs {b!r})"
+                )
+                break
+    got_rules = [(r.grouping, r.intervention) for r in candidate.ruleset]
+    want_rules = [(r.grouping, r.intervention) for r in reference.ruleset]
+    if got_rules != want_rules:
+        problems.append(f"{label}: selected rulesets differ")
+    return problems
+
+
+def check_batch_scalar(
+    world: ScenarioWorld,
+    bundle: DatasetBundle,
+    config: FairCapConfig | None = None,
+    reference: FairCapResult | None = None,
+) -> list[str]:
+    """Batched FWL estimation agrees with the scalar per-candidate path."""
+    config = config if config is not None else oracle_config(world)
+    if reference is None:
+        reference = run_world(world, bundle, config)
+    from dataclasses import replace
+
+    scalar = run_world(
+        world, bundle, replace(config, batch_estimation=False)
+    )
+    return _compare_results(scalar, reference, BATCH_RTOL, "batch-vs-scalar")
+
+
+def check_executors(
+    world: ScenarioWorld,
+    bundle: DatasetBundle,
+    config: FairCapConfig | None = None,
+    reference: FairCapResult | None = None,
+    n_workers: int = 2,
+) -> list[str]:
+    """ProcessExecutor mining is bit-identical to the serial reference."""
+    config = config if config is not None else oracle_config(world)
+    if reference is None:
+        reference = run_world(world, bundle, config)
+    parallel = run_world(
+        world, bundle, config, executor=ProcessExecutor(n_workers)
+    )
+    return _compare_results(reference, parallel, 0.0, "serial-vs-process")
+
+
+# -- (e) serving round-trip --------------------------------------------------------
+
+
+def check_serve_roundtrip(
+    result: FairCapResult, bundle: DatasetBundle
+) -> list[str]:
+    """Export → JSON → compile → prescribe preserves every decision."""
+    problems: list[str] = []
+    artifact = ServingArtifact(
+        result.ruleset,
+        schema=bundle.schema,
+        protected=bundle.protected,
+        metadata={"dataset": bundle.name, "variant": result.config.variant.name},
+    )
+    restored = ServingArtifact.from_json(artifact.to_json())
+    if restored.ruleset != result.ruleset:
+        problems.append("ruleset changed across the JSON round-trip")
+        return problems
+    original = PrescriptionEngine(
+        result.ruleset, protected=bundle.protected, schema=bundle.schema
+    )
+    roundtripped = PrescriptionEngine.from_artifact(restored)
+    decisions_a = original.prescribe_table(bundle.table)
+    decisions_b = roundtripped.prescribe_table(bundle.table)
+    if decisions_a != decisions_b:
+        problems.append("prescriptions differ after the JSON round-trip")
+    # The scalar path must agree with the vectorized table path.
+    rows = bundle.table.to_rows()
+    for index in range(0, len(rows), max(1, len(rows) // 16)):
+        if roundtripped.prescribe(rows[index]) != decisions_b[index]:
+            problems.append(
+                f"scalar prescription differs from the table path at row {index}"
+            )
+            break
+    return problems
+
+
+def check_world(
+    world: ScenarioWorld,
+    bundle: DatasetBundle,
+    config: FairCapConfig | None = None,
+    include_process: bool = True,
+) -> list[str]:
+    """Run every oracle check on one sampled world (the bench gate)."""
+    config = config if config is not None else oracle_config(world)
+    result = run_world(world, bundle, config)
+    problems = check_cate_recovery(world, result)
+    problems += check_fairness(result)
+    problems += check_batch_scalar(world, bundle, config, reference=result)
+    if include_process:
+        problems += check_executors(world, bundle, config, reference=result)
+    problems += check_serve_roundtrip(result, bundle)
+    return problems

@@ -1,0 +1,417 @@
+"""Parameterized ground-truth scenario specifications.
+
+A :class:`ScenarioSpec` describes one *world*: a linear/discrete SCM whose
+per-group CATEs, fairness-optimal ruleset, and expected utility are all
+known in closed form (see :mod:`repro.scenarios.world` for the structural
+model and the exactness argument).  The spec controls every axis the oracle
+harness wants to probe:
+
+- **confounding depth** — a chain of binary confounders driving both the
+  treatment propensities and the outcome level;
+- **heterogeneous treatment effects** — an ``effects[group][treatment]``
+  matrix of signed outcome shifts;
+- **protected-group benefit gaps** — per-treatment moderation factors for
+  the protected subpopulation;
+- **rule overlap** — an optional second immutable attribute whose grouping
+  patterns cross-cut the effect-bearing groups;
+- **noise level and dataset size** — outcome noise and the recovery tier.
+
+:func:`oracle_grid` enumerates the canonical grid (36 distinct worlds)
+covering all of the above plus one scenario per problem-variant family;
+:func:`degenerate_specs` isolates the pathological worlds (zero effect,
+perfect separation, single stratum); :func:`random_spec` draws fuzzing
+specs from the same parameter space.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.variants import ProblemVariant
+from repro.fairness.constraints import FairnessConstraint
+from repro.fairness.coverage import CoverageConstraint
+from repro.utils.errors import ConfigError
+
+#: Effect matrices reused across the grid.  Margins between the best and
+#: runner-up |effect| within every group are >= 1.1 so the planted argmax
+#: survives estimation noise at the recovery tier.
+EFFECTS_2G = ((3.0, 1.2), (-2.6, 0.9))
+EFFECTS_3G = ((3.0, 1.2), (-2.6, 0.9), (1.8, -2.9))
+EFFECTS_1T = ((2.5,), (-2.2,))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to build one ground-truth world.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier; ``scenario:<name>`` is the dataset-registry key.
+    effects:
+        ``effects[g][j]`` — outcome shift of treatment ``j``'s "Yes" value
+        for group ``g`` (non-protected rows); protected rows receive
+        ``effects[g][j] * protected_factors[j]``.
+    group_probs:
+        Marginal distribution of the group attribute (``None`` = uniform).
+    n_regions:
+        When >= 2, adds a causally inert immutable ``Region`` attribute and
+        includes it in grouping mining — regions cross-cut groups, so their
+        rules *overlap* the group rules.
+    confounding_depth:
+        Length of the binary confounder chain ``Z1 -> ... -> Zd``; the last
+        confounder tilts every treatment propensity and each confounder
+        shifts the outcome.  ``0`` disables confounding.
+    protected_factors:
+        Per-treatment moderation of the effect for protected rows
+        (``None`` = all 1.0, i.e. no benefit gap).
+    protected_rate:
+        ``P(Status = protected)``, independent of everything else.
+    noise:
+        Outcome noise standard deviation.
+    confounder_strength:
+        Outcome shift per "hi" confounder.
+    base_propensity, propensity_tilt:
+        ``P(T = Yes)`` is ``base ± tilt`` depending on the last confounder
+        (``base`` alone at depth 0).  ``tilt = base = 0.5`` yields a
+        perfectly separated world (the treatment is a deterministic
+        function of the confounder, so every design is degenerate).
+    fairness_kind, fairness_scope, fairness_threshold:
+        Optional fairness constraint defining the scenario's variant.
+    coverage_kind, coverage_theta, coverage_theta_protected:
+        Optional coverage constraint defining the scenario's variant.
+    recovery_n:
+        Row count of the planted-recovery tier.
+    assert_recovery:
+        Whether the oracle harness asserts exact planted-ruleset recovery
+        for this world (degenerate worlds assert weaker invariants).
+    """
+
+    name: str
+    effects: tuple[tuple[float, ...], ...]
+    group_probs: tuple[float, ...] | None = None
+    n_regions: int = 0
+    confounding_depth: int = 1
+    protected_factors: tuple[float, ...] | None = None
+    protected_rate: float = 0.3
+    noise: float = 1.0
+    confounder_strength: float = 1.0
+    base_propensity: float = 0.5
+    propensity_tilt: float = 0.2
+    fairness_kind: str | None = None
+    fairness_scope: str | None = None
+    fairness_threshold: float = 0.0
+    coverage_kind: str | None = None
+    coverage_theta: float = 0.0
+    coverage_theta_protected: float = 0.0
+    recovery_n: int = 2400
+    assert_recovery: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario name must be non-empty")
+        if not self.effects or not self.effects[0]:
+            raise ConfigError("effects matrix must be non-empty")
+        widths = {len(row) for row in self.effects}
+        if len(widths) != 1:
+            raise ConfigError("effects matrix must be rectangular")
+        if self.group_probs is not None:
+            if len(self.group_probs) != self.n_groups:
+                raise ConfigError("group_probs length must match effects rows")
+            if abs(sum(self.group_probs) - 1.0) > 1e-9:
+                raise ConfigError("group_probs must sum to 1")
+            if min(self.group_probs) <= 0.0:
+                raise ConfigError("group_probs must be positive")
+        if self.protected_factors is not None and (
+            len(self.protected_factors) != self.n_treatments
+        ):
+            raise ConfigError("protected_factors length must match treatments")
+        if not 0.0 < self.protected_rate < 1.0:
+            raise ConfigError("protected_rate must be in (0, 1)")
+        if self.confounding_depth < 0:
+            raise ConfigError("confounding_depth must be >= 0")
+        if self.noise < 0.0:
+            raise ConfigError("noise must be >= 0")
+        lo = self.base_propensity - self.propensity_tilt
+        hi = self.base_propensity + self.propensity_tilt
+        if not (0.0 <= lo and hi <= 1.0):
+            raise ConfigError("propensity base ± tilt must stay within [0, 1]")
+        if (self.fairness_kind is None) != (self.fairness_scope is None):
+            raise ConfigError("fairness kind and scope must be set together")
+
+    # -- derived shape ---------------------------------------------------------
+
+    @property
+    def n_groups(self) -> int:
+        """Number of values of the ``Group`` attribute."""
+        return len(self.effects)
+
+    @property
+    def n_treatments(self) -> int:
+        """Number of binary treatment attributes."""
+        return len(self.effects[0])
+
+    @property
+    def group_probabilities(self) -> tuple[float, ...]:
+        """Group marginals (uniform when unspecified)."""
+        if self.group_probs is not None:
+            return self.group_probs
+        return tuple([1.0 / self.n_groups] * self.n_groups)
+
+    @property
+    def factors(self) -> tuple[float, ...]:
+        """Per-treatment protected moderation factors (default all 1)."""
+        if self.protected_factors is not None:
+            return self.protected_factors
+        return tuple([1.0] * self.n_treatments)
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-scenario seed derived from the name."""
+        return zlib.crc32(self.name.encode())
+
+    def variant(self) -> ProblemVariant:
+        """The problem variant this scenario is evaluated under."""
+        fairness = None
+        if self.fairness_kind is not None:
+            assert self.fairness_scope is not None
+            fairness = FairnessConstraint(
+                self.fairness_kind, self.fairness_scope, self.fairness_threshold
+            )
+        coverage = None
+        if self.coverage_kind is not None:
+            coverage = CoverageConstraint(
+                self.coverage_kind,
+                self.coverage_theta,
+                self.coverage_theta_protected,
+            )
+        return ProblemVariant(fairness=fairness, coverage=coverage)
+
+
+# -- the canonical grid -----------------------------------------------------------
+
+
+def _linear_specs() -> Iterator[ScenarioSpec]:
+    """The 24-spec core: groups x depth x benefit gap x noise."""
+    for n_groups, effects in ((2, EFFECTS_2G), (3, EFFECTS_3G)):
+        for depth in (0, 1, 2):
+            for gap_tag, factor in (("fair", None), ("gap", 0.45)):
+                for noise_tag, noise in (("lo", 0.6), ("hi", 1.5)):
+                    factors = (
+                        None
+                        if factor is None
+                        else tuple([factor] * len(effects[0]))
+                    )
+                    yield ScenarioSpec(
+                        name=(
+                            f"linear-g{n_groups}-d{depth}-{gap_tag}-{noise_tag}"
+                        ),
+                        effects=effects,
+                        confounding_depth=depth,
+                        protected_factors=factors,
+                        noise=noise,
+                        description=(
+                            f"{n_groups} groups, confounder chain of {depth}, "
+                            f"{'uniform benefit' if factor is None else 'protected gap'}, "
+                            f"noise {noise:g}"
+                        ),
+                    )
+
+
+def _variant_specs() -> Iterator[ScenarioSpec]:
+    """One scenario per problem-variant family, planted to discriminate."""
+    # Individual SP: the highest-utility treatment carries a large benefit
+    # gap (factor 0.15 -> gap 2.55 > epsilon) while the runner-up's gap is
+    # tiny (0.15 < epsilon), so the fairness-optimal ruleset differs from
+    # the unconstrained one.
+    yield ScenarioSpec(
+        name="variant-indiv-sp",
+        effects=((3.0, 1.5), (-3.0, 1.6)),
+        protected_factors=(0.15, 0.9),
+        noise=0.5,
+        fairness_kind="SP",
+        fairness_scope="individual",
+        fairness_threshold=1.3,
+        recovery_n=3000,
+        description="individual SP flips the per-group best treatment",
+    )
+    # Individual BGL: protected utility of the top treatment (0.45) sits
+    # below tau while the runner-up clears it (>= 1.35).
+    yield ScenarioSpec(
+        name="variant-indiv-bgl",
+        effects=((3.0, 1.5), (-3.0, 1.6)),
+        protected_factors=(0.15, 0.9),
+        noise=0.5,
+        fairness_kind="BGL",
+        fairness_scope="individual",
+        fairness_threshold=0.9,
+        recovery_n=3000,
+        description="individual BGL floors out the high-gap treatment",
+    )
+    # Group-scope constraints with feasible thresholds: the planted optimum
+    # satisfies them outright; the harness asserts they are never violated.
+    yield ScenarioSpec(
+        name="variant-group-sp",
+        effects=EFFECTS_2G,
+        protected_factors=(0.45, 0.45),
+        noise=0.6,
+        fairness_kind="SP",
+        fairness_scope="group",
+        fairness_threshold=3.0,
+        description="ruleset-level SP with a feasible epsilon",
+    )
+    yield ScenarioSpec(
+        name="variant-group-bgl",
+        effects=EFFECTS_2G,
+        protected_factors=(0.9, 0.9),
+        noise=0.6,
+        fairness_kind="BGL",
+        fairness_scope="group",
+        fairness_threshold=0.2,
+        description="ruleset-level BGL with a feasible tau",
+    )
+    yield ScenarioSpec(
+        name="variant-group-coverage",
+        effects=EFFECTS_2G,
+        noise=0.6,
+        coverage_kind="group",
+        coverage_theta=0.5,
+        coverage_theta_protected=0.5,
+        description="union coverage over both planted groups",
+    )
+    yield ScenarioSpec(
+        name="variant-rule-coverage",
+        effects=EFFECTS_2G,
+        noise=0.6,
+        coverage_kind="rule",
+        coverage_theta=0.3,
+        coverage_theta_protected=0.3,
+        description="per-rule coverage floor (raises the Apriori threshold)",
+    )
+
+
+def _structural_specs() -> Iterator[ScenarioSpec]:
+    """Overlap / imbalance / rarity probes (still exactly recoverable)."""
+    yield ScenarioSpec(
+        name="overlap-regions",
+        effects=EFFECTS_2G,
+        n_regions=2,
+        noise=0.6,
+        description="inert Region attribute overlaps the effect groups",
+    )
+    yield ScenarioSpec(
+        name="imbalanced-groups",
+        effects=EFFECTS_2G,
+        group_probs=(0.75, 0.25),
+        noise=0.6,
+        description="3:1 group imbalance",
+    )
+    yield ScenarioSpec(
+        name="rare-protected",
+        effects=EFFECTS_2G,
+        protected_rate=0.04,
+        noise=0.6,
+        description=(
+            "protected group too small to estimate at base n — probes the "
+            "minimum-subgroup guard"
+        ),
+    )
+
+
+def degenerate_specs() -> tuple[ScenarioSpec, ...]:
+    """Pathological worlds: zero effect, perfect separation, one stratum."""
+    return (
+        ScenarioSpec(
+            name="zero-effect",
+            effects=((0.0, 0.0), (0.0, 0.0)),
+            noise=1.0,
+            assert_recovery=False,
+            description="no treatment moves the outcome; truth is silence",
+        ),
+        ScenarioSpec(
+            name="separated",
+            effects=EFFECTS_2G,
+            propensity_tilt=0.5,
+            noise=0.6,
+            assert_recovery=False,
+            description=(
+                "treatment is a deterministic function of the confounder; "
+                "every adjusted design is collinear"
+            ),
+        ),
+        ScenarioSpec(
+            name="single-stratum",
+            effects=(EFFECTS_1T[0],),
+            confounding_depth=1,
+            noise=0.6,
+            description="one group covering the entire table",
+        ),
+    )
+
+
+def oracle_grid() -> tuple[ScenarioSpec, ...]:
+    """The canonical oracle grid (36 distinct worlds), name-sorted."""
+    specs = (
+        list(_linear_specs())
+        + list(_variant_specs())
+        + list(_structural_specs())
+        + list(degenerate_specs())
+    )
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):  # pragma: no cover - grid invariant
+        raise ConfigError("duplicate scenario names in the oracle grid")
+    return tuple(sorted(specs, key=lambda spec: spec.name))
+
+
+def spec_by_name(name: str) -> ScenarioSpec:
+    """Look up a grid spec by name."""
+    for spec in oracle_grid():
+        if spec.name == name:
+            return spec
+    raise ConfigError(
+        f"unknown scenario {name!r}; available: "
+        f"{[s.name for s in oracle_grid()]}"
+    )
+
+
+# -- fuzzing ----------------------------------------------------------------------
+
+
+def random_spec(rng: np.random.Generator, index: int = 0) -> ScenarioSpec:
+    """Draw a random (possibly degenerate) spec from the parameter space.
+
+    Used by the scenario fuzz tests: the draw is entirely determined by the
+    ``rng`` stream, so the per-test ``rng`` fixture makes fuzz runs
+    reproducible.  Recovery is never asserted for fuzzed worlds — only the
+    structural invariants (no crash, finite utilities, differential
+    equality, fairness of matroid variants).
+    """
+    n_groups = int(rng.integers(1, 4))
+    n_treatments = int(rng.integers(1, 3))
+    effects = tuple(
+        tuple(
+            float(rng.choice([-3.0, -1.5, 0.0, 1.2, 2.4, 3.2]))
+            for _ in range(n_treatments)
+        )
+        for _ in range(n_groups)
+    )
+    factors = tuple(
+        float(rng.choice([0.2, 0.5, 1.0, 1.3])) for _ in range(n_treatments)
+    )
+    return ScenarioSpec(
+        name=f"fuzz-{index}",
+        effects=effects,
+        confounding_depth=int(rng.integers(0, 3)),
+        protected_factors=factors,
+        protected_rate=float(rng.choice([0.1, 0.3, 0.5])),
+        noise=float(rng.choice([0.3, 1.0, 2.0])),
+        propensity_tilt=float(rng.choice([0.0, 0.2, 0.35])),
+        n_regions=int(rng.choice([0, 2])),
+        assert_recovery=False,
+        description="randomized fuzz world",
+    )

@@ -1,0 +1,499 @@
+"""Ground-truth worlds: SCM construction plus closed-form oracles.
+
+Structural model (all draws independent across rows)::
+
+    Group  ~ Cat(group_probs)                       immutable, effect-bearing
+    Region ~ Uniform(r0..r{k-1})                    immutable, causally inert
+    Status ~ {protected w.p. q, other w.p. 1-q}     immutable, moderates effects
+    Z1     ~ Bern(1/2);  Zi flips Z(i-1) w.p. 1/4   auxiliary confounders
+    Tj     ~ Bern(base ± tilt·sign(Zd))             mutable, binary "Yes"/"No"
+    Y      = a·g + s·#hi(Z) + Σj e[g][j]·f_j(S)·1[Tj=Yes] + σ·ε
+
+Why the CATEs are exact, not just approximate: every confounder is binary,
+so the linear adjustment's projection of ``Tj`` onto the confounder dummies
+*is* the conditional expectation ``E[Tj | Z]`` — the FWL residual is exactly
+mean-independent of every function of ``Z``.  Treatment propensities do not
+depend on ``Status``, so the OLS weighting (proportional to the residual
+variance) is independent of ``Status`` too, and the estimand of a rule
+``(pattern, Tj = v)`` collapses to a probability-weighted average of the
+signed cell effects:
+
+    utility(pattern, Tj=v)       = E[ ±e[g][j]·f_j(S) | pattern ]
+    utility_protected(...)       = E[ ±e[g][j]·f_j    | pattern, protected ]
+    utility_non_protected(...)   = E[ ±e[g][j]        | pattern, ~protected ]
+
+with ``+`` for ``v = "Yes"`` and ``-`` for ``v = "No"``.  Those expectations
+are finite sums over the discrete (group, region, status) cells, which is
+what :meth:`ScenarioWorld.true_rule`, :meth:`ScenarioWorld.true_metrics`
+(Eqs. 5-7 over cells) and :meth:`ScenarioWorld.planted_ruleset` evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.causal.scm import SCMNode, StructuralCausalModel
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.synth import pick, uniform_noise
+from repro.fairness.benefit import benefit
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.rule import PrescriptionRule
+from repro.rules.ruleset import RuleSet, RulesetMetrics
+from repro.scenarios.spec import ScenarioSpec
+from repro.tabular.schema import AttributeKind, AttributeRole, AttributeSpec, Schema
+from repro.utils.rng import ensure_rng
+
+GROUP_ATTR = "Group"
+REGION_ATTR = "Region"
+STATUS_ATTR = "Status"
+OUTCOME_ATTR = "Outcome"
+PROTECTED_VALUE = "protected"
+NON_PROTECTED_VALUE = "other"
+TREATED_VALUE = "Yes"
+CONTROL_VALUE = "No"
+
+#: Outcome shift between consecutive groups (level effect, not a CATE).
+GROUP_BASE_STEP = 0.8
+#: Probability that confounder ``Zi`` flips the state of ``Z(i-1)``.
+CONFOUNDER_FLIP = 0.25
+
+
+@dataclass(frozen=True)
+class TrueRule:
+    """Closed-form utilities of one (grouping pattern, treatment) rule."""
+
+    utility: float
+    utility_protected: float
+    utility_non_protected: float
+
+    @property
+    def gap(self) -> float:
+        """Signed non-protected minus protected utility."""
+        return self.utility_non_protected - self.utility_protected
+
+
+class ScenarioWorld:
+    """One ground-truth world built from a :class:`ScenarioSpec`."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.group_values = tuple(f"g{i}" for i in range(spec.n_groups))
+        self.region_values = tuple(f"r{i}" for i in range(spec.n_regions))
+        self.treatment_names = tuple(
+            f"T{j + 1}" for j in range(spec.n_treatments)
+        )
+        self.confounder_names = tuple(
+            f"Z{i + 1}" for i in range(spec.confounding_depth)
+        )
+        self.scm = self._build_scm()
+        self.schema = self._build_schema()
+        self.protected = ProtectedGroup(
+            Pattern.of(**{STATUS_ATTR: PROTECTED_VALUE}), name="protected rows"
+        )
+
+    # -- structural model ------------------------------------------------------
+
+    def _build_scm(self) -> StructuralCausalModel:
+        spec = self.spec
+        nodes: list[SCMNode] = []
+        group_values = self.group_values
+        group_probs = spec.group_probabilities
+
+        nodes.append(
+            SCMNode(
+                GROUP_ATTR,
+                (),
+                lambda parents, noise: pick(group_values, group_probs, noise),
+                uniform_noise,
+            )
+        )
+        if self.region_values:
+            region_values = self.region_values
+            region_probs = tuple([1.0 / len(region_values)] * len(region_values))
+            nodes.append(
+                SCMNode(
+                    REGION_ATTR,
+                    (),
+                    lambda parents, noise: pick(
+                        region_values, region_probs, noise
+                    ),
+                    uniform_noise,
+                )
+            )
+        rate = spec.protected_rate
+        nodes.append(
+            SCMNode(
+                STATUS_ATTR,
+                (),
+                lambda parents, noise: pick(
+                    (PROTECTED_VALUE, NON_PROTECTED_VALUE),
+                    (rate, 1.0 - rate),
+                    noise,
+                ),
+                uniform_noise,
+            )
+        )
+
+        for i, z_name in enumerate(self.confounder_names):
+            if i == 0:
+                nodes.append(
+                    SCMNode(
+                        z_name,
+                        (),
+                        lambda parents, noise: np.where(
+                            noise < 0.5, "hi", "lo"
+                        ).astype(object),
+                        uniform_noise,
+                    )
+                )
+            else:
+                previous = self.confounder_names[i - 1]
+                nodes.append(
+                    SCMNode(
+                        z_name,
+                        (previous,),
+                        self._make_chain_mechanism(previous),
+                        uniform_noise,
+                    )
+                )
+
+        driver = self.confounder_names[-1] if self.confounder_names else None
+        for t_name in self.treatment_names:
+            nodes.append(
+                SCMNode(
+                    t_name,
+                    (driver,) if driver else (),
+                    self._make_treatment_mechanism(driver),
+                    uniform_noise,
+                )
+            )
+
+        outcome_parents = (
+            (GROUP_ATTR, STATUS_ATTR)
+            + self.confounder_names
+            + self.treatment_names
+        )
+        nodes.append(
+            SCMNode(OUTCOME_ATTR, outcome_parents, self._outcome_mechanism)
+        )
+        return StructuralCausalModel(nodes)
+
+    @staticmethod
+    def _make_chain_mechanism(previous: str):
+        def mechanism(parents, noise):
+            same = parents[previous]
+            p_hi = np.where(same == "hi", 1.0 - CONFOUNDER_FLIP, CONFOUNDER_FLIP)
+            return np.where(noise < p_hi, "hi", "lo").astype(object)
+
+        return mechanism
+
+    def _make_treatment_mechanism(self, driver: str | None):
+        base = self.spec.base_propensity
+        tilt = self.spec.propensity_tilt
+
+        def mechanism(parents, noise):
+            if driver is None:
+                p_yes = np.full(noise.shape[0], base)
+            else:
+                p_yes = np.where(
+                    parents[driver] == "hi", base + tilt, base - tilt
+                )
+            return np.where(
+                noise < p_yes, TREATED_VALUE, CONTROL_VALUE
+            ).astype(object)
+
+        return mechanism
+
+    def _outcome_mechanism(self, parents, noise):
+        spec = self.spec
+        group = parents[GROUP_ATTR]
+        status = parents[STATUS_ATTR]
+        y = np.zeros(group.shape[0], dtype=np.float64)
+        for g, value in enumerate(self.group_values):
+            y[group == value] += GROUP_BASE_STEP * g
+        for z_name in self.confounder_names:
+            y += spec.confounder_strength * (parents[z_name] == "hi")
+        protected = status == PROTECTED_VALUE
+        for g, g_value in enumerate(self.group_values):
+            in_group = group == g_value
+            for j, t_name in enumerate(self.treatment_names):
+                treated = in_group & (parents[t_name] == TREATED_VALUE)
+                moderation = np.where(
+                    protected[treated], spec.factors[j], 1.0
+                )
+                y[treated] += spec.effects[g][j] * moderation
+        return y + spec.noise * noise
+
+    def _build_schema(self) -> Schema:
+        specs = [
+            AttributeSpec(
+                GROUP_ATTR, AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE
+            )
+        ]
+        if self.region_values:
+            specs.append(
+                AttributeSpec(
+                    REGION_ATTR,
+                    AttributeKind.CATEGORICAL,
+                    AttributeRole.IMMUTABLE,
+                )
+            )
+        specs.append(
+            AttributeSpec(
+                STATUS_ATTR, AttributeKind.CATEGORICAL, AttributeRole.IMMUTABLE
+            )
+        )
+        specs += [
+            AttributeSpec(
+                name, AttributeKind.CATEGORICAL, AttributeRole.AUXILIARY
+            )
+            for name in self.confounder_names
+        ]
+        specs += [
+            AttributeSpec(
+                name, AttributeKind.CATEGORICAL, AttributeRole.MUTABLE
+            )
+            for name in self.treatment_names
+        ]
+        specs.append(
+            AttributeSpec(
+                OUTCOME_ATTR, AttributeKind.CONTINUOUS, AttributeRole.OUTCOME
+            )
+        )
+        return Schema(specs)
+
+    @property
+    def grouping_attributes(self) -> tuple[str, ...]:
+        """Attributes the oracle configuration mines grouping patterns over."""
+        if self.region_values:
+            return (GROUP_ATTR, REGION_ATTR)
+        return (GROUP_ATTR,)
+
+    def bundle(
+        self, n: int, rng: int | np.random.Generator | None = None
+    ) -> DatasetBundle:
+        """Sample ``n`` rows and package them as a :class:`DatasetBundle`."""
+        generator = ensure_rng(self.spec.seed if rng is None else rng)
+        table = self.scm.sample_table(n, generator, schema=self.schema)
+        return DatasetBundle(
+            name=f"scenario:{self.spec.name}",
+            table=table,
+            schema=self.schema,
+            dag=self.scm.dag(),
+            protected=self.protected,
+            scm=self.scm,
+            default_fairness_threshold=self.spec.fairness_threshold,
+            default_coverage_theta=self.spec.coverage_theta or 0.5,
+            fairness_kind=self.spec.fairness_kind or "SP",
+        )
+
+    # -- closed-form oracle ----------------------------------------------------
+
+    def cells(self) -> Iterator[tuple[dict[str, object], float]]:
+        """The discrete immutable-attribute cells with their probabilities.
+
+        Confounders integrate out: they are independent of every immutable
+        attribute and only shift the outcome level, never a CATE.
+        """
+        spec = self.spec
+        regions: tuple[tuple[str | None, float], ...]
+        if self.region_values:
+            share = 1.0 / len(self.region_values)
+            regions = tuple((value, share) for value in self.region_values)
+        else:
+            regions = ((None, 1.0),)
+        statuses = (
+            (PROTECTED_VALUE, spec.protected_rate),
+            (NON_PROTECTED_VALUE, 1.0 - spec.protected_rate),
+        )
+        for g_value, g_prob in zip(self.group_values, spec.group_probabilities):
+            for r_value, r_prob in regions:
+                for s_value, s_prob in statuses:
+                    row: dict[str, object] = {
+                        GROUP_ATTR: g_value,
+                        STATUS_ATTR: s_value,
+                    }
+                    if r_value is not None:
+                        row[REGION_ATTR] = r_value
+                    yield row, g_prob * r_prob * s_prob
+
+    def signed_effect(
+        self, group_value: str, treatment: str, value: str, protected: bool
+    ) -> float:
+        """True per-row effect of rule ``treatment = value`` in one cell."""
+        g = self.group_values.index(group_value)
+        j = self.treatment_names.index(treatment)
+        sign = 1.0 if value == TREATED_VALUE else -1.0
+        factor = self.spec.factors[j] if protected else 1.0
+        return sign * self.spec.effects[g][j] * factor
+
+    def true_rule(
+        self, grouping: Pattern, treatment: str, value: str
+    ) -> TrueRule:
+        """Closed-form utilities of the rule ``(grouping, treatment = value)``."""
+        total = total_p = total_np = 0.0
+        acc = acc_p = acc_np = 0.0
+        for row, prob in self.cells():
+            if not grouping.matches_row(row):
+                continue
+            protected = row[STATUS_ATTR] == PROTECTED_VALUE
+            effect = self.signed_effect(
+                str(row[GROUP_ATTR]), treatment, value, protected
+            )
+            total += prob
+            acc += prob * effect
+            if protected:
+                total_p += prob
+                acc_p += prob * effect
+            else:
+                total_np += prob
+                acc_np += prob * effect
+        return TrueRule(
+            utility=acc / total if total else 0.0,
+            utility_protected=acc_p / total_p if total_p else 0.0,
+            utility_non_protected=acc_np / total_np if total_np else 0.0,
+        )
+
+    def pattern_probability(self, pattern: Pattern) -> float:
+        """True coverage probability of a grouping pattern."""
+        return sum(
+            prob for row, prob in self.cells() if pattern.matches_row(row)
+        )
+
+    def candidate_patterns(self, min_support: float) -> tuple[Pattern, ...]:
+        """Single-attribute grouping patterns with true support >= threshold."""
+        patterns = [
+            Pattern.of(**{GROUP_ATTR: value}) for value in self.group_values
+        ]
+        patterns += [
+            Pattern.of(**{REGION_ATTR: value}) for value in self.region_values
+        ]
+        return tuple(
+            p
+            for p in patterns
+            if self.pattern_probability(p) >= min_support - 1e-12
+        )
+
+    def _true_prescription_rule(
+        self, grouping: Pattern, treatment: str, value: str
+    ) -> PrescriptionRule:
+        truth = self.true_rule(grouping, treatment, value)
+        return PrescriptionRule(
+            grouping=grouping,
+            intervention=Pattern.of(**{treatment: value}),
+            utility=truth.utility,
+            utility_protected=truth.utility_protected,
+            utility_non_protected=truth.utility_non_protected,
+            coverage_count=0,
+            protected_coverage_count=0,
+        )
+
+    def planted_best(
+        self, grouping: Pattern, variant=None
+    ) -> PrescriptionRule | None:
+        """The true best rule for one grouping pattern under ``variant``.
+
+        Mirrors Step 2's selection exactly, but on true utilities: positive
+        utility, per-rule (matroid) fairness eligibility, then highest
+        utility (matroid scope) or highest fairness-penalised benefit.
+        """
+        fairness = variant.fairness if variant is not None else None
+        candidates = [
+            self._true_prescription_rule(grouping, treatment, value)
+            for treatment in self.treatment_names
+            for value in (TREATED_VALUE, CONTROL_VALUE)
+        ]
+        eligible = [rule for rule in candidates if rule.utility > 1e-12]
+        if fairness is not None and fairness.is_matroid:
+            eligible = [
+                rule for rule in eligible if fairness.satisfied_by_rule(rule)
+            ]
+        if not eligible:
+            return None
+        if fairness is not None and fairness.is_matroid:
+            return max(eligible, key=lambda rule: rule.utility)
+        return max(eligible, key=lambda rule: benefit(rule, fairness))
+
+    def planted_ruleset(
+        self, variant=None, min_support: float = 0.08
+    ) -> RuleSet:
+        """The planted optimal ruleset under ``variant``.
+
+        One best rule per admissible grouping pattern; under a rule-coverage
+        constraint the support threshold rises to ``theta`` and patterns
+        failing the protected floor drop out (protected membership is
+        independent of every grouping attribute, so a pattern's protected
+        coverage fraction equals its overall coverage probability).
+        """
+        support = min_support
+        if variant is not None and variant.has_rule_coverage:
+            coverage = variant.coverage
+            support = max(support, coverage.theta, coverage.theta_protected)
+        rules = []
+        for pattern in self.candidate_patterns(support):
+            best = self.planted_best(pattern, variant)
+            if best is not None:
+                rules.append(best)
+        return RuleSet(rules)
+
+    def true_metrics(
+        self, rules: Sequence[PrescriptionRule]
+    ) -> RulesetMetrics:
+        """Population Eqs. 5-7 of a ruleset, evaluated over the cells."""
+        rules = list(rules)
+        covered = 0.0
+        covered_p = 0.0
+        covered_np = 0.0
+        sum_best = 0.0
+        sum_worst_p = 0.0
+        sum_best_np = 0.0
+        for row, prob in self.cells():
+            matched = [rule for rule in rules if rule.grouping.matches_row(row)]
+            if not matched:
+                continue
+            covered += prob
+            sum_best += prob * max(rule.utility for rule in matched)
+            if row[STATUS_ATTR] == PROTECTED_VALUE:
+                covered_p += prob
+                sum_worst_p += prob * min(
+                    rule.utility_protected for rule in matched
+                )
+            else:
+                covered_np += prob
+                sum_best_np += prob * max(
+                    rule.utility_non_protected for rule in matched
+                )
+        rate = self.spec.protected_rate
+        return RulesetMetrics(
+            n_rules=len(rules),
+            coverage=covered,
+            protected_coverage=covered_p / rate if rate else 0.0,
+            expected_utility=sum_best,
+            expected_utility_protected=(
+                sum_worst_p / covered_p if covered_p else 0.0
+            ),
+            expected_utility_non_protected=(
+                sum_best_np / covered_np if covered_np else 0.0
+            ),
+        )
+
+    def protected_count_expectation(self, pattern: Pattern, n: int) -> float:
+        """Expected protected rows inside ``pattern`` at sample size ``n``."""
+        prob = sum(
+            p
+            for row, p in self.cells()
+            if pattern.matches_row(row)
+            and row[STATUS_ATTR] == PROTECTED_VALUE
+        )
+        return n * prob
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioWorld({self.spec.name!r}: {self.spec.n_groups} groups, "
+            f"{self.spec.n_treatments} treatments, "
+            f"depth {self.spec.confounding_depth})"
+        )

@@ -212,14 +212,24 @@ class PrescriptionEngine:
         """
         matched = self.index.match_table(table)  # (n_rules, n_rows)
         n_rows = table.n_rows
-        if not len(self.ruleset):
-            return [Prescription(None, (), 0.0, None, ()) for __ in range(n_rows)]
 
         protected_mask: np.ndarray | None = None
         if self.protected is not None and all(
             a in table.schema for a in self.protected.pattern.attributes
         ):
             protected_mask = self.protected.mask(table)
+
+        if not len(self.ruleset):
+            return [
+                Prescription(
+                    None,
+                    (),
+                    0.0,
+                    bool(protected_mask[i]) if protected_mask is not None else None,
+                    (),
+                )
+                for i in range(n_rows)
+            ]
 
         any_match = matched.any(axis=0)
         best = np.where(matched, self._utilities[:, None], -np.inf).argmax(axis=0)

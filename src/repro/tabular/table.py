@@ -28,6 +28,20 @@ from repro.utils.errors import SchemaError
 from repro.utils.rng import ensure_rng
 
 
+def _canonical_category(value: object) -> str:
+    """Stable text encoding of one category value for fingerprinting.
+
+    Numpy scalars (``np.str_``, ``np.int64``, ...) unwrap to their plain
+    Python equivalents first: ``repr`` of a numpy scalar embeds the numpy
+    type name (``np.str_('US')`` vs ``'US'``), which would give two tables
+    with value-identical category dictionaries different fingerprints
+    depending on whether their source arrays were numpy- or list-backed.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    return repr(value)
+
+
 class _MaskCache(OrderedDict):
     """LRU-bounded mapping used by :meth:`Table.mask_cache`."""
 
@@ -174,6 +188,13 @@ class Table:
         keys CATE memo entries by this, which is what lets estimation work
         be shared across problem variants and repeated experiment runs.
         Memoised per instance (tables are immutable).
+
+        Stability contract (regression-tested): fingerprints do not depend
+        on the *source dtype* of the values — numeric columns normalise to
+        ``float64`` on construction, and category values are hashed through
+        their plain-Python form (:func:`_canonical_category`), so an
+        ``int32`` versus ``int64`` upcast or a numpy- versus list-backed
+        string column cannot split the cache.
         """
         fp = self.__dict__.get("_fingerprint")
         if fp is None:
@@ -184,7 +205,9 @@ class Table:
                 h.update(name.encode())
                 if isinstance(column, CategoricalColumn):
                     h.update(b"cat")
-                    h.update(repr(column.categories).encode())
+                    for category in column.categories:
+                        h.update(_canonical_category(category).encode())
+                        h.update(b"\x1f")
                     h.update(np.ascontiguousarray(column.codes).tobytes())
                 else:
                     h.update(b"num")

@@ -159,3 +159,41 @@ def test_estimate_cate_facade():
 def test_stratified_invalid_bins():
     with pytest.raises(EstimationError):
         StratifiedEstimator(n_bins=1)
+
+
+def test_collinear_treatment_is_flagged_not_estimated(rng):
+    """A treatment exactly determined by the adjustment set is unidentified.
+
+    lstsq's minimum-norm solution would otherwise split the combined
+    coefficient arbitrarily between the treatment and the collinear
+    confounder and report it as a valid, significant CATE (caught by the
+    ``separated`` oracle scenario; also surfaced on a German Table-4
+    subgroup of 11 rows where the treated mask coincided with the
+    CreditAmount dummies).
+    """
+    n = 200
+    z = rng.integers(0, 2, n)
+    t = z == 1  # treatment is a deterministic function of the confounder
+    y = 2.0 * t + 1.0 * z + rng.normal(size=n)
+    table = Table({"z": [f"z{v}" for v in z], "y": y})
+    result = LinearAdjustmentEstimator().estimate(table, t, "y", ("z",))
+    assert not result.valid
+    assert "collinear" in result.reason
+
+
+def test_rank_deficiency_among_confounders_keeps_the_fit(rng):
+    """Redundant adjustment columns do not invalidate an identified effect.
+
+    With two byte-identical confounder columns the design is rank
+    deficient, but every null-space direction lives among the adjustment
+    columns — the treatment coefficient is unique and must survive.
+    """
+    n = 2000
+    z = rng.integers(0, 2, n)
+    t = rng.random(n) < (0.3 + 0.4 * z)
+    y = 5.0 * t + 3.0 * z + rng.normal(size=n)
+    labels = [f"z{v}" for v in z]
+    table = Table({"z1": labels, "z2": labels, "y": y})
+    result = LinearAdjustmentEstimator().estimate(table, t, "y", ("z1", "z2"))
+    assert result.valid
+    assert result.estimate == pytest.approx(5.0, abs=0.3)

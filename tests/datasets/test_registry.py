@@ -2,12 +2,24 @@
 
 import pytest
 
-from repro.datasets.registry import DATASET_LOADERS, load_dataset
+from repro.datasets.registry import (
+    DATASET_LOADERS,
+    available_datasets,
+    load_dataset,
+)
 from repro.utils.errors import ConfigError
 
 
 def test_registry_contents():
     assert set(DATASET_LOADERS) == {"stackoverflow", "german"}
+
+
+def test_available_datasets_include_scenarios():
+    names = available_datasets()
+    assert "german" in names and "stackoverflow" in names
+    scenarios = [n for n in names if n.startswith("scenario:")]
+    assert len(scenarios) >= 30
+    assert "scenario:linear-g2-d1-gap-lo" in scenarios
 
 
 def test_load_with_size_override():
@@ -20,6 +32,19 @@ def test_load_default_sizes():
     assert bundle.table.n_rows == 1_000
 
 
+def test_load_scenario_world_by_name():
+    bundle = load_dataset("scenario:single-stratum", n=150, rng=1)
+    assert bundle.table.n_rows == 150
+    assert bundle.name == "scenario:single-stratum"
+    assert bundle.scm is not None  # ground truth is attached
+    default = load_dataset("scenario:single-stratum")
+    from repro.scenarios.catalog import DEFAULT_ROWS
+
+    assert default.table.n_rows == DEFAULT_ROWS
+
+
 def test_unknown_dataset():
     with pytest.raises(ConfigError):
         load_dataset("mnist")
+    with pytest.raises(ConfigError):
+        load_dataset("scenario:not-a-world")

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.integration
+
 from repro.core import (
     FairCap,
     FairCapConfig,

@@ -6,6 +6,8 @@ fairness/utility trade-offs), not absolute numbers.
 
 import pytest
 
+pytestmark = pytest.mark.integration
+
 from repro.core import FairCap, FairCapConfig, canonical_variants
 
 

@@ -7,6 +7,8 @@ and checks both estimators recover it through the full backdoor pipeline.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.integration
+
 from repro.causal.backdoor import backdoor_adjustment_set
 from repro.causal.estimators import LinearAdjustmentEstimator, StratifiedEstimator
 from repro.causal.scm import SCMNode, StructuralCausalModel

@@ -193,3 +193,59 @@ def test_clear_resets_counters(rng):
     stats = cache.stats()
     assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
     assert stats.hit_rate == 0.0
+
+
+# -- LRU eviction ordering ---------------------------------------------------------
+
+
+def test_lru_evicts_least_recently_used_first():
+    """Eviction follows recency of *use* (get refreshes), not insertion."""
+    cache = EstimationCache(max_entries=3)
+    cache.put(("k", 1), "r1")
+    cache.put(("k", 2), "r2")
+    cache.put(("k", 3), "r3")
+    assert cache.get(("k", 1)) == "r1"  # refresh k1: k2 is now the LRU entry
+    cache.put(("k", 4), "r4")  # evicts k2, not k1
+    assert cache.get(("k", 2)) is None
+    assert cache.get(("k", 1)) == "r1"
+    assert cache.get(("k", 3)) == "r3"
+    assert cache.get(("k", 4)) == "r4"
+
+
+def test_lru_put_refreshes_recency_too():
+    cache = EstimationCache(max_entries=2)
+    cache.put(("k", 1), "r1")
+    cache.put(("k", 2), "r2")
+    cache.put(("k", 1), "r1-updated")  # rewrite refreshes k1
+    cache.put(("k", 3), "r3")  # evicts k2
+    assert cache.get(("k", 2)) is None
+    assert cache.get(("k", 1)) == "r1-updated"
+
+
+def test_lru_seed_respects_the_bound_and_recency():
+    """Bulk seeding keeps at most max_entries, preferring the newest."""
+    cache = EstimationCache(max_entries=2)
+    cache.put(("k", 1), "r1")
+    cache.seed({("k", 2): "r2", ("k", 3): "r3"})
+    assert len(cache) == 2
+    assert cache.get(("k", 1)) is None  # oldest fell out
+    assert cache.get(("k", 2)) == "r2"
+    assert cache.get(("k", 3)) == "r3"
+    # Seeding never touches the hit/miss counters.
+    stats = cache.stats()
+    assert stats.entries == 2
+
+
+def test_factorization_store_is_bounded_lru(rng):
+    """The sibling factorization LRU honours its own bound."""
+    table = make_table(rng)
+    cache = EstimationCache(max_entries=2)  # -> max_factorizations == 2
+    assert cache.max_factorizations == 2
+    for adjustment in ((), ("Group",), ("Group", "Outcome")):
+        cache.get_or_factorize(table, "Outcome", adjustment)
+    assert len(cache._factorizations) == 2
+    # The most recent two survive.
+    keys = list(cache._factorizations)
+    assert keys[-1] == cache.factorization_key(
+        table, "Outcome", ("Group", "Outcome")
+    )

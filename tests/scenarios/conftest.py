@@ -1,0 +1,48 @@
+"""Shared fixtures for the scenario oracle harness.
+
+Every test in this directory carries the ``scenario`` marker (applied in
+each module via ``pytestmark``), so CI can shard the oracle grid into its
+own job (``-m scenario``) while plain ``pytest -x -q`` still runs it.
+
+The expensive artifacts — a sampled world and its FairCap run — are built
+once per scenario through module-scoped parametrized fixtures; the
+per-scenario checks then share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.faircap import FairCapResult
+from repro.datasets.bundle import DatasetBundle
+from repro.scenarios import ScenarioWorld, oracle_grid, run_world
+
+#: Row count of the base tier: every oracle property except exact planted
+#: recovery is asserted here (recovery runs at each spec's recovery_n).
+BASE_N = 500
+
+SPECS = {spec.name: spec for spec in oracle_grid()}
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One sampled world plus its serial FairCap run."""
+
+    world: ScenarioWorld
+    bundle: DatasetBundle
+    result: FairCapResult
+
+
+def build_run(name: str, n: int = BASE_N) -> ScenarioRun:
+    """Sample scenario ``name`` at ``n`` rows and mine it serially."""
+    world = ScenarioWorld(SPECS[name])
+    bundle = world.bundle(n)
+    return ScenarioRun(world, bundle, run_world(world, bundle))
+
+
+@pytest.fixture(scope="module", params=sorted(SPECS), ids=lambda n: n)
+def scenario_run(request) -> ScenarioRun:
+    """The base-tier run of every grid scenario (one FairCap run each)."""
+    return build_run(request.param)

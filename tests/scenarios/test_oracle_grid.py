@@ -1,0 +1,80 @@
+"""The oracle grid: every generated world, end to end, against closed form.
+
+For each of the 36 grid scenarios (parametrized through the module-scoped
+``scenario_run`` fixture — one FairCap run per world) this module asserts
+the oracle properties (a), (c), (d) and (e):
+
+a. CATE estimates sit inside the analytic band around the closed-form
+   truth (z standard errors + a small absolute slack);
+c. the scenario's fairness/coverage constraints hold on the mined result;
+d. batch ≡ scalar estimation and serial ≡ process execution;
+e. the serving subsystem round-trips the mined ruleset through
+   export → JSON → compile → prescribe with identical decisions.
+
+Property (b) — planted-ruleset recovery at the largest n tier — lives in
+``test_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    check_batch_scalar,
+    check_cate_recovery,
+    check_executors,
+    check_fairness,
+    check_serve_roundtrip,
+)
+
+pytestmark = pytest.mark.scenario
+
+
+def test_grid_is_large_and_distinct():
+    from repro.scenarios import oracle_grid
+
+    specs = oracle_grid()
+    assert len(specs) >= 30
+    assert len({spec.name for spec in specs}) == len(specs)
+
+
+def test_pipeline_produces_finite_rules(scenario_run):
+    """Structural sanity: the run completes and utilities are finite."""
+    result = scenario_run.result
+    for rule in result.candidate_rules:
+        assert rule.utility == rule.utility  # not NaN
+        assert abs(rule.utility) < 1e6
+    assert result.nodes_evaluated >= 0
+
+
+def test_cate_estimates_match_truth(scenario_run):
+    problems = check_cate_recovery(scenario_run.world, scenario_run.result)
+    assert not problems, "\n".join(problems)
+
+
+def test_fairness_constraints_hold(scenario_run):
+    problems = check_fairness(scenario_run.result)
+    assert not problems, "\n".join(problems)
+
+
+def test_batch_equals_scalar(scenario_run):
+    problems = check_batch_scalar(
+        scenario_run.world,
+        scenario_run.bundle,
+        reference=scenario_run.result,
+    )
+    assert not problems, "\n".join(problems)
+
+
+def test_serial_equals_process(scenario_run):
+    problems = check_executors(
+        scenario_run.world,
+        scenario_run.bundle,
+        reference=scenario_run.result,
+    )
+    assert not problems, "\n".join(problems)
+
+
+def test_serve_roundtrip_preserves_decisions(scenario_run):
+    problems = check_serve_roundtrip(scenario_run.result, scenario_run.bundle)
+    assert not problems, "\n".join(problems)

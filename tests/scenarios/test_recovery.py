@@ -1,0 +1,88 @@
+"""Planted-ruleset recovery at the largest n tier (oracle property b).
+
+At each spec's ``recovery_n`` the mined ruleset must equal the planted
+optimum — the analytically best treatment per admissible grouping pattern
+under the scenario's own problem variant — or tie it in true expected
+utility.  The variant scenarios additionally pin down *which* rules the
+fairness machinery must flip:
+
+- ``variant-indiv-sp`` / ``variant-indiv-bgl`` plant a top treatment whose
+  benefit gap (SP) or protected floor (BGL) disqualifies it, so the
+  recovered rules must differ from the unconstrained optimum;
+- the coverage scenarios keep the unconstrained optimum feasible, so
+  recovery doubles as a feasibility check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.patterns import Pattern
+from repro.scenarios import ScenarioWorld, check_planted_recovery
+from repro.scenarios.world import CONTROL_VALUE, TREATED_VALUE
+
+from tests.scenarios.conftest import SPECS, build_run
+
+pytestmark = pytest.mark.scenario
+
+RECOVERY_NAMES = sorted(
+    name for name, spec in SPECS.items() if spec.assert_recovery
+)
+
+
+@pytest.fixture(scope="module", params=RECOVERY_NAMES, ids=lambda n: n)
+def recovery_run(request):
+    spec = SPECS[request.param]
+    return build_run(request.param, n=spec.recovery_n)
+
+
+def test_planted_ruleset_recovered(recovery_run):
+    problems = check_planted_recovery(recovery_run.world, recovery_run.result)
+    assert not problems, "\n".join(problems)
+
+
+def test_recovered_rules_cover_every_planted_group(recovery_run):
+    """Each admissible grouping pattern contributes exactly one rule."""
+    world, result = recovery_run.world, recovery_run.result
+    planted = world.planted_ruleset(
+        result.config.variant,
+        min_support=result.config.apriori_min_support,
+    )
+    assert {r.grouping for r in result.ruleset} == {
+        r.grouping for r in planted
+    }
+
+
+def test_individual_sp_flips_the_best_treatment():
+    """The SP constraint must reroute both groups to the low-gap treatment."""
+    spec = SPECS["variant-indiv-sp"]
+    world = ScenarioWorld(spec)
+    result = build_run(spec.name, n=spec.recovery_n).result
+    interventions = {rule.intervention for rule in result.ruleset}
+    assert interventions == {
+        Pattern.of(T2=TREATED_VALUE)
+    }, "the high-gap treatment T1 must be disqualified by epsilon"
+    # The unconstrained planted optimum prefers T1 — the constraint binds.
+    unconstrained = world.planted_ruleset(None)
+    assert any(
+        rule.intervention
+        in (Pattern.of(T1=TREATED_VALUE), Pattern.of(T1=CONTROL_VALUE))
+        for rule in unconstrained
+    )
+
+
+def test_individual_bgl_floors_out_the_high_gap_treatment():
+    spec = SPECS["variant-indiv-bgl"]
+    result = build_run(spec.name, n=spec.recovery_n).result
+    assert result.ruleset, "BGL scenario must still produce rules"
+    for rule in result.ruleset:
+        assert rule.intervention == Pattern.of(T2=TREATED_VALUE)
+        assert rule.utility_protected >= spec.fairness_threshold
+
+
+def test_overlap_scenario_selects_region_rules_too():
+    """Overlapping grouping patterns each receive their own best rule."""
+    spec = SPECS["overlap-regions"]
+    result = build_run(spec.name, n=spec.recovery_n).result
+    attributes = {rule.grouping.attributes for rule in result.ruleset}
+    assert ("Group",) in attributes and ("Region",) in attributes

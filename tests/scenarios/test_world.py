@@ -1,0 +1,194 @@
+"""Unit tests of the closed-form oracle itself.
+
+The scenario harness is only as good as its oracle, so this module checks
+the closed-form machinery against independent references: cell enumeration
+against basic probability, analytic CATEs against the SCM's replayed-noise
+simulation (:meth:`StructuralCausalModel.ground_truth_cate`), and the
+planted ruleset against hand-computed optima.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fairness.constraints import statistical_parity
+from repro.core.variants import ProblemVariant
+from repro.mining.patterns import Pattern
+from repro.scenarios import ScenarioSpec, ScenarioWorld, load_scenario, spec_by_name
+from repro.scenarios.world import (
+    CONTROL_VALUE,
+    PROTECTED_VALUE,
+    TREATED_VALUE,
+)
+from repro.utils.errors import ConfigError
+
+pytestmark = pytest.mark.scenario
+
+
+@pytest.fixture(scope="module")
+def gap_world() -> ScenarioWorld:
+    return ScenarioWorld(spec_by_name("linear-g2-d1-gap-lo"))
+
+
+def test_cells_sum_to_one(gap_world):
+    total = sum(prob for __, prob in gap_world.cells())
+    assert total == pytest.approx(1.0)
+
+
+def test_true_rule_matches_hand_computation(gap_world):
+    spec = gap_world.spec
+    truth = gap_world.true_rule(Pattern.of(Group="g0"), "T1", TREATED_VALUE)
+    effect = spec.effects[0][0]
+    factor = spec.factors[0]
+    q = spec.protected_rate
+    assert truth.utility_non_protected == pytest.approx(effect)
+    assert truth.utility_protected == pytest.approx(effect * factor)
+    assert truth.utility == pytest.approx(
+        effect * ((1.0 - q) + factor * q)
+    )
+    # The control-value rule is the mirror image.
+    mirrored = gap_world.true_rule(Pattern.of(Group="g0"), "T1", CONTROL_VALUE)
+    assert mirrored.utility == pytest.approx(-truth.utility)
+
+
+def test_true_cate_matches_scm_simulation(gap_world):
+    """Closed form ≡ replayed-noise interventional simulation."""
+    truth = gap_world.true_rule(Pattern.of(Group="g1"), "T1", TREATED_VALUE)
+    simulated = gap_world.scm.ground_truth_cate(
+        interventions={"T1": TREATED_VALUE},
+        baseline={"T1": CONTROL_VALUE},
+        outcome="Outcome",
+        n=120_000,
+        rng=7,
+        condition=lambda values: values["Group"] == "g1",
+    )
+    assert simulated == pytest.approx(truth.utility, abs=0.02)
+
+    protected_sim = gap_world.scm.ground_truth_cate(
+        interventions={"T1": TREATED_VALUE},
+        baseline={"T1": CONTROL_VALUE},
+        outcome="Outcome",
+        n=120_000,
+        rng=7,
+        condition=lambda values: (
+            (values["Group"] == "g1") & (values["Status"] == PROTECTED_VALUE)
+        ),
+    )
+    assert protected_sim == pytest.approx(truth.utility_protected, abs=0.04)
+
+
+def test_planted_ruleset_unconstrained(gap_world):
+    planted = gap_world.planted_ruleset(None)
+    by_group = {rule.grouping: rule for rule in planted}
+    assert set(by_group) == {Pattern.of(Group="g0"), Pattern.of(Group="g1")}
+    # g0's largest |effect| is +3.0 on T1 (take it); g1's is -2.6 (avoid it).
+    assert by_group[Pattern.of(Group="g0")].intervention == Pattern.of(
+        T1=TREATED_VALUE
+    )
+    assert by_group[Pattern.of(Group="g1")].intervention == Pattern.of(
+        T1=CONTROL_VALUE
+    )
+
+
+def test_planted_ruleset_respects_individual_fairness():
+    world = ScenarioWorld(spec_by_name("variant-indiv-sp"))
+    variant = world.spec.variant()
+    planted = world.planted_ruleset(variant)
+    for rule in planted:
+        assert rule.intervention == Pattern.of(T2=TREATED_VALUE)
+        assert variant.fairness.satisfied_by_rule(rule)
+    unconstrained = world.planted_ruleset(None)
+    assert {r.intervention for r in unconstrained} != {
+        r.intervention for r in planted
+    }
+
+
+def test_planted_ruleset_rule_coverage_raises_support():
+    world = ScenarioWorld(spec_by_name("variant-rule-coverage"))
+    variant = world.spec.variant()
+    planted = world.planted_ruleset(variant)
+    for rule in planted:
+        assert world.pattern_probability(rule.grouping) >= 0.3
+
+
+def test_true_metrics_eq5_semantics(gap_world):
+    """Disjoint groups: Eq. 5 is the probability-weighted rule utility."""
+    planted = list(gap_world.planted_ruleset(None))
+    metrics = gap_world.true_metrics(planted)
+    expected = sum(
+        gap_world.pattern_probability(rule.grouping) * rule.utility
+        for rule in planted
+    )
+    assert metrics.expected_utility == pytest.approx(expected)
+    assert metrics.coverage == pytest.approx(1.0)
+    assert metrics.protected_coverage == pytest.approx(1.0)
+
+
+def test_true_metrics_overlap_uses_max_semantics():
+    world = ScenarioWorld(spec_by_name("overlap-regions"))
+    planted = list(world.planted_ruleset(None))
+    group_only = [r for r in planted if r.grouping.attributes == ("Group",)]
+    metrics_all = world.true_metrics(planted)
+    metrics_groups = world.true_metrics(group_only)
+    # Adding overlapping positive-utility rules can only raise Eq. 5.
+    assert metrics_all.expected_utility >= metrics_groups.expected_utility
+
+
+def test_spec_validation_rejects_bad_shapes():
+    with pytest.raises(ConfigError):
+        ScenarioSpec(name="bad", effects=((1.0,), (1.0, 2.0)))
+    with pytest.raises(ConfigError):
+        ScenarioSpec(name="bad", effects=((1.0,),), group_probs=(0.6, 0.4))
+    with pytest.raises(ConfigError):
+        ScenarioSpec(name="bad", effects=((1.0,),), protected_rate=1.5)
+    with pytest.raises(ConfigError):
+        ScenarioSpec(
+            name="bad",
+            effects=((1.0,),),
+            base_propensity=0.9,
+            propensity_tilt=0.2,
+        )
+    with pytest.raises(ConfigError):
+        ScenarioSpec(name="bad", effects=((1.0,),), fairness_kind="SP")
+
+
+def test_spec_seed_is_stable():
+    spec = spec_by_name("linear-g2-d1-fair-lo")
+    assert spec.seed == spec_by_name("linear-g2-d1-fair-lo").seed
+    assert spec.seed != spec_by_name("linear-g2-d1-fair-hi").seed
+
+
+def test_variant_construction():
+    spec = spec_by_name("variant-group-sp")
+    variant = spec.variant()
+    assert variant.has_group_fairness
+    other = ProblemVariant(fairness=statistical_parity("group", 3.0))
+    assert variant.fairness == other.fairness
+
+
+def test_load_scenario_via_catalog():
+    bundle = load_scenario("scenario:single-stratum", n=200, rng=3)
+    assert bundle.table.n_rows == 200
+    assert bundle.name == "scenario:single-stratum"
+    assert bundle.scm is not None
+    # Bare names resolve too.
+    bare = load_scenario("single-stratum", n=50, rng=3)
+    assert bare.table.n_rows == 50
+    with pytest.raises(ConfigError):
+        load_scenario("scenario:not-a-world")
+
+
+def test_protected_count_expectation(gap_world):
+    spec = gap_world.spec
+    expected = gap_world.protected_count_expectation(
+        Pattern.of(Group="g0"), n=1000
+    )
+    assert expected == pytest.approx(1000 * 0.5 * spec.protected_rate)
+
+
+def test_bundle_samples_are_seed_stable(gap_world):
+    a = gap_world.bundle(100)
+    b = gap_world.bundle(100)
+    assert a.table.fingerprint() == b.table.fingerprint()
+    c = gap_world.bundle(100, rng=123)
+    assert c.table.fingerprint() != a.table.fingerprint()

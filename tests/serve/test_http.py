@@ -156,3 +156,75 @@ def test_unknown_paths_are_404(live_server):
     assert excinfo.value.code == 404
     status, __ = _post(live_server + "/nope", {})
     assert status == 404
+
+
+def test_oversized_body_is_rejected_with_400(live_server):
+    """A Content-Length beyond MAX_BODY_BYTES is refused before reading."""
+    import socket
+
+    from repro.serve.http import MAX_BODY_BYTES
+
+    host, port = live_server.removeprefix("http://").split(":")
+    with socket.create_connection((host, int(port)), timeout=5) as sock:
+        sock.sendall(
+            b"POST /prescribe HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:  # drain to EOF: the 400 closes the connection
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks).decode()
+    assert response.startswith("HTTP/1.1 400")
+    assert "exceeds" in response
+    # The body was never read, so the connection must be closed.
+    assert "Connection: close" in response
+
+
+def test_oversized_batch_round_trips_under_the_limit(live_server):
+    """A large-but-legal batch is served; every element gets an answer."""
+    individuals = [
+        {"Country": "US", "Age": 35.0, "Gender": "M"} for __ in range(500)
+    ]
+    status, payload = _post(
+        live_server + "/prescribe", {"individuals": individuals}
+    )
+    assert status == 200
+    assert payload["count"] == 500
+
+
+def test_empty_body_is_400(live_server):
+    request = urllib.request.Request(
+        live_server + "/prescribe", data=b"", headers={}
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 400
+    assert "empty" in json.loads(excinfo.value.read())["error"]
+
+
+def test_unknown_ruleset_version_fails_at_load(toy_ruleset, serve_protected):
+    """Serving an artifact from a newer format version must refuse early."""
+    from repro.serve.artifact import ServingArtifact
+    from repro.serve.engine import PrescriptionEngine
+    from repro.utils.errors import ServeError
+
+    artifact = ServingArtifact(toy_ruleset, protected=serve_protected)
+    payload = json.loads(artifact.to_json())
+    payload["version"] = 99
+    with pytest.raises(ServeError, match="newer than supported"):
+        PrescriptionEngine.from_artifact(
+            ServingArtifact.from_json(json.dumps(payload))
+        )
+
+
+def test_individuals_must_be_objects(live_server):
+    status, payload = _post(
+        live_server + "/prescribe", {"individuals": ["not-an-object"]}
+    )
+    assert status == 400
+    assert "list of JSON objects" in payload["error"]

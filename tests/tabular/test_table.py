@@ -149,3 +149,63 @@ def test_equality(table):
     )
     assert table == clone
     assert table != table.filter(np.array([True, True, True, False]))
+
+
+# -- fingerprint stability (regression: dtype upcasts and copies) ------------------
+
+
+def test_fingerprint_stable_across_numeric_dtype_upcasts():
+    """int / int32 / float sources of the same values share a fingerprint."""
+    base = Table({"x": [1.0, 2.0, 3.0], "y": [0.5, 1.5, 2.5]})
+    from_ints = Table({"x": [1, 2, 3], "y": [0.5, 1.5, 2.5]})
+    from_int32 = Table(
+        {
+            "x": np.array([1, 2, 3], dtype=np.int32),
+            "y": np.array([0.5, 1.5, 2.5], dtype=np.float32).astype(np.float64),
+        }
+    )
+    assert base.fingerprint() == from_ints.fingerprint()
+    assert base.fingerprint() == from_int32.fingerprint()
+
+
+def test_fingerprint_stable_across_numpy_string_backing():
+    """numpy-unicode and plain-list string columns hash identically.
+
+    Regression: ``repr`` of a numpy scalar embeds the numpy type name
+    (``np.str_('US')``), so a table built from an ``np.ndarray`` of
+    strings used to fingerprint differently from a value-identical table
+    built from a Python list — silently splitting the estimation cache.
+    """
+    from_list = Table({"c": ["US", "DE", "US"], "v": [1.0, 2.0, 3.0]})
+    from_array = Table(
+        {"c": np.array(["US", "DE", "US"]), "v": [1.0, 2.0, 3.0]}
+    )
+    assert from_list.fingerprint() == from_array.fingerprint()
+
+
+def test_fingerprint_stable_across_row_order_preserving_copies():
+    table = Table(
+        {"city": ["NY", "LA", "NY", "SF"], "value": [1.0, 2.0, 3.0, 4.0]}
+    )
+    via_take = table.take(np.arange(table.n_rows))
+    via_filter = table.filter(np.ones(table.n_rows, dtype=bool))
+    rebuilt = Table(
+        {name: table.values(name) for name in table.column_names},
+        schema=table.schema,
+    )
+    assert via_take.fingerprint() == table.fingerprint()
+    assert via_filter.fingerprint() == table.fingerprint()
+    assert rebuilt.fingerprint() == table.fingerprint()
+
+
+def test_fingerprint_still_distinguishes_real_differences():
+    table = Table({"c": ["a", "b", "a"], "v": [1.0, 2.0, 3.0]})
+    reordered = table.take(np.array([1, 0, 2]))
+    assert reordered.fingerprint() != table.fingerprint()
+    renamed = Table({"d": ["a", "b", "a"], "v": [1.0, 2.0, 3.0]})
+    assert renamed.fingerprint() != table.fingerprint()
+    # Separator injection: category values containing the separator byte
+    # must not collide with split categories.
+    joined = Table({"c": ["a\x1fb", "a\x1fb"], "v": [1.0, 2.0]})
+    split = Table({"c": ["a", "b"], "v": [1.0, 2.0]})
+    assert joined.fingerprint() != split.fingerprint()
