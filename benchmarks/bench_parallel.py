@@ -15,9 +15,11 @@ Usage::
 The full curve uses the bundled Stack Overflow dataset at the laptop-scale
 experiment size (6,000 rows); ``--smoke`` shrinks it to a plumbing check
 (tiny rows, 1/2 workers) that still enforces serial ≡ parallel equality.
-Results land in ``benchmarks/results/parallel.txt``.  Speedups scale with
-the machine: on a single-core container every curve is flat at ~1x by
-construction; the ≥2.5x-at-4-workers target applies to ≥4-core hardware.
+Results land in ``benchmarks/results/parallel.txt`` (``--smoke``:
+``parallel-smoke.txt``, a deterministic path that never clobbers the
+committed full-run table).  Speedups scale with the machine: on a
+single-core container every curve is flat at ~1x by construction; the
+≥2.5x-at-4-workers target applies to ≥4-core hardware.
 """
 
 from __future__ import annotations
@@ -35,6 +37,9 @@ from repro.experiments.settings import ExperimentSettings
 from repro.parallel.executors import make_executor
 
 RESULTS_PATH = Path(__file__).resolve().parent / "results" / "parallel.txt"
+SMOKE_RESULTS_PATH = (
+    Path(__file__).resolve().parent / "results" / "parallel-smoke.txt"
+)
 
 
 def _parse_workers(text: str) -> list[int]:
@@ -129,9 +134,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(lines[-1])
 
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text("\n".join(lines) + "\n")
-    print(f"wrote {RESULTS_PATH}")
+    results_path = SMOKE_RESULTS_PATH if args.smoke else RESULTS_PATH
+    results_path.parent.mkdir(exist_ok=True)
+    results_path.write_text("\n".join(lines) + "\n")
+    print(f"wrote {results_path}")
     return 0
 
 

@@ -1,0 +1,123 @@
+"""CI perf-trend gate: compare smoke wall-clock against committed baselines.
+
+The committed ``benchmarks/BENCH_*.json`` records each carry a
+``smoke_baseline`` block — the wall-clock of the exact ``--smoke``
+configuration CI runs, measured when the record was last regenerated.  This
+script compares the current CI run's ``benchmarks/results/*-smoke.json``
+outputs against those baselines and
+
+- prints a markdown trend table (the workflow appends it to
+  ``$GITHUB_STEP_SUMMARY``), and
+- emits a GitHub ``::warning::`` annotation for every benchmark whose
+  wall-clock regressed by more than ``--threshold`` (default 20%).
+
+It is a *soft* gate, like the coverage floor: CI runners are heterogeneous
+and a wall-clock ratio across machines is a trend signal, not a verdict —
+the differential/oracle gates inside the benches themselves remain the hard
+correctness gates.  The only hard failures here are missing or malformed
+inputs (they mean the pipeline is miswired, not slow).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_estimation.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke
+    python benchmarks/trend_gate.py >> "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: (name, committed baseline record, smoke output written by --smoke)
+GATES = (
+    ("estimation", BENCH_DIR / "BENCH_estimation.json",
+     RESULTS_DIR / "estimation-smoke.json"),
+    ("scenarios", BENCH_DIR / "BENCH_scenarios.json",
+     RESULTS_DIR / "scenarios-smoke.json"),
+)
+
+
+def _load(path: Path) -> dict:
+    if not path.exists():
+        raise SystemExit(f"trend gate input missing: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"trend gate input unreadable: {path}: {exc}") from exc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="soft-warn when wall-clock regresses by more "
+                             "than this fraction (default 0.20)")
+    args = parser.parse_args(argv)
+
+    lines = [
+        "## Benchmark trend (smoke wall-clock vs committed baseline)",
+        "",
+        "| benchmark | baseline s | current s | ratio | status |",
+        "|---|---|---|---|---|",
+    ]
+    warnings: list[str] = []
+    for name, baseline_path, smoke_path in GATES:
+        baseline_record = _load(baseline_path)
+        smoke_record = _load(smoke_path)
+        baseline = baseline_record.get("smoke_baseline", {})
+        baseline_wall = baseline.get("wall_seconds")
+        current_wall = smoke_record.get("wall_seconds") or smoke_record.get(
+            "grid_wall_seconds"
+        )
+        if not smoke_record.get("passed", False):
+            warnings.append(
+                f"::warning::bench-trend: {name} smoke run reported failures "
+                "(see its job step) — timing ignored"
+            )
+            lines.append(f"| {name} | — | — | — | :x: smoke failed |")
+            continue
+        if baseline_wall is None or current_wall is None:
+            lines.append(
+                f"| {name} | {baseline_wall or '—'} | {current_wall or '—'} "
+                "| — | no baseline recorded |"
+            )
+            continue
+        ratio = current_wall / baseline_wall if baseline_wall > 0 else float("inf")
+        regressed = ratio > 1.0 + args.threshold
+        status = (
+            f":warning: +{(ratio - 1) * 100:.0f}% over baseline"
+            if regressed
+            else "ok"
+        )
+        lines.append(
+            f"| {name} | {baseline_wall:.2f} | {current_wall:.2f} "
+            f"| {ratio:.2f}x | {status} |"
+        )
+        if regressed:
+            warnings.append(
+                f"::warning::bench-trend: {name} smoke wall-clock "
+                f"{current_wall:.2f}s is {(ratio - 1) * 100:.0f}% over the "
+                f"committed baseline {baseline_wall:.2f}s "
+                f"(soft gate, threshold {args.threshold * 100:.0f}%)"
+            )
+
+    lines.append("")
+    lines.append(
+        "_Soft gate: CI runner speed varies; regressions >"
+        f"{args.threshold * 100:.0f}% emit a warning annotation, never a_ "
+        "_failure.  Baselines live in the committed `BENCH_*.json` records_ "
+        "_(`smoke_baseline` block) and are refreshed by full bench runs._"
+    )
+    print("\n".join(lines))
+    for warning in warnings:
+        print(warning)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

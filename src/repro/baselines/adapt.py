@@ -19,7 +19,7 @@ utility machinery, producing the IDS/FRL rows of Table 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.baselines.association import AssociationRule
 from repro.causal.dag import CausalDAG

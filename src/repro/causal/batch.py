@@ -62,9 +62,10 @@ from typing import Sequence
 import numpy as np
 from scipy import linalg as scipy_linalg
 from scipy import special
-from scipy.linalg import lapack
+from scipy.linalg import blas, lapack
 
 from repro.causal.estimators import (
+    POSITIVITY_REASON,
     CateResult,
     LinearAdjustmentEstimator,
     _outcome_vector,
@@ -84,10 +85,16 @@ CONDITION_MARGIN = 1e3
 RCOND_FAST_PATH = 1e-7
 RESIDUAL_TOL = 1e-10  # ‖t̃‖²/‖t‖² below this -> t ∈ col(W) numerically
 PERFECT_FIT_TOL = 1e-12  # RSS/‖ỹ‖² below this -> scalar path
+# Condition gate of the Gram (normal-equations) factorization: its
+# projector loses ~kappa(W)^2 * eps of relative accuracy, so requiring
+# rcond(R) >= 1e-3 keeps Gram-path estimates ~1e-10-accurate — inside the
+# rtol-1e-9 differential contract — and routes anything worse to the QR
+# build, whose certification logic is the reference.
+GRAM_RCOND_MIN = 1e-3
 
 _SCALAR_FALLBACK = LinearAdjustmentEstimator()
 
-_POSITIVITY = "positivity violated: empty treated or control group"
+_POSITIVITY = POSITIVITY_REASON
 _DEGENERATE = "degenerate fit: no residual degrees of freedom"
 
 
@@ -142,19 +149,36 @@ def _attribute_block(table: Table, name: str) -> np.ndarray:
     return block
 
 
+def _attribute_block_t(table: Table, name: str) -> np.ndarray:
+    """C-contiguous transpose of :func:`_attribute_block`, memoised too.
+
+    Design assembly copies whole attribute blocks; doing it in the
+    transposed layout turns strided column writes into contiguous row
+    memcpys, and the resulting Fortran-order ``W`` view is what LAPACK and
+    BLAS natively consume (``dgeqrf``'s ``overwrite_a`` only avoids its
+    internal copy for Fortran-contiguous input).
+    """
+    cache = table.__dict__.setdefault("_design_block_t_cache", {})
+    block_t = cache.get(name)
+    if block_t is None:
+        block_t = np.ascontiguousarray(_attribute_block(table, name).T)
+        cache[name] = block_t
+    return block_t
+
+
 def _build_design_block(table: Table, adjustment: tuple[str, ...]) -> np.ndarray:
-    """Assemble ``W = [1, Z-block]`` from the per-attribute block cache."""
+    """Assemble ``W = [1, Z-block]`` (Fortran order) from cached blocks."""
     n = table.n_rows
-    blocks = [_attribute_block(table, name) for name in adjustment]
-    total = 1 + sum(block.shape[1] for block in blocks)
-    w = np.empty((n, total), dtype=np.float64)
-    w[:, 0] = 1.0
+    blocks_t = [_attribute_block_t(table, name) for name in adjustment]
+    total = 1 + sum(block.shape[0] for block in blocks_t)
+    w_t = np.empty((total, n), dtype=np.float64)
+    w_t[0] = 1.0
     offset = 1
-    for block in blocks:
-        width = block.shape[1]
-        w[:, offset : offset + width] = block
+    for block in blocks_t:
+        width = block.shape[0]
+        w_t[offset : offset + width] = block
         offset += width
-    return w
+    return w_t.T
 
 
 def _rank_from_singular_values(
@@ -198,9 +222,11 @@ def build_factorization(
     else:
         # Raw LAPACK spelling of scipy.linalg.qr(mode="economic"): same
         # bits, none of the wrapper overhead — this runs ~1.4k times per
-        # German Table-4 mining run.
+        # German Table-4 mining run.  ``w`` is freshly assembled above and
+        # ``qr_t`` is ours, so both factorization steps may overwrite their
+        # inputs in place instead of paying an (n, k) copy each.
         lwork = int(lapack.dgeqrf_lwork(n, n_cols)[0])
-        qr_t, tau, _, info = lapack.dgeqrf(w, lwork=lwork)
+        qr_t, tau, _, info = lapack.dgeqrf(w, lwork=lwork, overwrite_a=1)
         if info != 0:  # pragma: no cover - LAPACK input errors
             raise EstimationError(f"dgeqrf failed with info={info}")
         r_factor = qr_t[:n_cols, :n_cols]  # sub-diagonal junk is ignored
@@ -214,14 +240,16 @@ def build_factorization(
                     np.triu(r_factor), w.shape
                 )
                 degenerate = rank < n_cols or shaky
-        q, _, info = lapack.dorgqr(qr_t, tau, lwork=lwork)
+        q, _, info = lapack.dorgqr(qr_t, tau, lwork=lwork, overwrite_a=1)
         if info != 0:  # pragma: no cover - LAPACK input errors
             raise EstimationError(f"dorgqr failed with info={info}")
     if degenerate:
         # Zero columns (absent one-hot categories) deflate cleanly: drop
         # them and re-factorize; any other deficiency keeps the
         # factorization degenerate and takes the scalar fallback per
-        # column.
+        # column.  The first QR consumed ``w`` in place (overwrite_a), so
+        # this rare branch reassembles it from the cached blocks.
+        w = _build_design_block(table, adjustment)
         nonzero = np.abs(w).max(axis=0) > 0.0
         if not nonzero.all():
             reduced = np.ascontiguousarray(w[:, nonzero])
@@ -260,6 +288,200 @@ def _resolve(factorization, table, outcome, adjustment) -> DesignFactorization:
     if callable(factorization):
         return factorization()
     return factorization
+
+
+@dataclass(frozen=True)
+class GramFactorization:
+    """Normal-equations factorization of ``W`` for the row-major kernel.
+
+    Holds the design block plus the inverse of its Gram matrix ``G = WᵀW``
+    (through its Cholesky factor): the FWL projection becomes
+    ``t̃ = t - (t W) G⁻¹ Wᵀ`` — the same two big GEMMs as the Q-based
+    spelling — but the *build* skips the Householder QR entirely, and on
+    the fast path never runs a syrk either: ``G``'s blocks are pairwise
+    products of per-attribute design blocks, which repeat across the many
+    adjustment sets of one table and are therefore memoised on the table
+    (:func:`_gram_pair`), so a typical build is a handful of tiny copies,
+    k×k LAPACK, and one assembly of ``W`` for the projection GEMMs.  That
+    setup cost is what dominates Step-2 mining once everything else is
+    batched.
+
+    Only well-conditioned designs get here (see
+    :func:`build_rows_factorization`): anything whose Cholesky fails or
+    whose ``rcond`` falls under :data:`GRAM_RCOND_MIN` is routed to
+    :func:`build_factorization` — so degenerate handling, and its
+    bit-exact scalar fallback, stay byte-for-byte the QR path's.
+    """
+
+    w: np.ndarray  # (n, k) design block (zero columns dropped on slow path)
+    gram_inv: np.ndarray  # (k, k) inverse of WᵀW
+    rank: int
+    y_res: np.ndarray
+    y_res_sq: float
+    n: int
+    degenerate: bool = False
+
+
+def _gram_cache(table: Table) -> dict:
+    return table.__dict__.setdefault("_gram_block_cache", {})
+
+
+def _block_column_sums(table: Table, name: str) -> np.ndarray:
+    """Column sums of one attribute's design block (= its ``1ᵀ block`` row)."""
+    cache = _gram_cache(table)
+    key = ("sums", name)
+    sums = cache.get(key)
+    if sums is None:
+        sums = _attribute_block(table, name).sum(axis=0)
+        cache[key] = sums
+    return sums
+
+
+def _gram_pair(table: Table, a: str, b: str) -> np.ndarray:
+    """``block(a)ᵀ block(b)``, memoised per table under the sorted pair."""
+    cache = _gram_cache(table)
+    first, second = (a, b) if a <= b else (b, a)
+    key = ("pair", first, second)
+    product = cache.get(key)
+    if product is None:
+        product = _attribute_block(table, first).T @ _attribute_block(table, second)
+        cache[key] = product
+    return product if (a, b) == (first, second) else product.T
+
+
+def _outcome_block_products(table: Table, outcome: str, name: str) -> np.ndarray:
+    """``yᵀ block(name)``, memoised per (outcome, attribute) per table."""
+    cache = _gram_cache(table)
+    key = ("y", outcome, name)
+    product = cache.get(key)
+    if product is None:
+        product = _outcome_vector(table, outcome) @ _attribute_block(table, name)
+        cache[key] = product
+    return product
+
+
+def _outcome_sum(table: Table, outcome: str) -> float:
+    """``yᵀ1`` (the outcome's intercept component), memoised per table."""
+    cache = _gram_cache(table)
+    key = ("ysum", outcome)
+    total = cache.get(key)
+    if total is None:
+        total = float(_outcome_vector(table, outcome).sum())
+        cache[key] = total
+    return total
+
+
+def _assemble_gram(
+    table: Table, adjustment: tuple[str, ...], widths: list[int], k: int
+) -> np.ndarray:
+    """Assemble the upper triangle of ``G = WᵀW`` from memoised products.
+
+    The strict lower triangle is left zero — dpotrf/dpotri only read the
+    upper, and the mirror step after dpotri relies on zeros below.
+    """
+    gram = np.zeros((k, k))
+    gram[0, 0] = float(table.n_rows)
+    offsets = np.cumsum([1] + widths).tolist()
+    for i, name in enumerate(adjustment):
+        gram[0, offsets[i] : offsets[i + 1]] = _block_column_sums(table, name)
+        for j in range(i, len(adjustment)):
+            gram[
+                offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]
+            ] = _gram_pair(table, name, adjustment[j])
+    return gram
+
+
+def _finish_gram(gram):
+    """Cholesky + condition gate + mirrored inverse; None -> QR fallback."""
+    r_factor, info = lapack.dpotrf(gram, lower=0)
+    if info != 0:  # not positive definite: rank deficient
+        return None
+    rcond = lapack.dtrcon(r_factor, norm="1", uplo="U", diag="N")[0]
+    if rcond < GRAM_RCOND_MIN:
+        return None
+    gram_inv, info = lapack.dpotri(r_factor, lower=0)
+    if info != 0:  # pragma: no cover - dpotri after a clean dpotrf
+        return None
+    # dpotri fills the upper triangle only (the strict lower is still the
+    # zeros left there); mirror without np.triu's mask machinery.
+    diagonal_inv = gram_inv.diagonal().copy()
+    gram_inv = gram_inv + gram_inv.T
+    np.fill_diagonal(gram_inv, diagonal_inv)
+    return gram_inv
+
+
+def build_rows_factorization(
+    table: Table, outcome: str, adjustment: tuple[str, ...] = ()
+):
+    """Factorize ``[1, Z-block]`` for the fused row-major kernel.
+
+    Fast path: block-structured Gram/Cholesky (:class:`GramFactorization`)
+    from per-table memoised pair products, no ``W`` materialisation.
+    Exactly-zero columns (absent one-hot categories) take a materialised
+    slow path that drops them off the Gram diagonal; any design the
+    condition gate rejects falls back to the QR build, whose
+    :class:`DesignFactorization` the kernel consumes interchangeably.
+    """
+    n = table.n_rows
+    if n == 0:
+        raise EstimationError("cannot factorize an empty design")
+    blocks = [_attribute_block(table, name) for name in adjustment]
+    widths = [block.shape[1] for block in blocks]
+    k = 1 + sum(widths)
+    if k > n:
+        return build_factorization(table, outcome, adjustment)
+    gram = _assemble_gram(table, adjustment, widths, k)
+    if gram.diagonal().all():
+        gram_inv = _finish_gram(gram)
+        if gram_inv is None:
+            return build_factorization(table, outcome, adjustment)
+        w = _build_design_block(table, adjustment)
+        y = _outcome_vector(table, outcome)
+        wy = np.empty(k)
+        wy[0] = _outcome_sum(table, outcome)
+        offset = 1
+        for name, width in zip(adjustment, widths):
+            wy[offset : offset + width] = _outcome_block_products(
+                table, outcome, name
+            )
+            offset += width
+        # One fused GEMV: y_res = y - W (G^-1 Wᵀy), accumulated in place.
+        y_res = blas.dgemv(
+            -1.0, w, gram_inv @ wy, beta=1.0, y=y.copy(), overwrite_y=1
+        )
+        return GramFactorization(
+            w=w,
+            gram_inv=gram_inv,
+            rank=k,
+            y_res=y_res,
+            y_res_sq=float(y_res @ y_res),
+            n=n,
+        )
+
+    # Slow path: absent one-hot categories leave exactly-zero columns;
+    # materialise the design once, drop them off the Gram diagonal, and
+    # refactorize the reduced design.
+    y = _outcome_vector(table, outcome)
+    w = _build_design_block(table, adjustment)
+    nonzero = gram.diagonal().copy()
+    nonzero[0] = float(n)  # the intercept column is never zero
+    nonzero = nonzero > 0.0
+    w = np.ascontiguousarray(w[:, nonzero])
+    gram = blas.dsyrk(1.0, w, trans=1)
+    k = w.shape[1]
+    gram_inv = _finish_gram(gram)
+    if gram_inv is None:
+        return build_factorization(table, outcome, adjustment)
+    wy = y @ w
+    y_res = y - w @ (gram_inv @ wy)
+    return GramFactorization(
+        w=w,
+        gram_inv=gram_inv,
+        rank=k,
+        y_res=y_res,
+        y_res_sq=float(y_res @ y_res),
+        n=n,
+    )
 
 
 def estimate_cate_level(
@@ -428,6 +650,196 @@ def estimate_cate_level(
                 n_control=n - n_treated[j],
                 adjustment=tuple(adjustments[j]),
             )
+    return results  # type: ignore[return-value]
+
+
+def estimate_level_rows(
+    table: Table,
+    treated_rows: np.ndarray,
+    outcome: str,
+    adjustments: Sequence[tuple[str, ...]],
+    factorization_for=None,
+    float_rows: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+) -> list[CateResult]:
+    """Row-major fused spelling of :func:`estimate_cate_level`.
+
+    The frontier batcher's level kernel.  Candidates arrive as an ``(m, n)``
+    *row-major* stack — the layout packed bitsets unpack into for free
+    (:func:`repro.mining.bitsets.unpack_rows`) — which makes every
+    per-candidate reduction run over a contiguous row instead of a strided
+    column: the two sums the FWL identities need are ~5x faster than the
+    column-layout einsums of the reference kernel at mining shapes, and the
+    projection GEMM pair is simply transposed (``T Q`` then ``- (T Q) Qᵀ``).
+
+    Two further fixed costs are hoisted out relative to the reference:
+
+    - ``float_rows`` lets the caller convert the boolean stack to float64
+      **once per level** and share the row-sliced result across the three
+      sub-population calls (overall / protected / non-protected) instead of
+      re-converting each sub-population's stack;
+    - ``counts`` lets the caller pass popcount-derived treated counts (the
+      bitset kernel computes them anyway for support pruning), replacing
+      the per-call boolean column sums.
+
+    Exactness: the positivity screen, grouping, degenerate routing, the
+    scalar ``ols()`` fallback (bit-identical by construction) and every
+    elementwise identity are those of :func:`estimate_cate_level`; only the
+    GEMM/reduction shapes differ, so non-degenerate estimates agree with
+    the reference — and hence with the scalar path — to working precision
+    (the same rtol-1e-9 differential contract).  Per-column bits remain a
+    pure function of the batch content, never of how many *other* requests
+    share an estimation round, which is what keeps frontier batching
+    composition-independent (serial ≡ process at any chunking).
+    """
+    treated_rows = np.asarray(treated_rows, dtype=bool)
+    if treated_rows.ndim != 2:
+        raise EstimationError(
+            f"treated_rows must be 2-D (m, n), got shape {treated_rows.shape}"
+        )
+    m, n = treated_rows.shape
+    if n != table.n_rows:
+        raise EstimationError(
+            f"treated_rows columns {n} != table rows {table.n_rows}"
+        )
+    if len(adjustments) != m:
+        raise EstimationError(
+            f"{len(adjustments)} adjustment tuples for {m} rows"
+        )
+    if m == 0:
+        return []
+
+    if counts is None:
+        counts = treated_rows.sum(axis=1)
+    else:
+        counts = np.asarray(counts)
+    n_treated = [int(c) for c in counts]
+    results: list[CateResult | None] = [None] * m
+
+    for j in range(m):
+        if n_treated[j] == 0 or n_treated[j] == n:
+            results[j] = CateResult.invalid(
+                _POSITIVITY,
+                n=n,
+                n_treated=n_treated[j],
+                n_control=n - n_treated[j],
+                adjustment=tuple(adjustments[j]),
+            )
+
+    # First-seen grouping by adjustment set: deterministic given the level.
+    groups: dict[tuple[str, ...], list[int]] = {}
+    for j in range(m):
+        if results[j] is None:
+            groups.setdefault(tuple(adjustments[j]), []).append(j)
+    if not groups:
+        return results  # type: ignore[return-value]
+
+    if float_rows is None:
+        float_rows = treated_rows.astype(np.float64)
+
+    # Per-group work is the two GEMMs and the two row reductions only;
+    # every elementwise identity below runs once per call on the stacked
+    # per-column arrays (order: group-concatenation, deterministic).
+    act_cols: list[int] = []
+    act_adjustment: list[tuple[str, ...]] = []
+    group_sizes: list[int] = []
+    group_dof: list[int] = []
+    group_ysq: list[float] = []
+    tt_parts: list[np.ndarray] = []
+    ty_parts: list[np.ndarray] = []
+
+    for adjustment, cols in groups.items():
+        if factorization_for is not None:
+            factorization = factorization_for(adjustment)
+        else:
+            factorization = build_rows_factorization(table, outcome, adjustment)
+        if factorization.degenerate:
+            for j in cols:
+                results[j] = _SCALAR_FALLBACK.estimate(
+                    table, treated_rows[j], outcome, adjustment
+                )
+            continue
+
+        t_rows = float_rows[cols] if len(cols) != m else float_rows
+        # The transposed GEMM pair: project out col(W) row-wise, then the
+        # contiguous-row reductions (einsum stays off BLAS; each row's sum
+        # is a pure function of that row).
+        if isinstance(factorization, GramFactorization):
+            projected = (t_rows @ factorization.w) @ factorization.gram_inv
+            t_res = t_rows - projected @ factorization.w.T
+        else:
+            q = factorization.q
+            t_res = t_rows - (t_rows @ q) @ q.T
+        tt_parts.append(np.einsum("ij,ij->i", t_res, t_res))
+        ty_parts.append(np.einsum("ij,j->i", t_res, factorization.y_res))
+        act_cols.extend(cols)
+        act_adjustment.append(adjustment)
+        group_sizes.append(len(cols))
+        group_dof.append(n - factorization.rank - 1)
+        group_ysq.append(factorization.y_res_sq)
+
+    if not act_cols:
+        return results  # type: ignore[return-value]
+
+    tt = np.concatenate(tt_parts) if len(tt_parts) > 1 else tt_parts[0]
+    ty = np.concatenate(ty_parts) if len(ty_parts) > 1 else ty_parts[0]
+    sizes = np.asarray(group_sizes)
+    dof_col = np.repeat(np.asarray(group_dof, dtype=np.float64), sizes)
+    ysq_col = np.repeat(np.asarray(group_ysq), sizes)
+    act_counts = counts[act_cols].astype(np.float64)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        estimates = ty / tt
+        rss = ysq_col - ty * ty / tt
+        stderrs = np.sqrt((rss / np.maximum(dof_col, 1.0)) / tt)
+        # ‖t‖² of a boolean mask is its treated count; a numerically
+        # perfect fit makes the FWL RSS identity cancel catastrophically —
+        # both defer to the scalar path, which defines the answer
+        # bit-for-bit.
+        fallback = tt <= RESIDUAL_TOL * act_counts
+        fallback |= rss <= PERFECT_FIT_TOL * np.maximum(ysq_col, 1.0)
+        degenerate_fit = (dof_col <= 0) | ~np.isfinite(stderrs) | (stderrs == 0.0)
+        t_stats = estimates / stderrs
+        p_values = 2.0 * special.stdtr(dof_col, -np.abs(t_stats))
+
+    bad = fallback | degenerate_fit
+    if bad.any():
+        adj_col = np.repeat(np.arange(len(act_adjustment)), sizes)
+        fallback_l = fallback.tolist()
+        for pos in np.flatnonzero(bad):
+            j = act_cols[pos]
+            adjustment = act_adjustment[adj_col[pos]]
+            if fallback_l[pos]:
+                results[j] = _SCALAR_FALLBACK.estimate(
+                    table, treated_rows[j], outcome, adjustment
+                )
+            else:
+                results[j] = CateResult.invalid(
+                    _DEGENERATE,
+                    n=n,
+                    n_treated=n_treated[j],
+                    n_control=n - n_treated[j],
+                    adjustment=adjustment,
+                )
+        bad_l = bad.tolist()
+    else:
+        bad_l = None
+
+    est_l = estimates.tolist()
+    se_l = stderrs.tolist()
+    p_l = p_values.tolist()
+    for pos, j in enumerate(act_cols):
+        if bad_l is not None and bad_l[pos]:
+            continue
+        results[j] = CateResult(
+            estimate=est_l[pos],
+            stderr=se_l[pos],
+            p_value=p_l[pos],
+            n=n,
+            n_treated=n_treated[j],
+            n_control=n - n_treated[j],
+            adjustment=tuple(adjustments[j]),
+        )
     return results  # type: ignore[return-value]
 
 

@@ -18,7 +18,6 @@ and :func:`repro.causal.discovery.pc_dag` respectively.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.causal.dag import CausalDAG
 from repro.tabular.schema import Schema

@@ -25,7 +25,7 @@ cheaply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats
@@ -34,6 +34,11 @@ from repro.causal.linalg import ols, one_hot
 from repro.tabular.column import CategoricalColumn, NumericColumn
 from repro.tabular.table import Table
 from repro.utils.errors import EstimationError
+
+#: Diagnostic reason shared by every positivity-screen rejection (scalar
+#: estimators, the batched kernels, and the bitset pruning layer must emit
+#: byte-identical results for the same degenerate candidate).
+POSITIVITY_REASON = "positivity violated: empty treated or control group"
 
 
 @dataclass(frozen=True)
@@ -182,7 +187,7 @@ class LinearAdjustmentEstimator:
         n_control = n - n_treated
         if n_treated == 0 or n_control == 0:
             return CateResult.invalid(
-                "positivity violated: empty treated or control group",
+                POSITIVITY_REASON,
                 n=n,
                 n_treated=n_treated,
                 n_control=n_control,
@@ -282,6 +287,35 @@ class LinearAdjustmentEstimator:
             factorization_for=factorization_for,
         )
 
+    def estimate_level_rows(
+        self,
+        table: Table,
+        treated_rows: np.ndarray,
+        outcome: str,
+        adjustments,
+        factorization_for=None,
+        float_rows: np.ndarray | None = None,
+        counts: np.ndarray | None = None,
+    ) -> list[CateResult]:
+        """Row-major fused level kernel (the frontier batcher's entry point).
+
+        Delegates to :func:`repro.causal.batch.estimate_level_rows`; the
+        presence of this method is what gates frontier batching onto an
+        estimator (:class:`StratifiedEstimator` has no batched path and
+        ignores the frontier flags).
+        """
+        from repro.causal.batch import estimate_level_rows
+
+        return estimate_level_rows(
+            table,
+            treated_rows,
+            outcome,
+            adjustments,
+            factorization_for=factorization_for,
+            float_rows=float_rows,
+            counts=counts,
+        )
+
 
 class StratifiedEstimator:
     """CATE via exact stratification on the adjustment attributes.
@@ -339,7 +373,7 @@ class StratifiedEstimator:
         n_control = n - n_treated
         if n_treated == 0 or n_control == 0:
             return CateResult.invalid(
-                "positivity violated: empty treated or control group",
+                POSITIVITY_REASON,
                 n=n,
                 n_treated=n_treated,
                 n_control=n_control,

@@ -16,7 +16,6 @@ dispatches to the right test per query.
 from __future__ import annotations
 
 import math
-from itertools import product
 
 import numpy as np
 from scipy import stats

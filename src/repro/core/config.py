@@ -85,6 +85,30 @@ class FairCapConfig:
         other estimators ignore the flag.  Mined rulesets are identical
         either way (estimates agree to working precision; degenerate
         candidates take the scalar path bit-identically).
+    bitset_masks:
+        Compose Step-2 candidate masks from packed per-predicate bitsets
+        (:mod:`repro.mining.bitsets`) — one AND over ``n/64`` words per
+        item instead of re-evaluating predicates per candidate — and prune
+        zero-support candidates by popcount *before* any estimation.
+        ``False`` re-evaluates boolean masks per candidate (the
+        differential reference).  Pruned candidates' results are
+        synthesized exactly as estimation would reject them, so rulesets
+        are bit-identical either way.  Only affects the batched path.
+    frontier_batching:
+        Run Step 2 as a multi-context *frontier*: level k+1 of every
+        grouping-pattern context in an executor's scope is collected into
+        one estimation round (:func:`repro.core.intervention.mine_interventions_frontier`),
+        each sub-population's boolean stack is converted to float exactly
+        once per level, and the round runs through the fused row-major
+        kernel (:func:`repro.causal.batch.estimate_level_rows`).
+        Estimation batches stay per (context, sub-population, adjustment
+        set) and cache keys keep level granularity, so results are
+        identical across executors, worker counts and chunkings
+        (serial ≡ process bit-identity).  ``False`` selects the PR-3-style
+        per-context engine — the differential reference; estimates agree
+        to working precision (rtol 1e-9), rulesets are identical.
+        Requires ``batch_estimation``; estimators without a batched path
+        ignore it.
     """
 
     variant: ProblemVariant = field(default_factory=ProblemVariant)
@@ -110,6 +134,8 @@ class FairCapConfig:
     # hundred bytes each) so cross-variant reuse survives the LRU.
     cache_size: int = 65_536
     batch_estimation: bool = True
+    bitset_masks: bool = True
+    frontier_batching: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.apriori_min_support <= 1.0:

@@ -18,7 +18,7 @@ This module implements that extension:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.mining.patterns import Pattern
 from repro.rules.rule import PrescriptionRule

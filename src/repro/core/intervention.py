@@ -33,10 +33,14 @@ from repro.causal.dag import CausalDAG
 from repro.core.config import FairCapConfig
 from repro.fairness.benefit import benefit
 from repro.mining.apriori import build_items
-from repro.mining.lattice import LatticeNode, traverse_lattice
+from repro.mining.lattice import LatticeNode, LatticeWalk, traverse_lattice
 from repro.mining.patterns import Pattern
 from repro.rules.rule import PrescriptionRule
-from repro.rules.utility import GroupEvaluationContext, RuleEvaluator
+from repro.rules.utility import (
+    GroupEvaluationContext,
+    RuleEvaluator,
+    keep_candidate,
+)
 from repro.tabular.schema import Schema
 from repro.utils.errors import ConfigError
 
@@ -91,6 +95,62 @@ def intervention_items(
     )
 
 
+def _make_decider(config: FairCapConfig):
+    """The keep/expand decision shared by every Step-2 execution path.
+
+    Delegates to :func:`repro.rules.utility.keep_candidate` (a rule's
+    utility is ``usable(overall)``, so testing the overall estimate is the
+    same predicate) — the frontier's phase-2 planning uses the identical
+    helper, keeping both engines on the same lattice by construction.
+    """
+    alpha = config.significance_alpha
+
+    def decide(rule: PrescriptionRule) -> tuple[bool, PrescriptionRule]:
+        return keep_candidate(rule.estimate, alpha), rule
+
+    return decide
+
+
+def _select_best(
+    candidates: list[PrescriptionRule], fairness
+) -> PrescriptionRule | None:
+    """Pick one grouping pattern's best treatment (Sec. 5.2 / 5.4).
+
+    Shared by the per-context and frontier paths so their selection logic
+    cannot drift: matroid (individual-fairness) variants filter to
+    per-rule-satisfying treatments and take the highest utility; everything
+    else maximises the variant's benefit function.
+    """
+    eligible = candidates
+    if fairness is not None and fairness.is_matroid:
+        # Individual fairness: Step 2 only selects treatments that are
+        # guaranteed to meet the per-rule constraint (Sec. 5.4).
+        eligible = [r for r in candidates if fairness.satisfied_by_rule(r)]
+    if not eligible:
+        return None
+    if fairness is not None and fairness.is_matroid:
+        return max(eligible, key=lambda r: r.utility)
+    return max(eligible, key=lambda r: benefit(r, fairness))
+
+
+def _batched_path_available(config: FairCapConfig, evaluator: RuleEvaluator) -> bool:
+    return config.batch_estimation and hasattr(evaluator.estimator, "estimate_level")
+
+
+#: Maximum grouping-pattern contexts alive in one frontier (memory bound;
+#: windowing is result-invariant — see frontier_mine_patterns).
+FRONTIER_WINDOW = 64
+
+
+def frontier_enabled(config: FairCapConfig, evaluator: RuleEvaluator) -> bool:
+    """Whether Step 2 should run through the multi-context frontier batcher."""
+    return (
+        config.frontier_batching
+        and config.batch_estimation
+        and hasattr(evaluator.estimator, "estimate_level_rows")
+    )
+
+
 def mine_intervention(
     context: GroupEvaluationContext,
     items: list[Pattern],
@@ -116,25 +176,25 @@ def mine_intervention(
         Moot under the batched estimation engine, which already consumes a
         level at a time.
     """
-    alpha = config.significance_alpha
-    fairness = config.variant.fairness
-
-    def decide(rule: PrescriptionRule) -> tuple[bool, PrescriptionRule]:
-        keep = rule.utility > 0.0
-        if keep and alpha is not None:
-            keep = rule.estimate is not None and rule.estimate.is_significant(alpha)
-        return keep, rule
+    decide = _make_decider(config)
 
     def evaluate(pattern: Pattern) -> tuple[bool, PrescriptionRule]:
         return decide(context.evaluate(pattern))
 
     evaluate_many = None
-    if config.batch_estimation and hasattr(context.evaluator.estimator, "estimate_level"):
+    if _batched_path_available(config, context.evaluator):
         # Batched FWL engine: one GEMM per lattice level instead of one OLS
         # per candidate (repro.causal.batch).  The scalar path above stays
         # as the differential reference (config.batch_estimation=False).
+        # With config.bitset_masks the level's stacks come from packed item
+        # bitsets with popcount support pruning (bit-identical rules).
+        use_bitsets = config.bitset_masks
+
         def evaluate_many(patterns: list[Pattern]) -> list[tuple[bool, PrescriptionRule]]:
-            return [decide(rule) for rule in context.evaluate_batch(patterns)]
+            return [
+                decide(rule)
+                for rule in context.evaluate_batch(patterns, use_bitsets=use_bitsets)
+            ]
 
     nodes: list[LatticeNode] = traverse_lattice(
         items,
@@ -143,29 +203,106 @@ def mine_intervention(
         executor=lattice_executor,
         evaluate_many=evaluate_many,
     )
+    return _result_from_nodes(nodes, config)
+
+
+def _result_from_nodes(
+    nodes: list[LatticeNode], config: FairCapConfig
+) -> InterventionMiningResult:
     kept = [node.payload for node in nodes if node.keep]
     candidates: list[PrescriptionRule] = [
         rule for rule in kept if isinstance(rule, PrescriptionRule)
     ]
-
-    eligible = candidates
-    if fairness is not None and fairness.is_matroid:
-        # Individual fairness: Step 2 only selects treatments that are
-        # guaranteed to meet the per-rule constraint (Sec. 5.4).
-        eligible = [r for r in candidates if fairness.satisfied_by_rule(r)]
-
-    if not eligible:
-        return InterventionMiningResult(
-            best=None, candidates=tuple(candidates), nodes_evaluated=len(nodes)
-        )
-
-    if fairness is not None and fairness.is_matroid:
-        best = max(eligible, key=lambda r: r.utility)
-    else:
-        best = max(eligible, key=lambda r: benefit(r, fairness))
+    best = _select_best(candidates, config.variant.fairness)
     return InterventionMiningResult(
         best=best, candidates=tuple(candidates), nodes_evaluated=len(nodes)
     )
+
+
+def frontier_mine_patterns(
+    evaluator: RuleEvaluator,
+    grouping_patterns,
+    items: list[Pattern],
+    config: FairCapConfig,
+) -> list[InterventionMiningResult]:
+    """Run Step 2 for many grouping patterns as one multi-level frontier.
+
+    Instead of traversing each grouping pattern's treatment lattice to
+    completion in turn, every context advances in lock-step: round k
+    collects level-k candidates of *all* active contexts
+    (:class:`~repro.mining.lattice.LatticeWalk` keeps candidate generation
+    identical to the serial traversal), plans them through the bitset
+    compose/prune layer, and answers the round's sub-population batches in
+    one estimation pass (:meth:`~repro.rules.utility.RuleEvaluator.estimate_requests`).
+    The per-level fixed costs — float conversion, adjustment restriction,
+    digesting — are paid once per (context, level) rather than once per
+    sub-population, which is what the many-small-groups regime was missing.
+
+    Determinism: estimation batches stay per (context, sub-population,
+    adjustment set) and every cached entry keeps level granularity, so the
+    mined rules are independent of how many contexts share a round — a
+    process worker fronting its chunk produces bit-identical results to a
+    serial run fronting everything (the :mod:`repro.parallel` contract).
+    Returns one :class:`InterventionMiningResult` per grouping pattern, in
+    input order, exactly as the per-context loop would.
+    """
+    patterns = list(grouping_patterns)
+    if not patterns:
+        return []
+    # Bound peak memory: every context in a frontier pins its sub-tables,
+    # bitset caches and factorization stores for the walk's lifetime, so
+    # hundreds of grouping patterns are processed in fixed-size windows
+    # (released between windows).  Windowing cannot change results: every
+    # estimation batch's bits are a pure function of its own request
+    # content, never of which contexts share a round (the same property
+    # that makes process-pool chunking safe).
+    if len(patterns) > FRONTIER_WINDOW:
+        results: list[InterventionMiningResult] = []
+        for start in range(0, len(patterns), FRONTIER_WINDOW):
+            results.extend(
+                frontier_mine_patterns(
+                    evaluator,
+                    patterns[start : start + FRONTIER_WINDOW],
+                    items,
+                    config,
+                )
+            )
+        return results
+    alpha = config.significance_alpha
+    use_bitsets = config.bitset_masks
+    walks: list[tuple[GroupEvaluationContext, LatticeWalk]] = []
+    for frequent in patterns:
+        context = evaluator.context(getattr(frequent, "pattern", frequent))
+        walk = LatticeWalk(items, max_level=config.max_intervention_size)
+        walks.append((context, walk))
+
+    while True:
+        round_work = []
+        for context, walk in walks:
+            if walk.done:
+                continue
+            work = context.begin_level(walk.candidates(), use_bitsets=use_bitsets)
+            round_work.append((walk, work))
+        if not round_work:
+            break
+        # Phase 1: every context's overall batch — the keep decision needs
+        # nothing else.  Phase 2: protected / non-protected batches for the
+        # kept columns only (a rejected candidate's sub-population CATEs
+        # are never read).
+        evaluator.estimate_requests(
+            [request for _, work in round_work for request in work.requests]
+        )
+        evaluator.estimate_requests(
+            [
+                request
+                for _, work in round_work
+                for request in work.followup(alpha)
+            ]
+        )
+        for walk, work in round_work:
+            walk.advance(work.finish())
+
+    return [_result_from_nodes(walk.nodes, config) for _, walk in walks]
 
 
 def mine_interventions_for_groups(
@@ -187,6 +324,11 @@ def mine_interventions_for_groups(
         from repro.parallel.mining import mine_groups
 
         return mine_groups(evaluator, grouping_patterns, items, config, executor)
+
+    if frontier_enabled(config, evaluator):
+        results = frontier_mine_patterns(evaluator, grouping_patterns, items, config)
+        rules = [r.best for r in results if r.best is not None]
+        return rules, sum(r.nodes_evaluated for r in results)
 
     rules: list[PrescriptionRule] = []
     nodes_total = 0

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.causal.scm import SCMNode, StructuralCausalModel
 from repro.datasets.bundle import DatasetBundle
-from repro.datasets.synth import indicator, lookup, pick, pick_rows, uniform_noise
+from repro.datasets.synth import lookup, pick, pick_rows, uniform_noise
 from repro.mining.patterns import Pattern
 from repro.rules.protected import ProtectedGroup
 from repro.rules.templates import RuleTemplates

@@ -1,0 +1,133 @@
+"""Packed bitset masks: the Step-2 item-mask kernel.
+
+Step 2 of FairCap composes thousands of candidate treated masks per run, and
+every one of them is a conjunction of a handful of *atomic predicates* —
+exactly the structure frequent-pattern miners exploit with per-item bitsets
+(cf. the candidate-lattice reuse in reliable-causal-rule discovery).  This
+module packs boolean row masks into ``uint64`` words so that
+
+- each atomic predicate is evaluated against a table **once** and cached on
+  the (immutable) table instance, like its fingerprint and design blocks;
+- a level-k candidate's mask is the bitwise AND of its items' words — 64
+  rows per instruction instead of re-evaluating every predicate per
+  candidate;
+- support counts come from a popcount over the words, which is what lets
+  the mining layer prune candidates below minimum support *before* any
+  estimation work (see
+  :meth:`repro.rules.utility.GroupEvaluationContext.begin_level`).
+
+Exactness contract
+------------------
+Packing is a pure re-encoding: ``unpack_mask(pack_mask(m), len(m))`` is
+bit-identical to ``m``, AND in the packed domain equals AND in the boolean
+domain, and ``popcount`` equals ``mask.sum()`` exactly (differentially
+tested in ``tests/mining/test_bitsets.py``).  The padding bits of the last
+word are always zero — ``np.packbits`` pads with zeros and AND can never
+set a bit — so popcounts need no trailing-word masking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_mask",
+    "unpack_mask",
+    "unpack_rows",
+    "popcount",
+    "popcount_rows",
+    "predicate_bitset",
+    "pattern_bitset",
+]
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+    _popcount_words = np.bitwise_count
+else:  # pragma: no cover - exercised only on numpy 1.x
+    _POPCOUNT_U8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_U8[words.view(np.uint8)].reshape(*words.shape, 8).sum(
+            axis=-1, dtype=np.uint64
+        )
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean row mask into a ``(ceil(n/64),)`` ``uint64`` array.
+
+    The bit order is ``np.packbits``'s big-endian-per-byte convention; all
+    padding bits beyond row ``n`` are zero.  Callers never need to know the
+    bit order — every consumer goes through :func:`unpack_mask`,
+    :func:`popcount`, or bitwise operators, all of which are
+    order-consistent by construction.
+    """
+    packed = np.packbits(np.asarray(mask, dtype=bool))
+    pad = (-packed.size) % 8
+    if pad:
+        packed = np.concatenate([packed, np.zeros(pad, dtype=np.uint8)])
+    return packed.view(np.uint64)
+
+
+def unpack_mask(words: np.ndarray, n_rows: int) -> np.ndarray:
+    """Invert :func:`pack_mask`: words back to an ``(n_rows,)`` boolean mask."""
+    return np.unpackbits(words.view(np.uint8), count=n_rows).view(np.bool_)
+
+
+def unpack_rows(word_matrix: np.ndarray, n_rows: int) -> np.ndarray:
+    """Unpack an ``(m, words)`` stack into an ``(m, n_rows)`` boolean matrix.
+
+    Row ``j`` of the result is ``unpack_mask(word_matrix[j], n_rows)`` —
+    the row-major ("transposed") treated-mask layout the fused level kernel
+    (:func:`repro.causal.batch.estimate_level_rows`) consumes directly.
+    """
+    m = word_matrix.shape[0]
+    if m == 0:
+        return np.empty((0, n_rows), dtype=bool)
+    flat = np.unpackbits(
+        np.ascontiguousarray(word_matrix).view(np.uint8), axis=1, count=n_rows
+    )
+    return flat.view(np.bool_)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Number of set bits — ``unpack_mask(words, n).sum()`` without unpacking."""
+    return int(_popcount_words(words).sum())
+
+
+def popcount_rows(word_matrix: np.ndarray) -> np.ndarray:
+    """Per-row popcounts of an ``(m, words)`` stack as an ``int64`` array."""
+    if word_matrix.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    return _popcount_words(word_matrix).sum(axis=1, dtype=np.int64)
+
+
+def predicate_bitset(table, predicate) -> np.ndarray:
+    """Packed mask of one atomic predicate over ``table``, memoised per table.
+
+    The predicate is evaluated (vectorised) exactly once per table instance;
+    every candidate pattern containing it afterwards pays one AND over
+    ``n/64`` words.  The cache rides on the immutable table's ``__dict__``
+    exactly like :meth:`repro.tabular.table.Table.fingerprint` and the
+    per-attribute design blocks of :mod:`repro.causal.batch` do.
+    """
+    cache = table.__dict__.setdefault("_predicate_bitset_cache", {})
+    words = cache.get(predicate)
+    if words is None:
+        words = pack_mask(predicate.mask(table))
+        cache[predicate] = words
+    return words
+
+
+def pattern_bitset(table, pattern) -> np.ndarray:
+    """Packed coverage mask of a conjunctive pattern: AND of its items' words.
+
+    Bit-identical to ``pack_mask(pattern.mask(table))`` (the per-candidate
+    re-evaluation it replaces); the empty pattern covers every row, matching
+    :meth:`repro.mining.patterns.Pattern.mask`.
+    """
+    predicates = pattern.predicates
+    if not predicates:
+        return pack_mask(np.ones(table.n_rows, dtype=bool))
+    words = predicate_bitset(table, predicates[0])
+    for predicate in predicates[1:]:
+        words = words & predicate_bitset(table, predicate)
+    return words

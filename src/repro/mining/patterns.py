@@ -170,8 +170,12 @@ class Pattern:
 
     @property
     def attributes(self) -> tuple[str, ...]:
-        """Distinct attributes mentioned, sorted."""
-        return tuple(sorted({p.attribute for p in self.predicates}))
+        """Distinct attributes mentioned, sorted (memoised per instance)."""
+        cached = self.__dict__.get("_attributes")
+        if cached is None:
+            cached = tuple(sorted({p.attribute for p in self.predicates}))
+            self.__dict__["_attributes"] = cached
+        return cached
 
     def is_empty(self) -> bool:
         """Whether this is the empty conjunction."""

@@ -71,6 +71,37 @@ def treated_mask_digest(treated: np.ndarray) -> bytes:
     return h.digest()
 
 
+def treated_rows_digest(treated_rows: np.ndarray) -> bytes:
+    """Stable digest of an ``(m, n)`` *row-major* boolean treated stack.
+
+    Row-layout sibling of :func:`treated_matrix_digest` for the frontier
+    batcher's level requests; the shape prefix keeps the two families (and
+    transposes of each other's content) from ever colliding.
+    """
+    treated_rows = np.asarray(treated_rows, dtype=bool)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"rows")
+    h.update(repr(treated_rows.shape).encode())
+    h.update(np.packbits(treated_rows, axis=1).tobytes())
+    return h.digest()
+
+
+def packed_rows_digest(word_matrix: np.ndarray, n_rows: int) -> bytes:
+    """Stable digest of an ``(m, words)`` packed-bitset stack.
+
+    The bitset kernel (:mod:`repro.mining.bitsets`) already holds each
+    candidate mask as ``uint64`` words, so hashing the words directly skips
+    the per-level ``np.packbits`` pass the boolean digests pay.  ``n_rows``
+    disambiguates stacks whose padding would otherwise alias (all padding
+    bits are zero by construction).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"packed-rows")
+    h.update(repr((n_rows,) + word_matrix.shape).encode())
+    h.update(np.ascontiguousarray(word_matrix).tobytes())
+    return h.digest()
+
+
 def treated_matrix_digest(treated_matrix: np.ndarray) -> bytes:
     """Stable digest of an ``(n, m)`` boolean treated-mask stack.
 
@@ -164,6 +195,35 @@ class EstimationCache:
         )
 
     @staticmethod
+    def rows_level_key(
+        estimator,
+        table,
+        digest_parts: tuple,
+        outcome: str,
+        adjustments,
+    ) -> CacheKey:
+        """Content key of one frontier level request (row-major stacks).
+
+        ``digest_parts`` is an opaque tuple the caller guarantees to
+        *determine the request's treated stack*: the frontier batcher passes
+        the packed-words digest of the level's full candidate stack plus,
+        for protected / non-protected sub-populations, the digest of the
+        context's row-selection mask — together they pin the sliced stack's
+        content exactly, without re-digesting each sub-population's rows.
+        Same level-granularity contract as :meth:`level_key`: a stored
+        value is the result of one specific batch, and identical runs hit
+        identical keys regardless of executor or chunking.
+        """
+        return (
+            "level-rows",
+            estimator.cache_key(),
+            table.fingerprint(),
+            digest_parts,
+            outcome,
+            tuple(tuple(adj) for adj in adjustments),
+        )
+
+    @staticmethod
     def factorization_key(
         table, outcome: str, adjustment: tuple[str, ...]
     ) -> CacheKey:
@@ -247,13 +307,41 @@ class EstimationCache:
         """
         from repro.causal.batch import build_factorization
 
-        key = self.factorization_key(table, outcome, adjustment)
+        return self._factorize_with(
+            self.factorization_key(table, outcome, adjustment),
+            build_factorization,
+            table,
+            outcome,
+            adjustment,
+        )
+
+    def get_or_factorize_rows(
+        self, table, outcome: str, adjustment: tuple[str, ...]
+    ):
+        """Memoised :func:`repro.causal.batch.build_rows_factorization`.
+
+        The row-major (Gram) factorizations the fused kernel consumes live
+        under their own key prefix: the two builds project identically but
+        are different objects with different numerical paths, and an entry
+        must never answer for the other family.
+        """
+        from repro.causal.batch import build_rows_factorization
+
+        return self._factorize_with(
+            ("fwl-rows", table.fingerprint(), outcome, tuple(adjustment)),
+            build_rows_factorization,
+            table,
+            outcome,
+            adjustment,
+        )
+
+    def _factorize_with(self, key: CacheKey, build, table, outcome, adjustment):
         with self._lock:
             factorization = self._factorizations.get(key)
             if factorization is not None:
                 self._factorizations.move_to_end(key)
         if factorization is None:
-            factorization = build_factorization(table, outcome, adjustment)
+            factorization = build(table, outcome, adjustment)
             with self._lock:
                 self._factorizations[key] = factorization
                 self._factorizations.move_to_end(key)

@@ -90,16 +90,38 @@ def _build_state(payload: dict) -> _MiningState:
 def _mine_chunk(state: _MiningState, indices: list[int]) -> tuple[list[tuple], dict]:
     """Chunk worker: mine the best treatment for each grouping pattern.
 
-    Returns the per-pattern results plus the cache entries this chunk
-    computed (empty unless the worker cache is in recording mode).
+    With frontier batching enabled (the default) the chunk's contexts
+    advance level-synchronously through one frontier
+    (:func:`repro.core.intervention.frontier_mine_patterns`); estimation
+    batches stay per (context, sub-population, adjustment set), so the
+    results are bit-identical to the per-pattern loop regardless of how
+    patterns were chunked across workers.  Returns the per-pattern results
+    plus the cache entries this chunk computed (empty unless the worker
+    cache is in recording mode).
     """
-    from repro.core.intervention import mine_intervention
+    from repro.core.intervention import (
+        frontier_enabled,
+        frontier_mine_patterns,
+        mine_intervention,
+    )
 
     out = []
-    for i in indices:
-        context = state.evaluator.context(state.patterns[i].pattern)
-        result = mine_intervention(context, state.items, state.config)
-        out.append((i, result.best, result.nodes_evaluated))
+    if frontier_enabled(state.config, state.evaluator):
+        results = frontier_mine_patterns(
+            state.evaluator,
+            [state.patterns[i] for i in indices],
+            state.items,
+            state.config,
+        )
+        out = [
+            (i, result.best, result.nodes_evaluated)
+            for i, result in zip(indices, results)
+        ]
+    else:
+        for i in indices:
+            context = state.evaluator.context(state.patterns[i].pattern)
+            result = mine_intervention(context, state.items, state.config)
+            out.append((i, result.best, result.nodes_evaluated))
     cache = state.evaluator.cache
     new_entries = cache.drain_new_entries() if cache is not None else {}
     return out, new_entries
@@ -127,11 +149,17 @@ def mine_groups(
     one best rule per grouping pattern that has an eligible treatment, in
     Step-1 mining order.
     """
+    from repro.core.intervention import frontier_enabled
+
     patterns = tuple(grouping_patterns)
     if not patterns:
         return [], 0
 
-    if executor.kind == "thread" and len(patterns) < executor.n_workers:
+    if (
+        executor.kind == "thread"
+        and len(patterns) < executor.n_workers
+        and not frontier_enabled(config, evaluator)
+    ):
         # Too few patterns to feed every thread; push the threads one level
         # down instead: walk the patterns serially and batch-evaluate each
         # lattice level across the pool (identical results — see

@@ -20,6 +20,19 @@ which computes the overall/protected/non-protected CATEs of a level in three
 batched FWL estimations (:mod:`repro.causal.batch`) instead of three OLS
 solves per candidate.
 
+The default engine goes one layer further: the frontier batcher
+(:func:`repro.core.intervention.frontier_mine_patterns`) advances many
+contexts' lattices in lock-step, and each context contributes a
+:class:`_LevelWork` per round — built by
+:meth:`GroupEvaluationContext.begin_level`, which composes the level's
+treated stacks from packed item bitsets (:mod:`repro.mining.bitsets`),
+popcount-prunes zero-support candidates before any estimation, and defers
+protected / non-protected estimation behind the keep filter
+(:meth:`_LevelWork.followup`): a rejected candidate's sub-population CATEs
+are never computed.  :meth:`RuleEvaluator.estimate_requests` answers a
+round's requests through the fused row-major kernel under
+level-granularity cache keys.
+
 Utilities follow the paper's conventions: a rule covering no tuples has
 utility 0, and a sub-group CATE that cannot be estimated (no protected rows,
 say) also contributes utility 0.
@@ -34,15 +47,191 @@ import numpy as np
 from repro.causal.backdoor import backdoor_adjustment_set, parents_adjustment_set
 from repro.causal.dag import CausalDAG
 from repro.causal.estimators import (
+    POSITIVITY_REASON,
     CateResult,
     LinearAdjustmentEstimator,
     StratifiedEstimator,
 )
+from repro.mining.bitsets import (
+    pack_mask,
+    pattern_bitset,
+    popcount_rows,
+    unpack_rows,
+)
 from repro.mining.patterns import Pattern
+from repro.parallel.cache import (
+    EstimationCache,
+    packed_rows_digest,
+    treated_mask_digest,
+    treated_rows_digest,
+)
 from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.tabular.table import Table
 from repro.utils.errors import EstimationError
+
+_MISSING = object()
+
+
+def keep_candidate(overall: "CateResult | None", alpha: float | None) -> bool:
+    """The Step-2 keep/expand predicate, on the overall CATE alone.
+
+    A node's supersets are explored when its overall effect is usable,
+    positive, and (when ``alpha`` is set) significant — Sec. 5.2's filter.
+    Single source of truth shared by the per-context decider
+    (:func:`repro.core.intervention._make_decider`) and the frontier's
+    phase-2 planning (:meth:`_LevelWork.followup`), so the two engines
+    cannot drift apart on which lattice they explore.
+    """
+    if overall is None or not overall.valid:
+        return False
+    keep = float(overall.estimate) > 0.0
+    if keep and alpha is not None:
+        keep = overall.is_significant(alpha)
+    return keep
+
+
+class _SubRequest:
+    """One (sub-population, level) estimation unit of a frontier round.
+
+    Carries everything :meth:`RuleEvaluator.estimate_requests` needs to
+    answer it — the sub-table, the row-major treated stack plus its shared
+    float conversion, popcount-derived treated counts, per-candidate
+    effective adjustment sets, and the content-digest parts of its
+    level-granularity cache key.  ``results`` is filled in place.
+    """
+
+    __slots__ = (
+        "table",
+        "treated_rows",
+        "float_rows",
+        "counts",
+        "effective",
+        "digest_parts",
+        "fac_store",
+        "results",
+    )
+
+    def __init__(
+        self, table, treated_rows, float_rows, counts, effective, digest_parts, fac_store
+    ):
+        self.table = table
+        self.treated_rows = treated_rows
+        self.float_rows = float_rows
+        self.counts = counts
+        self.effective = effective
+        self.digest_parts = digest_parts
+        self.fac_store = fac_store
+        self.results: list[CateResult] | None = None
+
+
+class _LevelWork:
+    """One context's share of a two-phase frontier estimation round.
+
+    Built by :meth:`GroupEvaluationContext.begin_level`: popcount-pruned
+    candidates arrive pre-assembled in ``pruned``; the surviving
+    candidates' *overall* batch sits in ``requests`` for the round's first
+    estimation pass.  :meth:`followup` then applies the keep filter — Step
+    2 expands a node on its overall CATE alone (positive, significant) —
+    and emits protected / non-protected requests **only for the kept
+    columns**: a rejected candidate's sub-population CATEs are never read
+    (its rule is discarded after the keep decision), so estimating them
+    eagerly, as the reference engine does, is pure waste.  :meth:`finish`
+    re-interleaves everything into ``(keep, rule)`` evaluations in
+    candidate order.
+    """
+
+    __slots__ = (
+        "context",
+        "interventions",
+        "pruned",
+        "requests",
+        "_const_rules",
+        "_survivor_count",
+        "_treated_rows",
+        "_float_rows",
+        "_packed",
+        "_counts",
+        "_prot_counts",
+        "_raw_adjustments",
+        "_overall",
+        "_keep",
+        "_kept_pos",
+        "_prot",
+        "_nonprot",
+    )
+
+    def __init__(self, context, interventions):
+        self.context = context
+        self.interventions = interventions
+        self.pruned: dict[int, PrescriptionRule] = {}
+        self.requests: list[_SubRequest] = []
+        self._const_rules: list[PrescriptionRule] | None = None
+        self._survivor_count = 0
+        self._treated_rows = None
+        self._float_rows = None
+        self._packed = None
+        self._counts = None
+        self._prot_counts = None
+        self._raw_adjustments = None
+        self._overall = None
+        self._keep: list[bool] | None = None
+        self._kept_pos: list[int] | None = None
+        self._prot = None
+        self._nonprot = None
+
+    def followup(self, alpha: float | None) -> list[_SubRequest]:
+        """Phase 2: keep-filter on overall results, kept-only sub-requests."""
+        if self._const_rules is not None:
+            return []
+        overall = (
+            self._overall.results
+            if isinstance(self._overall, _SubRequest)
+            else self._overall
+        )
+        self._overall = overall
+        self._keep = keep = [keep_candidate(result, alpha) for result in overall]
+        self._kept_pos = [pos for pos, kept in enumerate(keep) if kept]
+        if not self._kept_pos:
+            self._prot = self._nonprot = []
+            return []
+        self._prot, self._nonprot = self.context._subpopulation_entries(self)
+        return self.requests
+
+    def finish(self) -> list[tuple[bool, PrescriptionRule]]:
+        """Assemble the level's ``(keep, rule)`` evaluations in order."""
+        if self._const_rules is not None:
+            # Constant rules all carry utility 0 -> never kept.
+            return [(False, rule) for rule in self._const_rules]
+        prot = self._prot.results if isinstance(self._prot, _SubRequest) else self._prot
+        nonprot = (
+            self._nonprot.results
+            if isinstance(self._nonprot, _SubRequest)
+            else self._nonprot
+        )
+        kept_index = {pos: i for i, pos in enumerate(self._kept_pos)}
+        evaluations: list[tuple[bool, PrescriptionRule]] = []
+        pos = 0
+        for j, intervention in enumerate(self.interventions):
+            rule = self.pruned.get(j)
+            if rule is not None:
+                evaluations.append((False, rule))
+                continue
+            kept = self._keep[pos]
+            if kept:
+                i = kept_index[pos]
+                rule = self.context._assemble_rule(
+                    intervention, self._overall[pos], prot[i], nonprot[i]
+                )
+            else:
+                # Rejected candidates' sub-population CATEs were skipped;
+                # their rules are only ever counted, never selected.
+                rule = self.context._assemble_rule(
+                    intervention, self._overall[pos], None, None
+                )
+            evaluations.append((kept, rule))
+            pos += 1
+        return evaluations
 
 
 class GroupEvaluationContext:
@@ -67,6 +256,19 @@ class GroupEvaluationContext:
         # level: a level-2 intervention reuses its two items' masks and
         # pays one AND instead of re-evaluating both predicates.
         self._predicate_masks: dict = {}
+        # Packed-bitset siblings of the above, built lazily by the bitset
+        # mask kernel (config.bitset_masks): the protected row-selection as
+        # words for popcount splits, and its digest for frontier cache keys.
+        self._protected_words: np.ndarray | None = None
+        self._protected_digest: bytes | None = None
+        # Per-sub-population design factorizations, pinned for this
+        # context's lifetime.  The frontier advances every context's
+        # lattice in lock-step, which destroys the temporal locality the
+        # global factorization LRU relies on (level k+1 of context 0 runs
+        # long after its level k) — holding a context's own QRs here keeps
+        # within-context reuse perfect at any frontier width, for the same
+        # memory order as the sub-tables the context already pins.
+        self._fac_stores: dict[str, dict] = {"all": {}, "prot": {}, "nonprot": {}}
 
     def _intervention_mask(self, intervention: Pattern) -> np.ndarray:
         """Treated mask of ``intervention`` from memoised predicate masks."""
@@ -79,6 +281,328 @@ class GroupEvaluationContext:
             combined = mask if combined is None else combined & mask
         assert combined is not None  # interventions are non-empty
         return combined
+
+    def _protected_bitset(self) -> np.ndarray:
+        """Packed protected-row mask over the subtable (lazily built)."""
+        if self._protected_words is None:
+            self._protected_words = pack_mask(self.sub_protected)
+        return self._protected_words
+
+    def _protected_mask_digest(self) -> bytes:
+        """Digest of the protected row-selection for frontier cache keys."""
+        if self._protected_digest is None:
+            self._protected_digest = treated_mask_digest(self.sub_protected)
+        return self._protected_digest
+
+    def _pruned_result(
+        self, sub_table: Table, c_sub: int, raw_adjustment: tuple[str, ...]
+    ) -> CateResult:
+        """The result estimation *would* produce for a zero-support column.
+
+        Replicates, branch for branch, what :meth:`RuleEvaluator.cate_level`
+        plus the batched kernel emit for a candidate whose treated count in
+        the whole subgroup is 0 or n (so every sub-population's count is 0
+        or its size too): the minimum-subgroup guard first (raw adjustment
+        attributes, like the guard), then the positivity rejection (with the
+        sub-table's effective adjustment, like the kernel).  This is what
+        makes popcount pruning ≡ post-estimation support filtering exactly,
+        field for field.
+        """
+        n_sub = sub_table.n_rows
+        min_size = self.evaluator.min_subgroup_size
+        if n_sub < min_size:
+            return CateResult.invalid(
+                f"subgroup smaller than {min_size}",
+                n=n_sub,
+                n_treated=c_sub,
+                n_control=n_sub - c_sub,
+                adjustment=tuple(raw_adjustment),
+            )
+        effective = self.evaluator._effective_adjustment(sub_table, raw_adjustment)
+        return CateResult.invalid(
+            POSITIVITY_REASON,
+            n=n_sub,
+            n_treated=c_sub,
+            n_control=n_sub - c_sub,
+            adjustment=effective,
+        )
+
+    def _pruned_rule(
+        self,
+        intervention: Pattern,
+        raw_adjustment: tuple[str, ...],
+        count: int,
+    ) -> PrescriptionRule:
+        """Assemble a popcount-pruned candidate's rule without estimation.
+
+        A zero-support candidate can never be kept, and the frontier only
+        estimates sub-population CATEs for kept candidates — so, exactly
+        like every other rejected candidate's rule, the pruned rule carries
+        the synthesized *overall* rejection and ``None`` sub-populations.
+        """
+        overall = self._pruned_result(self.subtable, count, raw_adjustment)
+        return self._assemble_rule(intervention, overall, None, None)
+
+    def _zero_coverage_rule(self, intervention: Pattern) -> PrescriptionRule:
+        return PrescriptionRule(
+            grouping=self.grouping,
+            intervention=intervention,
+            utility=0.0,
+            utility_protected=0.0,
+            utility_non_protected=0.0,
+            coverage_count=0,
+            protected_coverage_count=0,
+        )
+
+    def _compose_level(
+        self, interventions: list[Pattern], use_bitsets: bool, prune: bool = True
+    ):
+        """Compose one level's treated stacks, pruning zero-support columns.
+
+        Returns ``(pruned, survivors, treated_rows, counts, prot_counts,
+        raw_adjustments, packed)`` where ``treated_rows`` is the surviving
+        candidates' row-major boolean stack.  With ``use_bitsets`` the
+        stacks are AND-composed from per-predicate packed bitsets; with
+        ``prune`` (the frontier path) zero-support candidates are popcount-
+        pruned *before* any boolean row is materialised.  The packed stack
+        rides along (last element) for digest reuse.
+        """
+        evaluator = self.evaluator
+        n = self.subtable.n_rows
+        m = len(interventions)
+        raw_adjustments = [
+            evaluator.adjustment_for(intervention.attributes)
+            for intervention in interventions
+        ]
+        if not use_bitsets:
+            treated_rows = np.empty((m, n), dtype=bool)
+            for j, intervention in enumerate(interventions):
+                treated_rows[j] = self._intervention_mask(intervention)
+            return {}, list(range(m)), treated_rows, None, None, raw_adjustments, None
+
+        first = pattern_bitset(self.subtable, interventions[0])
+        packed = np.empty((m, first.shape[0]), dtype=np.uint64)
+        packed[0] = first
+        for j in range(1, m):
+            packed[j] = pattern_bitset(self.subtable, interventions[j])
+        counts = popcount_rows(packed)
+        prot_counts = (
+            popcount_rows(packed & self._protected_bitset()[None, :])
+            if self.protected_table is not None
+            else None
+        )
+        pruned: dict[int, PrescriptionRule] = {}
+        survivors = list(range(m))
+        if prune:
+            prunable = (counts == 0) | (counts == n)
+            if prunable.any():
+                for j in np.flatnonzero(prunable):
+                    pruned[int(j)] = self._pruned_rule(
+                        interventions[j], raw_adjustments[j], int(counts[j])
+                    )
+                survivors = [int(j) for j in np.flatnonzero(~prunable)]
+        if not survivors:
+            return pruned, survivors, None, None, None, raw_adjustments, None
+        packed_s = packed[survivors] if len(survivors) != m else packed
+        treated_rows = unpack_rows(packed_s, n)
+        counts_s = counts[survivors]
+        prot_s = prot_counts[survivors] if prot_counts is not None else None
+        raw_s = [raw_adjustments[j] for j in survivors]
+        return pruned, survivors, treated_rows, counts_s, prot_s, raw_s, packed_s
+
+    def _population_entry(
+        self,
+        work: "_LevelWork",
+        sub_table,
+        rows_mask,
+        treated_rows,
+        float_rows,
+        pop_counts,
+        raw_adjustments,
+        base_digest,
+        tag: str,
+    ):
+        """One sub-population's share of a level: a request or a const list.
+
+        Mirrors :meth:`RuleEvaluator.cate_level`'s guards exactly — the
+        minimum-subgroup cutoff first (raw adjustment attributes), then the
+        per-sub-table effective-adjustment restriction (computed once per
+        *distinct* set instead of once per column) — before emitting an
+        estimation request onto ``work``.
+        """
+        m = treated_rows.shape[0]
+        if sub_table is None:
+            return [None] * m
+        evaluator = self.evaluator
+        if rows_mask is None:
+            sub_rows, sub_float = treated_rows, float_rows
+        else:
+            # Converting the sliced boolean stack is cheaper than slicing
+            # the float stack (1 byte read per element instead of 8) and
+            # produces bit-identical values; the kernel converts on demand.
+            sub_rows, sub_float = treated_rows[:, rows_mask], None
+        n_sub = sub_table.n_rows
+        if pop_counts is None:
+            pop_counts = sub_rows.sum(axis=1)
+        if n_sub < evaluator.min_subgroup_size:
+            counts_l = [int(c) for c in pop_counts]
+            return [
+                CateResult.invalid(
+                    f"subgroup smaller than {evaluator.min_subgroup_size}",
+                    n=n_sub,
+                    n_treated=counts_l[pos],
+                    n_control=n_sub - counts_l[pos],
+                    adjustment=tuple(raw_adjustments[pos]),
+                )
+                for pos in range(m)
+            ]
+        distinct: dict = {}
+        effective = []
+        for adjustment in raw_adjustments:
+            eff = distinct.get(adjustment, _MISSING)
+            if eff is _MISSING:
+                eff = evaluator._effective_adjustment(sub_table, adjustment)
+                distinct[adjustment] = eff
+            effective.append(eff)
+        digest_parts = None
+        if base_digest is not None:
+            digest_parts = (
+                ("rows", base_digest)
+                if rows_mask is None
+                else ("rows-sub", base_digest, self._protected_mask_digest(), tag)
+            )
+        request = _SubRequest(
+            sub_table,
+            sub_rows,
+            sub_float,
+            pop_counts,
+            effective,
+            digest_parts,
+            self._fac_stores[tag],
+        )
+        work.requests.append(request)
+        return request
+
+    def begin_level(
+        self, interventions: Sequence[Pattern], use_bitsets: bool = True
+    ) -> _LevelWork:
+        """Plan one lattice level for a two-phase frontier estimation round.
+
+        Composes the level's treated stacks (from packed item bitsets when
+        ``use_bitsets``), prunes candidates below minimum support by
+        popcount — their rules are synthesized exactly as estimation would
+        have produced them — converts the surviving stack to float **once**
+        per level, and emits the *overall* sub-population's request.  The
+        caller runs the round's requests
+        (:meth:`RuleEvaluator.estimate_requests`), calls
+        :meth:`_LevelWork.followup` to get the kept columns' protected /
+        non-protected requests, runs those, and then
+        :meth:`_LevelWork.finish`.
+        """
+        interventions = list(interventions)
+        for intervention in interventions:
+            if intervention.is_empty():
+                raise EstimationError("intervention pattern must be non-empty")
+        work = _LevelWork(self, interventions)
+        if not interventions:
+            work._const_rules = []
+            return work
+        if self.coverage_count == 0:
+            work._const_rules = [
+                self._zero_coverage_rule(intervention)
+                for intervention in interventions
+            ]
+            return work
+
+        pruned, survivors, treated_rows, counts, prot_counts, raw_s, packed_s = (
+            self._compose_level(interventions, use_bitsets)
+        )
+        work.pruned = pruned
+        if not survivors:
+            work._const_rules = [pruned[j] for j in range(len(interventions))]
+            return work
+
+        float_rows = treated_rows.astype(np.float64)
+        base_digest = None
+        if self.evaluator.cache is not None:
+            base_digest = (
+                packed_rows_digest(packed_s, self.subtable.n_rows)
+                if packed_s is not None
+                else treated_rows_digest(treated_rows)
+            )
+        work._survivor_count = len(survivors)
+        work._treated_rows = treated_rows
+        work._float_rows = float_rows
+        work._packed = packed_s
+        work._counts = counts
+        work._prot_counts = prot_counts
+        work._raw_adjustments = raw_s
+        work._overall = self._population_entry(
+            work,
+            self.subtable,
+            None,
+            treated_rows,
+            float_rows,
+            counts,
+            raw_s,
+            base_digest,
+            "all",
+        )
+        return work
+
+    def _subpopulation_entries(self, work: "_LevelWork"):
+        """Phase-2 entries: protected / non-protected batches, kept columns only."""
+        kept_pos = work._kept_pos
+        if len(kept_pos) != work._survivor_count:
+            treated_rows = work._treated_rows[kept_pos]
+            packed = work._packed[kept_pos] if work._packed is not None else None
+            counts = work._counts[kept_pos] if work._counts is not None else None
+            prot_counts = (
+                work._prot_counts[kept_pos] if work._prot_counts is not None else None
+            )
+            raw_s = [work._raw_adjustments[pos] for pos in kept_pos]
+        else:
+            treated_rows = work._treated_rows
+            packed = work._packed
+            counts = work._counts
+            prot_counts = work._prot_counts
+            raw_s = work._raw_adjustments
+        base_digest = None
+        if self.evaluator.cache is not None:
+            base_digest = (
+                packed_rows_digest(packed, self.subtable.n_rows)
+                if packed is not None
+                else treated_rows_digest(treated_rows)
+            )
+        nonprot_counts = (
+            counts - prot_counts
+            if counts is not None and prot_counts is not None
+            else None
+        )
+        work.requests = []
+        prot = self._population_entry(
+            work,
+            self.protected_table,
+            self.sub_protected,
+            treated_rows,
+            None,
+            prot_counts,
+            raw_s,
+            base_digest,
+            "prot",
+        )
+        nonprot = self._population_entry(
+            work,
+            self.non_protected_table,
+            ~self.sub_protected,
+            treated_rows,
+            None,
+            nonprot_counts,
+            raw_s,
+            base_digest,
+            "nonprot",
+        )
+        return prot, nonprot
 
     def evaluate(self, intervention: Pattern) -> PrescriptionRule:
         """Evaluate ``intervention`` for this context's grouping pattern."""
@@ -117,7 +641,7 @@ class GroupEvaluationContext:
         return self._assemble_rule(intervention, overall, prot, nonprot)
 
     def evaluate_batch(
-        self, interventions: Sequence[Pattern]
+        self, interventions: Sequence[Pattern], use_bitsets: bool = False
     ) -> list[PrescriptionRule]:
         """Evaluate a whole lattice level of interventions at once.
 
@@ -130,6 +654,17 @@ class GroupEvaluationContext:
         precision (bit-identically on degenerate fallbacks), and the level
         is the cache unit (see
         :meth:`repro.parallel.cache.EstimationCache.level_key`).
+
+        With ``use_bitsets`` (``config.bitset_masks`` outside the frontier
+        path) the stacks are AND-composed from packed item bitsets — one
+        AND over ``n/64`` words per item instead of a boolean evaluation
+        per candidate.  The stack itself is identical either way, and the
+        reference kernel consumes it unchanged, so results are bit-exact
+        across the flag.  (Popcount *pruning* lives in the frontier path,
+        :meth:`begin_level`, whose row-major kernel extracts groups
+        C-contiguously and is therefore width-stable under column removal —
+        the column-major reference kernel is not, because numpy's
+        column fancy-indexing flips the operand layout BLAS sees.)
         """
         interventions = list(interventions)
         for intervention in interventions:
@@ -139,29 +674,22 @@ class GroupEvaluationContext:
             return []
         if self.coverage_count == 0:
             return [
-                PrescriptionRule(
-                    grouping=self.grouping,
-                    intervention=intervention,
-                    utility=0.0,
-                    utility_protected=0.0,
-                    utility_non_protected=0.0,
-                    coverage_count=0,
-                    protected_coverage_count=0,
-                )
+                self._zero_coverage_rule(intervention)
                 for intervention in interventions
             ]
         evaluator = self.evaluator
         m = len(interventions)
-        n = self.subtable.n_rows
         # One treated-mask stack and one backdoor set per candidate; the
         # level driver groups equal adjustment sets onto shared GEMMs.
-        adjustments = [
-            evaluator.adjustment_for(intervention.attributes)
-            for intervention in interventions
-        ]
-        treated_matrix = np.empty((n, m), dtype=bool)
-        for column, intervention in enumerate(interventions):
-            treated_matrix[:, column] = self._intervention_mask(intervention)
+        pruned, survivors, treated_rows, _counts, _prot, adjustments, _packed = (
+            self._compose_level(interventions, use_bitsets, prune=False)
+        )
+        # The reference kernel consumes column-major stacks; the transpose
+        # must be materialised C-contiguous because the kernel's float
+        # conversion preserves layout and BLAS rounds differently under a
+        # transposed memory order — the copy is what keeps this path
+        # bit-identical to the boolean-composition spelling.
+        treated_matrix = np.ascontiguousarray(treated_rows.T)
 
         overall = evaluator.cate_level(self.subtable, treated_matrix, adjustments)
         prot = (
@@ -171,7 +699,7 @@ class GroupEvaluationContext:
                 adjustments,
             )
             if self.protected_table is not None
-            else [None] * m
+            else [None] * len(survivors)
         )
         nonprot = (
             evaluator.cate_level(
@@ -180,14 +708,19 @@ class GroupEvaluationContext:
                 adjustments,
             )
             if self.non_protected_table is not None
-            else [None] * m
+            else [None] * len(survivors)
         )
-        return [
-            self._assemble_rule(
-                interventions[idx], overall[idx], prot[idx], nonprot[idx]
-            )
-            for idx in range(m)
-        ]
+        rules: list[PrescriptionRule] = []
+        pos = 0
+        for j, intervention in enumerate(interventions):
+            rule = pruned.get(j)
+            if rule is None:
+                rule = self._assemble_rule(
+                    intervention, overall[pos], prot[pos], nonprot[pos]
+                )
+                pos += 1
+            rules.append(rule)
+        return rules
 
     def _assemble_rule(
         self,
@@ -386,24 +919,84 @@ class RuleEvaluator:
             memo[adjustment] = effective
         return effective
 
-    def _local_factorization(self, subtable: Table, effective: tuple[str, ...]):
+    def _local_factorization(
+        self, subtable: Table, effective: tuple[str, ...], rows: bool = False
+    ):
         """Design factorization for cache-free runs (``cache_size=0``).
 
         With an :class:`EstimationCache` attached, factorizations live in
-        its dedicated store (:meth:`get_or_factorize`); without one, this
-        small evaluator-local LRU still amortises the SVD across the
+        its dedicated store (:meth:`get_or_factorize` /
+        :meth:`get_or_factorize_rows`); without one, this small
+        evaluator-local LRU still amortises the factorization across the
         lattice levels and the three sub-populations of each context.
+        ``rows`` selects the fused kernel's Gram build (its own key space).
         """
-        from repro.causal.batch import build_factorization
+        from repro.causal.batch import build_factorization, build_rows_factorization
 
-        key = (subtable.fingerprint(), self.outcome, effective)
+        build = build_rows_factorization if rows else build_factorization
+        key = (rows, subtable.fingerprint(), self.outcome, effective)
         factorization = self._factorization_memo.get(key)
         if factorization is None:
-            factorization = build_factorization(subtable, self.outcome, effective)
+            factorization = build(subtable, self.outcome, effective)
             self._factorization_memo[key] = factorization
             while len(self._factorization_memo) > 512:
                 self._factorization_memo.pop(next(iter(self._factorization_memo)))
         return factorization
+
+    def estimate_requests(self, requests: Sequence[_SubRequest]) -> None:
+        """Answer a frontier round's level requests, filling ``results``.
+
+        One request = one (sub-population, level) batch.  Each is memoised
+        under its level-granularity key
+        (:meth:`repro.parallel.cache.EstimationCache.rows_level_key`) and
+        computed through the fused row-major kernel on a miss.  Per-request
+        bits depend only on the request's own content — never on how many
+        other contexts share the round — which is what keeps frontier
+        results identical across executors and chunkings (the serial ≡
+        process contract of :mod:`repro.parallel`).
+        """
+        cache = self.cache
+        estimator = self.estimator
+        for request in requests:
+            key = None
+            if cache is not None:
+                key = EstimationCache.rows_level_key(
+                    estimator,
+                    request.table,
+                    request.digest_parts,
+                    self.outcome,
+                    request.effective,
+                )
+                cached = cache.get(key)
+                if cached is not None:
+                    request.results = cached
+                    continue
+            def factorization_for(adjustment, request=request):
+                store = request.fac_store
+                factorization = store.get(adjustment)
+                if factorization is None:
+                    if cache is not None:
+                        factorization = cache.get_or_factorize_rows(
+                            request.table, self.outcome, adjustment
+                        )
+                    else:
+                        factorization = self._local_factorization(
+                            request.table, adjustment, rows=True
+                        )
+                    store[adjustment] = factorization
+                return factorization
+
+            request.results = estimator.estimate_level_rows(
+                request.table,
+                request.treated_rows,
+                self.outcome,
+                request.effective,
+                factorization_for=factorization_for,
+                float_rows=request.float_rows,
+                counts=request.counts,
+            )
+            if key is not None:
+                cache.put(key, request.results)
 
     def context(self, grouping: Pattern) -> GroupEvaluationContext:
         """Build the cached per-group context for ``grouping``."""

@@ -32,7 +32,6 @@ from repro.serve.artifact import ServingArtifact, pattern_to_list
 from repro.serve.index import CompiledRuleIndex
 from repro.tabular.schema import AttributeKind, Schema
 from repro.tabular.table import Table
-from repro.utils.errors import ServeError
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,5 @@
 """Tests for the IDS baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.ids import IDSConfig, run_ids

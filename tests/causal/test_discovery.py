@@ -1,7 +1,6 @@
 """Tests for the PC causal-discovery algorithm."""
 
 import numpy as np
-import pytest
 
 from repro.causal.discovery import pc_dag, pc_skeleton
 from repro.tabular.table import Table

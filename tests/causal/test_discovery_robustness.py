@@ -6,7 +6,6 @@ dropping cycle-closing edges deterministically) instead of raising.
 """
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.causal.dag import CausalDAG

@@ -1,0 +1,308 @@
+"""Differential suite for frontier batching and the fused row-major kernel.
+
+Contract (mirroring the PR-3 batch engine's):
+
+- :func:`repro.causal.batch.estimate_level_rows` agrees with the reference
+  :func:`~repro.causal.batch.estimate_cate_level` column by column to rtol
+  1e-9, and bit-for-bit on every fallback path (positivity, degenerate
+  designs, minimum-subgroup guards) — the scalar path defines those;
+- the Gram factorization routes ill-conditioned designs to the QR build;
+- FairCap with ``frontier_batching=True`` (the default) explores the same
+  lattice and selects the same rules as the per-context PR-3 engine on
+  every flag combination, and serial ≡ process(2) stays bit-identical with
+  the frontier on;
+- frontier results are independent of how contexts are chunked into
+  rounds (composition independence — the property that makes the
+  serial ≡ process contract hold at any worker count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_toy_dag, build_toy_table
+from repro.causal.batch import (
+    DesignFactorization,
+    GramFactorization,
+    build_rows_factorization,
+    estimate_cate_level,
+    estimate_level_rows,
+)
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap
+from repro.core.intervention import frontier_mine_patterns, intervention_items
+from repro.mining.patterns import Pattern
+from repro.rules.protected import ProtectedGroup
+from repro.rules.utility import RuleEvaluator
+from repro.tabular.table import Table
+
+RTOL = 1e-9
+
+
+def assert_results_close(got, want, exact: bool = False) -> None:
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.valid == w.valid
+        assert g.reason == w.reason
+        assert g.adjustment == w.adjustment
+        assert (g.n, g.n_treated, g.n_control) == (w.n, w.n_treated, w.n_control)
+        for field in ("estimate", "stderr", "p_value"):
+            a, b = getattr(g, field), getattr(w, field)
+            if isinstance(a, float) and math.isnan(a):
+                assert math.isnan(b), field
+            elif exact:
+                assert a == b, field
+            else:
+                assert a == pytest.approx(b, rel=RTOL, abs=1e-12), field
+
+
+def random_masks(rng, n: int, m: int) -> np.ndarray:
+    return rng.random((n, m)) < rng.uniform(0.15, 0.6, size=m)
+
+
+# -- fused kernel vs reference kernel ------------------------------------------
+
+
+def test_rows_kernel_matches_reference(rng):
+    table = build_toy_table(n=701, seed=3)
+    masks = random_masks(rng, 701, 18)
+    masks[:, 0] = False  # positivity: empty treated
+    masks[:, 1] = True  # positivity: empty control
+    adjustments = [("City",), ("City", "Gender"), ()] * 6
+    want = estimate_cate_level(table, masks, "Income", adjustments)
+    got = estimate_level_rows(
+        table, np.ascontiguousarray(masks.T), "Income", adjustments
+    )
+    assert_results_close(got, want)
+    # The positivity rejections are the scalar spelling bit-for-bit.
+    assert_results_close(got[:2], want[:2], exact=True)
+
+
+def test_rows_kernel_shared_float_and_counts(rng):
+    """Pre-converted float stacks and popcount counts change nothing."""
+    table = build_toy_table(n=500, seed=5)
+    masks = random_masks(rng, 500, 7)
+    rows = np.ascontiguousarray(masks.T)
+    adjustments = [("City",)] * 7
+    plain = estimate_level_rows(table, rows, "Income", adjustments)
+    shared = estimate_level_rows(
+        table,
+        rows,
+        "Income",
+        adjustments,
+        float_rows=rows.astype(np.float64),
+        counts=rows.sum(axis=1),
+    )
+    assert_results_close(shared, plain, exact=True)
+
+
+def test_rows_kernel_degenerate_design_exact(rng):
+    """Duplicated adjustment columns: scalar fallback, bit-identical."""
+    n = 300
+    z = rng.choice(["a", "b", "c"], size=n).astype(object)
+    table = Table({"z1": z, "z2": z.copy(), "y": rng.normal(size=n)})
+    factorization = build_rows_factorization(table, "y", ("z1", "z2"))
+    assert isinstance(factorization, DesignFactorization)
+    assert factorization.degenerate
+    masks = random_masks(rng, n, 5)
+    want = estimate_cate_level(table, masks, "y", [("z1", "z2")] * 5)
+    got = estimate_level_rows(
+        table, np.ascontiguousarray(masks.T), "y", [("z1", "z2")] * 5
+    )
+    assert_results_close(got, want, exact=True)
+
+
+def test_gram_factorization_drops_absent_categories(rng):
+    n = 400
+    z = rng.choice(["a", "b", "c", "d"], size=n).astype(object)
+    table = Table({"z": z, "y": rng.normal(size=n)})
+    sub = table.filter(np.asarray(z != "c"))
+    factorization = build_rows_factorization(sub, "y", ("z",))
+    assert isinstance(factorization, GramFactorization)
+    # Intercept + 2 surviving dummies: one-hot drops the first category
+    # and the absent category's exactly-zero column deflates off the Gram
+    # diagonal.
+    assert factorization.rank == 3
+    masks = random_masks(rng, sub.n_rows, 6)
+    want = estimate_cate_level(sub, masks, "y", [("z",)] * 6)
+    got = estimate_level_rows(
+        sub, np.ascontiguousarray(masks.T), "y", [("z",)] * 6
+    )
+    assert_results_close(got, want)
+
+
+def test_rows_kernel_empty_and_shape_checks(rng):
+    table = build_toy_table(n=100, seed=1)
+    assert estimate_level_rows(table, np.empty((0, 100), dtype=bool), "Income", []) == []
+    from repro.utils.errors import EstimationError
+
+    with pytest.raises(EstimationError):
+        estimate_level_rows(table, np.zeros((2, 99), dtype=bool), "Income", [(), ()])
+    with pytest.raises(EstimationError):
+        estimate_level_rows(table, np.zeros((2, 100), dtype=bool), "Income", [()])
+
+
+# -- frontier mining vs per-context mining -------------------------------------
+
+
+def _mine(config, table, dag, protected):
+    return FairCap(config).run(table, None, dag, protected)
+
+
+def _assert_same_mining(got, want, exact: bool = False) -> None:
+    assert got.nodes_evaluated == want.nodes_evaluated
+    assert len(got.candidate_rules) == len(want.candidate_rules)
+    for g, w in zip(got.candidate_rules, want.candidate_rules):
+        assert g.grouping == w.grouping and g.intervention == w.intervention
+        for field in ("utility", "utility_protected", "utility_non_protected"):
+            a, b = getattr(g, field), getattr(w, field)
+            if exact:
+                assert a == b, field
+            else:
+                assert a == pytest.approx(b, rel=RTOL, abs=1e-12), field
+    assert [(r.grouping, r.intervention) for r in got.ruleset.rules] == [
+        (r.grouping, r.intervention) for r in want.ruleset.rules
+    ]
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        {"bitset_masks": True, "frontier_batching": False},
+        {"bitset_masks": False, "frontier_batching": True},
+        {"bitset_masks": True, "frontier_batching": True},
+    ],
+)
+def test_faircap_flag_matrix_matches_pr3_engine(flags):
+    table = build_toy_table(n=900, seed=11)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    reference = _mine(
+        FairCapConfig(bitset_masks=False, frontier_batching=False),
+        table,
+        dag,
+        protected,
+    )
+    got = _mine(FairCapConfig(**flags), table, dag, protected)
+    # Bitset pruning alone re-runs the reference kernel on identical
+    # stacks: bit-exact.  Frontier rounds change GEMM/reduction shapes:
+    # working-precision agreement.
+    _assert_same_mining(got, reference, exact=not flags["frontier_batching"])
+
+
+def test_frontier_bitsets_on_off_bit_identical():
+    """Popcount pruning narrows stacks, but the row-major kernel extracts
+    every adjustment group C-contiguously, so surviving columns' bits do
+    not depend on how many dead columns were removed."""
+    table = build_toy_table(n=900, seed=11)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    on = _mine(FairCapConfig(bitset_masks=True), table, dag, protected)
+    off = _mine(FairCapConfig(bitset_masks=False), table, dag, protected)
+    _assert_same_mining(on, off, exact=True)
+
+
+def test_frontier_matches_scalar_reference():
+    table = build_toy_table(n=900, seed=11)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    scalar = _mine(FairCapConfig(batch_estimation=False), table, dag, protected)
+    frontier = _mine(FairCapConfig(), table, dag, protected)
+    _assert_same_mining(frontier, scalar)
+
+
+def test_frontier_composition_independence():
+    """Chunking contexts into separate frontiers must not change any bit."""
+    table = build_toy_table(n=700, seed=17)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    config = FairCapConfig()
+    evaluator = RuleEvaluator(
+        table,
+        "Income",
+        dag,
+        protected,
+        min_subgroup_size=config.min_subgroup_size,
+        cache=config.make_cache(),
+    )
+    items = intervention_items(table, table.schema, dag, config)
+    groupings = [
+        Pattern.of(City="Metro"),
+        Pattern.of(City="Rural"),
+        Pattern.of(Gender="Female"),
+        Pattern.of(Gender="Male"),
+    ]
+    together = frontier_mine_patterns(evaluator, groupings, items, config)
+    solo: list = []
+    for grouping in groupings:
+        fresh = RuleEvaluator(
+            table,
+            "Income",
+            dag,
+            protected,
+            min_subgroup_size=config.min_subgroup_size,
+            cache=config.make_cache(),
+        )
+        solo.extend(frontier_mine_patterns(fresh, [grouping], items, config))
+    for a, b in zip(together, solo):
+        assert a.nodes_evaluated == b.nodes_evaluated
+        assert len(a.candidates) == len(b.candidates)
+        for x, y in zip(a.candidates, b.candidates):
+            assert x.utility == y.utility
+            assert x.utility_protected == y.utility_protected
+            assert x.utility_non_protected == y.utility_non_protected
+        assert (a.best is None) == (b.best is None)
+
+
+def test_frontier_window_invariance(monkeypatch):
+    """Processing contexts in small memory windows must not change any bit."""
+    import repro.core.intervention as intervention_mod
+
+    table = build_toy_table(n=700, seed=17)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    wide = _mine(FairCapConfig(), table, dag, protected)
+    monkeypatch.setattr(intervention_mod, "FRONTIER_WINDOW", 1)
+    narrow = _mine(FairCapConfig(), table, dag, protected)
+    _assert_same_mining(narrow, wide, exact=True)
+    assert narrow.ruleset.rules == wide.ruleset.rules
+
+
+def test_frontier_serial_equals_process():
+    table = build_toy_table(n=900, seed=11)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    serial = _mine(FairCapConfig(), table, dag, protected)
+    process = _mine(
+        FairCapConfig(executor="process", n_workers=2), table, dag, protected
+    )
+    _assert_same_mining(process, serial, exact=True)
+    assert process.ruleset.rules == serial.ruleset.rules
+
+
+def test_frontier_without_cache_matches_cached():
+    table = build_toy_table(n=800, seed=23)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    cached = _mine(FairCapConfig(), table, dag, protected)
+    uncached = _mine(FairCapConfig(cache_size=0), table, dag, protected)
+    _assert_same_mining(uncached, cached, exact=True)
+
+
+def test_stratified_estimator_ignores_frontier_flags():
+    table = build_toy_table(n=900, seed=11)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    config = FairCapConfig(estimator="stratified")
+    on = _mine(config, table, dag, protected)
+    off = _mine(
+        replace(config, frontier_batching=False, bitset_masks=False),
+        table,
+        dag,
+        protected,
+    )
+    assert on.ruleset.rules == off.ruleset.rules

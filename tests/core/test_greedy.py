@@ -1,10 +1,9 @@
 """Tests for the greedy selector (Step 3, Sec. 5.3)."""
 
-import pytest
 
 from repro.core.config import FairCapConfig
 from repro.core.greedy import greedy_select
-from repro.core.variants import ProblemVariant, canonical_variants
+from repro.core.variants import canonical_variants
 from repro.mining.patterns import Pattern
 from repro.rules.protected import ProtectedGroup
 from repro.rules.ruleset import RulesetEvaluator

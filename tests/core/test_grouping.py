@@ -7,7 +7,7 @@ from repro.core.grouping import mine_grouping_patterns
 from repro.core.variants import canonical_variants
 from repro.utils.errors import ConfigError
 
-from tests.conftest import build_toy_dag, build_toy_table
+from tests.conftest import build_toy_table
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,6 @@
 """Tests for experiment reporting helpers."""
 
-from repro.experiments.reporting import ResultRow, format_rows, row_from_metrics
+from repro.experiments.reporting import format_rows, row_from_metrics
 from repro.rules.ruleset import RulesetMetrics
 
 

@@ -1,6 +1,5 @@
 """Tests for experiment settings."""
 
-import pytest
 
 from repro.experiments.settings import ExperimentSettings
 

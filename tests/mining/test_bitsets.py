@@ -1,0 +1,235 @@
+"""Differential suite for the packed-bitset mask kernel.
+
+The bitset layer (:mod:`repro.mining.bitsets`) is only allowed to change
+*latency*: packing must round-trip bit-for-bit, AND-composition must equal
+per-candidate predicate re-evaluation exactly, popcounts must equal boolean
+sums, and popcount-based support pruning must produce rules field-identical
+to letting the estimation screens reject the same candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_toy_dag, build_toy_table
+from repro.core.config import FairCapConfig
+from repro.core.intervention import intervention_items, mine_intervention
+from repro.mining.apriori import build_items
+from repro.mining.bitsets import (
+    pack_mask,
+    pattern_bitset,
+    popcount,
+    popcount_rows,
+    predicate_bitset,
+    unpack_mask,
+    unpack_rows,
+)
+from repro.mining.patterns import Pattern, Predicate
+from repro.rules.protected import ProtectedGroup
+from repro.rules.utility import RuleEvaluator
+from repro.scenarios.catalog import load_scenario
+
+
+# -- pack/unpack/popcount exactness ---------------------------------------------
+
+
+@pytest.mark.parametrize("n", [0, 1, 63, 64, 65, 640, 1001])
+def test_pack_roundtrip_exact(rng, n):
+    for density in (0.0, 0.02, 0.5, 1.0):
+        mask = rng.random(n) < density
+        words = pack_mask(mask)
+        assert words.dtype == np.uint64
+        assert np.array_equal(unpack_mask(words, n), mask)
+        assert popcount(words) == int(mask.sum())
+
+
+def test_padding_bits_are_zero(rng):
+    # AND with an all-true mask must not resurrect padding bits.
+    mask = rng.random(70) < 0.9
+    ones = pack_mask(np.ones(70, dtype=bool))
+    assert popcount(pack_mask(mask) & ones) == int(mask.sum())
+
+
+def test_and_composition_equals_boolean_and(rng):
+    a = rng.random(517) < 0.4
+    b = rng.random(517) < 0.6
+    assert np.array_equal(pack_mask(a) & pack_mask(b), pack_mask(a & b))
+
+
+def test_unpack_rows_matches_columns(rng):
+    masks = rng.random((9, 130)) < 0.3
+    words = np.stack([pack_mask(row) for row in masks])
+    assert np.array_equal(unpack_rows(words, 130), masks)
+    assert np.array_equal(popcount_rows(words), masks.sum(axis=1))
+    assert np.array_equal(popcount_rows(words[:0]), np.zeros(0, dtype=np.int64))
+
+
+# -- composed candidate masks ≡ per-candidate predicate evaluation -------------
+
+
+def _assert_items_compose(table, items):
+    for item in items:
+        for predicate in item.predicates:
+            assert np.array_equal(
+                unpack_mask(predicate_bitset(table, predicate), table.n_rows),
+                predicate.mask(table),
+            )
+    # Level-2 style conjunctions over item pairs, incl. range items with
+    # two predicates per item.
+    for a in items[: min(6, len(items))]:
+        for b in items[: min(6, len(items))]:
+            if set(a.attributes) & set(b.attributes):
+                continue
+            pattern = a & b
+            composed = unpack_mask(pattern_bitset(table, pattern), table.n_rows)
+            assert np.array_equal(composed, pattern.mask(table))
+
+
+def test_composition_matches_pattern_mask_synth():
+    table = build_toy_table(n=777, seed=3)
+    items = build_items(table, table.column_names[:-1], continuous_bins=3)
+    _assert_items_compose(table, items)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("dataset_fixture", ["small_german_bundle", "small_so_bundle"])
+def test_composition_matches_pattern_mask_datasets(request, dataset_fixture):
+    bundle = request.getfixturevalue(dataset_fixture)
+    items = build_items(
+        bundle.table, bundle.schema.mutable_names, max_values_per_attribute=4
+    )
+    _assert_items_compose(bundle.table, items)
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize(
+    "scenario", ["separated", "zero-effect", "single-stratum", "rare-protected"]
+)
+def test_composition_matches_on_degenerate_worlds(scenario):
+    bundle = load_scenario(scenario, n=500)
+    items = build_items(bundle.table, bundle.schema.mutable_names)
+    _assert_items_compose(bundle.table, items)
+
+
+def test_memoised_bitsets_ride_on_the_table(rng):
+    table = build_toy_table(n=300, seed=5)
+    predicate = Predicate.eq("City", "Metro")
+    first = predicate_bitset(table, predicate)
+    assert predicate_bitset(table, predicate) is first  # cached per instance
+    sub = table.filter(np.asarray(rng.random(300) < 0.5))
+    assert "_predicate_bitset_cache" not in sub.__dict__  # fresh object
+
+
+# -- popcount pruning ≡ post-estimation support filtering -----------------------
+
+
+def _context_with_items(table, protected, dag, config):
+    evaluator = RuleEvaluator(
+        table,
+        "Income",
+        dag,
+        protected,
+        min_subgroup_size=config.min_subgroup_size,
+        cache=config.make_cache(),
+    )
+    items = intervention_items(table, table.schema, dag, config)
+    return evaluator, items
+
+
+def _assert_rules_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.grouping == w.grouping and g.intervention == w.intervention
+        assert g.utility == w.utility
+        assert g.utility_protected == w.utility_protected
+        assert g.utility_non_protected == w.utility_non_protected
+        for field in ("estimate", "estimate_protected", "estimate_non_protected"):
+            ge, we = getattr(g, field), getattr(w, field)
+            assert (ge is None) == (we is None), field
+            if ge is not None:
+                assert ge.valid == we.valid and ge.reason == we.reason, field
+                assert (ge.n, ge.n_treated, ge.n_control) == (
+                    we.n,
+                    we.n_treated,
+                    we.n_control,
+                ), field
+                assert ge.adjustment == we.adjustment, field
+
+
+def _run_level(evaluator, grouping, candidates, config, use_bitsets):
+    """Drive one frontier level (begin -> estimate -> followup -> finish)."""
+    context = evaluator.context(grouping)
+    work = context.begin_level(candidates, use_bitsets=use_bitsets)
+    evaluator.estimate_requests(work.requests)
+    evaluator.estimate_requests(work.followup(config.significance_alpha))
+    return work.finish()
+
+
+def test_pruning_equals_post_estimation_filtering(rng):
+    """Zero/full-support candidates: synthesized rules ≡ estimation screens.
+
+    The frontier path prunes by popcount *before* any estimation; the
+    bitset-off spelling lets the kernel's positivity screen reject the same
+    candidates after stacking them.  Keep flags and every rule field must
+    agree exactly (the fused kernel's row-major group extraction is
+    C-contiguous either way, so surviving columns are bit-identical too).
+    """
+    table = build_toy_table(n=600, seed=7)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    config = FairCapConfig()
+    evaluator, items = _context_with_items(table, protected, dag, config)
+    # Candidates: real items + provably empty and provably full patterns.
+    candidates = list(items)
+    candidates.append(Pattern.of(Training="no-such-value"))  # support 0
+    full = Predicate("Training", "!=", "no-such-value")  # true on every row
+    candidates.append(Pattern([full]))
+    grouping = Pattern.of(City="Metro")
+    with_bitsets = _run_level(evaluator, grouping, candidates, config, True)
+    without = _run_level(evaluator, grouping, candidates, config, False)
+    assert [keep for keep, _ in with_bitsets] == [keep for keep, _ in without]
+    _assert_rules_identical(
+        [rule for _, rule in with_bitsets], [rule for _, rule in without]
+    )
+    pruned_rules = [rule for _, rule in with_bitsets][-2:]
+    assert all(rule.utility == 0.0 for rule in pruned_rules)
+    assert all(not rule.estimate.valid for rule in pruned_rules)
+    assert all(
+        rule.estimate.reason.startswith("positivity") for rule in pruned_rules
+    )
+
+
+def test_pruning_respects_min_subgroup_guard(rng):
+    """Pruned columns inside a too-small subgroup mirror the guard's reason."""
+    table = build_toy_table(n=400, seed=9)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    config = FairCapConfig(min_subgroup_size=1_000)  # everything is too small
+    evaluator, items = _context_with_items(table, protected, dag, config)
+    candidates = [items[0], Pattern.of(Training="no-such-value")]
+    grouping = Pattern.of(City="Metro")
+    with_bitsets = _run_level(evaluator, grouping, candidates, config, True)
+    without = _run_level(evaluator, grouping, candidates, config, False)
+    _assert_rules_identical(
+        [rule for _, rule in with_bitsets], [rule for _, rule in without]
+    )
+    assert with_bitsets[1][1].estimate.reason.startswith("subgroup smaller")
+
+
+def test_mine_intervention_bitsets_bit_identical(rng):
+    """Full Step-2 search: bitset masks on ≡ off, rule for rule."""
+    table = build_toy_table(n=800, seed=13)
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    dag = build_toy_dag()
+    base_config = FairCapConfig(frontier_batching=False, bitset_masks=False)
+    bitset_config = FairCapConfig(frontier_batching=False, bitset_masks=True)
+    evaluator, items = _context_with_items(table, protected, dag, base_config)
+    for grouping in (Pattern.of(City="Metro"), Pattern.of(City="Rural")):
+        want = mine_intervention(evaluator.context(grouping), items, base_config)
+        got = mine_intervention(evaluator.context(grouping), items, bitset_config)
+        assert got.nodes_evaluated == want.nodes_evaluated
+        _assert_rules_identical(list(got.candidates), list(want.candidates))
+        assert (got.best is None) == (want.best is None)
+        if got.best is not None:
+            assert got.best.utility == want.best.utility

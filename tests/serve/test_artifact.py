@@ -13,8 +13,6 @@ from repro.core.config import FairCapConfig
 from repro.core.faircap import FairCap
 from repro.core.variants import unconstrained
 from repro.mining.patterns import Operator, Pattern, Predicate
-from repro.rules.protected import ProtectedGroup
-from repro.rules.rule import PrescriptionRule
 from repro.rules.ruleset import RuleSet
 from repro.serve.artifact import (
     ARTIFACT_FORMAT,
