@@ -62,6 +62,19 @@ TARGET_SPEEDUP_VS_PR3 = 1.5
 RTOL = 1e-9
 SMOKE_ROWS = 800
 
+# Telemetry must be free when off and near-free when on: the telemetry-on
+# frontier run may cost at most 1% over telemetry-off — OR at most 10 ms
+# absolute, whichever is larger.  The absolute floor exists because the
+# instrumentation cost is a near-fixed few milliseconds per run (counter
+# folds and span bookkeeping, not per-candidate work): at smoke scale
+# (~150 ms of Step 2) a 1% budget is ~1.5 ms, below scheduler noise on
+# shared CI boxes, while at experiment scale (seconds) the 1% relative
+# budget is the binding constraint.  The floor still catches real
+# regressions — per-event emission on the cache-lookup path, the kind of
+# mistake this gate exists for, costs ~20 ms at smoke scale.
+TELEMETRY_OVERHEAD_MAX_PCT = 1.0
+TELEMETRY_OVERHEAD_FLOOR_SECONDS = 0.010
+
 ENGINES = ("scalar", "pr3", "frontier")
 
 
@@ -175,6 +188,53 @@ def _measure_size(settings, dataset: str, variant: str, reps: int):
     return row, problems
 
 
+def _measure_telemetry_overhead(settings, dataset: str, variant: str, reps: int):
+    """Telemetry-on vs telemetry-off cost of the default frontier engine.
+
+    Alternating interleaved order (off/on, then on/off, ...) with the
+    minimum across reps on each side — the same interference-robust
+    protocol as :func:`_time_step2`.  Returns the overhead row plus the
+    telemetry-on run's report (whose derived rates become the committed
+    trend baseline).
+    """
+    bundle = settings.load(dataset)
+    variants = settings.variants_for(bundle)
+    config = settings.config_for(bundle, variants[variant])
+    config_on = replace(config, telemetry=True)
+    _run(config, bundle)  # warm the shared DAG/backdoor memos
+    times: dict[str, list[float]] = {"off": [], "on": []}
+    report = None
+    # The deltas under test are single-digit milliseconds; the min over
+    # fewer than ~5 alternating reps still carries scheduler noise of the
+    # same magnitude.
+    reps = max(reps, 5)
+    for rep in range(reps):
+        order = ("off", "on") if rep % 2 == 0 else ("on", "off")
+        for mode in order:
+            result = _run(config_on if mode == "on" else config, bundle)
+            times[mode].append(result.timings["treatment_mining"])
+            if mode == "on":
+                report = result.telemetry
+    off_seconds = min(times["off"])
+    on_seconds = min(times["on"])
+    delta = on_seconds - off_seconds
+    overhead_pct = 100.0 * delta / off_seconds if off_seconds > 0 else 0.0
+    row = {
+        "rows": bundle.table.n_rows,
+        "reps": reps,
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": TELEMETRY_OVERHEAD_MAX_PCT,
+        "absolute_floor_seconds": TELEMETRY_OVERHEAD_FLOOR_SECONDS,
+        "within_budget": (
+            delta <= TELEMETRY_OVERHEAD_FLOOR_SECONDS
+            or overhead_pct <= TELEMETRY_OVERHEAD_MAX_PCT
+        ),
+    }
+    return row, report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="german",
@@ -211,6 +271,33 @@ def main(argv: list[str] | None = None) -> int:
         row, problems = _measure_size(settings, args.dataset, args.variant, args.reps)
         failures.extend(f"n={n}: {p}" for p in problems)
         rows.append(row)
+
+    # Telemetry overhead always runs at smoke scale: the same configuration
+    # CI gates on, whether this is a smoke or a full invocation.
+    overhead_settings = ExperimentSettings(
+        so_n=SMOKE_ROWS, german_n=SMOKE_ROWS, seed=base.seed
+    )
+    probe_start = time.perf_counter()
+    overhead, run_report = _measure_telemetry_overhead(
+        overhead_settings, args.dataset, args.variant, args.reps
+    )
+    if not overhead["within_budget"]:
+        # One re-probe before declaring failure: a single measurement can
+        # land in an unlucky scheduling window (observed: the same build
+        # spanning -10% to +12% back to back on a shared box).  A real
+        # regression is persistent and fails the second probe too.
+        overhead, run_report = _measure_telemetry_overhead(
+            overhead_settings, args.dataset, args.variant, args.reps
+        )
+        overhead["remeasured"] = True
+    probe_seconds = time.perf_counter() - probe_start
+    if not overhead["within_budget"]:
+        failures.append(
+            f"telemetry overhead {overhead['overhead_pct']:.2f}% exceeds "
+            f"{TELEMETRY_OVERHEAD_MAX_PCT:.0f}% "
+            f"({overhead['off_seconds']:.3f}s off vs "
+            f"{overhead['on_seconds']:.3f}s on)"
+        )
     wall = time.perf_counter() - wall_start
 
     at_scale = rows[-1]
@@ -234,6 +321,11 @@ def main(argv: list[str] | None = None) -> int:
                 "largest size of the full curve (experiment scale); "
                 "smoke runs check equality only"
             ),
+        },
+        "telemetry_overhead": overhead,
+        "run_report_baseline": {
+            "rows": overhead["rows"],
+            "derived": (run_report or {}).get("derived", {}),
         },
         "differential_failures": failures,
         "passed": not failures
@@ -262,6 +354,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{'yes' if row['identical'] else 'NO'}"
         )
     lines.append("")
+    lines.append(
+        f"telemetry overhead @ {overhead['rows']} rows: "
+        f"{overhead['off_seconds']:.3f}s off -> {overhead['on_seconds']:.3f}s on "
+        f"({overhead['overhead_pct']:+.2f}%, budget "
+        f"{TELEMETRY_OVERHEAD_MAX_PCT:.0f}% or "
+        f"{TELEMETRY_OVERHEAD_FLOOR_SECONDS * 1e3:.0f}ms) — "
+        f"{'OK' if overhead['within_budget'] else 'OVER BUDGET'}"
+    )
     if args.smoke:
         lines.append("smoke run: frontier == pr3 == scalar equality check only")
     else:
@@ -289,8 +389,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         smoke_start = time.perf_counter()
         _measure_size(smoke_settings, args.dataset, args.variant, 1)
+        # A CI smoke run's wall clock covers the measurement above PLUS the
+        # telemetry overhead probe; fold the probe's duration (already
+        # measured once this invocation, same configuration) into the
+        # baseline so the trend ratio compares like with like.
         payload["smoke_baseline"] = {
-            "wall_seconds": round(time.perf_counter() - smoke_start, 3),
+            "wall_seconds": round(
+                time.perf_counter() - smoke_start + probe_seconds, 3
+            ),
             "rows": SMOKE_ROWS,
             "reps": 1,
             "cpu_count": os.cpu_count(),
@@ -299,7 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {JSON_PATH}")
 
     if failures:
-        print("DIFFERENTIAL FAILURE:", *failures, sep="\n  ", file=sys.stderr)
+        print("FAILURE:", *failures, sep="\n  ", file=sys.stderr)
         return 1
     if not args.smoke and not payload["passed"]:
         print(

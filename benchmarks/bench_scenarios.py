@@ -76,6 +76,13 @@ SMOKE_NAMES = (
     "separated",
 )
 
+#: The at-scale telemetry probe: one world mined at serving-realistic row
+#: counts with telemetry on, so the committed record carries an engine
+#: counter snapshot (factorization routes, prune rates, cache traffic) at a
+#: scale where they mean something.  Full runs only; never part of smoke.
+AT_SCALE_NAME = "linear-g3-d2-gap-hi"
+AT_SCALE_ROWS = 30_000
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -236,6 +243,36 @@ def main(argv: list[str] | None = None) -> int:
             "n_scenarios": len(SMOKE_NAMES),
             "cpu_count": os.cpu_count(),
         }
+
+        # One world at serving-realistic scale, telemetry on: the committed
+        # snapshot of what the engine actually does per mined rule (the
+        # oracle checks already ran at grid scale; at 30k rows only the
+        # counters are the point).
+        world = ScenarioWorld(specs[AT_SCALE_NAME])
+        bundle = world.bundle(AT_SCALE_ROWS)
+        at_scale_config = replace(oracle_config(world), telemetry=True)
+        result = run_world(world, bundle, at_scale_config)
+        report = result.telemetry or {}
+        payload["at_scale"] = {
+            "scenario": AT_SCALE_NAME,
+            "rows": bundle.table.n_rows,
+            "mining_seconds": round(result.timings["treatment_mining"], 4),
+            "total_seconds": round(sum(result.timings.values()), 4),
+            "n_rules": len(result.ruleset),
+            "nodes_evaluated": result.nodes_evaluated,
+            "derived": report.get("derived", {}),
+            "counters": {
+                name: counter["values"]
+                for name, counter in report.get("counters", {}).items()
+            },
+        }
+        print(
+            f"at-scale telemetry probe: {AT_SCALE_NAME} at "
+            f"{bundle.table.n_rows} rows, "
+            f"mining {payload['at_scale']['mining_seconds']:.2f}s, "
+            f"{payload['at_scale']['n_rules']} rules"
+        )
+
         payload["passed"] = not failures
         JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {JSON_PATH}")

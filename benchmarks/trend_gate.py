@@ -57,6 +57,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="soft-warn when wall-clock regresses by more "
                              "than this fraction (default 0.20)")
+    parser.add_argument("--rate-threshold", type=float, default=0.05,
+                        help="soft-warn when a telemetry-derived engine rate "
+                             "(cache hit rate, prune rate) drops by more than "
+                             "this absolute amount vs the committed baseline "
+                             "(default 0.05)")
     args = parser.parse_args(argv)
 
     lines = [
@@ -105,6 +110,49 @@ def main(argv: list[str] | None = None) -> int:
                 f"committed baseline {baseline_wall:.2f}s "
                 f"(soft gate, threshold {args.threshold * 100:.0f}%)"
             )
+
+    # -- engine-rate trend (telemetry run report) ------------------------------
+    # Unlike wall-clock, these rates are machine-independent: a drop means
+    # the engine is genuinely doing more work per answer (cache churn, lost
+    # pruning), not that the runner is slow.  Still soft — rates move
+    # legitimately when the mining configuration changes.
+    baseline_derived = _load(BENCH_DIR / "BENCH_estimation.json").get(
+        "run_report_baseline", {}
+    ).get("derived", {})
+    smoke_path = RESULTS_DIR / "estimation-smoke.json"
+    current_derived = (
+        _load(smoke_path).get("run_report_baseline", {}).get("derived", {})
+        if smoke_path.exists()
+        else {}
+    )
+    if baseline_derived and current_derived:
+        lines.append("")
+        lines.append("### Engine rates (telemetry run report, smoke scale)")
+        lines.append("")
+        lines.append("| rate | baseline | current | status |")
+        lines.append("|---|---|---|---|")
+        for rate in ("cache_hit_rate", "prune_rate"):
+            base_value = baseline_derived.get(rate)
+            cur_value = current_derived.get(rate)
+            if base_value is None or cur_value is None:
+                lines.append(f"| {rate} | — | — | not recorded |")
+                continue
+            dropped = base_value - cur_value > args.rate_threshold
+            status = (
+                f":warning: dropped {base_value - cur_value:.3f}"
+                if dropped
+                else "ok"
+            )
+            lines.append(
+                f"| {rate} | {base_value:.3f} | {cur_value:.3f} | {status} |"
+            )
+            if dropped:
+                warnings.append(
+                    f"::warning::bench-trend: {rate} {cur_value:.3f} is "
+                    f"{base_value - cur_value:.3f} below the committed "
+                    f"baseline {base_value:.3f} (soft gate, threshold "
+                    f"{args.rate_threshold:.2f} absolute)"
+                )
 
     lines.append("")
     lines.append(

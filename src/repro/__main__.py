@@ -100,6 +100,8 @@ def _cmd_apriori_sweep(args: argparse.Namespace) -> str:
 
 def _run_variant(args: argparse.Namespace):
     """Shared mine step: load the dataset and run FairCap on one variant."""
+    import dataclasses
+
     from repro.core.faircap import FairCap
 
     settings = _settings(args)
@@ -111,6 +113,8 @@ def _run_variant(args: argparse.Namespace):
             + ", ".join(sorted(variants))
         )
     config = settings.config_for(bundle, variants[args.variant])
+    if getattr(args, "trace_json", None):
+        config = dataclasses.replace(config, telemetry=True)
     result = FairCap(config).run(
         bundle.table, bundle.schema, bundle.dag, bundle.protected
     )
@@ -119,7 +123,17 @@ def _run_variant(args: argparse.Namespace):
 
 def _cmd_run(args: argparse.Namespace) -> str:
     settings, bundle, result = _run_variant(args)
-    lines = [
+    trace_lines = []
+    if getattr(args, "trace_json", None):
+        from repro.obs import write_report
+
+        report = dict(result.telemetry or {})
+        report.setdefault("meta", {}).update(
+            {"dataset": args.dataset, "variant": args.variant, "seed": settings.seed}
+        )
+        write_report(args.trace_json, report)
+        trace_lines = [f"telemetry report written to {args.trace_json}", ""]
+    lines = trace_lines + [
         f"dataset={args.dataset} variant={args.variant!r} "
         f"rows={bundle.table.n_rows}",
         f"rules={result.metrics.n_rules} "
@@ -276,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "run":
             cmd.add_argument("--variant", default="Group fairness",
                              help='e.g. "No constraints", "Group fairness"')
+            cmd.add_argument(
+                "--trace-json", default=None, metavar="PATH",
+                help="enable run telemetry and write the span/counter "
+                     "report (repro.obs.report schema) to PATH",
+            )
 
     export = sub.add_parser(
         "export", help="mine a ruleset and write a serving artifact"

@@ -71,6 +71,7 @@ from repro.causal.estimators import (
     _outcome_vector,
 )
 from repro.causal.linalg import one_hot
+from repro.obs.runtime import current as obs_current
 from repro.tabular.column import CategoricalColumn
 from repro.tabular.table import Table
 from repro.utils.errors import EstimationError
@@ -96,6 +97,45 @@ _SCALAR_FALLBACK = LinearAdjustmentEstimator()
 
 _POSITIVITY = POSITIVITY_REASON
 _DEGENERATE = "degenerate fit: no residual degrees of freedom"
+
+
+#: Precomputed label keys for the factorization-route counter: the one
+#: per-event hot site that fires on every factorization build.
+_ROUTE_KEYS = {
+    route: f"route={route}"
+    for route in ("gram", "gram_reduced", "qr", "qr_collinear")
+}
+
+
+def _count_route(route: str) -> None:
+    """Factorization route counter (Gram fast path vs QR reference).
+
+    Engine counters like this one are *not* in the deterministic family:
+    with a cache attached, whether a (table, adjustment) pair is factorized
+    at all depends on cache state, which differs between one shared serial
+    cache and per-worker seeded caches.
+    """
+    telemetry = obs_current()
+    if telemetry.enabled:
+        telemetry.registry.inc_key("estimation.factorizations", _ROUTE_KEYS[route])
+
+
+def _count_scalar_fallbacks(kernel: str, reason: str, count: int) -> None:
+    """Columns answered by the scalar OLS path instead of the FWL identities."""
+    if count:
+        telemetry = obs_current()
+        if telemetry.enabled:
+            telemetry.registry.inc(
+                "estimation.scalar_fallbacks", count, kernel=kernel, reason=reason
+            )
+
+
+def _count_degenerate_fits(kernel: str, count: int) -> None:
+    """Columns rejected with no residual degrees of freedom."""
+    if count:
+        telemetry = obs_current()
+        if telemetry.enabled:
+            telemetry.registry.inc("estimation.degenerate_fits", count, kernel=kernel)
 
 
 @dataclass(frozen=True)
@@ -262,6 +302,7 @@ def build_factorization(
                     q = q2
                     degenerate = False
 
+    _count_route("qr_collinear" if degenerate else "qr")
     if degenerate:
         # Basis unused on the degenerate path; keep fields consistent.
         rank = min(rank, q.shape[1])
@@ -449,6 +490,7 @@ def build_rows_factorization(
         y_res = blas.dgemv(
             -1.0, w, gram_inv @ wy, beta=1.0, y=y.copy(), overwrite_y=1
         )
+        _count_route("gram")
         return GramFactorization(
             w=w,
             gram_inv=gram_inv,
@@ -474,6 +516,7 @@ def build_rows_factorization(
         return build_factorization(table, outcome, adjustment)
     wy = y @ w
     y_res = y - w @ (gram_inv @ wy)
+    _count_route("gram_reduced")
     return GramFactorization(
         w=w,
         gram_inv=gram_inv,
@@ -567,70 +610,82 @@ def estimate_cate_level(
     pending: list[tuple[int, float, float]] = []
     pending_dof: list[int] = []
 
-    for adjustment, cols in groups.items():
-        factorization = _resolve(
-            factorization_for(adjustment) if factorization_for else None,
-            table,
-            outcome,
-            adjustment,
-        )
-        if factorization.degenerate:
-            for j in cols:
-                results[j] = _SCALAR_FALLBACK.estimate(
-                    table, treated_matrix[:, j], outcome, adjustment
-                )
-            continue
-
-        if t_all is None:
-            t_all = treated_matrix.astype(np.float64)
-        t_mat = t_all[:, cols] if len(cols) != m else t_all
-        q = factorization.q
-        y_res = factorization.y_res
-        dof = n - factorization.rank - 1
-
-        # The one GEMM pair of the group: project out col(W).
-        t_res = t_mat - q @ (q.T @ t_mat)
-        # Column-wise reductions (einsum stays off BLAS: per-column sums
-        # are bit-identical regardless of batch width).
-        tt = np.einsum("ij,ij->j", t_res, t_res)
-        ty = np.einsum("ij,i->j", t_res, y_res)
-
-        with np.errstate(divide="ignore", invalid="ignore"):
-            estimates = ty / tt
-            rss = factorization.y_res_sq - ty * ty / tt
-            stderrs = np.sqrt((rss / max(dof, 1)) / tt)
-
-        # ‖t‖² of a boolean mask is its treated count.
-        fallback = tt <= RESIDUAL_TOL * n_treated_arr[cols].astype(np.float64)
-        # A numerically perfect fit makes the FWL RSS identity cancel
-        # catastrophically; defer to the scalar residual computation.
-        fallback |= rss <= PERFECT_FIT_TOL * max(factorization.y_res_sq, 1.0)
-        degenerate_fit = (dof <= 0) | ~np.isfinite(stderrs) | (stderrs == 0.0)
-
-        bad = (fallback | degenerate_fit).tolist()
-        fallback_l = fallback.tolist()
-        estimates_l = estimates.tolist()
-        stderrs_l = stderrs.tolist()
-        for pos, j in enumerate(cols):
-            if bad[pos]:
-                if fallback_l[pos]:
-                    # t numerically inside col(W) (the full design is rank
-                    # deficient) or a perfect fit: the scalar path defines
-                    # the answer bit-for-bit.
+    with obs_current().tracer.span(
+        "estimation.level", kernel="columns", columns=m, groups=len(groups)
+    ):
+        for adjustment, cols in groups.items():
+            factorization = _resolve(
+                factorization_for(adjustment) if factorization_for else None,
+                table,
+                outcome,
+                adjustment,
+            )
+            if factorization.degenerate:
+                _count_scalar_fallbacks("columns", "collinear_design", len(cols))
+                for j in cols:
                     results[j] = _SCALAR_FALLBACK.estimate(
                         table, treated_matrix[:, j], outcome, adjustment
                     )
+                continue
+
+            if t_all is None:
+                t_all = treated_matrix.astype(np.float64)
+            t_mat = t_all[:, cols] if len(cols) != m else t_all
+            q = factorization.q
+            y_res = factorization.y_res
+            dof = n - factorization.rank - 1
+
+            # The one GEMM pair of the group: project out col(W).
+            t_res = t_mat - q @ (q.T @ t_mat)
+            # Column-wise reductions (einsum stays off BLAS: per-column sums
+            # are bit-identical regardless of batch width).
+            tt = np.einsum("ij,ij->j", t_res, t_res)
+            ty = np.einsum("ij,i->j", t_res, y_res)
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                estimates = ty / tt
+                rss = factorization.y_res_sq - ty * ty / tt
+                stderrs = np.sqrt((rss / max(dof, 1)) / tt)
+
+            # ‖t‖² of a boolean mask is its treated count.
+            fallback = tt <= RESIDUAL_TOL * n_treated_arr[cols].astype(np.float64)
+            # A numerically perfect fit makes the FWL RSS identity cancel
+            # catastrophically; defer to the scalar residual computation.
+            fallback |= rss <= PERFECT_FIT_TOL * max(factorization.y_res_sq, 1.0)
+            degenerate_fit = (dof <= 0) | ~np.isfinite(stderrs) | (stderrs == 0.0)
+
+            if obs_current().enabled:
+                _count_scalar_fallbacks(
+                    "columns", "identity_guard", int(np.count_nonzero(fallback))
+                )
+                _count_degenerate_fits(
+                    "columns", int(np.count_nonzero(degenerate_fit & ~fallback))
+                )
+
+            bad = (fallback | degenerate_fit).tolist()
+            fallback_l = fallback.tolist()
+            estimates_l = estimates.tolist()
+            stderrs_l = stderrs.tolist()
+            for pos, j in enumerate(cols):
+                if bad[pos]:
+                    if fallback_l[pos]:
+                        # t numerically inside col(W) (the full design is rank
+                        # deficient) or a perfect fit: the scalar path defines
+                        # the answer bit-for-bit.
+                        results[j] = _SCALAR_FALLBACK.estimate(
+                            table, treated_matrix[:, j], outcome, adjustment
+                        )
+                    else:
+                        results[j] = CateResult.invalid(
+                            _DEGENERATE,
+                            n=n,
+                            n_treated=n_treated[j],
+                            n_control=n - n_treated[j],
+                            adjustment=adjustment,
+                        )
                 else:
-                    results[j] = CateResult.invalid(
-                        _DEGENERATE,
-                        n=n,
-                        n_treated=n_treated[j],
-                        n_control=n - n_treated[j],
-                        adjustment=adjustment,
-                    )
-            else:
-                pending.append((j, estimates_l[pos], stderrs_l[pos]))
-                pending_dof.append(dof)
+                    pending.append((j, estimates_l[pos], stderrs_l[pos]))
+                    pending_dof.append(dof)
 
     if pending:
         t_stats = np.array([est / se for _, est, se in pending])
@@ -748,35 +803,39 @@ def estimate_level_rows(
     tt_parts: list[np.ndarray] = []
     ty_parts: list[np.ndarray] = []
 
-    for adjustment, cols in groups.items():
-        if factorization_for is not None:
-            factorization = factorization_for(adjustment)
-        else:
-            factorization = build_rows_factorization(table, outcome, adjustment)
-        if factorization.degenerate:
-            for j in cols:
-                results[j] = _SCALAR_FALLBACK.estimate(
-                    table, treated_rows[j], outcome, adjustment
-                )
-            continue
+    with obs_current().tracer.span(
+        "estimation.level", kernel="rows", columns=m, groups=len(groups)
+    ):
+        for adjustment, cols in groups.items():
+            if factorization_for is not None:
+                factorization = factorization_for(adjustment)
+            else:
+                factorization = build_rows_factorization(table, outcome, adjustment)
+            if factorization.degenerate:
+                _count_scalar_fallbacks("rows", "collinear_design", len(cols))
+                for j in cols:
+                    results[j] = _SCALAR_FALLBACK.estimate(
+                        table, treated_rows[j], outcome, adjustment
+                    )
+                continue
 
-        t_rows = float_rows[cols] if len(cols) != m else float_rows
-        # The transposed GEMM pair: project out col(W) row-wise, then the
-        # contiguous-row reductions (einsum stays off BLAS; each row's sum
-        # is a pure function of that row).
-        if isinstance(factorization, GramFactorization):
-            projected = (t_rows @ factorization.w) @ factorization.gram_inv
-            t_res = t_rows - projected @ factorization.w.T
-        else:
-            q = factorization.q
-            t_res = t_rows - (t_rows @ q) @ q.T
-        tt_parts.append(np.einsum("ij,ij->i", t_res, t_res))
-        ty_parts.append(np.einsum("ij,j->i", t_res, factorization.y_res))
-        act_cols.extend(cols)
-        act_adjustment.append(adjustment)
-        group_sizes.append(len(cols))
-        group_dof.append(n - factorization.rank - 1)
-        group_ysq.append(factorization.y_res_sq)
+            t_rows = float_rows[cols] if len(cols) != m else float_rows
+            # The transposed GEMM pair: project out col(W) row-wise, then the
+            # contiguous-row reductions (einsum stays off BLAS; each row's sum
+            # is a pure function of that row).
+            if isinstance(factorization, GramFactorization):
+                projected = (t_rows @ factorization.w) @ factorization.gram_inv
+                t_res = t_rows - projected @ factorization.w.T
+            else:
+                q = factorization.q
+                t_res = t_rows - (t_rows @ q) @ q.T
+            tt_parts.append(np.einsum("ij,ij->i", t_res, t_res))
+            ty_parts.append(np.einsum("ij,j->i", t_res, factorization.y_res))
+            act_cols.extend(cols)
+            act_adjustment.append(adjustment)
+            group_sizes.append(len(cols))
+            group_dof.append(n - factorization.rank - 1)
+            group_ysq.append(factorization.y_res_sq)
 
     if not act_cols:
         return results  # type: ignore[return-value]
@@ -801,6 +860,14 @@ def estimate_level_rows(
         degenerate_fit = (dof_col <= 0) | ~np.isfinite(stderrs) | (stderrs == 0.0)
         t_stats = estimates / stderrs
         p_values = 2.0 * special.stdtr(dof_col, -np.abs(t_stats))
+
+    if obs_current().enabled:
+        _count_scalar_fallbacks(
+            "rows", "identity_guard", int(np.count_nonzero(fallback))
+        )
+        _count_degenerate_fits(
+            "rows", int(np.count_nonzero(degenerate_fit & ~fallback))
+        )
 
     bad = fallback | degenerate_fit
     if bad.any():

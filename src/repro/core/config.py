@@ -109,6 +109,16 @@ class FairCapConfig:
         to working precision (rtol 1e-9), rulesets are identical.
         Requires ``batch_estimation``; estimators without a batched path
         ignore it.
+    telemetry:
+        Install a live telemetry session (:mod:`repro.obs`) for the run:
+        mining counters, engine counters, and a hierarchical span trace,
+        surfaced as ``FairCapResult.telemetry`` (the run-report dict the
+        CLI's ``--trace-json`` writes).  Off by default with near-zero
+        overhead — instrumentation sites check a no-op registry and move
+        on.  Telemetry never touches numerics: mined rulesets are
+        bit-identical with the flag on or off, and the deterministic
+        counter family is exact across executors and worker counts (the
+        observability differential obligation).
     """
 
     variant: ProblemVariant = field(default_factory=ProblemVariant)
@@ -136,6 +146,7 @@ class FairCapConfig:
     batch_estimation: bool = True
     bitset_masks: bool = True
     frontier_batching: bool = True
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.apriori_min_support <= 1.0:

@@ -29,6 +29,7 @@ from repro.core.intervention import (
     mine_interventions_for_groups,
 )
 from repro.mining.apriori import FrequentPattern
+from repro.obs import build_report, telemetry_session
 from repro.rules.protected import ProtectedGroup
 from repro.rules.rule import PrescriptionRule
 from repro.rules.ruleset import RuleSet, RulesetEvaluator, RulesetMetrics
@@ -63,6 +64,10 @@ class FairCapResult:
         Total lattice nodes whose CATE was estimated in Step 2.
     config:
         The configuration used.
+    telemetry:
+        The run report (counters, derived rates, span tree) when
+        ``config.telemetry`` is set; ``None`` otherwise.  Same document the
+        CLI's ``--trace-json`` writes (see :mod:`repro.obs.report`).
     """
 
     ruleset: RuleSet
@@ -75,6 +80,7 @@ class FairCapResult:
     n_rows: int
     n_protected: int
     greedy: GreedyResult
+    telemetry: dict | None = None
 
     def satisfied(self) -> bool:
         """Whether the selected ruleset meets the variant's constraints."""
@@ -150,29 +156,73 @@ class FairCap:
         cache = self.cache if self.cache is not None else config.make_cache()
         timer = StepTimer()
 
-        with timer.step(STEP_GROUP_MINING):
-            grouping_patterns = mine_grouping_patterns(
-                table, schema, config, protected
+        with telemetry_session(enabled=config.telemetry) as telemetry:
+            # The cache keeps its own integer counters; telemetry reads the
+            # run's delta at the end rather than hooking every lookup (see
+            # EstimationCache.emit_counters).  The baseline matters when a
+            # shared cache arrives warm from a previous run.
+            cache_baseline = (
+                cache.tier_stats()
+                if config.telemetry and cache is not None
+                else None
             )
+            with telemetry.tracer.span(
+                "faircap.run",
+                n_rows=table.n_rows,
+                executor=executor.kind,
+                n_workers=executor.n_workers,
+            ):
+                with timer.step(STEP_GROUP_MINING):
+                    grouping_patterns = mine_grouping_patterns(
+                        table, schema, config, protected
+                    )
 
-        with timer.step(STEP_TREATMENT_MINING):
-            evaluator = RuleEvaluator(
-                table,
-                schema.outcome_name,
-                dag,
-                protected,
-                estimator=config.make_estimator(),
-                min_subgroup_size=config.min_subgroup_size,
-                cache=cache,
-            )
-            items = intervention_items(table, schema, dag, config)
-            candidate_rules, nodes_evaluated = mine_interventions_for_groups(
-                evaluator, grouping_patterns, items, config, executor=executor
-            )
+                with timer.step(STEP_TREATMENT_MINING):
+                    evaluator = RuleEvaluator(
+                        table,
+                        schema.outcome_name,
+                        dag,
+                        protected,
+                        estimator=config.make_estimator(),
+                        min_subgroup_size=config.min_subgroup_size,
+                        cache=cache,
+                    )
+                    items = intervention_items(table, schema, dag, config)
+                    candidate_rules, nodes_evaluated = mine_interventions_for_groups(
+                        evaluator, grouping_patterns, items, config, executor=executor
+                    )
 
-        with timer.step(STEP_GREEDY):
-            ruleset_evaluator = RulesetEvaluator(table, candidate_rules, protected)
-            greedy = greedy_select(ruleset_evaluator, config)
+                with timer.step(STEP_GREEDY):
+                    ruleset_evaluator = RulesetEvaluator(
+                        table, candidate_rules, protected
+                    )
+                    greedy = greedy_select(ruleset_evaluator, config)
+
+            report = None
+            if config.telemetry:
+                if cache is not None:
+                    tier_stats = cache.emit_counters(
+                        telemetry.registry, cache_baseline
+                    )
+                    for tier, stats in tier_stats.items():
+                        telemetry.registry.set_gauge(
+                            "cache.entries", stats.entries, tier=tier
+                        )
+                        telemetry.registry.set_gauge(
+                            "cache.hit_rate", stats.hit_rate, tier=tier
+                        )
+                report = build_report(
+                    telemetry,
+                    meta={
+                        "n_rows": table.n_rows,
+                        "executor": executor.kind,
+                        "n_workers": executor.n_workers,
+                        "n_grouping_patterns": len(grouping_patterns),
+                        "n_rules": len(greedy.ruleset),
+                        "nodes_evaluated": nodes_evaluated,
+                        "timings": timer.as_dict(),
+                    },
+                )
 
         return FairCapResult(
             ruleset=greedy.ruleset,
@@ -185,6 +235,7 @@ class FairCap:
             n_rows=table.n_rows,
             n_protected=int(protected.mask(table).sum()),
             greedy=greedy,
+            telemetry=report,
         )
 
 

@@ -35,6 +35,7 @@ from repro.fairness.benefit import benefit
 from repro.mining.apriori import build_items
 from repro.mining.lattice import LatticeNode, LatticeWalk, traverse_lattice
 from repro.mining.patterns import Pattern
+from repro.obs.runtime import current as obs_current
 from repro.rules.rule import PrescriptionRule
 from repro.rules.utility import (
     GroupEvaluationContext,
@@ -214,9 +215,48 @@ def _result_from_nodes(
         rule for rule in kept if isinstance(rule, PrescriptionRule)
     ]
     best = _select_best(candidates, config.variant.fairness)
+    telemetry = obs_current()
+    if telemetry.enabled:
+        _count_mining_nodes(telemetry.registry, nodes, best)
     return InterventionMiningResult(
         best=best, candidates=tuple(candidates), nodes_evaluated=len(nodes)
     )
+
+
+def _count_mining_nodes(registry, nodes: list[LatticeNode], best) -> None:
+    """Mining-pipeline counters, taken at the shared result-assembly point.
+
+    Both Step-2 engines (per-context lattice and frontier) produce their
+    node lists through the same traversal, which the determinism contract
+    pins to be identical across executors, worker counts and chunkings —
+    so these counters are flagged *deterministic*: their merged totals are
+    exact, and the observability differential compares them bit-for-bit.
+    Invalid-estimate reasons are read off the rules' ``CateResult``s, which
+    are equally traversal-determined.
+    """
+    per_level: dict[int, list[int]] = {}
+    reasons: dict[str, int] = {}
+    for node in nodes:
+        cell = per_level.setdefault(node.level, [0, 0])
+        cell[0] += 1
+        if node.keep:
+            cell[1] += 1
+        estimate = getattr(node.payload, "estimate", None)
+        if estimate is not None and not estimate.valid:
+            reason = estimate.reason or "unknown"
+            reasons[reason] = reasons.get(reason, 0) + 1
+    for level, (candidates, kept) in sorted(per_level.items()):
+        registry.inc(
+            "mining.candidates", candidates, deterministic=True, level=level
+        )
+        if kept:
+            registry.inc("mining.kept", kept, deterministic=True, level=level)
+    for reason, count in reasons.items():
+        registry.inc(
+            "mining.invalid_estimates", count, deterministic=True, reason=reason
+        )
+    if best is not None:
+        registry.inc("mining.rules", 1, deterministic=True)
 
 
 def frontier_mine_patterns(
@@ -276,6 +316,7 @@ def frontier_mine_patterns(
         walk = LatticeWalk(items, max_level=config.max_intervention_size)
         walks.append((context, walk))
 
+    telemetry = obs_current()
     while True:
         round_work = []
         for context, walk in walks:
@@ -285,24 +326,55 @@ def frontier_mine_patterns(
             round_work.append((walk, work))
         if not round_work:
             break
-        # Phase 1: every context's overall batch — the keep decision needs
-        # nothing else.  Phase 2: protected / non-protected batches for the
-        # kept columns only (a rejected candidate's sub-population CATEs
-        # are never read).
-        evaluator.estimate_requests(
-            [request for _, work in round_work for request in work.requests]
-        )
-        evaluator.estimate_requests(
-            [
+        level = round_work[0][0].level
+        with telemetry.tracer.span(
+            "frontier.round",
+            level=level,
+            contexts=len(round_work),
+            candidates=sum(len(work.interventions) for _, work in round_work),
+        ):
+            # Phase 1: every context's overall batch — the keep decision
+            # needs nothing else.  Phase 2: protected / non-protected
+            # batches for the kept columns only (a rejected candidate's
+            # sub-population CATEs are never read).
+            phase1 = [request for _, work in round_work for request in work.requests]
+            evaluator.estimate_requests(phase1)
+            phase2 = [
                 request
                 for _, work in round_work
                 for request in work.followup(alpha)
             ]
-        )
-        for walk, work in round_work:
-            walk.advance(work.finish())
+            evaluator.estimate_requests(phase2)
+            for walk, work in round_work:
+                walk.advance(work.finish())
+        if telemetry.enabled:
+            _count_frontier_round(telemetry.registry, level, round_work, phase1, phase2)
 
     return [_result_from_nodes(walk.nodes, config) for _, walk in walks]
+
+
+def _count_frontier_round(registry, level, round_work, phase1, phase2) -> None:
+    """Per-round mining counters (all deterministic).
+
+    Popcount-pruned candidates, and the columns actually estimated in each
+    phase, are pure functions of each context's own level content — never
+    of which contexts share the round or how patterns were chunked across
+    workers (the same property that makes frontier windowing safe) — so
+    process-pool merges reproduce a serial run's totals exactly.
+    """
+    pruned = sum(len(work.pruned) for _, work in round_work)
+    if pruned:
+        registry.inc("mining.pruned", pruned, deterministic=True, level=level)
+    for phase, requests in (("overall", phase1), ("subpopulation", phase2)):
+        columns = sum(request.treated_rows.shape[0] for request in requests)
+        if columns:
+            registry.inc(
+                "mining.estimated_columns",
+                columns,
+                deterministic=True,
+                phase=phase,
+                level=level,
+            )
 
 
 def mine_interventions_for_groups(

@@ -1,0 +1,54 @@
+"""Runtime telemetry: counters, spans, run reports, Prometheus exposition.
+
+The observability layer is deliberately self-contained — it imports nothing
+from the rest of :mod:`repro`, so every engine module can instrument itself
+without creating cycles.  Three pieces:
+
+- :mod:`repro.obs.metrics` — a thread-safe counter / gauge / histogram
+  registry with Prometheus text rendering and snapshot/merge support for
+  process-pool workers.  Counters carry a ``deterministic`` flag separating
+  the mining-pipeline counts that are exact across executors from the
+  engine counters (cache hits, factorization routes) that legitimately
+  depend on chunking.
+- :mod:`repro.obs.trace` — a hierarchical span tracer with thread-local
+  span stacks and ``attach()`` for grafting worker span trees into the
+  caller's tree.
+- :mod:`repro.obs.runtime` — the ambient :class:`Telemetry` bundle.
+  :func:`current` returns the active bundle; the default is
+  :data:`NULL_TELEMETRY`, whose registry and tracer are no-ops, so
+  instrumentation sites guard on ``current().enabled`` and cost one global
+  read plus an attribute check when telemetry is off.
+
+:mod:`repro.obs.report` turns a bundle into the run-report JSON the CLI's
+``--trace-json`` emits, and :mod:`repro.obs.logging` provides the
+JSON-lines structured logger the serving tier uses.
+"""
+
+from repro.obs.logging import StructuredLogger, new_request_id
+from repro.obs.metrics import MetricsRegistry, NullRegistry, render_prometheus
+from repro.obs.report import REPORT_VERSION, build_report, write_report
+from repro.obs.runtime import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current,
+    telemetry_session,
+)
+from repro.obs.trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "render_prometheus",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "telemetry_session",
+    "REPORT_VERSION",
+    "build_report",
+    "write_report",
+    "StructuredLogger",
+    "new_request_id",
+]

@@ -1,0 +1,329 @@
+"""Thread-safe counter / gauge / histogram registry with Prometheus output.
+
+One :class:`MetricsRegistry` holds every metric of a telemetry session.
+Metrics are addressed by ``(name, labels)``; callers never hold metric
+objects, they call :meth:`MetricsRegistry.inc` / :meth:`set_gauge` /
+:meth:`observe` directly, which is what lets process-pool workers run the
+same instrumentation sites against their own registry and ship a
+:meth:`drain` snapshot back for :meth:`merge` (counters and histograms add,
+gauges last-write-wins).
+
+Counters carry a ``deterministic`` flag: the mining-pipeline counts
+(candidates, pruned, kept, rules) are derived from the lattice traversal,
+which the :mod:`repro.parallel` contract guarantees is identical across
+executors, worker counts and chunkings — so their merged totals are *exact*
+and the differential suite compares them bit-for-bit.  Engine counters
+(cache hits, factorization routes, scalar fallbacks) legitimately depend on
+cache state and chunking and are excluded from
+``snapshot(deterministic_only=True)``.
+
+:class:`NullRegistry` is the zero-overhead stand-in installed when
+telemetry is off; every method is a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+#: Default histogram bounds (seconds), tuned for request latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> str:
+    """Canonical, JSON-ready key for one label combination."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def _parse_label_key(key: str) -> list[tuple[str, str]]:
+    if not key:
+        return []
+    return [tuple(part.split("=", 1)) for part in key.split(",")]
+
+
+class MetricsRegistry:
+    """All counters, gauges and histograms of one telemetry session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> {"deterministic": bool, "values": {label_key: float}}
+        self._counters: dict[str, dict] = {}
+        self._gauges: dict[str, dict[str, float]] = {}
+        # name -> {"bounds": tuple, "values": {label_key: {...}}}
+        self._histograms: dict[str, dict] = {}
+
+    # -- writes ----------------------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        *,
+        deterministic: bool = False,
+        **labels: object,
+    ) -> None:
+        """Add ``amount`` to counter ``name`` for this label combination.
+
+        ``deterministic`` marks the counter (not the increment) as part of
+        the executor-invariant family; the flag sticks at first touch.
+        """
+        self.inc_key(name, _label_key(labels), amount, deterministic=deterministic)
+
+    def inc_key(
+        self,
+        name: str,
+        key: str = "",
+        amount: float = 1.0,
+        *,
+        deterministic: bool = False,
+    ) -> None:
+        """:meth:`inc` with a precomputed label key (``"k=v,k2=v2"``, sorted).
+
+        The hot-site spelling: per-event call sites with a fixed label set
+        (factorization routes, cache outcomes) precompute their keys once
+        and skip the per-call sort/format of :func:`_label_key`.
+        """
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = {"deterministic": deterministic, "values": {}}
+                self._counters[name] = counter
+            values = counter["values"]
+            values[key] = values.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> None:
+        """Record one observation into histogram ``name``.
+
+        ``buckets`` (upper bounds, ascending) are fixed at the histogram's
+        first observation; later calls reuse them.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = {"bounds": tuple(buckets), "values": {}}
+                self._histograms[name] = histogram
+            bounds = histogram["bounds"]
+            cell = histogram["values"].get(key)
+            if cell is None:
+                cell = {"buckets": [0] * len(bounds), "sum": 0.0, "count": 0}
+                histogram["values"][key] = cell
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    cell["buckets"][i] += 1
+            cell["sum"] += float(value)
+            cell["count"] += 1
+
+    # -- reads -----------------------------------------------------------------
+
+    def snapshot(self, deterministic_only: bool = False) -> dict:
+        """JSON-ready copy of every metric.
+
+        With ``deterministic_only`` the snapshot keeps only the counters
+        flagged deterministic (gauges and histograms — wall-clock by nature
+        — are dropped entirely): the executor-differential obligation
+        compares exactly this view.
+        """
+        with self._lock:
+            counters = {
+                name: {
+                    "deterministic": counter["deterministic"],
+                    "values": dict(counter["values"]),
+                }
+                for name, counter in self._counters.items()
+                if counter["deterministic"] or not deterministic_only
+            }
+            if deterministic_only:
+                return {"counters": counters, "gauges": {}, "histograms": {}}
+            gauges = {name: dict(values) for name, values in self._gauges.items()}
+            histograms = {
+                name: {
+                    "bounds": list(histogram["bounds"]),
+                    "values": {
+                        key: {
+                            "buckets": list(cell["buckets"]),
+                            "sum": cell["sum"],
+                            "count": cell["count"],
+                        }
+                        for key, cell in histogram["values"].items()
+                    },
+                }
+                for name, histogram in self._histograms.items()
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def counter_total(self, name: str) -> float:
+        """Sum of counter ``name`` across all label combinations (0 if absent)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                return 0.0
+            return float(sum(counter["values"].values()))
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Value of counter ``name`` for one label combination (0 if absent)."""
+        key = _label_key(labels)
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                return 0.0
+            return float(counter["values"].get(key, 0.0))
+
+    # -- worker plumbing -------------------------------------------------------
+
+    def drain(self) -> dict:
+        """Snapshot every metric and reset the registry (worker-side).
+
+        Process workers drain after each chunk so increments travel back
+        exactly once; merging every drained snapshot reproduces the counts
+        a single-process run would have accumulated.
+        """
+        snapshot = self.snapshot()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        return snapshot
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot`/:meth:`drain` payload into this registry.
+
+        Counters and histograms add; gauges take the snapshot's value.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for name, counter in snapshot.get("counters", {}).items():
+                mine = self._counters.get(name)
+                if mine is None:
+                    mine = {"deterministic": counter["deterministic"], "values": {}}
+                    self._counters[name] = mine
+                values = mine["values"]
+                for key, value in counter["values"].items():
+                    values[key] = values.get(key, 0.0) + value
+            for name, gauge_values in snapshot.get("gauges", {}).items():
+                self._gauges.setdefault(name, {}).update(gauge_values)
+            for name, histogram in snapshot.get("histograms", {}).items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    mine = {"bounds": tuple(histogram["bounds"]), "values": {}}
+                    self._histograms[name] = mine
+                for key, cell in histogram["values"].items():
+                    target = mine["values"].get(key)
+                    if target is None:
+                        target = {
+                            "buckets": [0] * len(mine["bounds"]),
+                            "sum": 0.0,
+                            "count": 0,
+                        }
+                        mine["values"][key] = target
+                    for i, count in enumerate(cell["buckets"]):
+                        target["buckets"][i] += count
+                    target["sum"] += cell["sum"]
+                    target["count"] += cell["count"]
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry behind disabled telemetry (every write is discarded)."""
+
+    def inc(self, name, amount=1.0, *, deterministic=False, **labels) -> None:
+        return None
+
+    def inc_key(self, name, key="", amount=1.0, *, deterministic=False) -> None:
+        return None
+
+    def set_gauge(self, name, value, **labels) -> None:
+        return None
+
+    def observe(self, name, value, *, buckets=DEFAULT_BUCKETS, **labels) -> None:
+        return None
+
+    def merge(self, snapshot) -> None:
+        return None
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Metric name mapped into the Prometheus grammar (dots/dashes -> _)."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(pairs: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(f'{_prom_name(k)}="{v}"' for k, v in pairs)
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _format_value(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+def render_prometheus(
+    snapshot: Mapping, help_texts: Mapping[str, str] | None = None
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Counters gain the conventional ``_total`` suffix; histograms expose
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    help_texts = help_texts or {}
+    lines: list[str] = []
+
+    def emit_header(raw_name: str, prom: str, kind: str) -> None:
+        text = help_texts.get(raw_name)
+        if text:
+            lines.append(f"# HELP {prom} {text}")
+        lines.append(f"# TYPE {prom} {kind}")
+
+    for name in sorted(snapshot.get("counters", {})):
+        counter = snapshot["counters"][name]
+        prom = _prom_name(name) + "_total"
+        emit_header(name, prom, "counter")
+        for key in sorted(counter["values"]):
+            labels = _prom_labels(_parse_label_key(key))
+            lines.append(f"{prom}{labels} {_format_value(counter['values'][key])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        values = snapshot["gauges"][name]
+        prom = _prom_name(name)
+        emit_header(name, prom, "gauge")
+        for key in sorted(values):
+            labels = _prom_labels(_parse_label_key(key))
+            lines.append(f"{prom}{labels} {_format_value(values[key])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        histogram = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        emit_header(name, prom, "histogram")
+        bounds = histogram["bounds"]
+        for key in sorted(histogram["values"]):
+            cell = histogram["values"][key]
+            base = _parse_label_key(key)
+            for bound, count in zip(bounds, cell["buckets"]):
+                labels = _prom_labels(base + [("le", repr(float(bound)))])
+                lines.append(f"{prom}_bucket{labels} {count}")
+            labels = _prom_labels(base + [("le", "+Inf")])
+            lines.append(f"{prom}_bucket{labels} {cell['count']}")
+            suffix = _prom_labels(base)
+            lines.append(f"{prom}_sum{suffix} {repr(float(cell['sum']))}")
+            lines.append(f"{prom}_count{suffix} {cell['count']}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,101 @@
+"""The ambient telemetry bundle: registry + tracer behind one global.
+
+Instrumentation sites all over the engine read :func:`current` and guard on
+``.enabled`` — when telemetry is off (the default) that is one module
+global read and an attribute check, which is the "near-zero overhead"
+contract of :mod:`repro.obs`.  :func:`telemetry_session` installs a fresh
+live bundle for the duration of a run (restoring the previous one on exit);
+:func:`install` sets one permanently, which is what process-pool workers do
+in their initializer (their bundle is drained per chunk, never uninstalled).
+
+The global is process-wide, not thread-local, by design: thread-pool
+workers must write into the same registry as the caller (their increments
+are part of the run), and the registry/tracer lock internally.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.trace import NullTracer, Tracer
+
+
+class Telemetry:
+    """One session's registry + tracer, plus the enabled flag hot paths read."""
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.registry = registry if registry is not None else MetricsRegistry()
+            self.tracer = tracer if tracer is not None else Tracer()
+        else:
+            self.registry = registry if registry is not None else NullRegistry()
+            self.tracer = tracer if tracer is not None else NullTracer()
+
+    def drain(self) -> dict:
+        """Registry snapshot + serialised span trees, resetting both.
+
+        The per-chunk payload process workers ship back to the caller
+        (see :mod:`repro.parallel.mining`).
+        """
+        return {
+            "metrics": self.registry.drain(),
+            "spans": self.tracer.drain(),
+        }
+
+    def absorb(self, payload: dict | None) -> None:
+        """Merge a worker's :meth:`drain` payload into this session."""
+        if not payload:
+            return
+        self.registry.merge(payload.get("metrics", {}))
+        self.tracer.attach(payload.get("spans", ()))
+
+
+#: The process-wide default: telemetry off, every operation a no-op.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_current: Telemetry = NULL_TELEMETRY
+
+
+def current() -> Telemetry:
+    """The active telemetry bundle (:data:`NULL_TELEMETRY` by default)."""
+    return _current
+
+
+def install(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the ambient bundle; returns the previous one."""
+    global _current
+    previous = _current
+    _current = telemetry
+    return previous
+
+
+@contextmanager
+def telemetry_session(enabled: bool = True) -> Iterator[Telemetry]:
+    """Install a fresh bundle for the enclosed block, restoring on exit.
+
+    With ``enabled=False`` this yields :data:`NULL_TELEMETRY` without
+    creating anything — a disabled FairCap run pays nothing.
+    """
+    if not enabled:
+        previous = install(NULL_TELEMETRY)
+        try:
+            yield NULL_TELEMETRY
+        finally:
+            install(previous)
+        return
+    telemetry = Telemetry(enabled=True)
+    previous = install(telemetry)
+    try:
+        yield telemetry
+    finally:
+        install(previous)

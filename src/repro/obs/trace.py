@@ -1,0 +1,182 @@
+"""Hierarchical span tracer with thread-local stacks and worker grafting.
+
+A :class:`Span` is one timed region with free-form attributes and child
+spans; a :class:`Tracer` maintains a per-thread stack so ``span()`` nests
+naturally, plus a shared root list for spans opened with an empty stack
+(e.g. thread-pool workers).  Finished trees serialise to plain dicts —
+picklable, JSON-ready — and :meth:`Tracer.attach` grafts such dicts under
+the current span, which is how process-pool workers' trees end up inside
+the caller's ``treatment_mining`` span (one coherent tree per run).
+
+Numerics are never touched: spans only read ``time.perf_counter``.
+:class:`NullTracer` is the disabled stand-in; its ``span()`` returns a
+shared no-op context manager, so a tracing site costs two method calls
+when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator, Sequence
+
+
+class Span:
+    """One timed region of a run: name, attributes, children, duration."""
+
+    __slots__ = ("name", "attrs", "children", "start", "duration")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs: dict = attrs if attrs is not None else {}
+        self.children: list = []  # Span or already-serialised dicts
+        self.start = 0.0
+        self.duration: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready tree rooted at this span."""
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [
+                child.to_dict() if isinstance(child, Span) else child
+                for child in self.children
+            ],
+        }
+
+    def __repr__(self) -> str:
+        timing = f"{self.duration:.4f}s" if self.duration is not None else "open"
+        return f"Span({self.name!r}, {timing}, children={len(self.children)})"
+
+
+class _SpanContext:
+    """Context manager entering/leaving one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.duration = time.perf_counter() - self._span.start
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Builds span trees; one instance per telemetry session."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            with self._lock:
+                parent.children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a child span of the current thread's innermost span."""
+        return _SpanContext(self, Span(name, attrs or None))
+
+    def attach(self, trees: Sequence[dict]) -> None:
+        """Graft already-serialised span trees under the current span.
+
+        The process-pool merge path: a worker drains its tracer to dicts,
+        ships them with its chunk results, and the caller attaches them
+        here — inside whatever span the merge loop is running under.
+        Trees attach to the root list when no span is open.
+        """
+        if not trees:
+            return
+        stack = self._stack()
+        with self._lock:
+            if stack:
+                stack[-1].children.extend(trees)
+            else:
+                self._roots.extend(trees)  # type: ignore[arg-type]
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-ready copies of every root span tree."""
+        with self._lock:
+            roots = list(self._roots)
+        return [
+            root.to_dict() if isinstance(root, Span) else root for root in roots
+        ]
+
+    def drain(self) -> list[dict]:
+        """Serialise and forget every finished root tree (worker-side)."""
+        with self._lock:
+            roots = list(self._roots)
+            self._roots.clear()
+        return [
+            root.to_dict() if isinstance(root, Span) else root for root in roots
+        ]
+
+
+class _NullSpanContext:
+    """Shared no-op context manager behind :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing (disabled telemetry)."""
+
+    def __init__(self) -> None:  # skip the lock/thread-local setup
+        pass
+
+    def span(self, name: str, **attrs: object) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def attach(self, trees: Sequence[dict]) -> None:
+        return None
+
+    def to_dicts(self) -> list[dict]:
+        return []
+
+    def drain(self) -> list[dict]:
+        return []
+
+
+def iter_spans(trees: Sequence[dict]) -> Iterator[dict]:
+    """Depth-first iterator over serialised span trees (test/report helper)."""
+    stack = list(trees)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.get("children", ()))

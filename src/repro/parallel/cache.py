@@ -49,11 +49,12 @@ CacheKey = tuple
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of an :class:`EstimationCache`."""
+    """Hit/miss/eviction counters of one :class:`EstimationCache` tier."""
 
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -133,6 +134,10 @@ class EstimationCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._fac_hits = 0
+        self._fac_misses = 0
+        self._fac_evictions = 0
         self._new: dict[CacheKey, object] | None = None
         # Design factorizations (repro.causal.batch) live in a sibling LRU:
         # they are derived data — recomputable from the table — and carry an
@@ -238,10 +243,10 @@ class EstimationCache:
             result = self._store.get(key)
             if result is None:
                 self._misses += 1
-                return None
-            self._store.move_to_end(key)
-            self._hits += 1
-            return result
+            else:
+                self._store.move_to_end(key)
+                self._hits += 1
+        return result
 
     def put(self, key: CacheKey, result) -> None:
         """Store ``result`` under ``key``, evicting LRU entries past the bound."""
@@ -252,6 +257,7 @@ class EstimationCache:
                 self._new[key] = result
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
+                self._evictions += 1
 
     def get_or_estimate(
         self,
@@ -340,13 +346,16 @@ class EstimationCache:
             factorization = self._factorizations.get(key)
             if factorization is not None:
                 self._factorizations.move_to_end(key)
+                self._fac_hits += 1
         if factorization is None:
             factorization = build(table, outcome, adjustment)
             with self._lock:
+                self._fac_misses += 1
                 self._factorizations[key] = factorization
                 self._factorizations.move_to_end(key)
                 while len(self._factorizations) > self.max_factorizations:
                     self._factorizations.popitem(last=False)
+                    self._fac_evictions += 1
         return factorization
 
     # -- cross-process sharing -------------------------------------------------
@@ -366,13 +375,14 @@ class EstimationCache:
 
     def seed(self, entries: dict) -> None:
         """Bulk-insert entries without touching hit/miss counters or the
-        new-entry record; LRU bound still applies."""
+        new-entry record; LRU bound still applies (evictions are counted)."""
         with self._lock:
             for key, result in entries.items():
                 self._store[key] = result
                 self._store.move_to_end(key)
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
+                self._evictions += 1
 
     def record_new_entries(self) -> None:
         """Start recording keys added by :meth:`put` (worker-side)."""
@@ -395,9 +405,52 @@ class EstimationCache:
     # -- introspection ---------------------------------------------------------
 
     def stats(self) -> CacheStats:
-        """Current hit/miss/entry counters."""
+        """Current hit/miss/entry counters of the estimation tier."""
         with self._lock:
-            return CacheStats(self._hits, self._misses, len(self._store))
+            return CacheStats(
+                self._hits, self._misses, len(self._store), self._evictions
+            )
+
+    def tier_stats(self) -> dict[str, CacheStats]:
+        """Per-tier counters: the estimation store and the factorization LRU."""
+        with self._lock:
+            return {
+                "estimation": CacheStats(
+                    self._hits, self._misses, len(self._store), self._evictions
+                ),
+                "factorization": CacheStats(
+                    self._fac_hits,
+                    self._fac_misses,
+                    len(self._factorizations),
+                    self._fac_evictions,
+                ),
+            }
+
+    def emit_counters(
+        self, registry, baseline: dict[str, CacheStats] | None = None
+    ) -> dict[str, CacheStats]:
+        """Fold lookup/eviction totals since ``baseline`` into ``registry``.
+
+        Telemetry deliberately does *not* hook the per-lookup path — at
+        mining rates that costs more than the 1% overhead budget allows —
+        it reads the integer counters this cache keeps anyway and emits the
+        delta once per run (caller side) or once per chunk (process-worker
+        side, see :mod:`repro.parallel.mining`).  Returns the stats used as
+        the new baseline.
+        """
+        stats = self.tier_stats()
+        for tier, current in stats.items():
+            prev = baseline.get(tier) if baseline else None
+            hits = current.hits - (prev.hits if prev else 0)
+            misses = current.misses - (prev.misses if prev else 0)
+            evictions = current.evictions - (prev.evictions if prev else 0)
+            if hits:
+                registry.inc("cache.lookups", hits, tier=tier, outcome="hit")
+            if misses:
+                registry.inc("cache.lookups", misses, tier=tier, outcome="miss")
+            if evictions:
+                registry.inc("cache.evictions", evictions, tier=tier)
+        return stats
 
     def clear(self) -> None:
         """Drop every entry (results and factorizations), reset counters."""
@@ -406,6 +459,10 @@ class EstimationCache:
             self._factorizations.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
+            self._fac_hits = 0
+            self._fac_misses = 0
+            self._fac_evictions = 0
             if self._new is not None:
                 self._new = {}
 

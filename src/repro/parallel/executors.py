@@ -23,6 +23,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from repro.obs.runtime import current as obs_current
 from repro.utils.errors import ConfigError
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
@@ -85,8 +86,12 @@ class SerialExecutor:
         items: Sequence[Any],
     ) -> list[Any]:
         """Build the state once and apply ``fn(state, item)`` in order."""
-        state = build_state(payload)
-        return [fn(state, item) for item in items]
+        with obs_current().tracer.span(
+            "parallel.map", kind=self.kind, n_workers=self.n_workers,
+            chunks=len(items),
+        ):
+            state = build_state(payload)
+            return [fn(state, item) for item in items]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n_workers={self.n_workers})"
@@ -123,8 +128,12 @@ class ThreadExecutor(SerialExecutor):
         fn: Callable[[Any, Any], Any],
         items: Sequence[Any],
     ) -> list[Any]:
-        state = build_state(payload)
-        return self.map(lambda item: fn(state, item), items)
+        with obs_current().tracer.span(
+            "parallel.map", kind=self.kind, n_workers=self.n_workers,
+            chunks=len(items),
+        ):
+            state = build_state(payload)
+            return self.map(lambda item: fn(state, item), items)
 
 
 class ProcessExecutor(SerialExecutor):
@@ -166,13 +175,17 @@ class ProcessExecutor(SerialExecutor):
             return SerialExecutor.map_with_state(
                 self, build_state, payload, fn, items
             )
-        with ProcessPoolExecutor(
-            max_workers=min(self.n_workers, len(items)),
-            initializer=_worker_init,
-            initargs=(build_state, payload),
-        ) as pool:
-            futures = [pool.submit(_worker_call, fn, item) for item in items]
-            return [future.result() for future in futures]
+        with obs_current().tracer.span(
+            "parallel.map", kind=self.kind, n_workers=self.n_workers,
+            chunks=len(items),
+        ):
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(items)),
+                initializer=_worker_init,
+                initargs=(build_state, payload),
+            ) as pool:
+                futures = [pool.submit(_worker_call, fn, item) for item in items]
+                return [future.result() for future in futures]
 
 
 def make_executor(kind: str, n_workers: int | None = None) -> SerialExecutor:

@@ -39,12 +39,22 @@ from repro.parallel.executors import SerialExecutor, chunk_indices
 
 @dataclass
 class _MiningState:
-    """Per-worker state: the evaluator plus the shared search inputs."""
+    """Per-worker state: the evaluator plus the shared search inputs.
+
+    ``owns_telemetry`` marks state built by :func:`_build_state` inside a
+    process worker, where the worker installed its *own* telemetry session:
+    only then may :func:`_mine_chunk` drain it and ship the snapshot back.
+    Serial and thread executors share the caller's session directly
+    (:func:`_reuse_state`), and draining that would reset the caller's
+    registry mid-run.
+    """
 
     evaluator: object
     items: list
     config: object
     patterns: tuple
+    owns_telemetry: bool = False
+    cache_baseline: dict | None = None
 
 
 def _build_state(payload: dict) -> _MiningState:
@@ -60,6 +70,16 @@ def _build_state(payload: dict) -> _MiningState:
     from repro.rules.utility import RuleEvaluator
 
     config = payload["config"]
+    owns_telemetry = False
+    if getattr(config, "telemetry", False):
+        # The parent's telemetry session does not cross the process
+        # boundary; give the worker its own, installed for the pool's
+        # lifetime (workers mine many chunks — _mine_chunk drains per
+        # chunk so counts never double across chunks).
+        from repro.obs.runtime import Telemetry, install
+
+        install(Telemetry(enabled=True))
+        owns_telemetry = True
     # The worker cache mirrors the caller's: its bound comes from the actual
     # caller cache when one exists (FairCap(cache=...) overrides the config,
     # including config.cache_size == 0), falling back to the config default.
@@ -84,10 +104,17 @@ def _build_state(payload: dict) -> _MiningState:
         items=payload["items"],
         config=config,
         patterns=payload["patterns"],
+        owns_telemetry=owns_telemetry,
+        # Start counting cache activity after the warm-start seeding above.
+        cache_baseline=(
+            cache.tier_stats() if owns_telemetry and cache is not None else None
+        ),
     )
 
 
-def _mine_chunk(state: _MiningState, indices: list[int]) -> tuple[list[tuple], dict]:
+def _mine_chunk(
+    state: _MiningState, indices: list[int]
+) -> tuple[list[tuple], dict, dict | None]:
     """Chunk worker: mine the best treatment for each grouping pattern.
 
     With frontier batching enabled (the default) the chunk's contexts
@@ -95,9 +122,10 @@ def _mine_chunk(state: _MiningState, indices: list[int]) -> tuple[list[tuple], d
     (:func:`repro.core.intervention.frontier_mine_patterns`); estimation
     batches stay per (context, sub-population, adjustment set), so the
     results are bit-identical to the per-pattern loop regardless of how
-    patterns were chunked across workers.  Returns the per-pattern results
-    plus the cache entries this chunk computed (empty unless the worker
-    cache is in recording mode).
+    patterns were chunked across workers.  Returns the per-pattern results,
+    the cache entries this chunk computed (empty unless the worker cache is
+    in recording mode), and — from process workers with telemetry on — the
+    chunk's drained telemetry snapshot for the caller to absorb.
     """
     from repro.core.intervention import (
         frontier_enabled,
@@ -124,7 +152,20 @@ def _mine_chunk(state: _MiningState, indices: list[int]) -> tuple[list[tuple], d
             out.append((i, result.best, result.nodes_evaluated))
     cache = state.evaluator.cache
     new_entries = cache.drain_new_entries() if cache is not None else {}
-    return out, new_entries
+    telemetry_payload = None
+    if state.owns_telemetry:
+        from repro.obs.runtime import current
+
+        telemetry = current()
+        if telemetry.enabled:
+            if cache is not None:
+                # Worker caches live outside the caller's run-end counter
+                # sweep; fold this chunk's lookup delta in before draining.
+                state.cache_baseline = cache.emit_counters(
+                    telemetry.registry, state.cache_baseline
+                )
+            telemetry_payload = telemetry.drain()
+    return out, new_entries, telemetry_payload
 
 
 def _reuse_state(evaluator_and_inputs: tuple) -> _MiningState:
@@ -215,10 +256,17 @@ def mine_groups(
         )
 
     indexed: list[tuple] = []
-    for chunk, new_entries in chunk_results:
+    for chunk, new_entries, telemetry_payload in chunk_results:
         indexed.extend(chunk)
         if new_entries and evaluator.cache is not None:
             evaluator.cache.seed(new_entries)
+        if telemetry_payload is not None:
+            # Process workers count in their own registries; fold each
+            # chunk's snapshot into the caller's session (counters add,
+            # span trees graft under the active faircap.run span).
+            from repro.obs.runtime import current
+
+            current().absorb(telemetry_payload)
     indexed.sort(key=lambda entry: entry[0])
     rules = [best for _, best, _ in indexed if best is not None]
     nodes_total = sum(nodes for _, _, nodes in indexed)

@@ -59,6 +59,7 @@ from repro.mining.bitsets import (
     unpack_rows,
 )
 from repro.mining.patterns import Pattern
+from repro.obs.runtime import current as obs_current
 from repro.parallel.cache import (
     EstimationCache,
     packed_rows_digest,
@@ -1000,6 +1001,11 @@ class RuleEvaluator:
 
     def context(self, grouping: Pattern) -> GroupEvaluationContext:
         """Build the cached per-group context for ``grouping``."""
+        telemetry = obs_current()
+        if telemetry.enabled:
+            # One context per grouping pattern, whichever engine or
+            # executor runs it — an exact, executor-invariant count.
+            telemetry.registry.inc("mining.contexts", 1, deterministic=True)
         return GroupEvaluationContext(self, grouping)
 
     def evaluate(self, grouping: Pattern, intervention: Pattern) -> PrescriptionRule:

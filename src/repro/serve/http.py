@@ -8,12 +8,19 @@ Endpoints:
 
 - ``GET  /health``     — liveness plus rule count and cache statistics;
 - ``GET  /rules``      — the served ruleset as JSON (artifact rule format);
+- ``GET  /metrics``    — Prometheus text exposition: request counters,
+  latency histograms, and engine cache gauges sampled at scrape time;
 - ``POST /prescribe``  — ``{"individual": {...}}`` for one profile, or
   ``{"individuals": [{...}, ...]}`` for a batch; responds with the
   corresponding ``prescription`` / ``prescriptions`` payloads.
 
 Client errors (bad JSON, missing attributes, unknown paths) map to 400/404
 with a ``{"error": ...}`` body; unexpected failures map to 500.
+
+Every response carries an ``X-Request-Id`` header (echoing the request's
+own when present) and a matching ``request_id`` field in the JSON body, and
+each request emits one structured JSON access-log line to stderr unless the
+server is ``quiet`` — the id correlates the two.
 
 Start a server programmatically with :func:`make_server` (port 0 picks an
 ephemeral port — the tests do this) or from the CLI::
@@ -24,13 +31,28 @@ ephemeral port — the tests do this) or from the CLI::
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import MetricsRegistry, StructuredLogger, new_request_id, render_prometheus
 from repro.serve.artifact import rule_to_dict
 from repro.serve.engine import PrescriptionEngine
 from repro.utils.errors import ReproError, ServeError
 
 MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd request bodies early
+
+#: Routes that get their own ``path`` label; anything else is folded into
+#: ``other`` so arbitrary scanned paths cannot blow up label cardinality.
+_KNOWN_PATHS = frozenset({"/health", "/rules", "/metrics", "/prescribe"})
+
+_HELP_TEXTS = {
+    "http.requests": "HTTP requests served, by method/path/status.",
+    "http.request_seconds": "Request wall-clock latency in seconds.",
+    "engine.cache.hits": "Prescription-engine LRU hits since start.",
+    "engine.cache.misses": "Prescription-engine LRU misses since start.",
+    "engine.cache.size": "Prescription-engine LRU entries right now.",
+    "engine.rules": "Rules loaded in the serving ruleset.",
+}
 
 
 class PrescriptionServer(ThreadingHTTPServer):
@@ -43,11 +65,25 @@ class PrescriptionServer(ThreadingHTTPServer):
         address: tuple[str, int],
         engine: PrescriptionEngine,
         quiet: bool = True,
+        log_stream=None,
     ) -> None:
         super().__init__(address, PrescriptionRequestHandler)
         self.engine = engine
         self.quiet = quiet
+        self.metrics = MetricsRegistry()
+        self.logger = StructuredLogger(
+            stream=log_stream, enabled=not quiet, component="serve"
+        )
         self._rules_payload = [rule_to_dict(r) for r in engine.ruleset]
+
+    def render_metrics(self) -> str:
+        """The /metrics document: request metrics + live engine gauges."""
+        info = self.engine.cache_info()
+        self.metrics.set_gauge("engine.cache.hits", info["hits"])
+        self.metrics.set_gauge("engine.cache.misses", info["misses"])
+        self.metrics.set_gauge("engine.cache.size", info["size"])
+        self.metrics.set_gauge("engine.rules", len(self.engine.ruleset))
+        return render_prometheus(self.metrics.snapshot(), help_texts=_HELP_TEXTS)
 
     @property
     def port(self) -> int:
@@ -64,18 +100,59 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing ---------------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        if not self.server.quiet:  # pragma: no cover - logging passthrough
-            super().log_message(format, *args)
+        # BaseHTTPRequestHandler funnels its own diagnostics (parse errors,
+        # log_request) through here; route them to the structured logger so
+        # quiet mode and the JSON-lines format are honored uniformly.
+        self.server.logger.log(
+            "http.message",
+            message=format % args,
+            client=self.address_string(),
+            request_id=getattr(self, "_request_id", None),
+        )
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        # Replaced by the access-log line in _finish_request (which carries
+        # the request id and latency); suppress the default per-response log.
+        pass
 
     def _send_json(self, status: int, payload: dict) -> None:
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None and "request_id" not in payload:
+            payload = {**payload, "request_id": request_id}
         body = json.dumps(payload).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _begin_request(self) -> None:
+        self._started = time.perf_counter()
+        self._status = 0
+        self._request_id = self.headers.get("X-Request-Id") or new_request_id()
+
+    def _finish_request(self, method: str) -> None:
+        duration = time.perf_counter() - self._started
+        path = self.path if self.path in _KNOWN_PATHS else "other"
+        metrics = self.server.metrics
+        metrics.inc(
+            "http.requests", 1, method=method, path=path, status=self._status
+        )
+        metrics.observe("http.request_seconds", duration, method=method, path=path)
+        self.server.logger.log(
+            "http.request",
+            request_id=self._request_id,
+            method=method,
+            path=self.path,
+            status=self._status,
+            duration_ms=round(duration * 1e3, 3),
+            client=self.address_string(),
+        )
 
     def _read_json_body(self) -> object:
         try:
@@ -94,44 +171,67 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ServeError(f"request body is not valid JSON: {exc}") from None
 
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_request_id", None) is not None:
+            self.send_header("X-Request-Id", self._request_id)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/health":
-            engine = self.server.engine
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "n_rules": len(engine.ruleset),
-                    "cache": engine.cache_info(),
-                },
-            )
-        elif self.path == "/rules":
-            self._send_json(
-                200,
-                {
-                    "n_rules": len(self.server._rules_payload),
-                    "rules": self.server._rules_payload,
-                },
-            )
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        self._begin_request()
+        try:
+            if self.path == "/health":
+                engine = self.server.engine
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "n_rules": len(engine.ruleset),
+                        "cache": engine.cache_info(),
+                    },
+                )
+            elif self.path == "/rules":
+                self._send_json(
+                    200,
+                    {
+                        "n_rules": len(self.server._rules_payload),
+                        "rules": self.server._rules_payload,
+                    },
+                )
+            elif self.path == "/metrics":
+                self._send_text(200, self.server.render_metrics())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        finally:
+            self._finish_request("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/prescribe":
-            # The request body is never read on this path; close the
-            # connection so leftover bytes cannot corrupt a keep-alive peer.
-            self.close_connection = True
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-            return
+        self._begin_request()
         try:
-            payload = self._read_json_body()
-            self._send_json(200, self._prescribe(payload))
-        except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            if self.path != "/prescribe":
+                # The request body is never read on this path; close the
+                # connection so leftover bytes cannot corrupt a keep-alive peer.
+                self.close_connection = True
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                payload = self._read_json_body()
+                self._send_json(200, self._prescribe(payload))
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            self._finish_request("POST")
 
     def _prescribe(self, payload: object) -> dict:
         if not isinstance(payload, dict):
@@ -161,9 +261,14 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    log_stream=None,
 ) -> PrescriptionServer:
-    """Bind a :class:`PrescriptionServer` (``port=0`` picks a free port)."""
-    return PrescriptionServer((host, port), engine, quiet=quiet)
+    """Bind a :class:`PrescriptionServer` (``port=0`` picks a free port).
+
+    ``log_stream`` redirects the structured access log (stderr by default);
+    the tests pass a ``StringIO`` to assert on the emitted JSON lines.
+    """
+    return PrescriptionServer((host, port), engine, quiet=quiet, log_stream=log_stream)
 
 
 def run_server(

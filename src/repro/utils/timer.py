@@ -40,21 +40,39 @@ class StepTimer:
     """Accumulates elapsed time per named step.
 
     The same step name may be entered multiple times; durations add up.
+    Re-entrancy is safe: when a step is entered *while already running*
+    (a helper timing ``"x"`` inside an outer ``"x"`` block), only the
+    outermost entry accumulates, so nested same-name blocks cannot double
+    count the same wall-clock span.  Each outermost entry also opens a
+    ``step.<name>`` span on the ambient telemetry tracer
+    (:mod:`repro.obs.runtime`) — a no-op unless a telemetry session is
+    active.
     """
 
     def __init__(self) -> None:
         self.steps: dict[str, float] = {}
+        self._depth: dict[str, int] = {}
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
         """Time the enclosed block and add it to step ``name``."""
+        from repro.obs.runtime import current as obs_current
+
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
         start = time.perf_counter()
         try:
-            yield
+            if depth == 0:
+                with obs_current().tracer.span(f"step.{name}"):
+                    yield
+            else:
+                yield
         finally:
-            self.steps[name] = self.steps.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            self._depth[name] = depth
+            if depth == 0:
+                self.steps[name] = self.steps.get(name, 0.0) + (
+                    time.perf_counter() - start
+                )
 
     @property
     def total(self) -> float:

@@ -92,3 +92,36 @@ def test_serve_parser_arguments():
     assert args.artifact == "ruleset.json"
     assert args.port == 9000
     assert args.cache_size == 1024
+
+
+@pytest.mark.slow
+def test_run_trace_json_writes_a_run_report(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main(["run", "--dataset", "german", "--n", "400",
+                 "--variant", "No constraints", "--seed", "3",
+                 "--trace-json", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"telemetry report written to {trace_path}" in out
+
+    import json
+
+    from repro.obs import REPORT_VERSION
+
+    report = json.loads(trace_path.read_text())
+    assert report["version"] == REPORT_VERSION
+    assert report["meta"]["dataset"] == "german"
+    assert report["meta"]["variant"] == "No constraints"
+    assert report["meta"]["seed"] == 3
+    assert report["counters"]["mining.contexts"]["deterministic"] is True
+    assert set(report["derived"]) == {
+        "cache_hit_rate", "prune_rate", "scalar_fallback_rate",
+    }
+    assert report["spans"], "span tree missing from the trace"
+
+
+@pytest.mark.slow
+def test_run_without_trace_json_keeps_telemetry_off(capsys):
+    assert main(["run", "--dataset", "german", "--n", "400",
+                 "--variant", "No constraints", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry report" not in out

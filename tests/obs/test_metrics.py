@@ -1,0 +1,161 @@
+"""Tests for repro.obs.metrics: registry semantics and Prometheus output."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    _label_key,
+    render_prometheus,
+)
+
+
+def test_labels_are_canonicalised_sorted():
+    registry = MetricsRegistry()
+    registry.inc("hits", tier="l1", outcome="hit")
+    registry.inc("hits", outcome="hit", tier="l1")  # kwarg order ignored
+    assert registry.counter_value("hits", tier="l1", outcome="hit") == 2.0
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]["hits"]["values"]) == ["outcome=hit,tier=l1"]
+
+
+def test_inc_key_matches_inc():
+    """The hot-site spelling lands in the same cell as the kwargs spelling."""
+    registry = MetricsRegistry()
+    registry.inc("routes", route="gram")
+    registry.inc_key("routes", _label_key({"route": "gram"}), 2.0)
+    assert registry.counter_value("routes", route="gram") == 3.0
+
+
+def test_unlabelled_counter_uses_empty_key():
+    registry = MetricsRegistry()
+    registry.inc("rules", 3)
+    assert registry.counter_total("rules") == 3.0
+    assert registry.snapshot()["counters"]["rules"]["values"] == {"": 3.0}
+
+
+def test_deterministic_flag_sticks_at_first_touch():
+    registry = MetricsRegistry()
+    registry.inc("mined", deterministic=True, level=1)
+    registry.inc("mined", level=2)  # later touches don't demote the counter
+    assert registry.snapshot()["counters"]["mined"]["deterministic"] is True
+
+
+def test_snapshot_deterministic_only_filters():
+    registry = MetricsRegistry()
+    registry.inc("mined", deterministic=True)
+    registry.inc("cache.lookups", outcome="hit")
+    registry.set_gauge("entries", 5.0)
+    registry.observe("latency", 0.01)
+    view = registry.snapshot(deterministic_only=True)
+    assert set(view["counters"]) == {"mined"}
+    assert view["gauges"] == {} and view["histograms"] == {}
+
+
+def test_counter_reads_absent_name_is_zero():
+    registry = MetricsRegistry()
+    assert registry.counter_total("nope") == 0.0
+    assert registry.counter_value("nope", a="b") == 0.0
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry()
+    registry.set_gauge("entries", 5, tier="l1")
+    registry.set_gauge("entries", 7, tier="l1")
+    assert registry.snapshot()["gauges"]["entries"] == {"tier=l1": 7.0}
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    bounds = (0.1, 1.0, 10.0)
+    for value in (0.05, 0.5, 5.0, 50.0):
+        registry.observe("latency", value, buckets=bounds)
+    cell = registry.snapshot()["histograms"]["latency"]["values"][""]
+    assert cell["buckets"] == [1, 2, 3]  # le=0.1, le=1, le=10
+    assert cell["count"] == 4
+    assert cell["sum"] == 55.55
+
+
+def test_drain_resets_everything():
+    registry = MetricsRegistry()
+    registry.inc("hits")
+    registry.set_gauge("entries", 1.0)
+    registry.observe("latency", 0.2)
+    payload = registry.drain()
+    assert payload["counters"]["hits"]["values"] == {"": 1.0}
+    empty = registry.snapshot()
+    assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_merge_adds_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for registry in (a, b):
+        registry.inc("hits", 2, tier="l1")
+        registry.observe("latency", 0.3, buckets=(0.1, 1.0))
+        registry.set_gauge("entries", 1.0)
+    b.set_gauge("entries", 9.0)
+    a.merge(b.drain())
+    assert a.counter_value("hits", tier="l1") == 4.0
+    cell = a.snapshot()["histograms"]["latency"]["values"][""]
+    assert cell["count"] == 2 and cell["buckets"] == [0, 2]
+    assert a.snapshot()["gauges"]["entries"][""] == 9.0  # last write wins
+
+
+def test_merge_roundtrip_equals_single_registry():
+    """drain + merge reproduces what one registry would have counted."""
+    combined = MetricsRegistry()
+    parts = [MetricsRegistry() for _ in range(3)]
+    for i, registry in enumerate(parts):
+        for target in (combined, registry):
+            target.inc("work", i + 1, deterministic=True, worker=i % 2)
+    merged = MetricsRegistry()
+    for registry in parts:
+        merged.merge(registry.drain())
+    assert merged.snapshot() == combined.snapshot()
+
+
+def test_null_registry_discards_everything():
+    registry = NullRegistry()
+    registry.inc("hits", tier="l1")
+    registry.inc_key("hits", "tier=l1")
+    registry.set_gauge("entries", 1.0)
+    registry.observe("latency", 0.5)
+    registry.merge({"counters": {"hits": {"deterministic": False,
+                                          "values": {"": 1.0}}}})
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_render_prometheus_counters_and_gauges():
+    registry = MetricsRegistry()
+    registry.inc("http.requests", 3, method="GET", path="/health")
+    registry.set_gauge("engine.rules", 7)
+    text = render_prometheus(
+        registry.snapshot(), help_texts={"http.requests": "served requests"}
+    )
+    assert "# HELP http_requests_total served requests" in text
+    assert "# TYPE http_requests_total counter" in text
+    assert 'http_requests_total{method="GET",path="/health"} 3' in text
+    assert "# TYPE engine_rules gauge" in text
+    assert "engine_rules 7" in text
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_histogram_series():
+    registry = MetricsRegistry()
+    registry.observe("http.request_seconds", 0.05, buckets=(0.01, 0.1),
+                     method="GET")
+    text = render_prometheus(registry.snapshot())
+    assert 'http_request_seconds_bucket{method="GET",le="0.01"} 0' in text
+    assert 'http_request_seconds_bucket{method="GET",le="0.1"} 1' in text
+    assert 'http_request_seconds_bucket{method="GET",le="+Inf"} 1' in text
+    assert 'http_request_seconds_sum{method="GET"} 0.05' in text
+    assert 'http_request_seconds_count{method="GET"} 1' in text
+
+
+def test_render_prometheus_integer_values_render_without_decimal():
+    registry = MetricsRegistry()
+    registry.inc("hits", 2.0)
+    registry.inc("ratio", 0.5)
+    text = render_prometheus(registry.snapshot())
+    assert "hits_total 2\n" in text
+    assert "ratio_total 0.5" in text

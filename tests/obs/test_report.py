@@ -1,0 +1,73 @@
+"""Tests for repro.obs.report: derived rates and the run-report document."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.report import (
+    REPORT_VERSION,
+    build_report,
+    derived_stats,
+    write_report,
+)
+from repro.obs.runtime import Telemetry
+
+
+def _counters_fixture() -> dict:
+    telemetry = Telemetry(enabled=True)
+    registry = telemetry.registry
+    registry.inc("cache.lookups", 30, tier="estimation", outcome="miss")
+    registry.inc("cache.lookups", 10, tier="factorization", outcome="hit")
+    registry.inc("cache.lookups", 40, tier="factorization", outcome="miss")
+    registry.inc("mining.candidates", 80, deterministic=True, level=1)
+    registry.inc("mining.candidates", 20, deterministic=True, level=2)
+    registry.inc("mining.pruned", 25, deterministic=True, level=1)
+    registry.inc("mining.estimated_columns", 50, deterministic=True,
+                 phase="overall", level=1)
+    registry.inc("estimation.scalar_fallbacks", 5, kernel="columns",
+                 reason="collinear_design")
+    return registry.snapshot()["counters"]
+
+
+def test_derived_rates():
+    derived = derived_stats(_counters_fixture())
+    assert derived["cache_hit_rate"] == 10 / 80  # hits across every tier
+    assert derived["prune_rate"] == 25 / 100
+    assert derived["scalar_fallback_rate"] == 5 / 50
+
+
+def test_derived_rates_empty_counters_are_zero_not_nan():
+    derived = derived_stats({})
+    assert derived == {
+        "cache_hit_rate": 0.0,
+        "prune_rate": 0.0,
+        "scalar_fallback_rate": 0.0,
+    }
+
+
+def test_build_report_structure():
+    telemetry = Telemetry(enabled=True)
+    telemetry.registry.inc("mining.rules", 2, deterministic=True)
+    telemetry.registry.set_gauge("cache.entries", 12, tier="estimation")
+    with telemetry.tracer.span("faircap.run"):
+        pass
+    report = build_report(telemetry, meta={"n_rows": 100})
+    assert report["version"] == REPORT_VERSION
+    assert report["meta"] == {"n_rows": 100}
+    assert report["counters"]["mining.rules"]["values"] == {"": 2.0}
+    assert report["gauges"]["cache.entries"] == {"tier=estimation": 12.0}
+    assert set(report["derived"]) == {
+        "cache_hit_rate", "prune_rate", "scalar_fallback_rate",
+    }
+    assert [span["name"] for span in report["spans"]] == ["faircap.run"]
+
+
+def test_write_report_roundtrips_as_json(tmp_path):
+    telemetry = Telemetry(enabled=True)
+    telemetry.registry.inc("mining.rules", deterministic=True)
+    report = build_report(telemetry, meta={"dataset": "german"})
+    path = tmp_path / "trace.json"
+    write_report(str(path), report)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == report

@@ -1,0 +1,96 @@
+"""Tests for repro.obs.runtime: the ambient telemetry session."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.runtime import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current,
+    install,
+    telemetry_session,
+)
+from repro.obs.trace import NullTracer, Tracer
+
+
+def test_default_is_null_telemetry():
+    assert current() is NULL_TELEMETRY
+    assert not NULL_TELEMETRY.enabled
+    assert isinstance(NULL_TELEMETRY.registry, NullRegistry)
+    assert isinstance(NULL_TELEMETRY.tracer, NullTracer)
+
+
+def test_enabled_bundle_gets_live_parts():
+    telemetry = Telemetry(enabled=True)
+    assert isinstance(telemetry.registry, MetricsRegistry)
+    assert not isinstance(telemetry.registry, NullRegistry)
+    assert isinstance(telemetry.tracer, Tracer)
+    assert not isinstance(telemetry.tracer, NullTracer)
+
+
+def test_session_installs_and_restores():
+    before = current()
+    with telemetry_session(enabled=True) as telemetry:
+        assert current() is telemetry
+        assert telemetry.enabled
+        telemetry.registry.inc("inside")
+    assert current() is before
+
+
+def test_disabled_session_yields_the_shared_null_bundle():
+    with telemetry_session(enabled=False) as telemetry:
+        assert telemetry is NULL_TELEMETRY
+        assert current() is NULL_TELEMETRY
+        telemetry.registry.inc("discarded")  # must be a silent no-op
+    assert NULL_TELEMETRY.registry.snapshot()["counters"] == {}
+
+
+def test_sessions_nest_and_unwind_in_order():
+    with telemetry_session(enabled=True) as outer:
+        with telemetry_session(enabled=True) as inner:
+            assert current() is inner
+        assert current() is outer
+    assert current() is NULL_TELEMETRY
+
+
+def test_session_restores_on_exception():
+    try:
+        with telemetry_session(enabled=True):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert current() is NULL_TELEMETRY
+
+
+def test_install_returns_previous():
+    mine = Telemetry(enabled=True)
+    previous = install(mine)
+    try:
+        assert current() is mine
+    finally:
+        assert install(previous) is mine
+    assert current() is previous
+
+
+def test_drain_absorb_roundtrip():
+    """The worker transport: drained counters and spans land in the caller."""
+    worker = Telemetry(enabled=True)
+    worker.registry.inc("mined", 3, deterministic=True, level=1)
+    with worker.tracer.span("chunk"):
+        pass
+    payload = worker.drain()
+    assert worker.registry.snapshot()["counters"] == {}  # drained clean
+
+    caller = Telemetry(enabled=True)
+    with caller.tracer.span("run"):
+        caller.absorb(payload)
+    assert caller.registry.counter_value("mined", level=1) == 3.0
+    run = caller.tracer.to_dicts()[0]
+    assert [child["name"] for child in run["children"]] == ["chunk"]
+
+
+def test_absorb_none_is_a_noop():
+    caller = Telemetry(enabled=True)
+    caller.absorb(None)
+    caller.absorb({})
+    assert caller.registry.snapshot()["counters"] == {}

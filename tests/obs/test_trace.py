@@ -1,0 +1,123 @@
+"""Tests for repro.obs.trace: span nesting, grafting, thread-local stacks."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import NullTracer, Tracer, iter_spans
+
+
+def test_spans_nest_under_the_open_span():
+    tracer = Tracer()
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner"):
+            pass
+    trees = tracer.to_dicts()
+    assert len(trees) == 1
+    outer = trees[0]
+    assert outer["name"] == "outer"
+    assert outer["attrs"] == {"kind": "test"}
+    assert [child["name"] for child in outer["children"]] == ["inner"]
+    assert outer["duration_seconds"] >= outer["children"][0]["duration_seconds"]
+
+
+def test_sibling_spans_share_a_parent():
+    tracer = Tracer()
+    with tracer.span("run"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    run = tracer.to_dicts()[0]
+    assert [child["name"] for child in run["children"]] == ["a", "b"]
+
+
+def test_span_yields_the_live_span_for_attr_updates():
+    tracer = Tracer()
+    with tracer.span("work") as span:
+        span.attrs["batches"] = 3
+    assert tracer.to_dicts()[0]["attrs"] == {"batches": 3}
+
+
+def test_exception_still_closes_the_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    tree = tracer.to_dicts()[0]
+    assert tree["duration_seconds"] is not None
+    with tracer.span("after"):
+        pass
+    assert [t["name"] for t in tracer.to_dicts()] == ["doomed", "after"]
+
+
+def test_thread_stacks_are_independent():
+    """A span opened on a bare thread becomes its own root, never a child
+    of whatever span happens to be open on the main thread."""
+    tracer = Tracer()
+
+    def worker():
+        with tracer.span("worker"):
+            pass
+
+    with tracer.span("main"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    names = sorted(t["name"] for t in tracer.to_dicts())
+    assert names == ["main", "worker"]
+    main = next(t for t in tracer.to_dicts() if t["name"] == "main")
+    assert main["children"] == []
+
+
+def test_attach_grafts_under_the_open_span():
+    tracer = Tracer()
+    shipped = [{"name": "chunk", "duration_seconds": 0.1, "attrs": {},
+                "children": []}]
+    with tracer.span("merge"):
+        tracer.attach(shipped)
+    merge = tracer.to_dicts()[0]
+    assert [child["name"] for child in merge["children"]] == ["chunk"]
+
+
+def test_attach_without_open_span_lands_at_the_root():
+    tracer = Tracer()
+    tracer.attach([{"name": "orphan", "duration_seconds": 0.0, "attrs": {},
+                    "children": []}])
+    assert [t["name"] for t in tracer.to_dicts()] == ["orphan"]
+
+
+def test_drain_serialises_and_forgets():
+    tracer = Tracer()
+    with tracer.span("once"):
+        pass
+    first = tracer.drain()
+    assert [t["name"] for t in first] == ["once"]
+    assert tracer.drain() == []
+    assert tracer.to_dicts() == []
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    with tracer.span("ignored", anything=1) as span:
+        assert span is None
+    tracer.attach([{"name": "x", "children": []}])
+    assert tracer.to_dicts() == []
+    assert tracer.drain() == []
+
+
+def test_null_tracer_span_context_is_shared():
+    tracer = NullTracer()
+    assert tracer.span("a") is tracer.span("b")
+
+
+def test_iter_spans_walks_every_node():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child"):
+            with tracer.span("grandchild"):
+                pass
+    names = {node["name"] for node in iter_spans(tracer.to_dicts())}
+    assert names == {"root", "child", "grandchild"}

@@ -60,3 +60,47 @@ def test_step_timer_repr():
     with timer.step("phase"):
         pass
     assert "phase" in repr(timer)
+
+
+def test_step_timer_nested_same_name_counts_once():
+    """Re-entrancy: a helper timing "x" inside an outer "x" block must not
+    double-count the shared wall-clock span."""
+    timer = StepTimer()
+    with timer.step("x"):
+        with timer.step("x"):
+            time.sleep(0.005)
+    assert 0.004 <= timer.steps["x"] < 0.1
+    # Sequential entries still accumulate after the nested exit.
+    with timer.step("x"):
+        time.sleep(0.002)
+    assert timer.steps["x"] >= 0.006
+
+
+def test_step_timer_nested_distinct_names_both_recorded():
+    timer = StepTimer()
+    with timer.step("outer"):
+        with timer.step("inner"):
+            time.sleep(0.002)
+    assert set(timer.steps) == {"outer", "inner"}
+    assert timer.steps["outer"] >= timer.steps["inner"]
+
+
+def test_step_timer_opens_telemetry_spans():
+    from repro.obs.runtime import telemetry_session
+
+    with telemetry_session(enabled=True) as telemetry:
+        timer = StepTimer()
+        with timer.step("a"):
+            with timer.step("a"):  # nested entry must not open a second span
+                pass
+    names = [span["name"] for span in telemetry.tracer.to_dicts()]
+    assert names == ["step.a"]
+
+
+def test_step_timer_records_nothing_on_tracer_when_disabled():
+    from repro.obs.runtime import current
+
+    timer = StepTimer()
+    with timer.step("a"):
+        pass
+    assert current().tracer.to_dicts() == []
