@@ -42,7 +42,19 @@ def _worker_call(fn: Callable[[Any, Any], Any], item: Any) -> Any:
 
 
 def default_worker_count() -> int:
-    """Worker count used when ``n_workers`` is not given (all visible CPUs)."""
+    """Worker count used when ``n_workers`` is not given.
+
+    Honors the CPU *affinity* mask where the platform exposes it, so a
+    cgroup- or taskset-limited container (for example 1-CPU CI runners)
+    does not oversubscribe its process pool; ``os.cpu_count()`` reports
+    the machine's CPUs, not the schedulable ones.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
     return max(1, os.cpu_count() or 1)
 
 

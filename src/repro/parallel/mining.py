@@ -90,6 +90,15 @@ def _build_state(payload: dict) -> _MiningState:
         if snapshot:
             cache.seed(snapshot)
         cache.record_new_entries()
+    manifest = payload.get("shm")
+    if manifest is not None:
+        # Attach the caller's shared design/Gram buffers (read-only) and
+        # seed the root table's memo caches with the mapped views; on any
+        # failure shm.attach counts a fallback and the worker rebuilds.
+        from repro.parallel import shm
+
+        if shm.attach(manifest) is not None:
+            shm.adopt(payload["table"])
     evaluator = RuleEvaluator(
         payload["table"],
         payload["outcome"],
@@ -244,9 +253,24 @@ def mine_groups(
                 else config.cache_size
             ),
         }
-        chunk_results = executor.map_with_state(
-            _build_state, payload, _mine_chunk, chunks
-        )
+        share = None
+        if getattr(config, "shared_memory", True):
+            # Publish the root table's design/Gram buffers once; workers
+            # attach the segment in the pool initializer.  The segment is
+            # unlinked on pool teardown whatever happens — live worker
+            # mappings survive an unlink, leaked names would not survive us.
+            from repro.parallel import shm
+
+            share = shm.publish_table(evaluator.table, evaluator.outcome)
+            if share is not None:
+                payload["shm"] = share.manifest
+        try:
+            chunk_results = executor.map_with_state(
+                _build_state, payload, _mine_chunk, chunks
+            )
+        finally:
+            if share is not None:
+                share.close()
     else:
         # Serial / thread: share the caller's evaluator (and its caches)
         # directly — threads are safe because all inputs are immutable and

@@ -1,0 +1,283 @@
+"""Shared-memory transport of per-table design/Gram buffers.
+
+``ProcessExecutor`` workers rebuild every float64 design block (and the
+Gram products derived from them) from the raw column codes the mining
+payload ships.  This module moves those buffers into one
+``multiprocessing.shared_memory`` segment created by the *caller* before
+the pool starts: each worker attaches the segment read-only and seeds its
+root table's per-table memo caches with zero-copy views, so the pool
+shares one physical copy of the buffers instead of each worker paging its
+own rebuild.
+
+Protocol
+--------
+- :func:`publish_table` (caller, before the pool): encodes the root
+  table's design blocks (both layouts), their column sums, and any
+  already-memoised Gram pair / outcome products into one segment, and
+  returns a :class:`TableShare` whose picklable ``manifest`` rides in the
+  worker payload.  The buffers are computed *locally* — never memoised
+  onto the table — because the table itself is pickled into the payload
+  afterwards and warm caches would balloon that pickle.
+- :func:`attach` (worker, inside the pool initializer): maps the segment
+  and registers its views in a process-global registry keyed by table
+  fingerprint; :func:`adopt` seeds a table's caches directly, and
+  :func:`lookup` serves cache misses for any table whose content
+  fingerprint matches a registered segment (the hook sits on the miss
+  path of :mod:`repro.causal.batch`'s per-table memos).  Views are
+  verbatim copies of what the worker would have computed — values *and*
+  strides: categorical blocks are adopted as the same strided
+  reference-level slice a local ``one_hot`` build yields, because BLAS
+  reduction order (hence the last ulp) follows the memory layout — so
+  estimation bits are unchanged, the shm-on ≡ shm-off differential
+  obligation.
+- Lifecycle: the caller closes *and unlinks* the segment after the pool
+  ends (:meth:`TableShare.close` — tolerant of an already-removed name);
+  workers keep their attachments mapped for the process lifetime, which
+  is safe because POSIX shared memory is reference counted — an unlink
+  only removes the name, not live mappings.
+
+Every failure mode on the worker side — platform without POSIX shared
+memory, an attach race with teardown, a malformed manifest — increments
+the ``shm.fallbacks`` counter and falls back to the rebuild path: shared
+memory is an optimisation, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.runtime import current as obs_current
+
+try:  # pragma: no cover - stdlib; absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Worker-side attachments: fingerprint -> (SharedMemory, {key: view}).
+#: Module-global so segments stay mapped for the worker's lifetime.
+_ATTACHED: dict[bytes, tuple[object, dict]] = {}
+
+
+def _count(name: str, **labels) -> None:
+    telemetry = obs_current()
+    if telemetry.enabled:
+        telemetry.registry.inc(name, 1, **labels)
+
+
+class TableShare:
+    """Caller-side handle: one shared segment plus its picklable manifest."""
+
+    def __init__(self, segment, manifest: dict) -> None:
+        self._segment = segment
+        self.manifest = manifest
+
+    @property
+    def name(self) -> str:
+        return self.manifest["name"]
+
+    def close(self) -> None:
+        """Release and unlink the segment (caller side, pool teardown)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked (e.g. a second close())
+        except OSError:  # pragma: no cover - platform quirks
+            pass
+
+
+def publish_table(table, outcome: str) -> TableShare | None:
+    """Publish ``table``'s design/Gram buffers; ``None`` when unavailable.
+
+    Publishes, for every non-outcome column: the design block in both the
+    natural and transposed layouts plus its column sums (the three
+    per-attribute memos design assembly reads), and any Gram pair /
+    outcome products already memoised on the caller's table.  All buffers
+    are float64 and built by the same code paths the workers would run, so
+    adopted views are bit-identical to a rebuild.
+    """
+    if _shared_memory is None:
+        return None
+    from repro.causal.batch import _gram_cache
+    from repro.causal.linalg import one_hot
+    from repro.tabular.column import CategoricalColumn
+
+    # Entry values are (stored_array, trim): ``trim`` marks a categorical
+    # design block stored as its FULL one-hot matrix, adopted as the
+    # ``[:, 1:]`` reference-level view.  Stride fidelity matters for bit
+    # identity: :func:`one_hot` drops the first category by *slicing*, so
+    # the block every worker would build locally is a strided view — and
+    # BLAS reductions over a strided column order differently than over a
+    # contiguous copy (a last-ulp difference the serial ≡ process contract
+    # forbids).  Sums and transposes are derived from the trimmed view,
+    # exactly as :mod:`repro.causal.batch` derives them.
+    entries: dict[tuple, tuple[np.ndarray, bool]] = {}
+    for name in table.column_names:
+        if name == outcome:
+            continue
+        column = table.column(name)
+        if isinstance(column, CategoricalColumn):
+            full = one_hot(column.codes, len(column.categories), drop_first=False)
+            block = full[:, 1:]
+            entries[("block", name)] = (full, True)
+        else:
+            block = column.decode().reshape(-1, 1).astype(np.float64, copy=False)
+            entries[("block", name)] = (block, False)
+        entries[("block_t", name)] = (np.ascontiguousarray(block.T), False)
+        entries[("sums", name)] = (block.sum(axis=0), False)
+    for key, value in _gram_cache(table).items():
+        # Warm Gram pair / outcome products (ndarray-valued entries only;
+        # scalars like ("ysum", ...) are not worth a segment slot) ride
+        # along for free when the caller estimated on this table before.
+        if isinstance(value, np.ndarray) and key not in entries:
+            entries[key] = (np.ascontiguousarray(value, dtype=np.float64), False)
+
+    total = sum(array.nbytes for array, _ in entries.values())
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=max(total, 8))
+    except (OSError, ValueError):
+        return None  # e.g. /dev/shm exhausted: run without sharing
+    manifest_entries = []
+    offset = 0
+    for key, (array, trim) in entries.items():
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf, offset=offset)
+        view[...] = array
+        manifest_entries.append((key, offset, array.shape, trim))
+        offset += array.nbytes
+    manifest = {
+        "name": segment.name,
+        "fingerprint": table.fingerprint(),
+        "n_rows": table.n_rows,
+        "entries": manifest_entries,
+    }
+    _count("shm.published")
+    return TableShare(segment, manifest)
+
+
+def attach(manifest: dict | None) -> dict | None:
+    """Attach a published segment (worker side); ``None`` on any failure.
+
+    Registers the mapped views under the manifest's table fingerprint and
+    keeps the :class:`SharedMemory` object alive in the module registry —
+    the views borrow its buffer.  Idempotent per fingerprint.
+    """
+    if _shared_memory is None or manifest is None:
+        return None
+    fingerprint = manifest.get("fingerprint")
+    registered = _ATTACHED.get(fingerprint)
+    if registered is not None:
+        return registered[1]
+    # CPython < 3.13 registers every attach with the resource tracker,
+    # which would unlink the segment when *this worker* exits even though
+    # the caller owns the lifecycle (bpo-39959).  Unregistering afterwards
+    # is not enough: forked workers share the caller's tracker process,
+    # whose name cache is a *set*, so a worker's register/unregister pair
+    # collapses with the caller's create-registration and the caller's
+    # eventual unlink then trips a KeyError in the tracker.  Suppress the
+    # registration message entirely for the duration of the attach.
+    try:
+        from multiprocessing import resource_tracker
+
+        _orig_register = resource_tracker.register
+
+        def _no_shm_register(name, rtype):
+            if rtype != "shared_memory":
+                _orig_register(name, rtype)
+
+        resource_tracker.register = _no_shm_register
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        resource_tracker = None
+        _orig_register = None
+    try:
+        segment = _shared_memory.SharedMemory(name=manifest["name"])
+    except (KeyError, TypeError, OSError, ValueError):
+        _count("shm.fallbacks", reason="attach_failed")
+        return None
+    finally:
+        if _orig_register is not None:
+            resource_tracker.register = _orig_register
+    views: dict[tuple, np.ndarray] = {}
+    try:
+        for key, offset, shape, trim in manifest["entries"]:
+            view = np.ndarray(
+                tuple(shape), dtype=np.float64, buffer=segment.buf, offset=offset
+            )
+            view.flags.writeable = False
+            if trim:
+                # Reconstruct the reference-level slice with the same
+                # strides a local one_hot build would have (see publish).
+                view = view[:, 1:]
+            views[key] = view
+    except (KeyError, TypeError, ValueError):
+        _count("shm.fallbacks", reason="bad_manifest")
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover
+            pass
+        return None
+    _ATTACHED[fingerprint] = (segment, views)
+    _count("shm.attached")
+    return views
+
+
+def lookup(table, key) -> np.ndarray | None:
+    """A registered buffer for ``table``'s per-table cache ``key``, or None.
+
+    Matching is by content fingerprint, so a stale or mismatched manifest
+    can never serve wrong buffers — and derived sub-tables that happen to
+    equal the published table byte-for-byte are served too.  Zero-cost in
+    any process that never attached a segment.
+    """
+    if not _ATTACHED:
+        return None
+    registered = _ATTACHED.get(table.fingerprint())
+    if registered is None:
+        return None
+    return registered[1].get(key)
+
+
+def adopt(table) -> int:
+    """Seed ``table``'s design/Gram memo caches from an attached segment.
+
+    Returns the number of cache entries seeded (0 without a fingerprint
+    match).  Seeding the root table up front saves even the per-miss
+    :func:`lookup` probes on its hot attributes.
+    """
+    if not _ATTACHED:
+        return 0
+    registered = _ATTACHED.get(table.fingerprint())
+    if registered is None:
+        return 0
+    block_cache = table.__dict__.setdefault("_design_block_cache", {})
+    block_t_cache = table.__dict__.setdefault("_design_block_t_cache", {})
+    gram_cache = table.__dict__.setdefault("_gram_block_cache", {})
+    seeded = 0
+    for key, view in registered[1].items():
+        kind = key[0]
+        if kind == "block":
+            target, short = block_cache, key[1]
+        elif kind == "block_t":
+            target, short = block_t_cache, key[1]
+        else:
+            target, short = gram_cache, key
+        if short not in target:
+            target[short] = view
+            seeded += 1
+    return seeded
+
+
+def detach_all() -> None:
+    """Drop every worker-side attachment (test hook; workers never call it)."""
+    while _ATTACHED:
+        _, (segment, _) = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -165,7 +165,23 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         if length > MAX_BODY_BYTES:
             self.close_connection = True  # body left unread on the socket
             raise ServeError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+        # rfile wraps a socket: one read may legally return fewer than
+        # ``length`` bytes (e.g. the body arrives in several TCP segments).
+        # Loop until the declared length is in hand; a premature EOF means
+        # the peer hung up mid-body, so the connection cannot be reused.
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                self.close_connection = True
+                raise ServeError(
+                    f"request body truncated: expected {length} bytes, "
+                    f"got {length - remaining}"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        raw = b"".join(chunks)
         try:
             return json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -211,6 +227,13 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
                 self._send_text(200, self.server.render_metrics())
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:
+            # Without this, a crashed route escapes to http.server: the
+            # client gets no response while the metric/access-log record
+            # status=0.  Mirror do_POST's JSON fallback instead.
+            self._send_json(500, {"error": f"internal error: {exc}"})
         finally:
             self._finish_request("GET")
 

@@ -1,0 +1,139 @@
+"""Gram subtraction: ``WᵀW`` for a sub-population by donor subtraction.
+
+The identity under test: when ``parent = table ∪ sibling`` partitions row
+sets, the sub-population Gram equals the parent's minus the sibling's,
+entry for entry — exactly for the integer-count one-hot blocks, and to
+float rounding for continuous columns.  The obligations:
+
+- the subtracted factorization estimates agree with the accumulated one
+  at the 1e-9 relative-tolerance contract, with the route counter firing;
+- every guard (row-count mismatch, non-positive derived diagonal) falls
+  back to the standard routing rather than certifying a bad Gram;
+- end-to-end, ``gram_subtraction`` on/off selects the same ruleset on the
+  German bundle, and the default-on engine stays inside the executor
+  differential suite's bit-identity contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_toy_dag, build_toy_table
+from repro.causal.batch import (
+    GramFactorization,
+    build_rows_factorization,
+)
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap
+from repro.mining.patterns import Pattern
+from repro.obs import telemetry_session
+from repro.rules.protected import ProtectedGroup
+
+
+@pytest.fixture(scope="module")
+def partition():
+    """A table split into (parent, sub, sibling) along the Gender column."""
+    parent = build_toy_table(n=400, seed=3)
+    mask = parent.column("Gender").decode() == "Female"
+    return parent, parent.filter(mask), parent.filter(~mask)
+
+
+def test_subtracted_factorization_matches_accumulated(partition):
+    parent, sub, sibling = partition
+    adjustment = ("City", "Training")
+    with telemetry_session(enabled=True) as telemetry:
+        direct = build_rows_factorization(sub, "Income", adjustment)
+        derived = build_rows_factorization(
+            sub, "Income", adjustment, donor=(parent, sibling)
+        )
+    assert isinstance(derived, GramFactorization)
+    counters = telemetry.registry.snapshot()["counters"]
+    routes = counters["estimation.factorizations"]["values"]
+    assert routes["route=gram_subtracted"] == 1.0
+    assert counters["factorization.gram_subtracted"]["values"][""] == 1.0
+
+    assert derived.n == direct.n and derived.rank == direct.rank
+    np.testing.assert_allclose(derived.gram_inv, direct.gram_inv, rtol=1e-9)
+    np.testing.assert_allclose(derived.y_res, direct.y_res, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(derived.y_res_sq, direct.y_res_sq, rtol=1e-9)
+    # One-hot cross products are integer counts: subtraction is exact there,
+    # so the Gram inverses agree to the last few bits.
+    np.testing.assert_array_equal(derived.w, direct.w)
+
+
+def test_row_count_mismatch_falls_back_to_standard_route(partition):
+    parent, sub, sibling = partition
+    bogus_sibling = sibling.filter(np.arange(sibling.n_rows) < sibling.n_rows - 5)
+    with telemetry_session(enabled=True) as telemetry:
+        factorization = build_rows_factorization(
+            sub, "Income", ("City",), donor=(parent, bogus_sibling)
+        )
+    routes = telemetry.registry.snapshot()["counters"][
+        "estimation.factorizations"
+    ]["values"]
+    assert "route=gram_subtracted" not in routes
+    assert routes.get("route=gram") == 1.0
+    assert isinstance(factorization, GramFactorization)
+
+
+def test_absent_category_falls_back_to_standard_route():
+    """A category present only in the sibling zeroes a derived diagonal."""
+    parent = build_toy_table(n=400, seed=3)
+    city = parent.column("City").decode()
+    mask = city == "Metro"  # the sub-population never sees Rural
+    sub, sibling = parent.filter(mask), parent.filter(~mask)
+    with telemetry_session(enabled=True) as telemetry:
+        factorization = build_rows_factorization(
+            sub, "Income", ("City",), donor=(parent, sibling)
+        )
+    routes = telemetry.registry.snapshot()["counters"][
+        "estimation.factorizations"
+    ]["values"]
+    assert "route=gram_subtracted" not in routes
+    assert factorization is not None  # answered by the standard routing
+
+
+@pytest.mark.slow
+def test_german_ruleset_invariant_under_gram_subtraction(small_german_bundle):
+    bundle = small_german_bundle
+    config = FairCapConfig(
+        max_grouping_size=2, max_values_per_attribute=4, min_subgroup_size=10
+    )
+    on = FairCap(config).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+    off = FairCap(replace(config, gram_subtraction=False)).run(
+        bundle.table, bundle.schema, bundle.dag, bundle.protected
+    )
+    assert [
+        (r.grouping, r.intervention) for r in on.ruleset.rules
+    ] == [(r.grouping, r.intervention) for r in off.ruleset.rules]
+    for got, want in zip(on.ruleset.rules, off.ruleset.rules):
+        assert got.utility == pytest.approx(want.utility, rel=1e-9)
+        assert got.utility_protected == pytest.approx(
+            want.utility_protected, rel=1e-9, abs=1e-12
+        )
+
+
+@pytest.mark.slow
+def test_toy_route_fires_and_executors_stay_identical():
+    """Default-on subtraction keeps serial ≡ process bit-identity."""
+    from tests.parallel.test_equivalence import assert_identical_results
+    from repro.parallel import ProcessExecutor, SerialExecutor
+
+    table = build_toy_table(n=300, seed=7)
+    dag = build_toy_dag()
+    protected = ProtectedGroup(Pattern.of(Gender="Female"), name="women")
+    config = FairCapConfig(telemetry=True)
+    serial = FairCap(config, executor=SerialExecutor()).run(
+        table, None, dag, protected
+    )
+    process = FairCap(config, executor=ProcessExecutor(2)).run(
+        table, None, dag, protected
+    )
+    assert_identical_results(serial, process)
+    counters = serial.telemetry["counters"]
+    assert counters["factorization.gram_subtracted"]["values"][""] > 0

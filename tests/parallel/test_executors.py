@@ -75,6 +75,29 @@ class TestMakeExecutor:
         assert make_executor("thread").n_workers >= 1
         assert make_executor("process", None).n_workers >= 1
 
+    def test_default_worker_count_honors_cpu_affinity(self, monkeypatch):
+        """A cgroup/taskset-limited container must not oversubscribe."""
+        import os
+
+        from repro.parallel.executors import default_worker_count
+
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_worker_count() == 3
+
+    def test_default_worker_count_without_affinity_uses_cpu_count(
+        self, monkeypatch
+    ):
+        import os
+
+        from repro.parallel.executors import default_worker_count
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_worker_count() == 5
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_worker_count() == 1
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigError):
             make_executor("gpu")

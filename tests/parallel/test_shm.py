@@ -1,0 +1,247 @@
+"""Shared-memory factorization pools: protocol, lifecycle, differentials.
+
+Three layers of obligation for :mod:`repro.parallel.shm`:
+
+- protocol round-trip: published buffers come back bit-identical through
+  attach / lookup / adopt, keyed strictly by table fingerprint;
+- lifecycle: the caller unlinks its segment whatever happens (no
+  ``/dev/shm`` leaks across runs) and every worker-side failure falls
+  back to the rebuild path behind a ``shm.fallbacks`` counter;
+- differential: mining with shared memory on is bit-for-bit identical to
+  mining with it off, across executors, on the German bundle and on
+  oracle worlds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_toy_dag, build_toy_table
+from tests.parallel.test_equivalence import assert_identical_results
+from repro.core.config import FairCapConfig
+from repro.core.faircap import FairCap
+from repro.mining.patterns import Pattern
+from repro.obs import telemetry_session
+from repro.parallel import ProcessExecutor, SerialExecutor
+from repro.parallel import shm
+from repro.rules.protected import ProtectedGroup
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    """Tests attach in-process; never leak registry state between tests."""
+    yield
+    shm.detach_all()
+
+
+def _psm_segments() -> set[str]:
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        return set()
+
+
+@pytest.fixture()
+def toy_table():
+    return build_toy_table(n=300, seed=7)
+
+
+# -- protocol round-trip ------------------------------------------------------
+
+
+def test_publish_attach_lookup_round_trip(toy_table):
+    from repro.causal.batch import _attribute_block, _block_column_sums
+
+    share = shm.publish_table(toy_table, "Income")
+    assert share is not None
+    try:
+        views = shm.attach(share.manifest)
+        assert views is not None
+        # Attach is idempotent per fingerprint.
+        assert shm.attach(share.manifest) is views
+        for name in ("City", "Training", "Gender"):
+            block = _attribute_block(toy_table, name)
+            got = views[("block", name)]
+            np.testing.assert_array_equal(got, block)
+            assert not got.flags.writeable
+            # Stride fidelity, not just value fidelity: a local one_hot
+            # block is the strided [:, 1:] reference-level slice, and BLAS
+            # reduction order (the last ulp) follows the memory layout.  A
+            # contiguous copy here broke serial ≡ process on the
+            # single-stratum oracle world by one ulp.
+            assert got.strides == block.strides
+            np.testing.assert_array_equal(
+                views[("sums", name)], _block_column_sums(toy_table, name)
+            )
+        assert ("block", "Income") not in views  # outcome never published
+    finally:
+        shm.detach_all()
+        share.close()
+
+
+def test_lookup_is_fingerprint_keyed(toy_table):
+    share = shm.publish_table(toy_table, "Income")
+    try:
+        shm.attach(share.manifest)
+        assert shm.lookup(toy_table, ("block", "City")) is not None
+        other = build_toy_table(n=310, seed=8)
+        assert shm.lookup(other, ("block", "City")) is None
+    finally:
+        shm.detach_all()
+        share.close()
+
+
+def test_adopt_seeds_table_caches_bit_identically(toy_table):
+    from repro.causal.batch import _attribute_block
+
+    reference = {
+        name: _attribute_block(build_toy_table(n=300, seed=7), name).copy()
+        for name in ("City", "Training", "Gender")
+    }
+    share = shm.publish_table(toy_table, "Income")
+    try:
+        shm.attach(share.manifest)
+        fresh = build_toy_table(n=300, seed=7)  # same content, cold caches
+        assert shm.adopt(fresh) > 0
+        for name, want in reference.items():
+            got = _attribute_block(fresh, name)
+            np.testing.assert_array_equal(got, want)
+            assert not got.flags.writeable  # served from the shared segment
+    finally:
+        shm.detach_all()
+        share.close()
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_close_unlinks_and_is_idempotent(toy_table):
+    share = shm.publish_table(toy_table, "Income")
+    name = share.name
+    assert name.lstrip("/") in _psm_segments()
+    share.close()
+    assert name.lstrip("/") not in _psm_segments()
+    share.close()  # second close (already unlinked) must not raise
+
+
+def test_attach_failure_counts_a_fallback_and_returns_none():
+    with telemetry_session(enabled=True) as telemetry:
+        manifest = {
+            "name": "psm_repro_test_does_not_exist",
+            "fingerprint": "nope",
+            "n_rows": 1,
+            "entries": [],
+        }
+        assert shm.attach(manifest) is None
+    counters = telemetry.registry.snapshot()["counters"]
+    assert counters["shm.fallbacks"]["values"] == {"reason=attach_failed": 1.0}
+
+
+def test_bad_manifest_counts_a_fallback_and_detaches(toy_table):
+    share = shm.publish_table(toy_table, "Income")
+    try:
+        manifest = dict(share.manifest)
+        manifest["entries"] = [("malformed",)]  # missing offset/shape
+        with telemetry_session(enabled=True) as telemetry:
+            assert shm.attach(manifest) is None
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["shm.fallbacks"]["values"] == {
+            "reason=bad_manifest": 1.0
+        }
+        assert not shm._ATTACHED  # nothing registered on failure
+    finally:
+        share.close()
+
+
+def _toy_problem():
+    return (
+        build_toy_table(n=300, seed=7),
+        None,
+        build_toy_dag(),
+        ProtectedGroup(Pattern.of(Gender="Female"), name="women"),
+    )
+
+
+@pytest.mark.slow
+def test_process_mining_leaves_no_segments_behind():
+    """Repeated process-pool runs publish, attach, and fully clean up."""
+    table, schema, dag, protected = _toy_problem()
+    config = FairCapConfig(telemetry=True)
+    before = _psm_segments()
+    for _ in range(2):
+        result = FairCap(config, executor=ProcessExecutor(2)).run(
+            table, schema, dag, protected
+        )
+        counters = result.telemetry["counters"]
+        assert counters["shm.published"]["values"] == {"": 1.0}
+        assert counters["shm.attached"]["values"][""] >= 1.0
+    assert _psm_segments() <= before
+
+
+# -- differentials ------------------------------------------------------------
+
+
+def _run(problem, config, executor=None):
+    table, schema, dag, protected = problem
+    return FairCap(config, executor=executor).run(table, schema, dag, protected)
+
+
+@pytest.mark.slow
+def test_shm_differential_toy_problem():
+    problem = _toy_problem()
+    on = FairCapConfig(shared_memory=True)
+    off = replace(on, shared_memory=False)
+    reference = _run(problem, off, executor=SerialExecutor())
+    assert_identical_results(
+        reference, _run(problem, on, executor=ProcessExecutor(2))
+    )
+    assert_identical_results(
+        reference, _run(problem, off, executor=ProcessExecutor(2))
+    )
+
+
+@pytest.mark.slow
+def test_shm_differential_german(small_german_bundle):
+    bundle = small_german_bundle
+    on = FairCapConfig(
+        max_grouping_size=2, max_values_per_attribute=4, min_subgroup_size=10
+    )
+    problem = (bundle.table, bundle.schema, bundle.dag, bundle.protected)
+    reference = _run(problem, replace(on, shared_memory=False), SerialExecutor())
+    assert_identical_results(
+        reference, _run(problem, on, executor=ProcessExecutor(2))
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    # single-stratum regressed once: its lone context equals the published
+    # root table byte-for-byte, so every worker estimate rides the shared
+    # views — the world that exposed the contiguous-copy stride bug.
+    "world_name",
+    ["imbalanced-groups", "overlap-regions", "single-stratum"],
+)
+def test_shm_differential_oracle_worlds(world_name):
+    from repro.scenarios import ScenarioWorld, oracle_grid
+    from repro.scenarios.oracle import oracle_config, run_world
+
+    spec = {s.name: s for s in oracle_grid()}[world_name]
+    world = ScenarioWorld(spec)
+    bundle = world.bundle(500)
+    config = oracle_config(world)
+    reference = run_world(world, bundle, config)
+    with_shm = run_world(
+        world, bundle, config, executor=ProcessExecutor(2)
+    )
+    without = run_world(
+        world,
+        bundle,
+        replace(config, shared_memory=False),
+        executor=ProcessExecutor(2),
+    )
+    assert_identical_results(reference, with_shm)
+    assert_identical_results(reference, without)

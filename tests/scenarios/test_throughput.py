@@ -1,0 +1,78 @@
+"""Throughput mode against the scenario oracle (its certification gate).
+
+``FairCapConfig.throughput_mode`` merges estimation GEMMs across grouping
+contexts and skips the result cache, which deliberately trades the
+serial ≡ process bit-identity contract for speed.  Its correctness gate is
+therefore *not* the differential suite but this module: on every grid
+world the merged engine must sit inside the same analytic CATE bands,
+satisfy the same fairness/coverage constraints, recover the planted
+ruleset at the recovery tier, and track the default engine at a tight
+relative tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import ScenarioWorld, check_cate_recovery, check_fairness
+from repro.scenarios.oracle import (
+    check_planted_recovery,
+    oracle_config,
+    run_world,
+    _compare_results,
+)
+
+from tests.scenarios.conftest import BASE_N, SPECS, ScenarioRun
+
+pytestmark = pytest.mark.scenario
+
+#: Merged GEMMs re-associate float reductions, so throughput mode tracks
+#: the default engine at a relative tolerance instead of bit-identity.
+THROUGHPUT_RTOL = 1e-6
+
+
+def _build_throughput_run(name: str, n: int) -> ScenarioRun:
+    world = ScenarioWorld(SPECS[name])
+    bundle = world.bundle(n)
+    config = oracle_config(world, throughput_mode=True)
+    return ScenarioRun(world, bundle, run_world(world, bundle, config))
+
+
+@pytest.fixture(scope="module", params=sorted(SPECS), ids=lambda n: n)
+def throughput_run(request) -> ScenarioRun:
+    """One throughput-mode FairCap run per grid world (base tier)."""
+    return _build_throughput_run(request.param, BASE_N)
+
+
+def test_cate_estimates_match_truth(throughput_run):
+    problems = check_cate_recovery(throughput_run.world, throughput_run.result)
+    assert not problems, "\n".join(problems)
+
+
+def test_fairness_constraints_hold(throughput_run):
+    problems = check_fairness(throughput_run.result)
+    assert not problems, "\n".join(problems)
+
+
+def test_tracks_default_engine_at_rtol(throughput_run):
+    """Same candidates, same selection, utilities within THROUGHPUT_RTOL."""
+    reference = run_world(throughput_run.world, throughput_run.bundle)
+    problems = _compare_results(
+        reference,
+        throughput_run.result,
+        THROUGHPUT_RTOL,
+        "throughput-vs-default",
+    )
+    assert not problems, "\n".join(problems)
+
+
+RECOVERY_NAMES = sorted(
+    name for name, spec in SPECS.items() if spec.assert_recovery
+)
+
+
+@pytest.mark.parametrize("name", RECOVERY_NAMES)
+def test_planted_ruleset_recovered(name):
+    run = _build_throughput_run(name, SPECS[name].recovery_n)
+    problems = check_planted_recovery(run.world, run.result)
+    assert not problems, "\n".join(problems)
