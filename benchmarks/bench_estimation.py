@@ -92,6 +92,16 @@ SMOKE_ROWS = 800
 TELEMETRY_OVERHEAD_MAX_PCT = 1.0
 TELEMETRY_OVERHEAD_FLOOR_SECONDS = 0.010
 
+# Same budget shape for the fault-tolerance layer: a fault-free run with
+# checkpointing enabled (the priciest resilience feature a healthy run
+# pays for — one pickle + atomic rename per grouping context, plus the
+# run-key digest) may cost at most 1% over the plain run, or 10 ms
+# absolute, whichever is larger.  The retry/fault-injection plumbing
+# itself adds only per-chunk argument passing and is covered by the same
+# measurement: the checkpointed side runs the full resilient loop.
+RESILIENCE_OVERHEAD_MAX_PCT = 1.0
+RESILIENCE_OVERHEAD_FLOOR_SECONDS = 0.010
+
 ENGINES = ("scalar", "pr3", "pr5", "frontier")
 
 #: The tiny-world throughput probe: a 2-context linear world where the
@@ -315,6 +325,58 @@ def _measure_telemetry_overhead(settings, dataset: str, variant: str, reps: int)
     return row, report
 
 
+def _measure_resilience_overhead(settings, dataset: str, variant: str, reps: int):
+    """Fault-free cost of the resilience tier: plain vs checkpointed run.
+
+    The checkpointed side pays everything a healthy resilient run pays —
+    the run-key digest, one pickle + atomic rename per grouping context,
+    and the per-window driver-abort check — against a *fresh* directory
+    every rep (a warm resume would measure the resume path instead).
+    Alternating interleaved order with the minimum per side, the same
+    protocol as :func:`_measure_telemetry_overhead`.
+    """
+    import shutil
+    import tempfile
+
+    bundle = settings.load(dataset)
+    variants = settings.variants_for(bundle)
+    config = settings.config_for(bundle, variants[variant])
+    _run(config, bundle)  # warm the shared DAG/backdoor memos
+    times: dict[str, list[float]] = {"off": [], "on": []}
+    reps = max(reps, 5)
+    for rep in range(reps):
+        order = ("off", "on") if rep % 2 == 0 else ("on", "off")
+        for mode in order:
+            if mode == "on":
+                scratch = tempfile.mkdtemp(prefix="bench-checkpoint-")
+                try:
+                    result = _run(
+                        replace(config, checkpoint_dir=scratch), bundle
+                    )
+                finally:
+                    shutil.rmtree(scratch, ignore_errors=True)
+            else:
+                result = _run(config, bundle)
+            times[mode].append(result.timings["treatment_mining"])
+    off_seconds = min(times["off"])
+    on_seconds = min(times["on"])
+    delta = on_seconds - off_seconds
+    overhead_pct = 100.0 * delta / off_seconds if off_seconds > 0 else 0.0
+    return {
+        "rows": bundle.table.n_rows,
+        "reps": reps,
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": RESILIENCE_OVERHEAD_MAX_PCT,
+        "absolute_floor_seconds": RESILIENCE_OVERHEAD_FLOOR_SECONDS,
+        "within_budget": (
+            delta <= RESILIENCE_OVERHEAD_FLOOR_SECONDS
+            or overhead_pct <= RESILIENCE_OVERHEAD_MAX_PCT
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="german",
@@ -370,7 +432,6 @@ def main(argv: list[str] | None = None) -> int:
             overhead_settings, args.dataset, args.variant, args.reps
         )
         overhead["remeasured"] = True
-    probe_seconds = time.perf_counter() - probe_start
     if not overhead["within_budget"]:
         failures.append(
             f"telemetry overhead {overhead['overhead_pct']:.2f}% exceeds "
@@ -378,6 +439,24 @@ def main(argv: list[str] | None = None) -> int:
             f"({overhead['off_seconds']:.3f}s off vs "
             f"{overhead['on_seconds']:.3f}s on)"
         )
+    # Resilience-overhead probe, same scale and re-probe discipline: the
+    # fault-tolerance layer must be near-free on runs where nothing fails.
+    resilience = _measure_resilience_overhead(
+        overhead_settings, args.dataset, args.variant, args.reps
+    )
+    if not resilience["within_budget"]:
+        resilience = _measure_resilience_overhead(
+            overhead_settings, args.dataset, args.variant, args.reps
+        )
+        resilience["remeasured"] = True
+    if not resilience["within_budget"]:
+        failures.append(
+            f"resilience overhead {resilience['overhead_pct']:.2f}% exceeds "
+            f"{RESILIENCE_OVERHEAD_MAX_PCT:.0f}% "
+            f"({resilience['off_seconds']:.3f}s plain vs "
+            f"{resilience['on_seconds']:.3f}s checkpointed)"
+        )
+    probe_seconds = time.perf_counter() - probe_start
     # The throughput-mode point always runs (smoke included): the trend
     # gate soft-asserts its break-even target on every PR.
     throughput_probe = _measure_throughput_probe(args.reps)
@@ -418,6 +497,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         },
         "telemetry_overhead": overhead,
+        "resilience_overhead": resilience,
         "run_report_baseline": {
             "rows": overhead["rows"],
             "derived": (run_report or {}).get("derived", {}),
@@ -468,6 +548,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{TELEMETRY_OVERHEAD_MAX_PCT:.0f}% or "
         f"{TELEMETRY_OVERHEAD_FLOOR_SECONDS * 1e3:.0f}ms) — "
         f"{'OK' if overhead['within_budget'] else 'OVER BUDGET'}"
+    )
+    lines.append(
+        f"resilience overhead @ {resilience['rows']} rows: "
+        f"{resilience['off_seconds']:.3f}s plain -> "
+        f"{resilience['on_seconds']:.3f}s checkpointed "
+        f"({resilience['overhead_pct']:+.2f}%, budget "
+        f"{RESILIENCE_OVERHEAD_MAX_PCT:.0f}% or "
+        f"{RESILIENCE_OVERHEAD_FLOOR_SECONDS * 1e3:.0f}ms) — "
+        f"{'OK' if resilience['within_budget'] else 'OVER BUDGET'}"
     )
     if args.smoke:
         lines.append("smoke run: frontier == pr3 == scalar equality check only")

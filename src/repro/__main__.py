@@ -115,6 +115,10 @@ def _run_variant(args: argparse.Namespace):
     config = settings.config_for(bundle, variants[args.variant])
     if getattr(args, "trace_json", None):
         config = dataclasses.replace(config, telemetry=True)
+    if getattr(args, "checkpoint_dir", None):
+        config = dataclasses.replace(config, checkpoint_dir=args.checkpoint_dir)
+    if getattr(args, "fault_plan", None):
+        config = dataclasses.replace(config, fault_plan=args.fault_plan)
     result = FairCap(config).run(
         bundle.table, bundle.schema, bundle.dag, bundle.protected
     )
@@ -190,7 +194,15 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     artifact = ServingArtifact.load(args.artifact)
     engine = PrescriptionEngine.from_artifact(artifact, cache_size=args.cache_size)
-    run_server(engine, host=args.host, port=args.port)
+    run_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency or None,
+        request_deadline_seconds=(
+            args.request_deadline_ms / 1e3 if args.request_deadline_ms else None
+        ),
+    )
     return ""
 
 
@@ -268,6 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "paper-comparable cold runtimes; default 65536). "
                  "Caching never changes results, only runtime.",
         )
+        cmd.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="persist completed grouping-context results under DIR "
+                 "and resume from them on a rerun (resume is bit-identical "
+                 "to a fresh run; see repro.parallel.resilience)",
+        )
+        cmd.add_argument(
+            "--fault-plan", default=None, metavar="SPEC",
+            help='deterministic fault injection for resilience testing, '
+                 'e.g. "kill:chunk=1" or "delay:chunk=0,seconds=30" '
+                 '(never use in production runs)',
+        )
 
     for name in _EXPERIMENT_COMMANDS:
         cmd = sub.add_parser(name)
@@ -320,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="profile LRU cache size (0 disables)")
+    serve.add_argument("--max-concurrency", type=int, default=64,
+                       help="in-flight request bound; excess requests get "
+                            "503 + Retry-After (0 = unbounded)")
+    serve.add_argument("--request-deadline-ms", type=float, default=None,
+                       help="per-request wall-clock budget; late requests "
+                            "get 504 (default: none)")
 
     sub.add_parser("list-datasets", help="list the bundled datasets")
     return parser

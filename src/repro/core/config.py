@@ -13,6 +13,7 @@ from repro.causal.estimators import LinearAdjustmentEstimator, StratifiedEstimat
 from repro.core.variants import ProblemVariant
 from repro.parallel.cache import EstimationCache
 from repro.parallel.executors import EXECUTOR_KINDS, make_executor
+from repro.parallel.resilience import FaultPlan
 from repro.utils.errors import ConfigError
 
 ESTIMATORS = {
@@ -140,6 +141,35 @@ class FairCapConfig:
         36-world scenario oracle (rtol bands + planted-ruleset recovery)
         instead of the differential suite.  Off by default; requires
         ``batch_estimation`` and ``frontier_batching``.
+    max_chunk_retries:
+        How many times a failed mining chunk (worker death, injected
+        fault, chunk timeout) is re-executed before degrading to
+        in-process serial execution (:mod:`repro.parallel.resilience`).
+        Retries never change results — chunks are pure functions of
+        immutable inputs, reassembled in input order.
+    chunk_timeout_seconds:
+        Per-chunk execution bound inside the process pool (``None`` = no
+        bound).  A chunk exceeding it is retried and, once retries are
+        exhausted, runs unbounded in-process so a slow chunk completes
+        slowly rather than never.  Only affects the process executor.
+    retry_backoff_seconds:
+        Base of the deterministic (jitter-free) exponential backoff
+        between chunk retries.
+    checkpoint_dir:
+        Directory for run-level checkpoint/resume: completed per-pattern
+        Step-2 results are persisted under a content-addressed run key
+        (table fingerprint + config digest + mining inputs) as they land,
+        and a rerun loads them verbatim instead of remining
+        (:class:`~repro.parallel.resilience.RunCheckpoint`).  Resume ≡
+        fresh bit-for-bit — the files hold the pickled results
+        themselves.  ``None`` (default) disables checkpointing.
+    fault_plan:
+        Deterministic fault-injection plan for the resilience test
+        harness (:class:`~repro.parallel.resilience.FaultPlan`; a plan
+        string like ``"kill:chunk=1"`` is parsed).  Faults fire in
+        process-pool workers (or, for ``abort``, in the checkpointing
+        driver) on exactly the planned ``(chunk, attempt)`` executions.
+        Never set in production runs.
     telemetry:
         Install a live telemetry session (:mod:`repro.obs`) for the run:
         mining counters, engine counters, and a hierarchical span trace,
@@ -180,9 +210,22 @@ class FairCapConfig:
     gram_subtraction: bool = True
     shared_memory: bool = True
     throughput_mode: bool = False
+    max_chunk_retries: int = 2
+    chunk_timeout_seconds: float | None = None
+    retry_backoff_seconds: float = 0.05
+    checkpoint_dir: str | None = None
+    fault_plan: FaultPlan | None = None
     telemetry: bool = False
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, str):
+            object.__setattr__(self, "fault_plan", FaultPlan.parse(self.fault_plan))
+        if self.max_chunk_retries < 0:
+            raise ConfigError("max_chunk_retries must be >= 0")
+        if self.chunk_timeout_seconds is not None and self.chunk_timeout_seconds <= 0:
+            raise ConfigError("chunk_timeout_seconds must be > 0 or None")
+        if self.retry_backoff_seconds < 0:
+            raise ConfigError("retry_backoff_seconds must be >= 0")
         if not 0.0 < self.apriori_min_support <= 1.0:
             raise ConfigError("apriori_min_support must be in (0, 1]")
         if self.max_grouping_size < 1:

@@ -407,24 +407,94 @@ def mine_interventions_for_groups(
     mirroring Algorithm 1's loop.  With an ``executor`` (see
     :mod:`repro.parallel.executors`) the per-pattern searches fan out in
     chunks; the rule list is reassembled in Step-1 mining order either way,
-    so the result is independent of the execution strategy.
+    so the result is independent of the execution strategy.  With
+    ``config.checkpoint_dir`` set, completed per-pattern results are
+    persisted as they land and a rerun resumes from them
+    (:class:`~repro.parallel.resilience.RunCheckpoint`) — resumed results
+    are the saved bits, so resume ≡ fresh by construction.
     """
-    if executor is not None and executor.kind != "serial":
-        from repro.parallel.mining import mine_groups
+    patterns = list(grouping_patterns)
+    if getattr(config, "checkpoint_dir", None):
+        detailed = _mine_checkpointed(evaluator, patterns, items, config, executor)
+    else:
+        detailed = mine_interventions_detailed(
+            evaluator, patterns, items, config, executor
+        )
+    rules = [best for best, _ in detailed if best is not None]
+    return rules, sum(nodes for _, nodes in detailed)
 
-        return mine_groups(evaluator, grouping_patterns, items, config, executor)
+
+def mine_interventions_detailed(
+    evaluator: RuleEvaluator,
+    grouping_patterns,
+    items: list[Pattern],
+    config: FairCapConfig,
+    executor=None,
+) -> list[tuple[PrescriptionRule | None, int]]:
+    """Per-pattern Step-2 results: one ``(best, nodes)`` per pattern, in order."""
+    if executor is not None and executor.kind != "serial":
+        from repro.parallel.mining import mine_groups_detailed
+
+        return mine_groups_detailed(
+            evaluator, grouping_patterns, items, config, executor
+        )
 
     if frontier_enabled(config, evaluator):
         results = frontier_mine_patterns(evaluator, grouping_patterns, items, config)
-        rules = [r.best for r in results if r.best is not None]
-        return rules, sum(r.nodes_evaluated for r in results)
+        return [(r.best, r.nodes_evaluated) for r in results]
 
-    rules: list[PrescriptionRule] = []
-    nodes_total = 0
+    detailed: list[tuple[PrescriptionRule | None, int]] = []
     for frequent in grouping_patterns:
         context = evaluator.context(frequent.pattern)
         result = mine_intervention(context, items, config)
-        nodes_total += result.nodes_evaluated
-        if result.best is not None:
-            rules.append(result.best)
-    return rules, nodes_total
+        detailed.append((result.best, result.nodes_evaluated))
+    return detailed
+
+
+#: Patterns mined between checkpoint saves.  Durability granularity, not a
+#: result knob: frontier windowing and process chunking are both
+#: result-invariant, so any window size yields identical bits.
+CHECKPOINT_WINDOW = 8
+
+
+def _mine_checkpointed(
+    evaluator: RuleEvaluator,
+    patterns: list,
+    items: list[Pattern],
+    config: FairCapConfig,
+    executor=None,
+) -> list[tuple[PrescriptionRule | None, int]]:
+    """Mine with per-pattern persistence: load hits, mine misses in windows.
+
+    A killed driver loses at most one window of work; everything saved
+    before the crash is loaded verbatim on the next run (the files hold
+    the pickled results themselves, so a resumed run is bit-identical to
+    a fresh one).  The injected ``abort`` fault fires here, after the
+    planned save count, to make crashed-driver tests deterministic.
+    """
+    from repro.parallel.resilience import RunCheckpoint, maybe_driver_abort
+
+    checkpoint = RunCheckpoint.for_run(
+        config.checkpoint_dir, evaluator, config, items
+    )
+    results: dict[int, tuple] = {}
+    missing: list[int] = []
+    for index, frequent in enumerate(patterns):
+        hit = checkpoint.load(index, frequent.pattern)
+        if hit is None:
+            missing.append(index)
+        else:
+            results[index] = hit
+    plan = getattr(config, "fault_plan", None)
+    saves = 0
+    for start in range(0, len(missing), CHECKPOINT_WINDOW):
+        window = missing[start : start + CHECKPOINT_WINDOW]
+        mined = mine_interventions_detailed(
+            evaluator, [patterns[i] for i in window], items, config, executor
+        )
+        for index, (best, nodes) in zip(window, mined):
+            checkpoint.save(index, patterns[index].pattern, best, nodes)
+            results[index] = (best, nodes)
+            saves += 1
+            maybe_driver_abort(plan, saves)
+    return [results[index] for index in range(len(patterns))]

@@ -55,12 +55,24 @@ from repro.parallel.executors import (
     chunk_indices,
     make_executor,
 )
+from repro.parallel.resilience import (
+    ChaosError,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RunCheckpoint,
+)
 
 __all__ = [
     "CacheStats",
+    "ChaosError",
     "EstimationCache",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
     "ProcessExecutor",
+    "RetryPolicy",
+    "RunCheckpoint",
     "SerialExecutor",
     "ThreadExecutor",
     "chunk_indices",

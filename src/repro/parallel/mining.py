@@ -30,11 +30,13 @@ This module is imported lazily by :mod:`repro.core.intervention` to keep
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.parallel.cache import EstimationCache
 from repro.parallel.executors import SerialExecutor, chunk_indices
+from repro.parallel.resilience import RetryPolicy, active_plan
 
 
 @dataclass
@@ -66,12 +68,20 @@ def _build_state(payload: dict) -> _MiningState:
     caller's cache across runs — e.g. across the nine variants of a
     Table 4 block, which would otherwise re-estimate everything because
     each run's process pool is torn down at the end.
+
+    The degraded-serial recovery path runs this builder *in the caller*
+    (``payload["caller_pid"]`` matches): there it must neither install a
+    worker telemetry session (that would clobber the caller's live one)
+    nor attach the shm segment (the caller's table already owns the
+    buffers, and attached views would dangle once the segment is
+    unlinked at pool teardown).
     """
     from repro.rules.utility import RuleEvaluator
 
     config = payload["config"]
+    in_caller = payload.get("caller_pid") == os.getpid()
     owns_telemetry = False
-    if getattr(config, "telemetry", False):
+    if getattr(config, "telemetry", False) and not in_caller:
         # The parent's telemetry session does not cross the process
         # boundary; give the worker its own, installed for the pool's
         # lifetime (workers mine many chunks — _mine_chunk drains per
@@ -91,12 +101,17 @@ def _build_state(payload: dict) -> _MiningState:
             cache.seed(snapshot)
         cache.record_new_entries()
     manifest = payload.get("shm")
-    if manifest is not None:
+    if manifest is not None and not in_caller:
         # Attach the caller's shared design/Gram buffers (read-only) and
         # seed the root table's memo caches with the mapped views; on any
         # failure shm.attach counts a fallback and the worker rebuilds.
         from repro.parallel import shm
 
+        plan = active_plan()
+        if plan is not None and plan.corrupts_attach():
+            # Injected attach corruption: point the manifest at a segment
+            # that does not exist, exercising the fallback path end to end.
+            manifest = {**manifest, "name": "psm_repro_chaos_missing"}
         if shm.attach(manifest) is not None:
             shm.adopt(payload["table"])
     evaluator = RuleEvaluator(
@@ -199,11 +214,34 @@ def mine_groups(
     one best rule per grouping pattern that has an eligible treatment, in
     Step-1 mining order.
     """
+    detailed = mine_groups_detailed(
+        evaluator, grouping_patterns, items, config, executor
+    )
+    rules = [best for best, _ in detailed if best is not None]
+    return rules, sum(nodes for _, nodes in detailed)
+
+
+def mine_groups_detailed(
+    evaluator,
+    grouping_patterns: Sequence,
+    items: list,
+    config,
+    executor: SerialExecutor,
+) -> list[tuple]:
+    """Per-pattern Step-2 results through ``executor``, in input order.
+
+    Returns one ``(best_rule_or_None, nodes_evaluated)`` per grouping
+    pattern — the granularity the checkpoint layer persists.  Process
+    executors run with the config's :class:`RetryPolicy` and fault plan:
+    worker death, chunk timeout, and retry exhaustion are recovered inside
+    :meth:`~repro.parallel.executors.ProcessExecutor.map_with_state`
+    without changing any result bit (see the determinism contract).
+    """
     from repro.core.intervention import frontier_enabled
 
     patterns = tuple(grouping_patterns)
     if not patterns:
-        return [], 0
+        return []
 
     if (
         executor.kind == "thread"
@@ -217,17 +255,14 @@ def mine_groups(
         # only one level-batch pool is live at a time (no oversubscription).
         from repro.core.intervention import mine_intervention
 
-        rules = []
-        nodes_total = 0
+        detailed = []
         for frequent in patterns:
             context = evaluator.context(frequent.pattern)
             result = mine_intervention(
                 context, items, config, lattice_executor=executor
             )
-            nodes_total += result.nodes_evaluated
-            if result.best is not None:
-                rules.append(result.best)
-        return rules, nodes_total
+            detailed.append((result.best, result.nodes_evaluated))
+        return detailed
 
     chunks = chunk_indices(len(patterns), executor.n_workers)
     if executor.kind == "process" and executor.n_workers > 1:
@@ -244,6 +279,7 @@ def mine_groups(
             "config": config,
             "items": items,
             "patterns": patterns,
+            "caller_pid": os.getpid(),
             "cache_snapshot": (
                 evaluator.cache.snapshot() if evaluator.cache is not None else None
             ),
@@ -266,7 +302,12 @@ def mine_groups(
                 payload["shm"] = share.manifest
         try:
             chunk_results = executor.map_with_state(
-                _build_state, payload, _mine_chunk, chunks
+                _build_state,
+                payload,
+                _mine_chunk,
+                chunks,
+                retry=RetryPolicy.from_config(config),
+                fault_plan=getattr(config, "fault_plan", None),
             )
         finally:
             if share is not None:
@@ -292,6 +333,4 @@ def mine_groups(
 
             current().absorb(telemetry_payload)
     indexed.sort(key=lambda entry: entry[0])
-    rules = [best for _, best, _ in indexed if best is not None]
-    nodes_total = sum(nodes for _, _, nodes in indexed)
-    return rules, nodes_total
+    return [(best, nodes) for _, best, nodes in indexed]

@@ -44,6 +44,10 @@ memory is an optimisation, never a correctness dependency.
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+
 import numpy as np
 
 from repro.obs.runtime import current as obs_current
@@ -56,6 +60,67 @@ except ImportError:  # pragma: no cover
 #: Worker-side attachments: fingerprint -> (SharedMemory, {key: view}).
 #: Module-global so segments stay mapped for the worker's lifetime.
 _ATTACHED: dict[bytes, tuple[object, dict]] = {}
+
+#: Caller-side safety net: segment name -> (owner pid, SharedMemory).
+#: ``publish_table`` relies on pool-teardown ``finally`` for the normal
+#: unlink; this registry covers *abnormal* driver exits — an unhandled
+#: exception (atexit) or SIGTERM/SIGINT — where the ``finally`` never
+#: runs and the name would otherwise outlive the process in ``/dev/shm``.
+_LIVE_SHARES: dict[str, tuple[int, object]] = {}
+_SAFETY_NET_INSTALLED = False
+
+
+def _emergency_unlink_all() -> None:
+    """Unlink every live segment *this process* published (best-effort).
+
+    The pid guard matters: forked pool workers inherit the installed
+    signal handlers, and a worker dying to SIGTERM (e.g. a stuck-pool
+    teardown) must not unlink the caller's segment out from under a
+    respawned pool.
+    """
+    pid = os.getpid()
+    for name in list(_LIVE_SHARES):
+        owner, segment = _LIVE_SHARES.get(name, (None, None))
+        if owner != pid:
+            continue
+        _LIVE_SHARES.pop(name, None)
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _chain_signal(signum, previous):
+    """Re-deliver ``signum`` with its pre-install semantics after cleanup."""
+    if callable(previous):
+        previous(signum, None)
+    elif previous != signal.SIG_IGN:
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def _install_safety_net() -> None:
+    global _SAFETY_NET_INSTALLED
+    if _SAFETY_NET_INSTALLED:
+        return
+    _SAFETY_NET_INSTALLED = True
+    atexit.register(_emergency_unlink_all)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.getsignal(signum)
+
+            def _handler(signo, frame, _previous=previous):
+                _emergency_unlink_all()
+                _chain_signal(signo, _previous)
+
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            # Publishing off the main thread keeps the atexit net only.
+            pass
 
 
 def _count(name: str, **labels) -> None:
@@ -80,6 +145,7 @@ class TableShare:
         segment, self._segment = self._segment, None
         if segment is None:
             return
+        _LIVE_SHARES.pop(self.name, None)
         try:
             segment.close()
         except OSError:  # pragma: no cover - close is best-effort
@@ -157,6 +223,8 @@ def publish_table(table, outcome: str) -> TableShare | None:
         "n_rows": table.n_rows,
         "entries": manifest_entries,
     }
+    _install_safety_net()
+    _LIVE_SHARES[segment.name] = (os.getpid(), segment)
     _count("shm.published")
     return TableShare(segment, manifest)
 

@@ -17,6 +17,23 @@ Endpoints:
 Client errors (bad JSON, missing attributes, unknown paths) map to 400/404
 with a ``{"error": ...}`` body; unexpected failures map to 500.
 
+Production behaviours (the resilience tier):
+
+- *Backpressure*: at most ``max_concurrency`` requests run at once;
+  excess requests are rejected immediately with 503 + ``Retry-After``
+  (``http.backpressure_rejections``).  ``/health`` and ``/metrics`` bypass
+  the gate — operators need them most exactly when the gate is closed.
+- *Deadlines*: ``request_deadline_seconds`` (or a per-request
+  ``X-Request-Deadline-Ms`` header, whichever is tighter) bounds request
+  wall-clock; batch prescriptions check between individuals and a late
+  request gets 504 (``http.deadline_exceeded``).
+- *Graceful shutdown*: SIGTERM (via :func:`run_server`) stops accepting,
+  rejects new requests with 503, and drains in-flight requests before the
+  socket closes.
+- *Client disconnects*: a peer closing mid-response is counted as
+  ``http.client_disconnects`` — not a spurious 500 — and no error
+  response is attempted on the dead socket.
+
 Every response carries an ``X-Request-Id`` header (echoing the request's
 own when present) and a matching ``request_id`` field in the JSON body, and
 each request emits one structured JSON access-log line to stderr unless the
@@ -31,6 +48,8 @@ ephemeral port — the tests do this) or from the CLI::
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -48,11 +67,18 @@ _KNOWN_PATHS = frozenset({"/health", "/rules", "/metrics", "/prescribe"})
 _HELP_TEXTS = {
     "http.requests": "HTTP requests served, by method/path/status.",
     "http.request_seconds": "Request wall-clock latency in seconds.",
+    "http.backpressure_rejections": "Requests rejected with 503, by reason.",
+    "http.deadline_exceeded": "Requests aborted with 504 past their deadline.",
+    "http.client_disconnects": "Requests whose peer hung up mid-response.",
     "engine.cache.hits": "Prescription-engine LRU hits since start.",
     "engine.cache.misses": "Prescription-engine LRU misses since start.",
     "engine.cache.size": "Prescription-engine LRU entries right now.",
     "engine.rules": "Rules loaded in the serving ruleset.",
 }
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: a request ran past its deadline (mapped to 504)."""
 
 
 class PrescriptionServer(ThreadingHTTPServer):
@@ -66,6 +92,8 @@ class PrescriptionServer(ThreadingHTTPServer):
         engine: PrescriptionEngine,
         quiet: bool = True,
         log_stream=None,
+        max_concurrency: int | None = 64,
+        request_deadline_seconds: float | None = None,
     ) -> None:
         super().__init__(address, PrescriptionRequestHandler)
         self.engine = engine
@@ -75,6 +103,85 @@ class PrescriptionServer(ThreadingHTTPServer):
             stream=log_stream, enabled=not quiet, component="serve"
         )
         self._rules_payload = [rule_to_dict(r) for r in engine.ruleset]
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ServeError("max_concurrency must be >= 1 or None")
+        if request_deadline_seconds is not None and request_deadline_seconds <= 0:
+            raise ServeError("request_deadline_seconds must be > 0 or None")
+        self.request_deadline_seconds = request_deadline_seconds
+        self._gate = (
+            threading.BoundedSemaphore(max_concurrency)
+            if max_concurrency is not None
+            else None
+        )
+        self.draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._shutdown_started = False
+
+    # -- resilience plumbing ----------------------------------------------------
+
+    def try_acquire_slot(self) -> bool:
+        """One unit of the bounded-concurrency gate (non-blocking)."""
+        if self._gate is None:
+            return True
+        return self._gate.acquire(blocking=False)
+
+    def release_slot(self) -> None:
+        if self._gate is not None:
+            self._gate.release()
+
+    def track_request(self, delta: int) -> None:
+        with self._inflight_lock:
+            self._inflight += delta
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def begin_graceful_shutdown(self, drain_timeout: float = 10.0) -> None:
+        """Reject new requests with 503, drain in-flight ones, then stop.
+
+        The accept loop keeps running through the drain — a stopped loop
+        would leave freshly-connected peers hanging in the TCP backlog
+        with no response at all, which is worse than an honest 503.  Safe
+        to call from a signal handler (``shutdown()`` blocks until the
+        accept loop exits, so the sequence runs on a helper thread) and
+        idempotent.
+        """
+        if self._shutdown_started:
+            return
+        self._shutdown_started = True
+        self.draining = True
+
+        def _drain_then_stop() -> None:
+            self.drain(timeout=drain_timeout)
+            self.shutdown()
+
+        threading.Thread(target=_drain_then_stop, daemon=True).start()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until no request is in flight; ``False`` on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.inflight == 0:
+                return True
+            time.sleep(0.02)
+        return self.inflight == 0
+
+    def handle_error(self, request, client_address) -> None:
+        # A peer that hangs up mid-response surfaces here when the write
+        # fails outside the handler's own try (e.g. the keep-alive flush);
+        # count it instead of spraying a traceback to stderr.
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            self.metrics.inc("http.client_disconnects", 1, stage="connection")
+            return
+        self.logger.log(
+            "http.error", error=repr(exc), client=str(client_address)
+        )
 
     def render_metrics(self) -> str:
         """The /metrics document: request metrics + live engine gauges."""
@@ -115,7 +222,9 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         # the request id and latency); suppress the default per-response log.
         pass
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         request_id = getattr(self, "_request_id", None)
         if request_id is not None and "request_id" not in payload:
             payload = {**payload, "request_id": request_id}
@@ -124,6 +233,8 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         if request_id is not None:
             self.send_header("X-Request-Id", request_id)
         if self.close_connection:
@@ -135,16 +246,85 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         self._started = time.perf_counter()
         self._status = 0
         self._request_id = self.headers.get("X-Request-Id") or new_request_id()
+        self._client_disconnected = False
+        self._slot_held = False
+        self.server.track_request(1)
+        deadline = self.server.request_deadline_seconds
+        header = self.headers.get("X-Request-Deadline-Ms")
+        if header is not None:
+            try:
+                requested = float(header) / 1e3
+            except ValueError:
+                requested = None
+            if requested is not None and requested > 0:
+                deadline = (
+                    requested if deadline is None else min(deadline, requested)
+                )
+        self._deadline = None if deadline is None else self._started + deadline
+
+    def _check_deadline(self) -> None:
+        if (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        ):
+            raise _DeadlineExceeded()
+
+    def _admit(self) -> bool:
+        """Backpressure + drain gate; ops endpoints always pass.
+
+        Returns False after sending the 503 itself — the caller just
+        returns.  A held slot is released in ``_finish_request``.
+        """
+        server = self.server
+        if self.path in ("/health", "/metrics"):
+            return True
+        if server.draining:
+            self.close_connection = True
+            server.metrics.inc("http.backpressure_rejections", 1, reason="draining")
+            self._send_json(
+                503,
+                {"error": "server is shutting down"},
+                headers={"Retry-After": 1},
+            )
+            return False
+        if not server.try_acquire_slot():
+            server.metrics.inc("http.backpressure_rejections", 1, reason="capacity")
+            self._send_json(
+                503,
+                {"error": "server at capacity"},
+                headers={"Retry-After": 1},
+            )
+            return False
+        self._slot_held = True
+        return True
 
     def _finish_request(self, method: str) -> None:
         duration = time.perf_counter() - self._started
         path = self.path if self.path in _KNOWN_PATHS else "other"
-        metrics = self.server.metrics
+        server = self.server
+        if self._slot_held:
+            server.release_slot()
+        server.track_request(-1)
+        metrics = server.metrics
+        if self._client_disconnected:
+            # The peer hung up mid-response: there is no meaningful status
+            # to record (and recording a 500 would page someone for a
+            # client-side event); count the disconnect instead.
+            metrics.inc("http.client_disconnects", 1, method=method, path=path)
+            server.logger.log(
+                "http.client_disconnect",
+                request_id=self._request_id,
+                method=method,
+                path=self.path,
+                duration_ms=round(duration * 1e3, 3),
+                client=self.address_string(),
+            )
+            return
         metrics.inc(
             "http.requests", 1, method=method, path=path, status=self._status
         )
         metrics.observe("http.request_seconds", duration, method=method, path=path)
-        self.server.logger.log(
+        server.logger.log(
             "http.request",
             request_id=self._request_id,
             method=method,
@@ -205,58 +385,89 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._begin_request()
         try:
-            if self.path == "/health":
-                engine = self.server.engine
-                self._send_json(
-                    200,
-                    {
-                        "status": "ok",
-                        "n_rules": len(engine.ruleset),
-                        "cache": engine.cache_info(),
-                    },
-                )
-            elif self.path == "/rules":
-                self._send_json(
-                    200,
-                    {
-                        "n_rules": len(self.server._rules_payload),
-                        "rules": self.server._rules_payload,
-                    },
-                )
-            elif self.path == "/metrics":
-                self._send_text(200, self.server.render_metrics())
-            else:
-                self._send_json(404, {"error": f"unknown path {self.path!r}"})
-        except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:
-            # Without this, a crashed route escapes to http.server: the
-            # client gets no response while the metric/access-log record
-            # status=0.  Mirror do_POST's JSON fallback instead.
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            try:
+                if not self._admit():
+                    return
+                if self.path == "/health":
+                    engine = self.server.engine
+                    self._send_json(
+                        200,
+                        {
+                            "status": "ok",
+                            "n_rules": len(engine.ruleset),
+                            "draining": self.server.draining,
+                            "cache": engine.cache_info(),
+                        },
+                    )
+                elif self.path == "/rules":
+                    self._check_deadline()
+                    self._send_json(
+                        200,
+                        {
+                            "n_rules": len(self.server._rules_payload),
+                            "rules": self.server._rules_payload,
+                        },
+                    )
+                elif self.path == "/metrics":
+                    self._send_text(200, self.server.render_metrics())
+                else:
+                    self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            except (BrokenPipeError, ConnectionResetError):
+                raise  # the outer handler owns disconnects, not the 500 path
+            except _DeadlineExceeded:
+                self._send_deadline_exceeded("GET")
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:
+                # Without this, a crashed route escapes to http.server: the
+                # client gets no response while the metric/access-log record
+                # status=0.  Mirror do_POST's JSON fallback instead.
+                self._send_json(500, {"error": f"internal error: {exc}"})
+        except (BrokenPipeError, ConnectionResetError):
+            self._client_disconnected = True
+            self.close_connection = True
         finally:
             self._finish_request("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._begin_request()
         try:
+            if not self._admit():
+                return
             if self.path != "/prescribe":
                 # The request body is never read on this path; close the
-                # connection so leftover bytes cannot corrupt a keep-alive peer.
+                # connection so leftover bytes cannot corrupt a
+                # keep-alive peer.
                 self.close_connection = True
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return
             try:
                 payload = self._read_json_body()
                 self._send_json(200, self._prescribe(payload))
+            except (BrokenPipeError, ConnectionResetError):
+                raise  # the outer handler owns disconnects, not the 500 path
+            except _DeadlineExceeded:
+                self._send_deadline_exceeded("POST")
             except ReproError as exc:
                 self._send_json(400, {"error": str(exc)})
             except Exception as exc:  # pragma: no cover - defensive
                 self._send_json(500, {"error": f"internal error: {exc}"})
+        except (BrokenPipeError, ConnectionResetError):
+            self._client_disconnected = True
+            self.close_connection = True
         finally:
             self._finish_request("POST")
 
+    def _send_deadline_exceeded(self, method: str) -> None:
+        path = self.path if self.path in _KNOWN_PATHS else "other"
+        self.server.metrics.inc(
+            "http.deadline_exceeded", 1, method=method, path=path
+        )
+        self.close_connection = True  # the peer has likely given up waiting
+        self._send_json(504, {"error": "request deadline exceeded"})
+
     def _prescribe(self, payload: object) -> dict:
+        self._check_deadline()
         if not isinstance(payload, dict):
             raise ServeError("request body must be a JSON object")
         engine = self.server.engine
@@ -271,7 +482,16 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
                 isinstance(i, dict) for i in individuals
             ):
                 raise ServeError("'individuals' must be a list of JSON objects")
-            prescriptions = engine.prescribe_batch(individuals)
+            if self._deadline is None:
+                prescriptions = engine.prescribe_batch(individuals)
+            else:
+                # Same loop prescribe_batch runs, with a deadline check
+                # between individuals: a huge batch cannot blow through
+                # the request budget unbounded.
+                prescriptions = []
+                for individual in individuals:
+                    self._check_deadline()
+                    prescriptions.append(engine.prescribe(individual))
             return {
                 "count": len(prescriptions),
                 "prescriptions": [p.to_dict() for p in prescriptions],
@@ -285,13 +505,22 @@ def make_server(
     port: int = 8080,
     quiet: bool = True,
     log_stream=None,
+    max_concurrency: int | None = 64,
+    request_deadline_seconds: float | None = None,
 ) -> PrescriptionServer:
     """Bind a :class:`PrescriptionServer` (``port=0`` picks a free port).
 
     ``log_stream`` redirects the structured access log (stderr by default);
     the tests pass a ``StringIO`` to assert on the emitted JSON lines.
     """
-    return PrescriptionServer((host, port), engine, quiet=quiet, log_stream=log_stream)
+    return PrescriptionServer(
+        (host, port),
+        engine,
+        quiet=quiet,
+        log_stream=log_stream,
+        max_concurrency=max_concurrency,
+        request_deadline_seconds=request_deadline_seconds,
+    )
 
 
 def run_server(
@@ -299,16 +528,50 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = False,
+    max_concurrency: int | None = 64,
+    request_deadline_seconds: float | None = None,
+    drain_timeout_seconds: float = 10.0,
 ) -> None:
-    """Serve until interrupted (the blocking path behind the CLI)."""
-    server = make_server(engine, host, port, quiet=quiet)
+    """Serve until interrupted (the blocking path behind the CLI).
+
+    SIGTERM triggers a graceful shutdown: the accept loop stops, new
+    requests are rejected with 503, and in-flight requests get up to
+    ``drain_timeout_seconds`` to finish before the socket closes — the
+    contract a rolling deploy or an orchestrator's preStop hook expects.
+    """
+    server = make_server(
+        engine,
+        host,
+        port,
+        quiet=quiet,
+        max_concurrency=max_concurrency,
+        request_deadline_seconds=request_deadline_seconds,
+    )
     print(
         f"serving {len(engine.ruleset)} prescription rules "
         f"on http://{host}:{server.port} (Ctrl-C to stop)"
     )
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        server.begin_graceful_shutdown(drain_timeout=drain_timeout_seconds)
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        previous = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
-        pass
+        server.draining = True
     finally:
+        drained = server.drain(timeout=drain_timeout_seconds)
+        if not drained:  # pragma: no cover - only on a wedged handler
+            server.logger.log(
+                "http.drain_timeout", inflight=server.inflight
+            )
         server.server_close()
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except ValueError:  # pragma: no cover
+                pass

@@ -157,6 +157,67 @@ def test_bad_manifest_counts_a_fallback_and_detaches(toy_table):
         share.close()
 
 
+# Safety-net child: publishes a segment, reports its name, then either
+# exits abnormally (atexit path) or waits to be signalled (handler path).
+_SAFETY_NET_CHILD = """\
+import sys, time
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from tests.conftest import build_toy_table
+from repro.parallel import shm
+
+share = shm.publish_table(build_toy_table(n=120, seed=3), "Income")
+print(share.name.lstrip("/"), flush=True)
+if sys.argv[1] == "exit":
+    sys.exit(3)
+time.sleep(60)
+"""
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "mode, signum",
+    [("exit", None), ("wait", "SIGTERM"), ("wait", "SIGINT")],
+    ids=["abnormal-exit", "sigterm", "sigint"],
+)
+def test_safety_net_unlinks_on_driver_death(mode, signum):
+    """A dying publisher never strands its segment in ``/dev/shm``.
+
+    ``sys.exit`` exercises the atexit hook; SIGTERM/SIGINT exercise the
+    signal handlers — which must also preserve the default die-by-signal
+    semantics (the child's exit status still reports the signal).
+    """
+    import signal as signal_module
+    import subprocess
+    import sys as _sys
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    child = subprocess.Popen(
+        [_sys.executable, "-c", _SAFETY_NET_CHILD, mode],
+        cwd=repo_root,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        name = child.stdout.readline().strip()
+        assert name, "child failed before publishing"
+        if signum is not None:
+            assert name in _psm_segments()  # alive until we signal
+            child.send_signal(getattr(signal_module, signum))
+        returncode = child.wait(timeout=30)
+    finally:
+        child.kill()
+        child.wait(timeout=30)
+        child.stdout.close()
+    assert name not in _psm_segments()
+    if mode == "exit":
+        assert returncode == 3  # exit code flows through untouched
+    else:
+        # Cleanup must not swallow the signal: default semantics restored.
+        assert returncode == -getattr(signal_module, signum)
+
+
 def _toy_problem():
     return (
         build_toy_table(n=300, seed=7),
