@@ -25,6 +25,15 @@ serial ≡ process bit-identity for speed, so the probe carries no equality
 check: its correctness gate is the scenario oracle
 (``tests/scenarios/test_throughput.py``).
 
+The out-of-core data layer is probed twice.  A *shard-overhead probe*
+(every invocation) mines the 4k-row German workload in RAM and through a
+``ShardedTable`` spill and enforces both bit-identity and a ≤5% Step-2
+cost.  A *scale curve* (full runs only) mines one scenario world sharded
+vs in-RAM at 30k/100k/1M rows in fresh subprocesses (``scale_child.py``)
+and records wall-clock plus peak RSS/address space per point; the
+committed curve pins the payoff — the 1M-row world completes with peak
+RSS below the full-table footprint.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_estimation.py            # full curve
@@ -101,6 +110,28 @@ TELEMETRY_OVERHEAD_FLOOR_SECONDS = 0.010
 # measurement: the checkpointed side runs the full resilient loop.
 RESILIENCE_OVERHEAD_MAX_PCT = 1.0
 RESILIENCE_OVERHEAD_FLOOR_SECONDS = 0.010
+
+# Out-of-core data layer: Step-2 mining through a ShardedTable handle
+# (packed predicate words merged from shard segments, context gathers off
+# the store) may cost at most 5% over the in-RAM table on the same rows —
+# and must stay bit-identical, which the probe checks with the full
+# differential comparison.  Probed at the 4k experiment scale, where shard
+# traffic is real work rather than fixed-cost noise.
+SHARD_OVERHEAD_MAX_PCT = 5.0
+SHARD_OVERHEAD_FLOOR_SECONDS = 0.010
+SHARD_PROBE_ROWS = 4_000
+SHARD_PROBE_SHARD_ROWS = 1_024
+
+#: Out-of-core scale curve (full runs only): one scenario world mined
+#: sharded vs in-RAM at SO scale (30k), 100k and 1M rows, each point in a
+#: fresh subprocess so the ru_maxrss/VmPeak high-water marks of one point
+#: cannot leak into the next.  The committed curve is the payoff record of
+#: the sharded data layer: the 1M-row world mines to completion with peak
+#: RSS below the full-table footprint.
+SCALE_WORLD = "linear-g3-d1-gap-lo"
+SCALE_SIZES = (30_000, 100_000, 1_000_000)
+SCALE_SHARD_ROWS = 4_096
+SCALE_CHILD = BENCH_DIR / "scale_child.py"
 
 ENGINES = ("scalar", "pr3", "pr5", "frontier")
 
@@ -377,6 +408,119 @@ def _measure_resilience_overhead(settings, dataset: str, variant: str, reps: int
     }
 
 
+def _measure_shard_overhead(settings, dataset: str, variant: str, reps: int):
+    """In-RAM vs out-of-core cost of the default engine on the same rows.
+
+    With ``shard_rows`` set, ``FairCap.run`` spills the table into a
+    columnar shard store and mines against the ShardedTable handle; the
+    contract is bit-identity at near-zero Step-2 cost, because packed
+    predicate words merge exactly from shard segments and every context
+    gather is a content-identical sub-table.  Alternating interleaved
+    order with the per-side minimum, like the other probes.  The timed
+    phase (``treatment_mining``) excludes the one-time spill write — an
+    ingest cost each rep pays outside the timer.  Returns the overhead row
+    plus any differential mismatches (a hard failure, not an overhead).
+    """
+    bundle = settings.load(dataset)
+    variants = settings.variants_for(bundle)
+    config = settings.config_for(bundle, variants[variant])
+    config_sharded = replace(config, shard_rows=SHARD_PROBE_SHARD_ROWS)
+    _run(config, bundle)  # warm the shared DAG/backdoor memos
+    times: dict[str, list[float]] = {"off": [], "on": []}
+    results: dict[str, object] = {}
+    reps = max(reps, 3)
+    for rep in range(reps):
+        order = ("off", "on") if rep % 2 == 0 else ("on", "off")
+        for mode in order:
+            result = _run(config_sharded if mode == "on" else config, bundle)
+            times[mode].append(result.timings["treatment_mining"])
+            results[mode] = result
+    problems = _check_identical(results["off"], results["on"], "sharded")
+    off_seconds = min(times["off"])
+    on_seconds = min(times["on"])
+    delta = on_seconds - off_seconds
+    overhead_pct = 100.0 * delta / off_seconds if off_seconds > 0 else 0.0
+    row = {
+        "rows": bundle.table.n_rows,
+        "shard_rows": SHARD_PROBE_SHARD_ROWS,
+        "reps": reps,
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": SHARD_OVERHEAD_MAX_PCT,
+        "absolute_floor_seconds": SHARD_OVERHEAD_FLOOR_SECONDS,
+        "identical": not problems,
+        "within_budget": (
+            delta <= SHARD_OVERHEAD_FLOOR_SECONDS
+            or overhead_pct <= SHARD_OVERHEAD_MAX_PCT
+        ),
+    }
+    return row, problems
+
+
+def _run_scale_point(mode: str, n: int) -> dict:
+    """One scale-curve point, in a fresh subprocess (clean memory peaks)."""
+    import subprocess
+
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCALE_CHILD),
+            mode,
+            SCALE_WORLD,
+            str(n),
+            str(SCALE_SHARD_ROWS),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"scale child failed ({mode}, n={n}):\n"
+            f"{completed.stdout}\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def _measure_scale_curve() -> dict:
+    """Sharded vs in-RAM wall-clock and peak memory at 30k/100k/1M rows.
+
+    Both sides run the memory-lean mining configuration (per-context
+    mining, no estimation cache — see ``scale_child.py``) so the peaks
+    compare the data layer itself: the sharded side samples the world
+    chunk-by-chunk straight into the shard store and never materialises
+    the full table, the in-RAM side holds it for the whole run.  The two
+    sides draw different sample streams (chunked sampling advances the
+    rng differently), so the curve records memory and time, not equality
+    — bit-identity on a *shared* table is the differential suite's and
+    the shard-overhead probe's job.
+    """
+    points = []
+    for n in SCALE_SIZES:
+        sharded = _run_scale_point("sharded", n)
+        in_ram = _run_scale_point("unsharded", n)
+        points.append(
+            {
+                "rows": n,
+                "sharded": sharded,
+                "in_ram": in_ram,
+                "rss_saving_kb": in_ram["rss_kb"] - sharded["rss_kb"],
+                "peak_saving_kb": in_ram["peak_kb"] - sharded["peak_kb"],
+            }
+        )
+    largest = points[-1]
+    return {
+        "world": SCALE_WORLD,
+        "shard_rows": SCALE_SHARD_ROWS,
+        "mining_config": "frontier_batching=False, cache_size=0 (both modes)",
+        "points": points,
+        "rss_bounded_at_largest": (
+            largest["sharded"]["rss_kb"] < largest["in_ram"]["rss_kb"]
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="german",
@@ -456,10 +600,52 @@ def main(argv: list[str] | None = None) -> int:
             f"({resilience['off_seconds']:.3f}s plain vs "
             f"{resilience['on_seconds']:.3f}s checkpointed)"
         )
+    # Shard-overhead probe: the out-of-core data layer must be near-free
+    # and bit-identical on the workload it exists for.  Probed at the 4k
+    # experiment scale (not smoke scale) in every invocation, with the
+    # same re-probe discipline as the other overhead gates.
+    shard_settings = ExperimentSettings(
+        so_n=SHARD_PROBE_ROWS, german_n=SHARD_PROBE_ROWS, seed=base.seed
+    )
+    shard_overhead, shard_problems = _measure_shard_overhead(
+        shard_settings, args.dataset, args.variant, args.reps
+    )
+    if not shard_overhead["within_budget"] and not shard_problems:
+        shard_overhead, shard_problems = _measure_shard_overhead(
+            shard_settings, args.dataset, args.variant, args.reps
+        )
+        shard_overhead["remeasured"] = True
+    failures.extend(f"shard probe: {p}" for p in shard_problems)
+    if not shard_overhead["within_budget"]:
+        failures.append(
+            f"shard overhead {shard_overhead['overhead_pct']:.2f}% exceeds "
+            f"{SHARD_OVERHEAD_MAX_PCT:.0f}% "
+            f"({shard_overhead['off_seconds']:.3f}s in-RAM vs "
+            f"{shard_overhead['on_seconds']:.3f}s sharded)"
+        )
     probe_seconds = time.perf_counter() - probe_start
     # The throughput-mode point always runs (smoke included): the trend
     # gate soft-asserts its break-even target on every PR.
     throughput_probe = _measure_throughput_probe(args.reps)
+    # The out-of-core scale curve only runs on full invocations: three
+    # subprocess pairs up to 1M rows are bench work, not CI smoke work.
+    # The committed record is what the trend gate reports from.
+    scale_curve = None
+    if not args.smoke:
+        print(
+            "measuring out-of-core scale curve @ "
+            + ", ".join(f"{n:,}" for n in SCALE_SIZES)
+            + " rows ..."
+        )
+        scale_curve = _measure_scale_curve()
+        if not scale_curve["rss_bounded_at_largest"]:
+            largest = scale_curve["points"][-1]
+            failures.append(
+                f"out-of-core peak RSS not bounded at "
+                f"{largest['rows']} rows: sharded "
+                f"{largest['sharded']['rss_kb']} kB vs in-RAM "
+                f"{largest['in_ram']['rss_kb']} kB"
+            )
     wall = time.perf_counter() - wall_start
 
     from repro.parallel.executors import default_worker_count
@@ -498,6 +684,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "telemetry_overhead": overhead,
         "resilience_overhead": resilience,
+        "shard_overhead": shard_overhead,
+        "shard_scale_curve": scale_curve,
         "run_report_baseline": {
             "rows": overhead["rows"],
             "derived": (run_report or {}).get("derived", {}),
@@ -558,6 +746,43 @@ def main(argv: list[str] | None = None) -> int:
         f"{RESILIENCE_OVERHEAD_FLOOR_SECONDS * 1e3:.0f}ms) — "
         f"{'OK' if resilience['within_budget'] else 'OVER BUDGET'}"
     )
+    lines.append(
+        f"shard overhead @ {shard_overhead['rows']} rows "
+        f"(shard_rows={shard_overhead['shard_rows']}): "
+        f"{shard_overhead['off_seconds']:.3f}s in-RAM -> "
+        f"{shard_overhead['on_seconds']:.3f}s sharded "
+        f"({shard_overhead['overhead_pct']:+.2f}%, budget "
+        f"{SHARD_OVERHEAD_MAX_PCT:.0f}% or "
+        f"{SHARD_OVERHEAD_FLOOR_SECONDS * 1e3:.0f}ms; "
+        f"{'bit-identical' if shard_overhead['identical'] else 'RESULTS DIFFER'}"
+        f") — {'OK' if shard_overhead['within_budget'] else 'OVER BUDGET'}"
+    )
+    if scale_curve is not None:
+        lines.append("")
+        lines.append(
+            f"out-of-core scale curve @ {scale_curve['world']} "
+            f"(shard_rows={scale_curve['shard_rows']}, "
+            f"{scale_curve['mining_config']}):"
+        )
+        lines.append(
+            f"{'rows':>9} {'sharded s':>10} {'rss MB':>8} {'peak MB':>8} "
+            f"{'in-RAM s':>10} {'rss MB':>8} {'peak MB':>8} {'rss saved':>10}"
+        )
+        for point in scale_curve["points"]:
+            sharded, in_ram = point["sharded"], point["in_ram"]
+            lines.append(
+                f"{point['rows']:>9,} {sharded['seconds']:>10.2f} "
+                f"{sharded['rss_kb'] / 1024:>8.0f} "
+                f"{sharded['peak_kb'] / 1024:>8.0f} "
+                f"{in_ram['seconds']:>10.2f} {in_ram['rss_kb'] / 1024:>8.0f} "
+                f"{in_ram['peak_kb'] / 1024:>8.0f} "
+                f"{point['rss_saving_kb'] / 1024:>8.0f}MB"
+            )
+        lines.append(
+            "peak RSS at the largest point bounded below the full-table "
+            "footprint: "
+            + ("yes" if scale_curve["rss_bounded_at_largest"] else "NO")
+        )
     if args.smoke:
         lines.append("smoke run: frontier == pr3 == scalar equality check only")
     else:

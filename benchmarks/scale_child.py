@@ -1,0 +1,80 @@
+"""Child process for the out-of-core scale curve (``bench_estimation.py``).
+
+Mines one scenario world — sampled chunk-by-chunk into a columnar shard
+store (``sharded``) or fully in RAM (``unsharded``) — and prints a
+one-line JSON record with the wall-clock and the process's peak address
+space / peak RSS.  One subprocess per curve point keeps the memory
+numbers honest: ``ru_maxrss`` and ``VmPeak`` are process-lifetime
+high-water marks, so points sharing an interpreter would inherit each
+other's peaks.  Invoked as::
+
+    python benchmarks/scale_child.py <mode> <world> <n_rows> <shard_rows>
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import resource
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios import ScenarioWorld, run_world
+from repro.scenarios.oracle import oracle_config
+from repro.scenarios.spec import spec_by_name
+
+
+def _vm_peak_kb() -> int:
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmPeak:"):
+                return int(line.split()[1])
+    return -1
+
+
+def main() -> int:
+    mode, name, n, shard_rows = (
+        sys.argv[1],
+        sys.argv[2],
+        int(sys.argv[3]),
+        int(sys.argv[4]),
+    )
+    world = ScenarioWorld(spec_by_name(name))
+    # Memory-lean mining on BOTH sides so the peaks compare the data
+    # layer, not the frontier's context retention: per-context mining and
+    # no estimation cache — the same configuration as the memory-cap
+    # regression test (tests/integration/test_memory_cap.py).
+    config = dataclasses.replace(
+        oracle_config(world), frontier_batching=False, cache_size=0
+    )
+    directory = tempfile.mkdtemp(prefix="bench-scale-shards-")
+    try:
+        start = time.perf_counter()
+        if mode == "sharded":
+            bundle = world.sharded_bundle(n, directory, shard_rows)
+        else:
+            bundle = world.bundle(n)
+        result = run_world(world, bundle, config)
+        seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    print(
+        json.dumps(
+            {
+                "seconds": round(seconds, 3),
+                "peak_kb": _vm_peak_kb(),
+                "rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                "rules": result.metrics.n_rules,
+            }
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

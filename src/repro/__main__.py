@@ -119,6 +119,12 @@ def _run_variant(args: argparse.Namespace):
         config = dataclasses.replace(config, checkpoint_dir=args.checkpoint_dir)
     if getattr(args, "fault_plan", None):
         config = dataclasses.replace(config, fault_plan=args.fault_plan)
+    if getattr(args, "shard_rows", None):
+        config = dataclasses.replace(
+            config,
+            shard_rows=args.shard_rows,
+            shard_dir=getattr(args, "shard_dir", None),
+        )
     result = FairCap(config).run(
         bundle.table, bundle.schema, bundle.dag, bundle.protected
     )
@@ -291,6 +297,19 @@ def build_parser() -> argparse.ArgumentParser:
             help='deterministic fault injection for resilience testing, '
                  'e.g. "kill:chunk=1" or "delay:chunk=0,seconds=30" '
                  '(never use in production runs)',
+        )
+        cmd.add_argument(
+            "--shard-rows", type=int, default=None, metavar="N",
+            help="out-of-core mode: spill the table into N-row shards and "
+                 "mine against the sharded store (peak memory scales with "
+                 "the shard, not the table; results are bit-identical to "
+                 "the in-RAM run — see repro.datasets.sharded)",
+        )
+        cmd.add_argument(
+            "--shard-dir", default=None, metavar="DIR",
+            help="persist the shard store under DIR and reuse it across "
+                 "runs of the same table (requires --shard-rows; default "
+                 "is a temporary directory removed after the run)",
         )
 
     for name in _EXPERIMENT_COMMANDS:

@@ -387,6 +387,27 @@ def _gram_cache(table: Table) -> dict:
     return table.__dict__.setdefault("_gram_block_cache", {})
 
 
+def _merge_shard_arrays(table, stat) -> np.ndarray:
+    """Accumulate a row-additive array statistic shard by shard.
+
+    The accumulation order is the fixed shard order, so the result is
+    deterministic for a given shard layout regardless of who computes it
+    (serial, thread, or process workers) — the same composition contract
+    PR 5's frontier established.  One-hot cross products and column sums
+    are integer-valued, so their merge is *exact*; continuous entries are
+    shard-order-deterministic floating sums.
+    """
+    total: np.ndarray | None = None
+    for shard in table.iter_shards():
+        part = stat(shard)
+        if total is None:
+            total = np.array(part, dtype=np.float64, copy=True)
+        else:
+            total += part
+    assert total is not None  # sharded tables always have >= 1 shard
+    return total
+
+
 def _block_column_sums(table: Table, name: str) -> np.ndarray:
     """Column sums of one attribute's design block (= its ``1ᵀ block`` row)."""
     cache = _gram_cache(table)
@@ -395,7 +416,12 @@ def _block_column_sums(table: Table, name: str) -> np.ndarray:
     if sums is None:
         sums = _shared_lookup(table, key)
     if sums is None:
-        sums = _attribute_block(table, name).sum(axis=0)
+        if getattr(table, "is_sharded", False):
+            sums = _merge_shard_arrays(
+                table, lambda shard: _block_column_sums(shard, name)
+            )
+        else:
+            sums = _attribute_block(table, name).sum(axis=0)
     cache[key] = sums
     return sums
 
@@ -407,8 +433,17 @@ def _gram_pair(table: Table, a: str, b: str) -> np.ndarray:
     key = ("pair", first, second)
     product = cache.get(key)
     if product is None:
-        product = _attribute_block(table, first).T @ _attribute_block(table, second)
-        cache[key] = product
+        product = _shared_lookup(table, key)
+    if product is None:
+        if getattr(table, "is_sharded", False):
+            product = _merge_shard_arrays(
+                table, lambda shard: _gram_pair(shard, first, second)
+            )
+        else:
+            product = (
+                _attribute_block(table, first).T @ _attribute_block(table, second)
+            )
+    cache[key] = product
     return product if (a, b) == (first, second) else product.T
 
 
@@ -418,8 +453,15 @@ def _outcome_block_products(table: Table, outcome: str, name: str) -> np.ndarray
     key = ("y", outcome, name)
     product = cache.get(key)
     if product is None:
-        product = _outcome_vector(table, outcome) @ _attribute_block(table, name)
-        cache[key] = product
+        product = _shared_lookup(table, key)
+    if product is None:
+        if getattr(table, "is_sharded", False):
+            product = _merge_shard_arrays(
+                table, lambda shard: _outcome_block_products(shard, outcome, name)
+            )
+        else:
+            product = _outcome_vector(table, outcome) @ _attribute_block(table, name)
+    cache[key] = product
     return product
 
 
@@ -429,8 +471,17 @@ def _outcome_sum(table: Table, outcome: str) -> float:
     key = ("ysum", outcome)
     total = cache.get(key)
     if total is None:
-        total = float(_outcome_vector(table, outcome).sum())
-        cache[key] = total
+        total = _shared_lookup(table, key)
+        if total is not None:
+            total = float(np.asarray(total).reshape(-1)[0])
+    if total is None:
+        if getattr(table, "is_sharded", False):
+            total = 0.0
+            for shard in table.iter_shards():
+                total += _outcome_sum(shard, outcome)
+        else:
+            total = float(_outcome_vector(table, outcome).sum())
+    cache[key] = total
     return total
 
 
@@ -563,8 +614,17 @@ def build_rows_factorization(
     n = table.n_rows
     if n == 0:
         raise EstimationError("cannot factorize an empty design")
-    blocks = [_attribute_block(table, name) for name in adjustment]
-    widths = [block.shape[1] for block in blocks]
+    if getattr(table, "is_sharded", False):
+        # Widths come off the schema: no whole-table block materialisation
+        # for out-of-core tables (their Gram entries merge from shards).
+        widths = [
+            len(table.categories(name)) - 1
+            if table.schema.spec(name).kind.value == "categorical"
+            else 1
+            for name in adjustment
+        ]
+    else:
+        widths = [_attribute_block(table, name).shape[1] for name in adjustment]
     k = 1 + sum(widths)
     if k > n:
         return build_factorization(table, outcome, adjustment)
@@ -603,27 +663,39 @@ def build_rows_factorization(
             n=n,
         )
 
-    # Slow path: absent one-hot categories leave exactly-zero columns;
-    # materialise the design once, drop them off the Gram diagonal, and
-    # refactorize the reduced design.
-    y = _outcome_vector(table, outcome)
-    w = _build_design_block(table, adjustment)
+    # Slow path: absent one-hot categories leave exactly-zero columns.
+    # Subselect the already-assembled Gram instead of re-running a syrk
+    # over a materialised reduced design: a zero column contributes nothing
+    # to any cross product, so dropping its row/column of ``G`` *is* the
+    # reduced design's Gram, built from the same memoised (or, for
+    # out-of-core tables, shard-merged) pair products as the fast path.
+    # Sorted index subselection preserves the upper-triangular/zero-lower
+    # layout ``_finish_gram`` relies on.
     nonzero = gram.diagonal().copy()
     nonzero[0] = float(n)  # the intercept column is never zero
     nonzero = nonzero > 0.0
-    w = np.ascontiguousarray(w[:, nonzero])
-    gram = blas.dsyrk(1.0, w, trans=1)
-    k = w.shape[1]
-    gram_inv = _finish_gram(gram)
+    keep = np.flatnonzero(nonzero)
+    reduced = np.ascontiguousarray(gram[np.ix_(keep, keep)])
+    gram_inv = _finish_gram(reduced)
     if gram_inv is None:
         return build_factorization(table, outcome, adjustment)
-    wy = y @ w
-    y_res = y - w @ (gram_inv @ wy)
+    y = _outcome_vector(table, outcome)
+    w = np.ascontiguousarray(_build_design_block(table, adjustment)[:, nonzero])
+    wy_full = np.empty(k)
+    wy_full[0] = _outcome_sum(table, outcome)
+    offset = 1
+    for name, width in zip(adjustment, widths):
+        wy_full[offset : offset + width] = _outcome_block_products(
+            table, outcome, name
+        )
+        offset += width
+    wy = wy_full[keep]
+    y_res = blas.dgemv(-1.0, w, gram_inv @ wy, beta=1.0, y=y.copy(), overwrite_y=1)
     _count_route("gram_reduced")
     return GramFactorization(
         w=w,
         gram_inv=gram_inv,
-        rank=k,
+        rank=keep.size,
         y_res=y_res,
         y_res_sq=float(y_res @ y_res),
         n=n,

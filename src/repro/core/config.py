@@ -170,6 +170,20 @@ class FairCapConfig:
         process-pool workers (or, for ``abort``, in the checkpointing
         driver) on exactly the planned ``(chunk, attempt)`` executions.
         Never set in production runs.
+    shard_rows:
+        Out-of-core mining: spill the input table into fixed-size row
+        shards (:class:`~repro.datasets.sharded.ShardedTable`) before
+        mining and run Step 1 / Step 2 against the sharded handle —
+        packed predicate words build in one pass over the shards, Gram
+        sufficient statistics merge shard by shard, and grouping-context
+        sub-tables materialise by pure row gather, so mined rulesets are
+        bit-identical to the in-RAM run while peak RSS stays
+        O(shard + sufficient stats).  ``None`` (default) mines in RAM.
+    shard_dir:
+        Directory for the shard spill.  ``None`` uses a per-run temporary
+        directory (removed after the run); a named directory persists and
+        is *reused* on a rerun when its manifest still matches the
+        table's fingerprint and ``shard_rows``.
     telemetry:
         Install a live telemetry session (:mod:`repro.obs`) for the run:
         mining counters, engine counters, and a hierarchical span trace,
@@ -215,6 +229,8 @@ class FairCapConfig:
     retry_backoff_seconds: float = 0.05
     checkpoint_dir: str | None = None
     fault_plan: FaultPlan | None = None
+    shard_rows: int | None = None
+    shard_dir: str | None = None
     telemetry: bool = False
 
     def __post_init__(self) -> None:
@@ -261,6 +277,10 @@ class FairCapConfig:
                 "throughput_mode requires batch_estimation and "
                 "frontier_batching (it merges frontier rounds)"
             )
+        if self.shard_rows is not None and self.shard_rows < 1:
+            raise ConfigError("shard_rows must be >= 1 or None")
+        if self.shard_dir is not None and self.shard_rows is None:
+            raise ConfigError("shard_dir requires shard_rows")
 
     def make_estimator(self):
         """Instantiate the configured CATE estimator."""

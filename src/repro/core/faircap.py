@@ -18,6 +18,8 @@ Typical use::
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass
 
 from repro.causal.dag import CausalDAG
@@ -156,6 +158,37 @@ class FairCap:
         cache = self.cache if self.cache is not None else config.make_cache()
         timer = StepTimer()
 
+        # Out-of-core mode: spill the table into fixed-size row shards and
+        # mine against the sharded handle.  An already-sharded input (e.g.
+        # from a chunked scenario writer) is used as-is.  The spill is a
+        # pure re-layout — fingerprint, masks, and every materialised
+        # context sub-table are content-identical — so mined rulesets are
+        # bit-for-bit the in-RAM run's.
+        shard_tmp: str | None = None
+        if config.shard_rows is not None and not getattr(table, "is_sharded", False):
+            from repro.datasets.sharded import ShardedTable
+
+            if config.shard_dir is not None:
+                directory = config.shard_dir
+                reuse = True
+            else:
+                directory = tempfile.mkdtemp(prefix="faircap-shards-")
+                shard_tmp = directory
+                reuse = False
+            table = ShardedTable.write(
+                table, directory, config.shard_rows, reuse=reuse
+            )
+        try:
+            return self._run_pipeline(
+                table, schema, dag, protected, config, executor, cache, timer
+            )
+        finally:
+            if shard_tmp is not None:
+                shutil.rmtree(shard_tmp, ignore_errors=True)
+
+    def _run_pipeline(
+        self, table, schema, dag, protected, config, executor, cache, timer
+    ) -> "FairCapResult":
         with telemetry_session(enabled=config.telemetry) as telemetry:
             # The cache keeps its own integer counters; telemetry reads the
             # run's delta at the end rather than hooking every lookup (see

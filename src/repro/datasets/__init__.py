@@ -14,6 +14,11 @@ from repro.datasets.bundle import DatasetBundle
 from repro.datasets.stackoverflow import load_stackoverflow
 from repro.datasets.german import load_german
 from repro.datasets.registry import DATASET_LOADERS, load_dataset
+from repro.datasets.sharded import (
+    ShardedTable,
+    ShardedTableWriter,
+    sharded_from_chunks,
+)
 
 __all__ = [
     "DatasetBundle",
@@ -21,4 +26,7 @@ __all__ = [
     "load_german",
     "DATASET_LOADERS",
     "load_dataset",
+    "ShardedTable",
+    "ShardedTableWriter",
+    "sharded_from_chunks",
 ]

@@ -41,6 +41,8 @@ def load_dataset(
     name: str,
     n: int | None = None,
     rng: int | np.random.Generator | None = None,
+    shard_rows: int | None = None,
+    shard_dir: str | None = None,
 ) -> DatasetBundle:
     """Load a registered dataset by name.
 
@@ -54,6 +56,16 @@ def load_dataset(
         worlds default to :data:`repro.scenarios.catalog.DEFAULT_ROWS`).
     rng:
         Seed or generator.
+    shard_rows:
+        When set, spill the loaded table into a columnar shard store of
+        ``shard_rows``-row shards and return the bundle with the sharded
+        handle in place of the in-RAM table.  The spill is a pure
+        re-layout: masks, filters, and sufficient statistics computed
+        through the handle are identical to the materialised table's, so
+        mining results are bit-for-bit unchanged.
+    shard_dir:
+        Shard-store directory (required with ``shard_rows``).  An existing
+        store with a matching fingerprint and shard size is reused.
     """
     loader = DATASET_LOADERS.get(name)
     if loader is None:
@@ -61,13 +73,35 @@ def load_dataset(
 
         if is_scenario_name(name):
             if n is None:
-                return load_scenario(name, rng=rng)
-            return load_scenario(name, n=n, rng=rng)
+                bundle = load_scenario(name, rng=rng)
+            else:
+                bundle = load_scenario(name, n=n, rng=rng)
+            return _maybe_shard(bundle, shard_rows, shard_dir)
         raise ConfigError(
             f"unknown dataset {name!r}; available: {sorted(DATASET_LOADERS)} "
             "plus the scenario worlds (scenario:<name> — see "
             "`python -m repro list-datasets`)"
         )
     if n is None:
-        return loader(rng=rng)
-    return loader(n=n, rng=rng)
+        bundle = loader(rng=rng)
+    else:
+        bundle = loader(n=n, rng=rng)
+    return _maybe_shard(bundle, shard_rows, shard_dir)
+
+
+def _maybe_shard(
+    bundle: DatasetBundle, shard_rows: int | None, shard_dir: str | None
+) -> DatasetBundle:
+    """Replace the bundle's table with a shard-store handle when requested."""
+    if shard_rows is None:
+        if shard_dir is not None:
+            raise ConfigError("shard_dir requires shard_rows")
+        return bundle
+    if shard_dir is None:
+        raise ConfigError("load_dataset(shard_rows=...) requires shard_dir")
+    import dataclasses
+
+    from repro.datasets.sharded import ShardedTable
+
+    sharded = ShardedTable.write(bundle.table, shard_dir, shard_rows, reuse=True)
+    return dataclasses.replace(bundle, table=sharded)

@@ -1,0 +1,208 @@
+"""Low-level shard persistence for the out-of-core data layer.
+
+One shard = one columnar file holding a contiguous row range of a table:
+``int32`` code arrays for categorical columns (indexing a *global* category
+dictionary kept in the manifest) and ``float64`` arrays for continuous
+columns.  The directory layout follows the persistence pattern of the
+credit-risk-engine exemplar (one self-describing manifest plus per-chunk
+column files):
+
+.. code-block:: text
+
+    <directory>/
+        manifest.json          # schema, categories, shard lengths, format
+        shard-00000.npz        # column arrays of rows [0, len_0)
+        shard-00001.npz        # column arrays of rows [len_0, len_0+len_1)
+        ...
+
+Two on-disk formats are supported behind the same read/write functions:
+
+- ``"npz"`` (default): an uncompressed numpy zip per shard.  Always
+  available, and member access through :func:`read_shard_member` is lazy —
+  a single column of a shard is decompressed without touching the others,
+  which is what keeps the streaming fingerprint pass O(one column chunk).
+- ``"parquet"``: one parquet file per shard, used when ``pyarrow`` is
+  importable.  The container this repo targets does not bake pyarrow in,
+  so the branch is feature-gated (:func:`parquet_available`) rather than a
+  hard dependency; the npz path is the tested reference either way.
+
+The manifest is JSON on purpose: it is tiny (no row data), human-greppable,
+and read once per :class:`~repro.datasets.sharded.ShardedTable` open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.errors import SchemaError
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+FORMAT_NPZ = "npz"
+FORMAT_PARQUET = "parquet"
+
+#: Shard member key prefixes: categorical code arrays vs numeric values.
+CAT_PREFIX = "cat::"
+NUM_PREFIX = "num::"
+
+
+def parquet_available() -> bool:
+    """Whether the optional parquet backend can be imported."""
+    try:  # pragma: no cover - depends on the environment's extras
+        import pyarrow.parquet  # noqa: F401
+    except Exception:
+        return False
+    return True  # pragma: no cover
+
+
+def default_format() -> str:
+    """The preferred on-disk format for this environment."""
+    return FORMAT_PARQUET if parquet_available() else FORMAT_NPZ
+
+
+def validate_format(fmt: str | None) -> str:
+    """Resolve ``fmt`` (``None`` = environment default) and check support."""
+    if fmt is None:
+        return default_format()
+    if fmt not in (FORMAT_NPZ, FORMAT_PARQUET):
+        raise SchemaError(f"unknown shard format {fmt!r}")
+    if fmt == FORMAT_PARQUET and not parquet_available():
+        raise SchemaError("shard format 'parquet' requires pyarrow")
+    return fmt
+
+
+def shard_filename(index: int, fmt: str) -> str:
+    """Canonical shard file name for shard ``index``."""
+    suffix = "parquet" if fmt == FORMAT_PARQUET else "npz"
+    return f"shard-{index:05d}.{suffix}"
+
+
+def member_key(name: str, categorical: bool) -> str:
+    """Shard member key for column ``name``."""
+    return (CAT_PREFIX if categorical else NUM_PREFIX) + name
+
+
+def write_shard(
+    directory: str, filename: str, arrays: Mapping[str, np.ndarray], fmt: str
+) -> None:
+    """Write one shard file of column arrays (keys from :func:`member_key`)."""
+    path = os.path.join(directory, filename)
+    if fmt == FORMAT_NPZ:
+        # Uncompressed: shard reads sit on the mining hot path and the
+        # arrays (int32 codes, float64 outcomes) compress poorly anyway.
+        with open(path, "wb") as handle:
+            np.savez(handle, **{key: np.asarray(a) for key, a in arrays.items()})
+        return
+    import pyarrow as pa  # pragma: no cover - gated by validate_format
+    import pyarrow.parquet as pq  # pragma: no cover
+
+    table = pa.table(  # pragma: no cover
+        {key: pa.array(np.asarray(a)) for key, a in arrays.items()}
+    )
+    pq.write_table(table, path)  # pragma: no cover
+
+
+def read_shard(directory: str, filename: str, fmt: str) -> dict[str, np.ndarray]:
+    """Read every column array of one shard file."""
+    path = os.path.join(directory, filename)
+    if fmt == FORMAT_NPZ:
+        with np.load(path) as data:
+            return {key: data[key] for key in data.files}
+    import pyarrow.parquet as pq  # pragma: no cover - gated
+
+    table = pq.read_table(path)  # pragma: no cover
+    return {  # pragma: no cover
+        name: column.to_numpy() for name, column in zip(table.column_names, table)
+    }
+
+
+def read_shard_member(
+    directory: str, filename: str, fmt: str, key: str
+) -> np.ndarray:
+    """Read a single column array of one shard file (lazy member access)."""
+    path = os.path.join(directory, filename)
+    if fmt == FORMAT_NPZ:
+        with np.load(path) as data:
+            return data[key]
+    import pyarrow.parquet as pq  # pragma: no cover - gated
+
+    return pq.read_table(path, columns=[key])[key].to_numpy()  # pragma: no cover
+
+
+def _jsonable_category(value: object) -> object:
+    """A JSON-storable form of one category value (numpy scalars unwrap)."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is not None and not isinstance(value, (str, int, float, bool)):
+        raise SchemaError(
+            f"category value {value!r} ({type(value).__name__}) is not "
+            "JSON-serialisable; sharded storage supports "
+            "str/int/float/bool/None categories"
+        )
+    return value
+
+
+def write_manifest(
+    directory: str,
+    *,
+    fmt: str,
+    n_rows: int,
+    shard_rows: int,
+    shard_lengths: list[int],
+    shard_files: list[str],
+    schema_specs: list[tuple[str, str, str]],
+    categories: Mapping[str, tuple],
+    fingerprint: str | None,
+) -> None:
+    """Write the directory manifest (atomically via a rename)."""
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "format": fmt,
+        "n_rows": int(n_rows),
+        "shard_rows": int(shard_rows),
+        "shard_lengths": [int(length) for length in shard_lengths],
+        "shards": list(shard_files),
+        "schema": [list(spec) for spec in schema_specs],
+        "categories": {
+            name: [_jsonable_category(v) for v in values]
+            for name, values in categories.items()
+        },
+        "fingerprint": fingerprint,
+    }
+    path = os.path.join(directory, MANIFEST_NAME)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    os.replace(tmp, path)
+
+
+def read_manifest(directory: str) -> dict:
+    """Read and sanity-check a directory manifest."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.isfile(path):
+        raise SchemaError(f"no shard manifest at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise SchemaError(
+            f"unsupported shard manifest version {version!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    fmt = manifest.get("format")
+    if fmt not in (FORMAT_NPZ, FORMAT_PARQUET):
+        raise SchemaError(f"unknown shard format {fmt!r} in manifest")
+    if fmt == FORMAT_PARQUET and not parquet_available():
+        raise SchemaError(
+            "manifest uses the parquet shard format but pyarrow is unavailable"
+        )
+    if sum(manifest["shard_lengths"]) != manifest["n_rows"]:
+        raise SchemaError("shard manifest lengths do not sum to n_rows")
+    if len(manifest["shard_lengths"]) != len(manifest["shards"]):
+        raise SchemaError("shard manifest lengths/files count mismatch")
+    return manifest

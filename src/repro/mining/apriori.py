@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.mining.bitsets import popcount
 from repro.mining.patterns import Operator, Pattern, Predicate
 from repro.tabular.column import CategoricalColumn, NumericColumn
 from repro.tabular.table import Table
@@ -177,14 +178,29 @@ def apriori(
 
     n = table.n_rows
     threshold = min_support * n
-    item_masks = [item.mask(table) for item in items]
+    if getattr(table, "is_sharded", False):
+        # Out-of-core tables mine over packed uint64 words (n/8 bytes per
+        # mask instead of n): predicate words are built in one pass over the
+        # shards, candidate ANDs and popcount supports are exact, and no
+        # whole-table boolean mask is ever materialised.
+        table.ensure_predicate_words(
+            [predicate for item in items for predicate in item.predicates]
+        )
+        item_masks = [table.pattern_words(item) for item in items]
+        count_of = popcount
+    else:
+        item_masks = [item.mask(table) for item in items]
+
+        def count_of(mask: np.ndarray) -> int:
+            return int(mask.sum())
+
     item_attrs = [item.attributes[0] for item in items]
 
     found: list[FrequentPattern] = []
     # Level 1.
     level_sets: dict[frozenset[int], np.ndarray] = {}
     for idx, mask in enumerate(item_masks):
-        count = int(mask.sum())
+        count = count_of(mask)
         if count >= threshold:
             level_sets[frozenset((idx,))] = mask
             found.append(FrequentPattern(items[idx], count, count / n))
@@ -211,7 +227,7 @@ def apriori(
                 continue
             new_index = next(iter(union - a_key))
             mask = level_sets[a_key] & item_masks[new_index]
-            count = int(mask.sum())
+            count = count_of(mask)
             if count >= threshold:
                 next_sets[union] = mask
                 pattern = Pattern(

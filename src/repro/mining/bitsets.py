@@ -38,6 +38,8 @@ __all__ = [
     "popcount_rows",
     "predicate_bitset",
     "pattern_bitset",
+    "PackedMaskBuilder",
+    "concat_packed",
 ]
 
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
@@ -98,6 +100,89 @@ def popcount_rows(word_matrix: np.ndarray) -> np.ndarray:
     if word_matrix.shape[0] == 0:
         return np.zeros(0, dtype=np.int64)
     return _popcount_words(word_matrix).sum(axis=1, dtype=np.int64)
+
+
+class PackedMaskBuilder:
+    """Incremental :func:`pack_mask` over row segments of arbitrary length.
+
+    The sharded data layer evaluates predicates one shard at a time and
+    needs the *whole-table* packed words back — bit-identical to
+    ``pack_mask`` of the concatenated boolean mask.  Appending a segment
+    ORs its packed bytes into the output at the current bit offset; when a
+    shard boundary is not byte-aligned the segment's byte stream is split
+    across two byte lanes (``seg >> r`` into the current byte, the spilled
+    low bits ``(seg << (8-r)) & 0xFF`` into the next), which is exact: bits
+    are moved, never recomputed.  64-aligned shard boundaries reduce to a
+    plain byte copy.
+
+    Exactness contract: for any partition of ``mask`` into segments,
+    ``builder.words() == pack_mask(mask)`` bit-for-bit (property-tested in
+    ``tests/datasets/test_sharding.py`` with rng-fuzzed boundaries,
+    including 1-row segments).
+    """
+
+    def __init__(self, n_rows: int) -> None:
+        self.n_rows = int(n_rows)
+        n_words = (self.n_rows + 63) // 64
+        self._bytes = np.zeros(max(n_words, 0) * 8, dtype=np.uint8)
+        self._bit = 0
+
+    def append(self, mask: np.ndarray) -> None:
+        """Append one boolean row segment at the current bit offset."""
+        mask = np.asarray(mask, dtype=bool)
+        if self._bit + mask.size > self.n_rows:
+            raise ValueError(
+                f"segments exceed declared n_rows={self.n_rows} "
+                f"(at bit {self._bit}, appending {mask.size})"
+            )
+        if mask.size == 0:
+            return
+        seg = np.packbits(mask)
+        byte, rem = divmod(self._bit, 8)
+        if rem == 0:
+            self._bytes[byte : byte + seg.size] |= seg
+        else:
+            self._bytes[byte : byte + seg.size] |= seg >> rem
+            # Low bits of each segment byte spill into the next output
+            # byte.  Spill beyond the buffer can only carry packbits
+            # padding zeros (every real row bit lands inside the buffer),
+            # so clamping to the remaining lane is lossless.
+            lane = self._bytes[byte + 1 : byte + 1 + seg.size]
+            lane |= np.left_shift(seg, 8 - rem)[: lane.size]
+        self._bit += mask.size
+
+    def words(self) -> np.ndarray:
+        """The packed ``uint64`` words; every declared row must be appended."""
+        if self._bit != self.n_rows:
+            raise ValueError(
+                f"only {self._bit} of {self.n_rows} rows appended"
+            )
+        return self._bytes.view(np.uint64)
+
+
+def concat_packed(segments, n_rows: int) -> np.ndarray:
+    """Concatenate per-segment packed words into whole-range packed words.
+
+    ``segments`` is a sequence of ``(words, segment_rows)`` pairs in row
+    order.  When every boundary except the last is 64-aligned this is a
+    plain word concatenation; otherwise each segment is unpacked and
+    re-packed through :class:`PackedMaskBuilder` (bit moves only — exact
+    either way, and exactly ``pack_mask`` of the concatenated mask).
+    """
+    segments = list(segments)
+    total = sum(rows for _, rows in segments)
+    if total != n_rows:
+        raise ValueError(f"segments cover {total} rows, expected {n_rows}")
+    if all(rows % 64 == 0 for _, rows in segments[:-1]):
+        if not segments:
+            return np.zeros(0, dtype=np.uint64)
+        return np.concatenate(
+            [np.asarray(words, dtype=np.uint64) for words, _ in segments]
+        )
+    builder = PackedMaskBuilder(n_rows)
+    for words, rows in segments:
+        builder.append(unpack_mask(np.asarray(words, dtype=np.uint64), rows))
+    return builder.words()
 
 
 def predicate_bitset(table, predicate) -> np.ndarray:

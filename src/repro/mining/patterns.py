@@ -91,6 +91,11 @@ class Predicate:
 
     def mask(self, table: Table) -> np.ndarray:
         """Boolean mask of the rows of ``table`` satisfying the predicate."""
+        if getattr(table, "is_sharded", False):
+            # Out-of-core tables evaluate per shard and cache packed words
+            # (bit-identical to the in-RAM evaluation; see
+            # repro.datasets.sharded).
+            return table.predicate_mask(self)
         column = table.column(self.attribute)
         method = getattr(column, _COLUMN_METHOD[self.operator])
         return method(self.value)
@@ -223,6 +228,8 @@ class Pattern:
 
         The empty pattern covers every row.
         """
+        if getattr(table, "is_sharded", False):
+            return table.pattern_mask(self)
         result = np.ones(table.n_rows, dtype=bool)
         for pred in self.predicates:
             result &= pred.mask(table)

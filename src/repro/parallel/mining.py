@@ -297,7 +297,12 @@ def mine_groups_detailed(
             # mappings survive an unlink, leaked names would not survive us.
             from repro.parallel import shm
 
-            share = shm.publish_table(evaluator.table, evaluator.outcome)
+            if getattr(evaluator.table, "is_sharded", False):
+                share = shm.publish_sharded_table(
+                    evaluator.table, patterns, evaluator.protected
+                )
+            else:
+                share = shm.publish_table(evaluator.table, evaluator.outcome)
             if share is not None:
                 payload["shm"] = share.manifest
         try:

@@ -204,6 +204,19 @@ def publish_table(table, outcome: str) -> TableShare | None:
         if isinstance(value, np.ndarray) and key not in entries:
             entries[key] = (np.ascontiguousarray(value, dtype=np.float64), False)
 
+    return _publish_entries(entries, table)
+
+
+def _publish_entries(
+    entries: dict, table, extra_meta: dict | None = None
+) -> TableShare | None:
+    """Write ``{key: (array, trim)}`` into one segment; None on failure.
+
+    Manifest entries are ``(key, offset, shape, trim, dtype)`` — the dtype
+    tag is what lets packed ``uint64`` predicate words share a segment with
+    the float64 design buffers (readers tolerate legacy 4-tuples as
+    float64).
+    """
     total = sum(array.nbytes for array, _ in entries.values())
     try:
         segment = _shared_memory.SharedMemory(create=True, size=max(total, 8))
@@ -212,10 +225,12 @@ def publish_table(table, outcome: str) -> TableShare | None:
     manifest_entries = []
     offset = 0
     for key, (array, trim) in entries.items():
-        array = np.ascontiguousarray(array, dtype=np.float64)
-        view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf, offset=offset)
+        array = np.ascontiguousarray(array)
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
+        )
         view[...] = array
-        manifest_entries.append((key, offset, array.shape, trim))
+        manifest_entries.append((key, offset, array.shape, trim, array.dtype.str))
         offset += array.nbytes
     manifest = {
         "name": segment.name,
@@ -223,10 +238,51 @@ def publish_table(table, outcome: str) -> TableShare | None:
         "n_rows": table.n_rows,
         "entries": manifest_entries,
     }
+    if extra_meta:
+        manifest.update(extra_meta)
     _install_safety_net()
     _LIVE_SHARES[segment.name] = (os.getpid(), segment)
     _count("shm.published")
     return TableShare(segment, manifest)
+
+
+def publish_sharded_table(table, patterns, protected) -> TableShare | None:
+    """Publish a sharded table's *merged* mining statistics.
+
+    Out-of-core tables never ship design blocks (those are materialised per
+    context sub-table, not per root table).  What every worker needs from
+    the root instead are the whole-table **packed predicate words** of the
+    grouping patterns and the protected group — already built by Step 1,
+    ``n/8`` bytes each — plus whatever shard-merged Gram statistics the
+    caller accumulated.  Adopted words are verbatim copies of the caller's,
+    so worker-side pattern masks (and everything downstream) stay
+    bit-identical to a local rebuild, which would itself be bit-identical
+    by the :class:`~repro.mining.bitsets.PackedMaskBuilder` exactness
+    contract.
+    """
+    if _shared_memory is None:
+        return None
+    from repro.causal.batch import _gram_cache
+
+    predicates: list = []
+    for frequent in patterns:
+        pattern = getattr(frequent, "pattern", frequent)
+        predicates.extend(pattern.predicates)
+    if protected is not None:
+        predicates.extend(protected.pattern.predicates)
+    table.ensure_predicate_words(predicates)
+    entries: dict[tuple, tuple[np.ndarray, bool]] = {}
+    for predicate in dict.fromkeys(predicates):
+        entries[("predwords", predicate)] = (
+            np.ascontiguousarray(table.predicate_words(predicate)),
+            False,
+        )
+    for key, value in _gram_cache(table).items():
+        if isinstance(value, np.ndarray) and key not in entries:
+            entries[key] = (np.ascontiguousarray(value, dtype=np.float64), False)
+    if not entries:
+        return None
+    return _publish_entries(entries, table, extra_meta={"sharded": True})
 
 
 def attach(manifest: dict | None) -> dict | None:
@@ -273,9 +329,11 @@ def attach(manifest: dict | None) -> dict | None:
             resource_tracker.register = _orig_register
     views: dict[tuple, np.ndarray] = {}
     try:
-        for key, offset, shape, trim in manifest["entries"]:
+        for entry in manifest["entries"]:
+            key, offset, shape, trim = entry[:4]
+            dtype = np.dtype(entry[4]) if len(entry) > 4 else np.float64
             view = np.ndarray(
-                tuple(shape), dtype=np.float64, buffer=segment.buf, offset=offset
+                tuple(shape), dtype=dtype, buffer=segment.buf, offset=offset
             )
             view.flags.writeable = False
             if trim:
@@ -323,6 +381,20 @@ def adopt(table) -> int:
     registered = _ATTACHED.get(table.fingerprint())
     if registered is None:
         return 0
+    if getattr(table, "is_sharded", False):
+        # Sharded roots adopt packed predicate words (so workers skip the
+        # shard pass Step 1 already paid) and merged Gram statistics.
+        gram_cache = table.__dict__.setdefault("_gram_block_cache", {})
+        seeded = 0
+        for key, view in registered[1].items():
+            if key[0] == "predwords":
+                if key[1] not in table._predicate_words:
+                    table._seed_predicate_words(key[1], view)
+                    seeded += 1
+            elif key not in gram_cache:
+                gram_cache[key] = view
+                seeded += 1
+        return seeded
     block_cache = table.__dict__.setdefault("_design_block_cache", {})
     block_t_cache = table.__dict__.setdefault("_design_block_t_cache", {})
     gram_cache = table.__dict__.setdefault("_gram_block_cache", {})

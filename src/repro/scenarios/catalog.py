@@ -55,6 +55,29 @@ def load_scenario(
     return ScenarioWorld(spec).bundle(n, rng=rng)
 
 
+def load_scenario_sharded(
+    name: str,
+    n: int,
+    directory: str,
+    shard_rows: int,
+    rng: int | np.random.Generator | None = None,
+    chunk_rows: int | None = None,
+) -> DatasetBundle:
+    """Sample a scenario world chunk-by-chunk into a columnar shard store.
+
+    The out-of-core companion of :func:`load_scenario`: the bundle's table
+    is a :class:`~repro.datasets.sharded.ShardedTable` and no more than one
+    chunk (default: one shard) of rows is ever materialised — this is how
+    the scale benchmarks generate worlds whose in-RAM table would not fit.
+    """
+    if not name.startswith(SCENARIO_PREFIX):
+        name = SCENARIO_PREFIX + name
+    spec = scenario_spec(name)
+    return ScenarioWorld(spec).sharded_bundle(
+        n, directory, shard_rows, rng=rng, chunk_rows=chunk_rows
+    )
+
+
 def is_scenario_name(name: str) -> bool:
     """Whether ``name`` addresses a scenario dataset."""
     return name.startswith(SCENARIO_PREFIX)

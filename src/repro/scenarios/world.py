@@ -279,6 +279,41 @@ class ScenarioWorld:
         """Sample ``n`` rows and package them as a :class:`DatasetBundle`."""
         generator = ensure_rng(self.spec.seed if rng is None else rng)
         table = self.scm.sample_table(n, generator, schema=self.schema)
+        return self._wrap_bundle(table)
+
+    def sharded_bundle(
+        self,
+        n: int,
+        directory: str,
+        shard_rows: int,
+        rng: int | np.random.Generator | None = None,
+        chunk_rows: int | None = None,
+    ) -> DatasetBundle:
+        """Sample ``n`` rows in chunks straight into a columnar shard store.
+
+        Peak memory is O(chunk), never O(n): each chunk is sampled from the
+        SCM, appended to the shard writer, and dropped.  Row *content*
+        depends on the chunking (every chunk advances the generator by its
+        own draws), so this is not sample-identical to :meth:`bundle` at
+        the same seed — it is the generator for scale runs whose in-RAM
+        table would not fit.  For bit-identity-to-in-RAM tests, spill a
+        materialised table instead (``FairCapConfig.shard_rows``).
+        """
+        from repro.datasets.sharded import ShardedTableWriter
+
+        generator = ensure_rng(self.spec.seed if rng is None else rng)
+        chunk = shard_rows if chunk_rows is None else chunk_rows
+        if chunk < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk}")
+        writer = ShardedTableWriter(directory, self.schema, shard_rows)
+        remaining = n
+        while remaining > 0:
+            m = min(chunk, remaining)
+            writer.append_table(self.scm.sample_table(m, generator, schema=self.schema))
+            remaining -= m
+        return self._wrap_bundle(writer.close())
+
+    def _wrap_bundle(self, table) -> DatasetBundle:
         return DatasetBundle(
             name=f"scenario:{self.spec.name}",
             table=table,

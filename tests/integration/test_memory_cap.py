@@ -1,0 +1,105 @@
+"""Memory-cap regression: out-of-core mining fits where in-RAM cannot.
+
+The payoff claim of the sharded data layer, pinned as a hard resource
+limit: there exists an ``RLIMIT_AS`` address-space cap under which the
+in-RAM pipeline dies with ``MemoryError`` while the sharded pipeline —
+same world, same mining configuration — runs to completion.
+
+The cap is *calibrated*, not hardcoded: two uncapped probe runs measure
+each path's peak address space, the test requires a wide separation (the
+regression signal — if a change makes the sharded path materialise the
+table, the separation collapses and this fails), and the capped runs then
+execute at the midpoint, leaving half the separation as slack on each
+side so allocator jitter cannot flip the outcome.
+
+Row count: the probes run at 1M rows.  At 100k rows *everything* in these
+worlds is small next to the ~280 MB numpy/scipy interpreter baseline —
+the paths are separated by under 20 MB there, inside allocator noise; at
+1M the unsharded path's full-table sampling and materialisation put it
+~100 MB above the sharded path's whole-run peak, which a cap can split
+robustly.  (The per-shard memory *scaling* story at 30k/100k/1M is the
+scale-curve benchmark's job — ``benchmarks/bench_estimation.py``.)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.integration]
+
+CHILD = Path(__file__).with_name("memcap_child.py")
+N_ROWS = 1_000_000
+SHARD_ROWS = 4_096
+#: Minimum probe separation for a meaningful cap.  Collapse below this is
+#: itself the regression being guarded against.
+MIN_SEPARATION_KB = 64 * 1024
+EXIT_MEMORY_ERROR = 42
+
+
+def _run_child(mode: str, cap_bytes: int) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(CHILD), mode, str(N_ROWS), str(SHARD_ROWS),
+         str(cap_bytes)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=900,
+    )
+
+
+def _peak_kb(completed: subprocess.CompletedProcess) -> int:
+    match = re.search(r"PEAK_KB=(\d+)", completed.stdout)
+    assert match, (
+        f"probe failed (rc={completed.returncode}):\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+    return int(match.group(1))
+
+
+@pytest.fixture(scope="module")
+def probed_peaks() -> tuple[int, int]:
+    """(sharded, unsharded) uncapped peak address space, in kB."""
+    sharded = _run_child("sharded", 0)
+    unsharded = _run_child("unsharded", 0)
+    return _peak_kb(sharded), _peak_kb(unsharded)
+
+
+def test_probes_show_wide_separation(probed_peaks):
+    """The sharded run's whole-run peak sits well below the in-RAM run's."""
+    sharded_kb, unsharded_kb = probed_peaks
+    assert unsharded_kb - sharded_kb >= MIN_SEPARATION_KB, (
+        f"memory separation collapsed: sharded peak {sharded_kb} kB, "
+        f"unsharded peak {unsharded_kb} kB — the out-of-core path no "
+        f"longer saves the full-table footprint"
+    )
+
+
+def test_unsharded_exceeds_cap_and_sharded_completes(probed_peaks):
+    sharded_kb, unsharded_kb = probed_peaks
+    if unsharded_kb - sharded_kb < MIN_SEPARATION_KB:
+        pytest.fail("separation too small to place a meaningful cap")
+    cap_bytes = (sharded_kb + unsharded_kb) // 2 * 1024
+
+    in_ram = _run_child("unsharded", cap_bytes)
+    assert in_ram.returncode != 0, (
+        f"in-RAM mining completed under a {cap_bytes} byte RLIMIT_AS cap "
+        f"it was measured to exceed:\n{in_ram.stdout}"
+    )
+    if in_ram.returncode == EXIT_MEMORY_ERROR:
+        assert "MEMORY_ERROR" in in_ram.stdout
+
+    out_of_core = _run_child("sharded", cap_bytes)
+    assert out_of_core.returncode == 0, (
+        f"sharded mining died under the cap (rc={out_of_core.returncode}):\n"
+        f"{out_of_core.stdout}\n{out_of_core.stderr}"
+    )
+    assert "OK" in out_of_core.stdout
