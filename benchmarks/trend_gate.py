@@ -40,6 +40,8 @@ GATES = (
      RESULTS_DIR / "estimation-smoke.json"),
     ("scenarios", BENCH_DIR / "BENCH_scenarios.json",
      RESULTS_DIR / "scenarios-smoke.json"),
+    ("serve", BENCH_DIR / "BENCH_serve.json",
+     RESULTS_DIR / "serve-smoke.json"),
 )
 
 
@@ -139,6 +141,67 @@ def main(argv: list[str] | None = None) -> int:
                 f"{speedup}x is below the {target}x break-even target on "
                 f"{probe.get('world')} (soft gate; certified by the "
                 "scenario oracle, timed here)"
+            )
+
+    # -- serving tier (RPS / tail latency / hot-reload probe) ------------------
+    # Throughput and p99 against the committed smoke baseline, same soft
+    # philosophy as wall-clock.  The hot-reload probe is hard-gated inside
+    # bench_serve itself (a failed/hybrid response fails the smoke job);
+    # the row here keeps the zero-failed claim visible in the summary.
+    smoke_serve = RESULTS_DIR / "serve-smoke.json"
+    serve_record = _load(smoke_serve) if smoke_serve.exists() else {}
+    serve_baseline = (
+        _load(BENCH_DIR / "BENCH_serve.json").get("smoke_baseline", {})
+        if (BENCH_DIR / "BENCH_serve.json").exists()
+        else {}
+    )
+    serve_load = serve_record.get("load", {})
+    if serve_load and serve_baseline:
+        lines.append("")
+        lines.append("### Serving tier (smoke load, keep-alive clients)")
+        lines.append("")
+        lines.append("| metric | baseline | current | status |")
+        lines.append("|---|---|---|---|")
+        for metric, unit, higher_is_better in (
+            ("rps", "req/s", True),
+            ("p99_ms", "ms", False),
+        ):
+            base_value = serve_baseline.get(metric)
+            cur_value = serve_load.get(metric)
+            if not base_value or cur_value is None:
+                lines.append(f"| {metric} | — | — | not recorded |")
+                continue
+            ratio = cur_value / base_value
+            regressed = (
+                ratio < 1.0 - args.threshold
+                if higher_is_better
+                else ratio > 1.0 + args.threshold
+            )
+            status = (
+                f":warning: {'-' if higher_is_better else '+'}"
+                f"{abs(ratio - 1) * 100:.0f}% vs baseline"
+                if regressed
+                else "ok"
+            )
+            lines.append(
+                f"| {metric} | {base_value:,} {unit} | {cur_value:,} {unit} "
+                f"| {status} |"
+            )
+            if regressed:
+                direction = "below" if higher_is_better else "over"
+                warnings.append(
+                    f"::warning::bench-trend: serve {metric} {cur_value:,} "
+                    f"is {abs(ratio - 1) * 100:.0f}% {direction} the "
+                    f"committed baseline {base_value:,} (soft gate, "
+                    f"threshold {args.threshold * 100:.0f}%)"
+                )
+        probe = serve_record.get("hot_reload_probe", {})
+        if probe:
+            lines.append(
+                f"| hot-reload probe | zero failed | "
+                f"{probe.get('completed')}/{probe.get('total_requests')} ok, "
+                f"{probe.get('failed')} failed, {probe.get('hybrids')} hybrids "
+                f"| {'ok' if probe.get('zero_failed') else ':x: FAILED'} |"
             )
 
     # -- overhead probes (telemetry, resilience) -------------------------------

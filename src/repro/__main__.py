@@ -12,7 +12,9 @@ Commands mirror the experiment harness::
 and the serving subsystem::
 
     python -m repro export --dataset german --out ruleset.json
+    python -m repro export --dataset german --artifact-dir artifacts/ --activate
     python -m repro serve --artifact ruleset.json --port 8080
+    python -m repro serve --artifact-dir artifacts/ --workers 8 --batch-window-ms 2
     python -m repro list-datasets
     python -m repro --version
 
@@ -184,31 +186,86 @@ def _mine_artifact(args: argparse.Namespace):
 
 
 def _cmd_export(args: argparse.Namespace) -> str:
+    if not args.out and not args.artifact_dir:
+        raise SystemExit("export needs --out and/or --artifact-dir")
     artifact, result = _mine_artifact(args)
-    artifact.save(args.out)
-    return (
-        f"exported {result.ruleset.size} rules "
+    summary = (
+        f"{result.ruleset.size} rules "
         f"(coverage {result.metrics.coverage:.1%}, expected utility "
-        f"{result.metrics.expected_utility:,.2f}) to {args.out}"
+        f"{result.metrics.expected_utility:,.2f})"
     )
+    lines = []
+    if args.out:
+        artifact.save(args.out)
+        lines.append(f"exported {summary} to {args.out}")
+    if args.artifact_dir:
+        from repro.serve.registry import ArtifactRegistry
+
+        registry = ArtifactRegistry(args.artifact_dir)
+        version = registry.publish(artifact)
+        if args.activate:
+            registry.activate(version)
+        state = "activated" if args.activate else "published"
+        lines.append(
+            f"{state} {summary} as version {version} in {args.artifact_dir}"
+        )
+        if args.activate:
+            lines.append(
+                "note: a running server picks up the new version via "
+                'POST /v1/artifacts/activate {"version": %d}' % version
+            )
+    return "\n".join(lines)
+
+
+def _serve_config(args: argparse.Namespace):
+    """``ServeConfig`` = built-in defaults <- REPRO_SERVE_* env <- CLI flags."""
+    from repro.serve.config import ServeConfig
+
+    overrides: dict[str, object] = {"quiet": False}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.cache_size is not None:
+        overrides["cache_size"] = args.cache_size
+    if args.max_concurrency is not None:
+        overrides["max_concurrency"] = args.max_concurrency or None
+    if args.request_deadline_ms is not None:
+        overrides["request_deadline_seconds"] = args.request_deadline_ms / 1e3
+    if args.batch_window_ms is not None:
+        overrides["batch_window_ms"] = args.batch_window_ms
+    if args.batch_max_size is not None:
+        overrides["batch_max_size"] = args.batch_max_size
+    if args.artifact_dir is not None:
+        overrides["artifact_dir"] = args.artifact_dir
+    return ServeConfig.from_environment().with_overrides(**overrides)
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
-    from repro.serve.artifact import ServingArtifact
-    from repro.serve.engine import PrescriptionEngine
     from repro.serve.http import run_server
+    from repro.utils.errors import ServeError
 
-    artifact = ServingArtifact.load(args.artifact)
-    engine = PrescriptionEngine.from_artifact(artifact, cache_size=args.cache_size)
-    run_server(
-        engine,
-        host=args.host,
-        port=args.port,
-        max_concurrency=args.max_concurrency or None,
-        request_deadline_seconds=(
-            args.request_deadline_ms / 1e3 if args.request_deadline_ms else None
-        ),
-    )
+    config = _serve_config(args)
+    if args.artifact and config.artifact_dir:
+        raise SystemExit("--artifact and --artifact-dir are mutually exclusive")
+    if config.artifact_dir:
+        run_server(config=config)
+    elif args.artifact:
+        from repro.serve.artifact import ServingArtifact
+        from repro.serve.engine import PrescriptionEngine
+
+        artifact = ServingArtifact.load(args.artifact)
+        engine = PrescriptionEngine.from_artifact(
+            artifact, cache_size=config.cache_size
+        )
+        run_server(engine, config=config)
+    else:
+        raise ServeError(
+            "serve needs --artifact FILE or --artifact-dir DIR "
+            "(or REPRO_SERVE_ARTIFACT_DIR)"
+        )
     return ""
 
 
@@ -351,24 +408,47 @@ def build_parser() -> argparse.ArgumentParser:
     add_worker_flags(export)
     export.add_argument("--variant", default="Group fairness",
                         help='e.g. "No constraints", "Group fairness"')
-    export.add_argument("--out", required=True,
+    export.add_argument("--out", default=None,
                         help="output path for the ruleset artifact JSON")
+    export.add_argument("--artifact-dir", default=None, metavar="DIR",
+                        help="publish the artifact as the next version in a "
+                             "versioned registry directory (see `serve "
+                             "--artifact-dir`)")
+    export.add_argument("--activate", action="store_true",
+                        help="with --artifact-dir: also move the ACTIVE "
+                             "pointer to the new version")
 
     serve = sub.add_parser(
-        "serve", help="serve a ruleset artifact over HTTP"
+        "serve", help="serve a ruleset artifact over HTTP (/v1 API)"
     )
-    serve.add_argument("--artifact", required=True,
-                       help="path to a ruleset artifact JSON")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8080)
-    serve.add_argument("--cache-size", type=int, default=1024,
-                       help="profile LRU cache size (0 disables)")
-    serve.add_argument("--max-concurrency", type=int, default=64,
+    serve.add_argument("--artifact", default=None,
+                       help="path to a single ruleset artifact JSON "
+                            "(single-artifact mode, no hot reload)")
+    serve.add_argument("--artifact-dir", default=None, metavar="DIR",
+                       help="versioned artifact registry directory; serves "
+                            "the ACTIVE version and enables hot reload via "
+                            "POST /v1/artifacts/activate")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8080)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="request worker threads behind the accept loop "
+                            "(default 8; bounds connection concurrency)")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       help="profile LRU cache size (0 disables; default 1024)")
+    serve.add_argument("--max-concurrency", type=int, default=None,
                        help="in-flight request bound; excess requests get "
-                            "503 + Retry-After (0 = unbounded)")
+                            "503 + Retry-After (0 = unbounded; default 64)")
     serve.add_argument("--request-deadline-ms", type=float, default=None,
                        help="per-request wall-clock budget; late requests "
                             "get 504 (default: none)")
+    serve.add_argument("--batch-window-ms", type=float, default=None,
+                       help="coalesce concurrent single-profile prescribes "
+                            "arriving within this window into one vectorized "
+                            "batch match (0 disables; default 0)")
+    serve.add_argument("--batch-max-size", type=int, default=None,
+                       help="cap on coalesced requests per batch (default 64)")
 
     sub.add_parser("list-datasets", help="list the bundled datasets")
     return parser

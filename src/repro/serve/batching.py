@@ -1,0 +1,160 @@
+"""Request micro-batching: coalesce concurrent prescribe calls into one match.
+
+Single-individual ``POST /v1/prescribe`` requests arriving within a small
+window are collected by one dispatcher thread and answered through a single
+vectorized :meth:`PrescriptionEngine.prescribe_profiles` call — amortizing
+per-request matching overhead exactly like the mining engine amortizes
+per-level costs.  The contract is strictly *performance-only*:
+
+- every request gets the same :class:`Prescription` (or the same
+  :class:`~repro.utils.errors.ServeError`) it would have gotten from a
+  direct ``engine.prescribe`` call — the engine's coalesced path falls
+  back to scalar dispatch for anything it cannot prove equivalent;
+- one request's bad profile never fails its batch neighbours;
+- a hot reload mid-window is safe: each submission pins the engine it
+  snapshotted, and the dispatcher groups a batch by engine generation, so
+  a batch never mixes ruleset versions.
+
+The window (``window_ms``) bounds added latency; ``max_size`` bounds batch
+memory and dispatches a full batch early.  ``window_ms == 0`` disables
+coalescing entirely — the transport then calls the engine directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Mapping
+
+from repro.serve.engine import Prescription, PrescriptionEngine
+from repro.utils.errors import ServeError
+
+
+class _Pending:
+    """One submitted request waiting for its batch to dispatch."""
+
+    __slots__ = ("engine", "individual", "event", "result")
+
+    def __init__(
+        self, engine: PrescriptionEngine, individual: Mapping[str, object]
+    ) -> None:
+        self.engine = engine
+        self.individual = individual
+        self.event = threading.Event()
+        self.result: Prescription | BaseException | None = None
+
+
+class MicroBatcher:
+    """Window-based coalescing of single-profile prescribe calls.
+
+    Parameters
+    ----------
+    window_ms:
+        How long the dispatcher holds the *first* request of a batch open
+        for followers (the added-latency budget).
+    max_size:
+        Dispatch early once this many requests are pending.
+    on_batch:
+        Optional observer called with each dispatched batch's size (the
+        HTTP tier records a histogram from it).
+    """
+
+    def __init__(
+        self,
+        window_ms: float,
+        max_size: int = 64,
+        on_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        if window_ms <= 0:
+            raise ServeError("MicroBatcher requires window_ms > 0")
+        if max_size < 1:
+            raise ServeError("MicroBatcher requires max_size >= 1")
+        self.window_s = window_ms / 1e3
+        self.max_size = int(max_size)
+        self._on_batch = on_batch
+        self._pending: list[_Pending] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._run, name="serve-batcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client side ----------------------------------------------------------------
+
+    def submit(
+        self, engine: PrescriptionEngine, individual: Mapping[str, object]
+    ) -> Prescription:
+        """Block until the batch containing this request dispatches.
+
+        Returns the prescription, or raises exactly what a direct
+        ``engine.prescribe(individual)`` would have raised.
+        """
+        item = _Pending(engine, individual)
+        with self._cond:
+            if self._closed:
+                # Late submission during shutdown: serve it directly rather
+                # than drop it — the zero-dropped-requests contract.
+                return engine.prescribe(individual)
+            self._pending.append(item)
+            self._cond.notify_all()
+        item.event.wait()
+        if isinstance(item.result, BaseException):
+            raise item.result
+        assert item.result is not None
+        return item.result
+
+    def close(self) -> None:
+        """Stop the dispatcher after flushing everything pending."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=5.0)
+
+    # -- dispatcher side --------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                # First request opens the window; hold it for followers.
+                deadline = time.monotonic() + self.window_s
+                while len(self._pending) < self.max_size and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch, self._pending = self._pending, []
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        if self._on_batch is not None:
+            try:
+                self._on_batch(len(batch))
+            except Exception:
+                pass
+        # A reload mid-window may leave requests pinned to different engine
+        # generations in one batch; group by generation so a batch never
+        # mixes ruleset versions.
+        groups: dict[int, list[_Pending]] = {}
+        for item in batch:
+            groups.setdefault(id(item.engine), []).append(item)
+        for items in groups.values():
+            engine = items[0].engine
+            try:
+                results = engine.prescribe_profiles(
+                    [item.individual for item in items]
+                )
+            except Exception as exc:
+                # Defensive: prescribe_profiles returns per-profile errors;
+                # anything escaping it fails the group, not the process.
+                for item in items:
+                    item.result = exc
+                    item.event.set()
+                continue
+            for item, result in zip(items, results):
+                item.result = result
+                item.event.set()

@@ -1,68 +1,125 @@
-"""Stdlib HTTP JSON API over a :class:`PrescriptionEngine`.
+"""Stdlib HTTP router for the prescription serving tier (the /v1 API).
 
-Built on :class:`http.server.ThreadingHTTPServer` — zero dependencies, one
-thread per connection, shared engine.  Requests run concurrently: the
-engine's matching structures are immutable after construction and its LRU
-cache synchronizes internally, so no request-level lock is needed.
-Endpoints:
+This module is the *router* of a three-layer tier — it parses requests,
+enforces transport policy, and renders responses; all serving logic lives
+in :class:`~repro.serve.service.PrescriptionService` (service layer) and
+:class:`~repro.serve.registry.ArtifactRegistry` (repository layer).
+Zero dependencies beyond the stdlib: :class:`http.server.HTTPServer` with
+a fixed pool of worker threads behind the accept loop.
 
-- ``GET  /health``     — liveness plus rule count and cache statistics;
-- ``GET  /rules``      — the served ruleset as JSON (artifact rule format);
-- ``GET  /metrics``    — Prometheus text exposition: request counters,
-  latency histograms, and engine cache gauges sampled at scrape time;
-- ``POST /prescribe``  — ``{"individual": {...}}`` for one profile, or
-  ``{"individuals": [{...}, ...]}`` for a batch; responds with the
-  corresponding ``prescription`` / ``prescriptions`` payloads.
+Endpoints (``docs/serving.md`` is the full reference):
 
-Client errors (bad JSON, missing attributes, unknown paths) map to 400/404
-with a ``{"error": ...}`` body; unexpected failures map to 500.
+- ``GET  /v1/health``             — liveness, rule count, cache stats,
+  active ruleset version;
+- ``GET  /v1/rules``              — the served ruleset (artifact format);
+- ``GET  /v1/metrics``            — Prometheus text exposition;
+- ``GET  /v1/artifacts``          — registry listing + active version;
+- ``POST /v1/artifacts/activate`` — hot-reload: ``{"version": N}`` or
+  ``{"rollback": true}``;
+- ``POST /v1/prescribe``          — ``{"individual": {...}}`` or
+  ``{"individuals": [...]}``.
 
-Production behaviours (the resilience tier):
+The pre-/v1 paths (``/health``, ``/rules``, ``/metrics``, ``/prescribe``)
+remain as **deprecated aliases**: they run the exact same handlers (so
+bodies are byte-identical), but answer with a ``Deprecation: true`` header
+and tick the ``http.deprecated_path`` counter.
 
-- *Backpressure*: at most ``max_concurrency`` requests run at once;
-  excess requests are rejected immediately with 503 + ``Retry-After``
-  (``http.backpressure_rejections``).  ``/health`` and ``/metrics`` bypass
-  the gate — operators need them most exactly when the gate is closed.
-- *Deadlines*: ``request_deadline_seconds`` (or a per-request
-  ``X-Request-Deadline-Ms`` header, whichever is tighter) bounds request
-  wall-clock; batch prescriptions check between individuals and a late
-  request gets 504 (``http.deadline_exceeded``).
-- *Graceful shutdown*: SIGTERM (via :func:`run_server`) stops accepting,
-  rejects new requests with 503, and drains in-flight requests before the
-  socket closes.
-- *Client disconnects*: a peer closing mid-response is counted as
-  ``http.client_disconnects`` — not a spurious 500 — and no error
-  response is attempted on the dead socket.
+Every non-2xx response carries one uniform JSON envelope::
 
-Every response carries an ``X-Request-Id`` header (echoing the request's
-own when present) and a matching ``request_id`` field in the JSON body, and
-each request emits one structured JSON access-log line to stderr unless the
-server is ``quiet`` — the id correlates the two.
+    {"error": {"code": "...", "message": "...", "request_id": "..."}}
 
-Start a server programmatically with :func:`make_server` (port 0 picks an
-ephemeral port — the tests do this) or from the CLI::
+with stable codes (``bad_request``, ``not_found``, ``method_not_allowed``,
+``artifact_invalid``, ``over_capacity``, ``draining``,
+``deadline_exceeded``, ``internal``) — see :mod:`repro.serve.schemas`.
+
+Concurrency model:
+
+- a fixed worker pool (``ServeConfig.workers``) runs connections; each
+  live connection occupies one worker, so ``workers`` bounds connection
+  concurrency and idle keep-alive sockets time out after
+  ``_CONNECTION_IDLE_SECONDS`` to release their worker;
+- ``max_concurrency`` bounds *admitted* requests below that; excess
+  requests get an immediate 503 + ``Retry-After``
+  (``http.backpressure_rejections``).  Ops endpoints (health, metrics)
+  bypass the gate — operators need them most exactly when it is closed;
+- with ``batch_window_ms > 0``, concurrent single-individual prescribe
+  requests are coalesced by a :class:`~repro.serve.batching.MicroBatcher`
+  into one vectorized batch match (``serve.batch_size`` histogram);
+- hot reload is an RCU-style pointer swap in the service layer: each
+  request snapshots the serving state once in ``_begin_request`` and uses
+  it for its whole lifetime, so a swap mid-request can never produce a
+  hybrid response and no request is ever dropped.
+
+Resilience surfaces preserved from the pre-/v1 tier: per-request
+deadlines (``X-Request-Deadline-Ms``, 504 on expiry), graceful drain on
+SIGTERM (503 to new requests, in-flight requests finish), and client
+disconnects counted (``http.client_disconnects``) instead of logged as
+500s.  Every response carries ``X-Request-Id`` (echoing the request's own
+when present); successful bodies also carry a ``request_id`` field.
+
+Start a server programmatically with :func:`make_server` (``port=0`` picks
+an ephemeral port — the tests and the load benchmark do this) or from the
+CLI::
 
     python -m repro serve --artifact ruleset.json --port 8080
+    python -m repro serve --artifact-dir artifacts/ --port 8080
 """
 
 from __future__ import annotations
 
 import json
+import queue
 import signal
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler, HTTPServer
 
 from repro.obs import MetricsRegistry, StructuredLogger, new_request_id, render_prometheus
-from repro.serve.artifact import rule_to_dict
+from repro.serve.batching import MicroBatcher
+from repro.serve.config import ServeConfig
 from repro.serve.engine import PrescriptionEngine
+from repro.serve.registry import ArtifactRegistry
+from repro.serve.schemas import (
+    ActivateRequest,
+    ApiError,
+    PrescribeRequest,
+    error_envelope,
+)
+from repro.serve.service import PrescriptionService
 from repro.utils.errors import ReproError, ServeError
 
 MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd request bodies early
 
-#: Routes that get their own ``path`` label; anything else is folded into
-#: ``other`` so arbitrary scanned paths cannot blow up label cardinality.
-_KNOWN_PATHS = frozenset({"/health", "/rules", "/metrics", "/prescribe"})
+#: Idle keep-alive connections release their worker after this long.
+_CONNECTION_IDLE_SECONDS = 30.0
+
+_V1_GET = frozenset({"/v1/health", "/v1/rules", "/v1/metrics", "/v1/artifacts"})
+_V1_POST = frozenset({"/v1/prescribe", "/v1/artifacts/activate"})
+
+#: Routes that get their own ``path`` metric label; anything else is folded
+#: into ``other`` so arbitrary scanned paths cannot blow up label
+#: cardinality.  Aliases report under their canonical /v1 label.
+_KNOWN_PATHS = _V1_GET | _V1_POST
+
+#: Deprecated pre-/v1 paths, served byte-identically by the /v1 handlers.
+LEGACY_ALIASES = {
+    "/health": "/v1/health",
+    "/rules": "/v1/rules",
+    "/metrics": "/v1/metrics",
+    "/prescribe": "/v1/prescribe",
+}
+
+#: Endpoints operators need while the gate is closed or the server drains.
+_OPS_PATHS = frozenset({"/v1/health", "/v1/metrics"})
+
+_HANDLERS = {
+    "/v1/health": "_handle_health",
+    "/v1/rules": "_handle_rules",
+    "/v1/metrics": "_handle_metrics",
+    "/v1/artifacts": "_handle_artifacts",
+    "/v1/artifacts/activate": "_handle_activate",
+    "/v1/prescribe": "_handle_prescribe",
+}
 
 _HELP_TEXTS = {
     "http.requests": "HTTP requests served, by method/path/status.",
@@ -70,6 +127,10 @@ _HELP_TEXTS = {
     "http.backpressure_rejections": "Requests rejected with 503, by reason.",
     "http.deadline_exceeded": "Requests aborted with 504 past their deadline.",
     "http.client_disconnects": "Requests whose peer hung up mid-response.",
+    "http.deprecated_path": "Requests answered via a deprecated path alias.",
+    "serve.batch_size": "Coalesced micro-batch sizes (requests per dispatch).",
+    "serve.reloads": "Successful artifact hot-reloads since start.",
+    "serve.ruleset_version": "Active ruleset artifact version (0 = unversioned).",
     "engine.cache.hits": "Prescription-engine LRU hits since start.",
     "engine.cache.misses": "Prescription-engine LRU misses since start.",
     "engine.cache.size": "Prescription-engine LRU entries right now.",
@@ -81,42 +142,112 @@ class _DeadlineExceeded(Exception):
     """Internal: a request ran past its deadline (mapped to 504)."""
 
 
-class PrescriptionServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one prescription engine."""
+class _WorkerPool:
+    """A fixed pool of daemon worker threads draining one queue.
 
-    daemon_threads = True
+    Deliberately not :class:`concurrent.futures.ThreadPoolExecutor`: its
+    non-daemon threads are joined at interpreter exit, so one connection
+    wedged in a keep-alive read would hang process shutdown.  Daemon
+    threads + an unbounded handoff queue give the same semantics without
+    that failure mode.
+    """
+
+    def __init__(self, size: int, name: str = "serve-worker") -> None:
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"{name}-{i}", daemon=True
+            )
+            for i in range(size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn, *args) -> None:
+        self._queue.put((fn, args))
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, args = item
+            fn(*args)
+
+    def close(self) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+
+
+class PrescriptionServer(HTTPServer):
+    """The serving tier's transport: accept loop + worker pool + gates."""
+
+    # socketserver's default listen backlog of 5 resets concurrent
+    # connection bursts (RST before accept) well below the concurrency the
+    # worker pool and admission gate are sized for; let the kernel queue a
+    # burst and the 503 gate do the load shedding instead.
+    request_queue_size = 128
 
     def __init__(
         self,
         address: tuple[str, int],
-        engine: PrescriptionEngine,
-        quiet: bool = True,
+        service: PrescriptionService,
+        config: ServeConfig | None = None,
         log_stream=None,
-        max_concurrency: int | None = 64,
-        request_deadline_seconds: float | None = None,
     ) -> None:
         super().__init__(address, PrescriptionRequestHandler)
-        self.engine = engine
-        self.quiet = quiet
+        self.config = config if config is not None else ServeConfig(port=0)
+        self.service = service
+        self.quiet = self.config.quiet
         self.metrics = MetricsRegistry()
         self.logger = StructuredLogger(
-            stream=log_stream, enabled=not quiet, component="serve"
+            stream=log_stream, enabled=not self.config.quiet, component="serve"
         )
-        self._rules_payload = [rule_to_dict(r) for r in engine.ruleset]
-        if max_concurrency is not None and max_concurrency < 1:
-            raise ServeError("max_concurrency must be >= 1 or None")
-        if request_deadline_seconds is not None and request_deadline_seconds <= 0:
-            raise ServeError("request_deadline_seconds must be > 0 or None")
-        self.request_deadline_seconds = request_deadline_seconds
+        self.request_deadline_seconds = self.config.request_deadline_seconds
         self._gate = (
-            threading.BoundedSemaphore(max_concurrency)
-            if max_concurrency is not None
+            threading.BoundedSemaphore(self.config.max_concurrency)
+            if self.config.max_concurrency is not None
             else None
         )
+        self.batcher = (
+            MicroBatcher(
+                self.config.batch_window_ms,
+                max_size=self.config.batch_max_size,
+                on_batch=lambda n: self.metrics.observe("serve.batch_size", n),
+            )
+            if self.config.batch_window_ms > 0
+            else None
+        )
+        self._pool = _WorkerPool(self.config.workers)
         self.draining = False
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._shutdown_started = False
+
+    @property
+    def engine(self) -> PrescriptionEngine:
+        """The engine of the *current* generation (changes on hot reload)."""
+        return self.service.state.engine
+
+    @property
+    def single_dispatch(self):
+        """How single-individual prescribes run: batched or direct."""
+        return self.batcher.submit if self.batcher is not None else None
+
+    # -- worker pool -------------------------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        # The accept loop hands every connection to the pool; a worker owns
+        # it for its keep-alive lifetime (bounded by the idle timeout).
+        self._pool.submit(self._process_in_worker, request, client_address)
+
+    def _process_in_worker(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
 
     # -- resilience plumbing ----------------------------------------------------
 
@@ -184,13 +315,24 @@ class PrescriptionServer(ThreadingHTTPServer):
         )
 
     def render_metrics(self) -> str:
-        """The /metrics document: request metrics + live engine gauges."""
-        info = self.engine.cache_info()
+        """The /v1/metrics document: request metrics + live engine gauges."""
+        state = self.service.state
+        info = state.engine.cache_info()
         self.metrics.set_gauge("engine.cache.hits", info["hits"])
         self.metrics.set_gauge("engine.cache.misses", info["misses"])
         self.metrics.set_gauge("engine.cache.size", info["size"])
-        self.metrics.set_gauge("engine.rules", len(self.engine.ruleset))
+        self.metrics.set_gauge("engine.rules", len(state.engine.ruleset))
+        self.metrics.set_gauge(
+            "serve.ruleset_version",
+            state.version if state.version is not None else 0,
+        )
         return render_prometheus(self.metrics.snapshot(), help_texts=_HELP_TEXTS)
+
+    def server_close(self) -> None:
+        if self.batcher is not None:
+            self.batcher.close()
+        super().server_close()
+        self._pool.close()
 
     @property
     def port(self) -> int:
@@ -199,10 +341,14 @@ class PrescriptionServer(ThreadingHTTPServer):
 
 
 class PrescriptionRequestHandler(BaseHTTPRequestHandler):
-    """Routes /health, /rules and /prescribe to the server's engine."""
+    """Routes the /v1 surface (and its legacy aliases) to the service."""
 
     server: PrescriptionServer
     protocol_version = "HTTP/1.1"
+    timeout = _CONNECTION_IDLE_SECONDS  # idle keep-alive frees its worker
+    # Nagle + delayed ACK costs ~40ms per keep-alive round-trip on small
+    # JSON bodies; a serving tier answers now, not on the next ACK.
+    disable_nagle_algorithm = True
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -223,10 +369,18 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         pass
 
     def _send_json(
-        self, status: int, payload: dict, headers: dict | None = None
+        self,
+        status: int,
+        payload: dict,
+        headers: dict | None = None,
+        inject_request_id: bool = True,
     ) -> None:
         request_id = getattr(self, "_request_id", None)
-        if request_id is not None and "request_id" not in payload:
+        if (
+            inject_request_id
+            and request_id is not None
+            and "request_id" not in payload
+        ):
             payload = {**payload, "request_id": request_id}
         body = json.dumps(payload).encode("utf-8")
         self._status = status
@@ -237,6 +391,37 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
             self.send_header(name, str(value))
         if request_id is not None:
             self.send_header("X-Request-Id", request_id)
+        if getattr(self, "_deprecated", False):
+            self.send_header("Deprecation", "true")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_envelope(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: dict | None = None,
+    ) -> None:
+        self._send_json(
+            status,
+            error_envelope(code, message, getattr(self, "_request_id", None)),
+            headers=headers,
+            inject_request_id=False,
+        )
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_request_id", None) is not None:
+            self.send_header("X-Request-Id", self._request_id)
+        if getattr(self, "_deprecated", False):
+            self.send_header("Deprecation", "true")
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -248,6 +433,13 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         self._request_id = self.headers.get("X-Request-Id") or new_request_id()
         self._client_disconnected = False
         self._slot_held = False
+        self._canonical = LEGACY_ALIASES.get(self.path, self.path)
+        self._deprecated = self.path in LEGACY_ALIASES
+        # One snapshot per request: a hot reload mid-request cannot hand
+        # this handler a hybrid of two ruleset generations.
+        self._snapshot = self.server.service.state
+        if self._deprecated:
+            self.server.metrics.inc("http.deprecated_path", 1, path=self.path)
         self.server.track_request(1)
         deadline = self.server.request_deadline_seconds
         header = self.headers.get("X-Request-Deadline-Ms")
@@ -276,22 +468,24 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         returns.  A held slot is released in ``_finish_request``.
         """
         server = self.server
-        if self.path in ("/health", "/metrics"):
+        if self._canonical in _OPS_PATHS:
             return True
         if server.draining:
             self.close_connection = True
             server.metrics.inc("http.backpressure_rejections", 1, reason="draining")
-            self._send_json(
+            self._send_error_envelope(
                 503,
-                {"error": "server is shutting down"},
+                "draining",
+                "server is shutting down",
                 headers={"Retry-After": 1},
             )
             return False
         if not server.try_acquire_slot():
             server.metrics.inc("http.backpressure_rejections", 1, reason="capacity")
-            self._send_json(
+            self._send_error_envelope(
                 503,
-                {"error": "server at capacity"},
+                "over_capacity",
+                "server at capacity",
                 headers={"Retry-After": 1},
             )
             return False
@@ -300,7 +494,7 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
 
     def _finish_request(self, method: str) -> None:
         duration = time.perf_counter() - self._started
-        path = self.path if self.path in _KNOWN_PATHS else "other"
+        path = self._canonical if self._canonical in _KNOWN_PATHS else "other"
         server = self.server
         if self._slot_held:
             server.release_slot()
@@ -367,193 +561,192 @@ class PrescriptionRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ServeError(f"request body is not valid JSON: {exc}") from None
 
-    def _send_text(self, status: int, text: str) -> None:
-        body = text.encode("utf-8")
-        self._status = status
-        self.send_response(status)
-        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        if getattr(self, "_request_id", None) is not None:
-            self.send_header("X-Request-Id", self._request_id)
-        if self.close_connection:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
-
-    # -- routes ----------------------------------------------------------------
+    # -- routing ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
         self._begin_request()
         try:
             try:
                 if not self._admit():
                     return
-                if self.path == "/health":
-                    engine = self.server.engine
-                    self._send_json(
-                        200,
-                        {
-                            "status": "ok",
-                            "n_rules": len(engine.ruleset),
-                            "draining": self.server.draining,
-                            "cache": engine.cache_info(),
-                        },
+                canonical = self._canonical
+                if canonical not in _KNOWN_PATHS:
+                    if method == "POST":
+                        # The request body is never read on this path;
+                        # close the connection so leftover bytes cannot
+                        # corrupt a keep-alive peer.
+                        self.close_connection = True
+                    raise ApiError.not_found(f"unknown path {self.path!r}")
+                allowed = "POST" if canonical in _V1_POST else "GET"
+                if method != allowed:
+                    if method == "POST":
+                        self.close_connection = True  # body left unread
+                    raise ApiError(
+                        405,
+                        "method_not_allowed",
+                        f"{canonical} only supports {allowed}",
                     )
-                elif self.path == "/rules":
-                    self._check_deadline()
-                    self._send_json(
-                        200,
-                        {
-                            "n_rules": len(self.server._rules_payload),
-                            "rules": self.server._rules_payload,
-                        },
-                    )
-                elif self.path == "/metrics":
-                    self._send_text(200, self.server.render_metrics())
-                else:
-                    self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                getattr(self, _HANDLERS[canonical])()
             except (BrokenPipeError, ConnectionResetError):
                 raise  # the outer handler owns disconnects, not the 500 path
             except _DeadlineExceeded:
-                self._send_deadline_exceeded("GET")
+                self._send_deadline_exceeded(method)
+            except ApiError as exc:
+                self._send_error_envelope(exc.status, exc.code, str(exc))
             except ReproError as exc:
-                self._send_json(400, {"error": str(exc)})
+                self._send_error_envelope(400, "bad_request", str(exc))
             except Exception as exc:
                 # Without this, a crashed route escapes to http.server: the
                 # client gets no response while the metric/access-log record
-                # status=0.  Mirror do_POST's JSON fallback instead.
-                self._send_json(500, {"error": f"internal error: {exc}"})
+                # status=0.  Answer the uniform envelope instead.
+                self._send_error_envelope(
+                    500, "internal", f"internal error: {exc}"
+                )
         except (BrokenPipeError, ConnectionResetError):
             self._client_disconnected = True
             self.close_connection = True
         finally:
-            self._finish_request("GET")
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._begin_request()
-        try:
-            if not self._admit():
-                return
-            if self.path != "/prescribe":
-                # The request body is never read on this path; close the
-                # connection so leftover bytes cannot corrupt a
-                # keep-alive peer.
-                self.close_connection = True
-                self._send_json(404, {"error": f"unknown path {self.path!r}"})
-                return
-            try:
-                payload = self._read_json_body()
-                self._send_json(200, self._prescribe(payload))
-            except (BrokenPipeError, ConnectionResetError):
-                raise  # the outer handler owns disconnects, not the 500 path
-            except _DeadlineExceeded:
-                self._send_deadline_exceeded("POST")
-            except ReproError as exc:
-                self._send_json(400, {"error": str(exc)})
-            except Exception as exc:  # pragma: no cover - defensive
-                self._send_json(500, {"error": f"internal error: {exc}"})
-        except (BrokenPipeError, ConnectionResetError):
-            self._client_disconnected = True
-            self.close_connection = True
-        finally:
-            self._finish_request("POST")
+            self._finish_request(method)
 
     def _send_deadline_exceeded(self, method: str) -> None:
-        path = self.path if self.path in _KNOWN_PATHS else "other"
+        path = self._canonical if self._canonical in _KNOWN_PATHS else "other"
         self.server.metrics.inc(
             "http.deadline_exceeded", 1, method=method, path=path
         )
         self.close_connection = True  # the peer has likely given up waiting
-        self._send_json(504, {"error": "request deadline exceeded"})
+        self._send_error_envelope(
+            504, "deadline_exceeded", "request deadline exceeded"
+        )
 
-    def _prescribe(self, payload: object) -> dict:
+    # -- route handlers ----------------------------------------------------------
+
+    def _handle_health(self) -> None:
+        response = self.server.service.health(
+            self._snapshot, self.server.draining
+        )
+        self._send_json(200, response.to_payload())
+
+    def _handle_rules(self) -> None:
         self._check_deadline()
-        if not isinstance(payload, dict):
-            raise ServeError("request body must be a JSON object")
-        engine = self.server.engine
-        if "individual" in payload:
-            individual = payload["individual"]
-            if not isinstance(individual, dict):
-                raise ServeError("'individual' must be a JSON object")
-            return {"prescription": engine.prescribe(individual).to_dict()}
-        if "individuals" in payload:
-            individuals = payload["individuals"]
-            if not isinstance(individuals, list) or not all(
-                isinstance(i, dict) for i in individuals
-            ):
-                raise ServeError("'individuals' must be a list of JSON objects")
-            if self._deadline is None:
-                prescriptions = engine.prescribe_batch(individuals)
-            else:
-                # Same loop prescribe_batch runs, with a deadline check
-                # between individuals: a huge batch cannot blow through
-                # the request budget unbounded.
-                prescriptions = []
-                for individual in individuals:
-                    self._check_deadline()
-                    prescriptions.append(engine.prescribe(individual))
-            return {
-                "count": len(prescriptions),
-                "prescriptions": [p.to_dict() for p in prescriptions],
-            }
-        raise ServeError("request must contain 'individual' or 'individuals'")
+        self._send_json(200, self.server.service.rules(self._snapshot).to_payload())
+
+    def _handle_metrics(self) -> None:
+        self._send_text(200, self.server.render_metrics())
+
+    def _handle_artifacts(self) -> None:
+        self._check_deadline()
+        response = self.server.service.list_artifacts(self._snapshot)
+        self._send_json(200, response.to_payload())
+
+    def _handle_activate(self) -> None:
+        self._check_deadline()
+        request = ActivateRequest.parse(self._read_json_body())
+        response = self.server.service.activate(request)
+        self.server.metrics.inc("serve.reloads", 1)
+        self._send_json(200, response.to_payload())
+
+    def _handle_prescribe(self) -> None:
+        self._check_deadline()
+        request = PrescribeRequest.parse(self._read_json_body())
+        response = self.server.service.prescribe(
+            request,
+            self._snapshot,
+            deadline_check=self._check_deadline if self._deadline else None,
+            single_dispatch=self.server.single_dispatch,
+        )
+        self._check_deadline()
+        self._send_json(200, response.to_payload())
 
 
 def make_server(
-    engine: PrescriptionEngine,
+    engine: PrescriptionEngine | None = None,
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
     log_stream=None,
     max_concurrency: int | None = 64,
     request_deadline_seconds: float | None = None,
+    config: ServeConfig | None = None,
+    service: PrescriptionService | None = None,
+    registry: ArtifactRegistry | None = None,
 ) -> PrescriptionServer:
     """Bind a :class:`PrescriptionServer` (``port=0`` picks a free port).
+
+    Three ways to say what to serve, in precedence order: a ready
+    ``service``, a ``registry`` (or ``config.artifact_dir``) to build one
+    from, or a bare ``engine`` (single-artifact mode).  A full
+    :class:`ServeConfig` supersedes the individual keyword arguments,
+    which remain for the common programmatic case::
+
+        server = make_server(engine, port=0)                      # simple
+        server = make_server(config=cfg, registry=reg)            # full tier
 
     ``log_stream`` redirects the structured access log (stderr by default);
     the tests pass a ``StringIO`` to assert on the emitted JSON lines.
     """
+    if config is None:
+        config = ServeConfig(
+            host=host,
+            port=port,
+            quiet=quiet,
+            max_concurrency=max_concurrency,
+            request_deadline_seconds=request_deadline_seconds,
+        )
+    if service is None:
+        if registry is None and config.artifact_dir is not None:
+            registry = ArtifactRegistry(config.artifact_dir)
+        if registry is not None:
+            service = PrescriptionService.from_registry(
+                registry, cache_size=config.cache_size
+            )
+        elif engine is not None:
+            service = PrescriptionService.from_engine(engine)
+        else:
+            raise ServeError(
+                "make_server needs an engine, a service, or an artifact "
+                "directory to serve from"
+            )
     return PrescriptionServer(
-        (host, port),
-        engine,
-        quiet=quiet,
-        log_stream=log_stream,
-        max_concurrency=max_concurrency,
-        request_deadline_seconds=request_deadline_seconds,
+        (config.host, config.port), service, config=config, log_stream=log_stream
     )
 
 
 def run_server(
-    engine: PrescriptionEngine,
-    host: str = "127.0.0.1",
-    port: int = 8080,
-    quiet: bool = False,
-    max_concurrency: int | None = 64,
-    request_deadline_seconds: float | None = None,
-    drain_timeout_seconds: float = 10.0,
+    engine: PrescriptionEngine | None = None,
+    config: ServeConfig | None = None,
+    service: PrescriptionService | None = None,
 ) -> None:
     """Serve until interrupted (the blocking path behind the CLI).
 
-    SIGTERM triggers a graceful shutdown: the accept loop stops, new
-    requests are rejected with 503, and in-flight requests get up to
-    ``drain_timeout_seconds`` to finish before the socket closes — the
-    contract a rolling deploy or an orchestrator's preStop hook expects.
+    All tunables come from ``config`` (a :class:`ServeConfig`); SIGTERM
+    triggers a graceful shutdown: the accept loop stops, new requests are
+    rejected with 503, and in-flight requests get up to
+    ``config.drain_timeout_seconds`` to finish before the socket closes —
+    the contract a rolling deploy or an orchestrator's preStop hook
+    expects.
     """
-    server = make_server(
-        engine,
-        host,
-        port,
-        quiet=quiet,
-        max_concurrency=max_concurrency,
-        request_deadline_seconds=request_deadline_seconds,
+    if config is None:
+        config = ServeConfig(quiet=False)
+    server = make_server(engine, config=config, service=service)
+    state = server.service.state
+    version = (
+        f" (artifact v{state.version})" if state.version is not None else ""
     )
     print(
-        f"serving {len(engine.ruleset)} prescription rules "
-        f"on http://{host}:{server.port} (Ctrl-C to stop)"
+        f"serving {len(state.engine.ruleset)} prescription rules{version} "
+        f"on http://{config.host}:{server.port} (Ctrl-C to stop)"
     )
 
     def _on_sigterm(signum, frame):  # pragma: no cover - signal path
-        server.begin_graceful_shutdown(drain_timeout=drain_timeout_seconds)
+        server.begin_graceful_shutdown(
+            drain_timeout=config.drain_timeout_seconds
+        )
 
     try:
         previous = signal.signal(signal.SIGTERM, _on_sigterm)
@@ -564,7 +757,7 @@ def run_server(
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         server.draining = True
     finally:
-        drained = server.drain(timeout=drain_timeout_seconds)
+        drained = server.drain(timeout=config.drain_timeout_seconds)
         if not drained:  # pragma: no cover - only on a wedged handler
             server.logger.log(
                 "http.drain_timeout", inflight=server.inflight

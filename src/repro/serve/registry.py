@@ -1,0 +1,206 @@
+"""Versioned on-disk artifact registry: the serving tier's repository layer.
+
+A registry is one directory owning every deployable ruleset version plus an
+``ACTIVE`` pointer naming the one being served:
+
+.. code-block:: text
+
+    <artifact_dir>/
+        v000001.json     # ServingArtifact, immutable once published
+        v000002.json
+        ACTIVE           # {"version": 2, "previous": 1}
+
+Contracts:
+
+- **Versions are immutable and monotonic.**  :meth:`ArtifactRegistry.publish`
+  assigns ``max(existing) + 1`` and never overwrites; a version file, once
+  written, is never mutated.
+- **Every write is atomic** (temp file in the same directory +
+  :func:`os.replace`), so a crashed publisher can leave a stray ``*.tmp``
+  at worst — never a half-written version or pointer.  Stray temp files are
+  ignored by listing and cleaned opportunistically.
+- **Torn artifacts are rejected cleanly.**  :meth:`get` and
+  :meth:`activate` validate the artifact through
+  :meth:`ServingArtifact.from_json`; a truncated or unparseable file raises
+  :class:`~repro.serve.schemas.ApiError` with status 409
+  (``artifact_invalid``) — the serving tier maps it to a client-visible
+  conflict, never a 500, and the previously active version keeps serving.
+- **Activation is a pointer swap.**  The pointer records the previous
+  version, so :meth:`rollback` is one atomic step back.
+
+The registry is safe for concurrent readers with one writer per operation
+(an internal lock serializes publish/activate within a process; cross-process
+safety comes from the atomicity of ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.artifact import ServingArtifact
+from repro.serve.schemas import ApiError
+
+_VERSION_FILE = re.compile(r"^v(\d{6})\.json$")
+_POINTER_NAME = "ACTIVE"
+
+
+def _version_filename(version: int) -> str:
+    return f"v{version:06d}.json"
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """A registry listing entry (cheap: no artifact parse)."""
+
+    version: int
+    path: Path
+    size_bytes: int
+
+
+class ArtifactRegistry:
+    """List / get / publish / activate / rollback versioned artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- listing ----------------------------------------------------------------
+
+    def list_versions(self) -> list[ArtifactRecord]:
+        """All published versions, ascending (stray temp files ignored)."""
+        records = []
+        for entry in self.root.iterdir():
+            match = _VERSION_FILE.match(entry.name)
+            if match is None:
+                continue
+            records.append(
+                ArtifactRecord(
+                    version=int(match.group(1)),
+                    path=entry,
+                    size_bytes=entry.stat().st_size,
+                )
+            )
+        return sorted(records, key=lambda r: r.version)
+
+    def latest_version(self) -> int | None:
+        """The highest published version, or ``None`` when empty."""
+        records = self.list_versions()
+        return records[-1].version if records else None
+
+    def path_for(self, version: int) -> Path:
+        return self.root / _version_filename(version)
+
+    # -- read -------------------------------------------------------------------
+
+    def get(self, version: int) -> ServingArtifact:
+        """Load and validate one version.
+
+        Raises :class:`ApiError` 404 for an absent version and 409 for a
+        file that exists but does not parse as a valid artifact (torn
+        write, manual corruption) — never an unhandled exception.
+        """
+        path = self.path_for(version)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise ApiError.not_found(
+                f"artifact version {version} not found in {self.root}"
+            ) from None
+        except OSError as exc:
+            raise ApiError.conflict(
+                f"artifact version {version} is unreadable: {exc}"
+            ) from None
+        try:
+            return ServingArtifact.from_json(text)
+        except Exception as exc:
+            # ServeError (bad JSON / bad schema) or anything a hand-edited
+            # file can throw: the artifact is torn or invalid, not the
+            # server's fault — surface it as a conflict.
+            raise ApiError.conflict(
+                f"artifact version {version} is invalid: {exc}"
+            ) from None
+
+    # -- write ------------------------------------------------------------------
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def publish(self, artifact: ServingArtifact) -> int:
+        """Write ``artifact`` as the next version; returns its number."""
+        with self._lock:
+            version = (self.latest_version() or 0) + 1
+            self._atomic_write(
+                self.path_for(version), artifact.to_json(indent=2) + "\n"
+            )
+            return version
+
+    # -- activation -------------------------------------------------------------
+
+    def _read_pointer(self) -> dict:
+        try:
+            raw = (self.root / _POINTER_NAME).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}
+        try:
+            pointer = json.loads(raw)
+        except json.JSONDecodeError:
+            return {}  # torn pointer reads as "nothing active"; re-activate
+        return pointer if isinstance(pointer, dict) else {}
+
+    def active_version(self) -> int | None:
+        """The version named by the ``ACTIVE`` pointer (``None`` if unset)."""
+        version = self._read_pointer().get("version")
+        return version if isinstance(version, int) else None
+
+    def previous_version(self) -> int | None:
+        """The version active before the last activation (rollback target)."""
+        previous = self._read_pointer().get("previous")
+        return previous if isinstance(previous, int) else None
+
+    def activate(self, version: int) -> ServingArtifact:
+        """Validate ``version`` and swap the ``ACTIVE`` pointer to it.
+
+        The artifact is fully loaded *before* the pointer moves, so an
+        invalid version can never become active; returns the loaded
+        artifact so callers build the new serving state from the exact
+        bytes that were validated.
+        """
+        artifact = self.get(version)  # 404/409 before any pointer motion
+        with self._lock:
+            pointer = {"version": version, "previous": self.active_version()}
+            self._atomic_write(
+                self.root / _POINTER_NAME, json.dumps(pointer) + "\n"
+            )
+        return artifact
+
+    def rollback(self) -> tuple[int, ServingArtifact]:
+        """Re-activate the previously active version.
+
+        Returns ``(version, artifact)``.  Raises :class:`ApiError` 409
+        when there is no previous version on record.
+        """
+        previous = self.previous_version()
+        if previous is None:
+            raise ApiError(409, "artifact_invalid", "no previous version to roll back to")
+        return previous, self.activate(previous)

@@ -91,7 +91,13 @@ def test_serve_parser_arguments():
     assert args.command == "serve"
     assert args.artifact == "ruleset.json"
     assert args.port == 9000
-    assert args.cache_size == 1024
+    # Parser defaults are None so REPRO_SERVE_* env vars can layer under
+    # explicit flags; the real default (1024) lives on ServeConfig.
+    assert args.cache_size is None
+
+    from repro.serve import ServeConfig
+
+    assert ServeConfig().cache_size == 1024
 
 
 @pytest.mark.slow

@@ -1,0 +1,3 @@
+# Package marker: gives tests/serve modules unique import names so
+# test_config.py / test_registry.py can coexist with the identically
+# named modules under tests/core and tests/datasets.

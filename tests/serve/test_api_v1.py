@@ -1,0 +1,214 @@
+"""The /v1 API surface: versioned routes, deprecated aliases (byte-identical),
+the uniform error envelope, and method handling."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.engine import PrescriptionEngine
+from repro.serve.http import LEGACY_ALIASES, make_server
+
+US_ROW = {"Country": "US", "Age": 35.0, "Gender": "M"}
+
+
+@pytest.fixture()
+def live_server(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, f"http://127.0.0.1:{server.port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _request(
+    url: str,
+    data: bytes | None = None,
+    headers: dict | None = None,
+    method: str | None = None,
+):
+    """(status, raw body bytes, headers) without raising on HTTP errors."""
+    request = urllib.request.Request(
+        url, data=data, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def _counter_total(server, name: str) -> float:
+    counter = server.metrics.snapshot()["counters"].get(name)
+    return sum(counter["values"].values()) if counter else 0.0
+
+
+# -- /v1 surface ---------------------------------------------------------------
+
+
+def test_v1_prescribe_carries_request_id_and_version(live_server):
+    _, base = live_server
+    status, body, headers = _request(
+        base + "/v1/prescribe",
+        data=json.dumps({"individual": US_ROW}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["prescription"]["rule_index"] == 0
+    assert payload["ruleset_version"] is None  # single-artifact mode
+    assert payload["request_id"] == headers["X-Request-Id"]
+
+
+def test_v1_health_and_rules(live_server):
+    _, base = live_server
+    status, body, __ = _request(base + "/v1/health")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["status"] == "ok"
+    assert payload["n_rules"] == 3
+    assert payload["ruleset_version"] is None
+
+    status, body, __ = _request(base + "/v1/rules")
+    assert status == 200
+    assert json.loads(body)["n_rules"] == 3
+
+
+def test_v1_metrics_is_prometheus_text(live_server):
+    _, base = live_server
+    status, body, headers = _request(base + "/v1/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert b"serve_ruleset_version" in body
+
+
+def test_v1_artifacts_single_mode_is_read_only(live_server):
+    _, base = live_server
+    status, body, __ = _request(base + "/v1/artifacts")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["registry"] is False
+    assert payload["artifacts"] == []
+
+    status, body, __ = _request(
+        base + "/v1/artifacts/activate",
+        data=json.dumps({"version": 1}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    assert status == 400
+    assert json.loads(body)["error"]["code"] == "bad_request"
+
+
+# -- deprecated aliases --------------------------------------------------------
+
+
+def test_alias_bodies_are_byte_identical_to_v1(live_server):
+    """Same handler, same request id => byte-for-byte identical bodies."""
+    _, base = live_server
+    prescribe_body = json.dumps({"individual": US_ROW}).encode()
+    for alias, canonical in sorted(LEGACY_ALIASES.items()):
+        if canonical == "/v1/metrics":
+            continue  # counter values legitimately differ between scrapes
+        kwargs = (
+            {"data": prescribe_body, "headers": {"X-Request-Id": "pin-1"}}
+            if canonical == "/v1/prescribe"
+            else {"headers": {"X-Request-Id": "pin-1"}}
+        )
+        status_a, body_a, headers_a = _request(base + alias, **kwargs)
+        status_v1, body_v1, headers_v1 = _request(base + canonical, **kwargs)
+        assert status_a == status_v1 == 200
+        assert body_a == body_v1, f"{alias} diverged from {canonical}"
+        assert headers_a.get("Deprecation") == "true"
+        assert "Deprecation" not in headers_v1
+
+
+def test_alias_metrics_document_matches_v1_shape(live_server):
+    _, base = live_server
+    status, body, headers = _request(base + "/metrics")
+    assert status == 200
+    assert headers.get("Deprecation") == "true"
+    assert b"# TYPE http_requests_total counter" in body or b"engine_rules" in body
+
+
+def test_alias_errors_share_the_envelope(live_server):
+    _, base = live_server
+    for path in ("/prescribe", "/v1/prescribe"):
+        status, body, __ = _request(
+            base + path,
+            data=json.dumps({"wrong": 1}).encode(),
+            headers={"Content-Type": "application/json", "X-Request-Id": "pin-2"},
+        )
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "bad_request"
+        assert payload["error"]["request_id"] == "pin-2"
+
+
+def test_deprecated_path_counter_increments(live_server):
+    server, base = live_server
+    before = _counter_total(server, "http.deprecated_path")
+    _request(base + "/health")
+    _request(base + "/rules")
+    _request(base + "/v1/health")  # canonical: must NOT count
+    assert _counter_total(server, "http.deprecated_path") == before + 2
+    values = server.metrics.snapshot()["counters"]["http.deprecated_path"]["values"]
+    assert "path=/health" in values and "path=/rules" in values
+
+
+# -- error envelope and methods ------------------------------------------------
+
+
+def test_unknown_path_envelope(live_server):
+    _, base = live_server
+    status, body, __ = _request(base + "/v1/nope")
+    assert status == 404
+    payload = json.loads(body)
+    assert set(payload) == {"error"}
+    assert set(payload["error"]) == {"code", "message", "request_id"}
+    assert payload["error"]["code"] == "not_found"
+    assert "/v1/nope" in payload["error"]["message"]
+
+
+def test_wrong_method_is_405_not_404(live_server):
+    _, base = live_server
+    status, body, __ = _request(base + "/v1/prescribe")  # GET on a POST route
+    assert status == 405
+    assert json.loads(body)["error"]["code"] == "method_not_allowed"
+
+    status, body, __ = _request(
+        base + "/v1/health",
+        data=b"{}",
+        headers={"Content-Type": "application/json"},
+    )
+    assert status == 405
+    assert json.loads(body)["error"]["code"] == "method_not_allowed"
+
+
+def test_activate_request_validation(live_server):
+    _, base = live_server
+
+    def post_activate(payload):
+        status, body, __ = _request(
+            base + "/v1/artifacts/activate",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        return status, json.loads(body)
+
+    status, payload = post_activate({"version": "two"})
+    assert status == 400 and "integer" in payload["error"]["message"]
+    status, payload = post_activate({"version": True})
+    assert status == 400 and "integer" in payload["error"]["message"]
+    status, payload = post_activate({"version": 1, "rollback": True})
+    assert status == 400 and "mutually exclusive" in payload["error"]["message"]
+    status, payload = post_activate([1, 2])
+    assert status == 400 and "JSON object" in payload["error"]["message"]

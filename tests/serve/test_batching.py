@@ -1,0 +1,269 @@
+"""Request coalescing: the MicroBatcher and the engine's vectorized
+prescribe_profiles path must be indistinguishable from per-request dispatch
+— same prescriptions, same errors — while actually coalescing."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.engine import PrescriptionEngine
+from repro.serve.http import make_server
+from repro.utils.errors import ServeError
+
+from tests.serve.conftest import random_row, random_rules
+
+US_ROW = {"Country": "US", "Age": 35.0, "Gender": "M"}
+
+
+# -- engine differential: prescribe_profiles == per-profile prescribe ----------
+
+
+def _engine(serve_rng, serve_protected, n_rules=40) -> PrescriptionEngine:
+    from repro.rules.ruleset import RuleSet
+
+    return PrescriptionEngine(
+        RuleSet(random_rules(serve_rng, n_rules)), protected=serve_protected
+    )
+
+
+def _outcome(engine, row):
+    try:
+        return ("ok", engine.prescribe(row))
+    except ServeError as exc:
+        return ("error", str(exc))
+
+
+def _profile_outcome(result):
+    if isinstance(result, ServeError):
+        return ("error", str(result))
+    return ("ok", result)
+
+
+def test_prescribe_profiles_matches_scalar_on_random_rows(
+    serve_rng, serve_protected
+):
+    engine = _engine(serve_rng, serve_protected)
+    reference = PrescriptionEngine(
+        engine.ruleset, protected=serve_protected, cache_size=0
+    )
+    rows = [random_row(serve_rng) for __ in range(200)]
+    results = engine.prescribe_profiles(rows)
+    assert len(results) == len(rows)
+    for row, result in zip(rows, results):
+        assert _profile_outcome(result) == _outcome(reference, row)
+
+
+def test_prescribe_profiles_isolates_bad_profiles(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    rows = [
+        US_ROW,
+        {"Country": "US"},  # missing Age: per-profile error
+        {"Country": "DE", "Age": 20.0, "Gender": "F"},
+    ]
+    good, bad, protected = engine.prescribe_profiles(rows)
+    assert good.rule_index == 0
+    assert isinstance(bad, ServeError)
+    assert "missing attributes" in str(bad)
+    assert protected.rule_index == 2 and protected.protected is True
+
+
+def test_prescribe_profiles_handles_heterogeneous_and_odd_values(
+    toy_ruleset, serve_protected
+):
+    """Key-set and value-type oddballs fall back to scalar, identically."""
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    reference = PrescriptionEngine(
+        toy_ruleset, protected=serve_protected, cache_size=0
+    )
+    rows = [
+        US_ROW,
+        {"Country": "US", "Age": 35.0},               # no Gender key
+        {"Country": "US", "Age": "35", "Gender": "M"},  # string on numeric plan
+        {"Country": "US", "Age": True, "Gender": "M"},  # bool on numeric plan
+        {"Country": "DE", "Age": 31.0, "Gender": "F", "Extra": 1},
+        US_ROW,  # duplicate profile (cache interplay)
+    ]
+    results = engine.prescribe_profiles(rows)
+    for row, result in zip(rows, results):
+        assert _profile_outcome(result) == _outcome(reference, row)
+
+
+def test_prescribe_profiles_counters_stay_consistent(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    rows = [
+        {"Country": "US", "Age": float(20 + i), "Gender": "M"} for i in range(10)
+    ]
+    engine.prescribe_profiles(rows)   # all misses
+    engine.prescribe_profiles(rows)   # all hits
+    info = engine.cache_info()
+    assert info["hits"] + info["misses"] == 20
+    assert info["hits"] == 10
+
+
+# -- MicroBatcher --------------------------------------------------------------
+
+
+def test_batcher_validation():
+    with pytest.raises(ServeError):
+        MicroBatcher(0.0)
+    with pytest.raises(ServeError):
+        MicroBatcher(5.0, max_size=0)
+
+
+def test_batcher_coalesces_concurrent_submissions(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    reference = PrescriptionEngine(
+        toy_ruleset, protected=serve_protected, cache_size=0
+    )
+    sizes: list[int] = []
+    batcher = MicroBatcher(window_ms=50.0, max_size=64, on_batch=sizes.append)
+    rows = [
+        {"Country": "US", "Age": float(25 + i), "Gender": "MF"[i % 2]}
+        for i in range(12)
+    ]
+    results: dict[int, object] = {}
+    barrier = threading.Barrier(len(rows))
+
+    def submit(i):
+        barrier.wait(timeout=10)
+        try:
+            results[i] = batcher.submit(engine, rows[i])
+        except ServeError as exc:
+            results[i] = exc
+
+    threads = [
+        threading.Thread(target=submit, args=(i,)) for i in range(len(rows))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    batcher.close()
+
+    assert len(results) == len(rows)
+    for i, row in enumerate(rows):
+        assert _profile_outcome(results[i]) == _outcome(reference, row)
+    assert sum(sizes) == len(rows)
+    assert max(sizes) > 1, "concurrent submissions never coalesced"
+
+
+def test_batcher_raises_per_request_errors(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    batcher = MicroBatcher(window_ms=5.0)
+    try:
+        with pytest.raises(ServeError, match="missing attributes"):
+            batcher.submit(engine, {"Country": "US"})
+        assert batcher.submit(engine, US_ROW).rule_index == 0
+    finally:
+        batcher.close()
+
+
+def test_batcher_max_size_dispatches_early(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    sizes: list[int] = []
+    # A huge window: only the max-size trigger can dispatch quickly.
+    batcher = MicroBatcher(window_ms=10_000.0, max_size=2, on_batch=sizes.append)
+    results = []
+    barrier = threading.Barrier(2)
+
+    def submit():
+        barrier.wait(timeout=10)
+        results.append(batcher.submit(engine, US_ROW))
+
+    threads = [threading.Thread(target=submit) for __ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "batch did not dispatch at max_size"
+    batcher.close()
+    assert len(results) == 2
+    assert sizes and max(sizes) <= 2
+
+
+def test_closed_batcher_still_answers(toy_ruleset, serve_protected):
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    batcher = MicroBatcher(window_ms=5.0)
+    batcher.close()
+    # Zero-dropped-requests contract: late submissions serve directly.
+    assert batcher.submit(engine, US_ROW).rule_index == 0
+
+
+# -- HTTP-level differential ---------------------------------------------------
+
+
+def _post(base, payload):
+    request = urllib.request.Request(
+        base + "/v1/prescribe",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_coalescing_differential(toy_ruleset, serve_protected, serve_rng):
+    """Batched server answers exactly what an unbatched server answers."""
+    rows = [random_row(serve_rng) for __ in range(24)]
+    answers: dict[bool, list] = {}
+    for batched in (False, True):
+        engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+        config = ServeConfig(
+            port=0,
+            batch_window_ms=10.0 if batched else 0.0,
+            batch_max_size=8,
+        )
+        server = make_server(engine, config=config)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            collected: list = [None] * len(rows)
+            barrier = threading.Barrier(len(rows))
+
+            def run(i, base=base, collected=collected, barrier=barrier):
+                barrier.wait(timeout=10)
+                status, payload = _post(base, {"individual": rows[i]})
+                collected[i] = (status, payload.get("prescription"))
+
+            workers = [
+                threading.Thread(target=run, args=(i,))
+                for i in range(len(rows))
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=30)
+            answers[batched] = collected
+            if batched:
+                snapshot = server.metrics.snapshot()
+                histogram = snapshot["histograms"].get("serve.batch_size")
+                assert histogram is not None, "no batch was ever dispatched"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    assert answers[True] == answers[False]
+    assert all(status == 200 for status, __ in answers[True])
+
+
+def test_numpy_values_round_trip_through_profiles(toy_ruleset, serve_protected):
+    """np scalar types count as numeric for the vectorized path."""
+    engine = PrescriptionEngine(toy_ruleset, protected=serve_protected)
+    rows = [
+        {"Country": "US", "Age": np.float64(35.0), "Gender": "M"},
+        {"Country": "US", "Age": np.int64(35), "Gender": "M"},
+    ]
+    results = engine.prescribe_profiles(rows)
+    assert [r.rule_index for r in results] == [0, 0]

@@ -123,3 +123,65 @@ def test_from_artifact_uses_schema_for_numeric_attributes(
     assert continuous  # the toy schema declares Income as continuous
     result = engine.prescribe({**US_30S, "Gender": "F"})
     assert result.protected is True
+
+
+# -- thread safety: the profile LRU under concurrent hammering ----------------
+
+
+def test_cache_survives_concurrent_hammering(toy_ruleset, serve_protected):
+    """N threads x M profiles: no lost/corrupt entries, counters consistent.
+
+    The LRU is mutated from every HTTP worker thread; without the lock,
+    OrderedDict moves/evictions race (lost entries, corrupted linkage) and
+    the hit/miss counters drift from the lookup count.  The invariant
+    pinned here: hits + misses == total lookups, every returned
+    prescription is bit-identical to an uncontended reference engine, and
+    the cache never exceeds its bound.
+    """
+    import threading
+
+    n_threads, n_rounds = 8, 40
+    profiles = [
+        {"Country": country, "Age": float(age), "Gender": gender}
+        for country in ("US", "DE")
+        for age in (20, 35)
+        for gender in ("F", "M")
+    ]  # 8 distinct profiles against cache_size 4: constant eviction pressure
+    engine = PrescriptionEngine(
+        toy_ruleset, protected=serve_protected, cache_size=4
+    )
+    reference = PrescriptionEngine(
+        toy_ruleset, protected=serve_protected, cache_size=0
+    )
+    expected = {i: reference.prescribe(p) for i, p in enumerate(profiles)}
+
+    mismatches: list = []
+    errors: list = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(seed: int) -> None:
+        try:
+            barrier.wait(timeout=10)
+            for round_ in range(n_rounds):
+                i = (seed + round_) % len(profiles)
+                got = engine.prescribe(profiles[i])
+                if got != expected[i]:
+                    mismatches.append((i, got))
+        except BaseException as exc:  # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(seed,)) for seed in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert not mismatches, mismatches[:3]
+    info = engine.cache_info()
+    assert info["hits"] + info["misses"] == n_threads * n_rounds
+    assert info["size"] <= 4
+    # Cached entries must still resolve correctly after the storm.
+    for i, profile in enumerate(profiles):
+        assert engine.prescribe(profile) == expected[i]

@@ -1,4 +1,9 @@
-"""HTTP round-trip smoke tests against a live ThreadingHTTPServer."""
+"""HTTP round-trip smoke tests against a live PrescriptionServer.
+
+These run through the legacy (pre-/v1) alias paths on purpose: the aliases
+must answer identically to their /v1 counterparts (test_api_v1.py pins the
+byte-for-byte equivalence).
+"""
 
 from __future__ import annotations
 
@@ -96,7 +101,8 @@ def test_prescribe_missing_attributes_is_400(live_server):
         live_server + "/prescribe", {"individual": {"Country": "US"}}
     )
     assert status == 400
-    assert "missing attributes" in payload["error"]
+    assert payload["error"]["code"] == "bad_request"
+    assert "missing attributes" in payload["error"]["message"]
 
 
 def test_prescribe_malformed_json_is_400(live_server):
@@ -108,13 +114,14 @@ def test_prescribe_malformed_json_is_400(live_server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(request)
     assert excinfo.value.code == 400
-    assert "not valid JSON" in json.loads(excinfo.value.read())["error"]
+    body = json.loads(excinfo.value.read())
+    assert "not valid JSON" in body["error"]["message"]
 
 
 def test_prescribe_requires_individuals_key(live_server):
     status, payload = _post(live_server + "/prescribe", {"wrong": 1})
     assert status == 400
-    assert "individual" in payload["error"]
+    assert "individual" in payload["error"]["message"]
 
 
 def test_post_unknown_path_closes_keepalive_connection(live_server):
@@ -204,7 +211,7 @@ def test_empty_body_is_400(live_server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(request)
     assert excinfo.value.code == 400
-    assert "empty" in json.loads(excinfo.value.read())["error"]
+    assert "empty" in json.loads(excinfo.value.read())["error"]["message"]
 
 
 def test_unknown_ruleset_version_fails_at_load(toy_ruleset, serve_protected):
@@ -227,4 +234,4 @@ def test_individuals_must_be_objects(live_server):
         live_server + "/prescribe", {"individuals": ["not-an-object"]}
     )
     assert status == 400
-    assert "list of JSON objects" in payload["error"]
+    assert "list of JSON objects" in payload["error"]["message"]

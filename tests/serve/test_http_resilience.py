@@ -107,7 +107,8 @@ def test_capacity_overflow_rejects_with_503_retry_after(gated_engine):
             base + "/prescribe", {"individual": US_ROW}
         )
         assert status == 503
-        assert "capacity" in payload["error"]
+        assert payload["error"]["code"] == "over_capacity"
+        assert "capacity" in payload["error"]["message"]
         assert headers.get("Retry-After") == "1"
         # Ops endpoints bypass the gate: reachable exactly when overloaded.
         assert _get(base + "/health")[0] == 200
@@ -159,11 +160,14 @@ def test_request_deadline_header_maps_to_504(live_server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(request, timeout=10)
     assert excinfo.value.code == 504
-    assert "deadline" in json.loads(excinfo.value.read())["error"]
+    body = json.loads(excinfo.value.read())
+    assert body["error"]["code"] == "deadline_exceeded"
+    assert "deadline" in body["error"]["message"]
     assert _counter_total(server, "http.deadline_exceeded") == 1.0
     # A 504 is not a success and not a 500: recorded under its own status.
+    # The alias request is folded under its canonical /v1 label.
     requests = server.metrics.snapshot()["counters"]["http.requests"]["values"]
-    assert requests == {"method=POST,path=/prescribe,status=504": 1.0}
+    assert requests == {"method=POST,path=/v1/prescribe,status=504": 1.0}
 
 
 def test_server_level_deadline_bounds_batches(toy_ruleset, serve_protected):
@@ -176,7 +180,7 @@ def test_server_level_deadline_bounds_batches(toy_ruleset, serve_protected):
             {"individuals": [US_ROW] * 50},
         )
         assert status == 504
-        assert "deadline" in payload["error"]
+        assert payload["error"]["code"] == "deadline_exceeded"
     finally:
         server.shutdown()
         server.server_close()
@@ -223,7 +227,8 @@ def test_graceful_shutdown_drains_inflight_and_rejects_new(gated_engine):
             base + "/prescribe", {"individual": US_ROW}
         )
         assert status == 503
-        assert "shutting down" in payload["error"]
+        assert payload["error"]["code"] == "draining"
+        assert "shutting down" in payload["error"]["message"]
         assert headers.get("Retry-After") == "1"
         status, payload = _get(base + "/health")
         assert status == 200 and payload["draining"] is True

@@ -142,24 +142,26 @@ def test_read_json_body_reports_byte_counts_on_eof():
 # -- GET crash fallback -------------------------------------------------------
 
 
-class _Boom:
-    def __len__(self) -> int:
-        raise RuntimeError("kaboom")
+def _boom_rules(state):
+    raise RuntimeError("kaboom")
 
 
 def test_crashed_get_route_returns_json_500(live_server):
-    live_server._rules_payload = _Boom()  # /rules calls len() on this
+    live_server.service.rules = _boom_rules  # the /rules service call crashes
     with socket.create_connection(("127.0.0.1", live_server.port), timeout=5) as sock:
         sock.sendall(b"GET /rules HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
         response = _drain(sock)
     status_line, _, rest = response.partition("\r\n")
     assert status_line == "HTTP/1.1 500 Internal Server Error"
     body = json.loads(rest.split("\r\n\r\n", 1)[1])
-    assert body["error"] == "internal error: kaboom"
+    assert body["error"]["code"] == "internal"
+    assert body["error"]["message"] == "internal error: kaboom"
+    assert body["error"]["request_id"]
 
-    # The request metric must record the real status, not 0.
+    # The request metric must record the real status, not 0 (folded under
+    # the canonical /v1 label even for the alias path).
     deadline = time.monotonic() + 2.0
-    want = 'http_requests_total{method="GET",path="/rules",status="500"} 1'
+    want = 'http_requests_total{method="GET",path="/v1/rules",status="500"} 1'
     while time.monotonic() < deadline:
         if want in live_server.render_metrics():
             break

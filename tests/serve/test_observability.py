@@ -61,7 +61,8 @@ def test_metrics_exposition_after_traffic(observed_server):
     base, _ = observed_server
     _get(base + "/health")
     _get(base + "/health")
-    want = 'http_requests_total{method="GET",path="/health",status="200"} 2'
+    # Alias traffic reports under the canonical /v1 label.
+    want = 'http_requests_total{method="GET",path="/v1/health",status="200"} 2'
 
     def scrape():
         response, body = _get(base + "/metrics")
@@ -73,8 +74,8 @@ def test_metrics_exposition_after_traffic(observed_server):
     text = _wait_until(scrape)
     assert "# TYPE http_requests_total counter" in text
     assert want in text
-    assert 'http_request_seconds_bucket{method="GET",path="/health",le="+Inf"} 2' in text
-    assert 'http_request_seconds_count{method="GET",path="/health"} 2' in text
+    assert 'http_request_seconds_bucket{method="GET",path="/v1/health",le="+Inf"} 2' in text
+    assert 'http_request_seconds_count{method="GET",path="/v1/health"} 2' in text
     assert "# TYPE engine_rules gauge" in text
     assert "engine_rules 3" in text
     assert "engine_cache_size" in text
@@ -152,7 +153,7 @@ def test_prescribe_latency_lands_in_the_histogram(observed_server):
     with urllib.request.urlopen(request) as response:
         payload = json.loads(response.read())
     assert "request_id" in payload
-    want = ('http_requests_total{method="POST",path="/prescribe",status="200"} 1')
+    want = ('http_requests_total{method="POST",path="/v1/prescribe",status="200"} 1')
     text = _wait_until(
         lambda: next(
             (t for t in [_get(base + "/metrics")[1].decode("utf-8")] if want in t),
@@ -160,6 +161,6 @@ def test_prescribe_latency_lands_in_the_histogram(observed_server):
         )
     )
     assert want in text
-    assert 'http_request_seconds_count{method="POST",path="/prescribe"} 1' in text
+    assert 'http_request_seconds_count{method="POST",path="/v1/prescribe"} 1' in text
     events = _wait_until(lambda: _log_events(stream, "http.request"))
     assert any(r["path"] == "/prescribe" and r["status"] == 200 for r in events)
